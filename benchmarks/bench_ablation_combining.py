@@ -1,0 +1,84 @@
+"""Ablation — flow combining (DESIGN.md).
+
+Three engine configurations on the same kernels:
+
+* full SESA (diamond merging + taint-guided value dropping),
+* SESA without the taint hint (merging builds precise ``ite`` values for
+  *every* merged register — correct but larger terms),
+* GKLEEp (no merging at all).
+
+The paper's claim being isolated: merging is what prevents the flow
+explosion; the taint hint additionally shrinks the terms the solver sees.
+"""
+import time
+
+import pytest
+
+from common import GKLEEP_FLOW_BUDGET, GKLEEP_STEP_BUDGET, print_table
+from repro.core import GKLEEp, SESA
+from repro.kernels import ALL_KERNELS
+from repro.smt import term_size
+
+KERNELS = ["reduction", "bitonic2.0", "mergeSort4.3"]
+RESULTS = {}
+
+
+def run_variant(name: str, variant: str):
+    kernel = ALL_KERNELS[name]
+    config = kernel.launch_config(block_dim=(16, 1, 1), check_oob=False)
+    start = time.perf_counter()
+    if variant == "gkleep":
+        config.max_flows = GKLEEP_FLOW_BUDGET
+        config.max_steps = GKLEEP_STEP_BUDGET
+        report = GKLEEp.from_source(kernel.source,
+                                    kernel.kernel_name).check(config)
+    else:
+        if variant == "no-hint":
+            config.flow_combining = False  # merge, but no value dropping
+        report = SESA.from_source(kernel.source,
+                                  kernel.kernel_name).check(config)
+    seconds = time.perf_counter() - start
+    ex = report.execution
+    sizes = [term_size(a.cond) + term_size(a.offset)
+             for s in ex.bi_access_sets for a in s]
+    return dict(flows=ex.max_flows, seconds=seconds,
+                timed_out=ex.timed_out,
+                avg_term=sum(sizes) / max(len(sizes), 1),
+                races=report.has_races)
+
+
+@pytest.mark.parametrize("variant", ["sesa", "no-hint", "gkleep"])
+@pytest.mark.parametrize("name", KERNELS)
+def test_variant(benchmark, name, variant):
+    RESULTS[(name, variant)] = benchmark.pedantic(
+        lambda: run_variant(name, variant), rounds=1, iterations=1)
+
+
+def test_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in KERNELS:
+        row = [name]
+        for variant in ("gkleep", "no-hint", "sesa"):
+            r = RESULTS.get((name, variant))
+            if r is None:
+                pytest.skip("run the full module for the report")
+            cell = "T.O." if r["timed_out"] else \
+                f"{r['flows']}f/{r['seconds']:.1f}s"
+            row.append(cell)
+        sesa = RESULTS[(name, "sesa")]
+        nohint = RESULTS[(name, "no-hint")]
+        row.append(f"{nohint['avg_term']:.0f}->{sesa['avg_term']:.0f}")
+        rows.append(row)
+    print_table(
+        "Ablation: flow combining and the taint merge-hint",
+        ["Kernel", "no merging", "merge (no hint)", "full SESA",
+         "avg term size"],
+        rows)
+    for name in KERNELS:
+        # merging (either variant) must beat no-merging on flows
+        assert RESULTS[(name, "sesa")]["flows"] <= \
+            RESULTS[(name, "gkleep")]["flows"]
+        # verdicts agree between hint/no-hint
+        assert RESULTS[(name, "sesa")]["races"] == \
+            RESULTS[(name, "no-hint")]["races"]

@@ -1,0 +1,55 @@
+"""Figure 4 — the reduction kernel's parametric flow tree.
+
+GKLEEp: one flow per tid-equivalence class, growing per barrier
+encounter (F0 → F1/F2 → F3..F5 → ...; infeasible refinements like F4's
+complement are pruned with the solver). SESA: flow combining collapses
+every barrier encounter back to one flow.
+
+The bench measures both engines across block sizes and asserts the
+paper's two facts: SESA's flow count is 1 at every size, GKLEEp's grows.
+"""
+import pytest
+
+from common import print_table, run_gkleep, run_sesa
+from repro.kernels import ALL_KERNELS
+
+BLOCKS = [8, 16, 32, 64]
+RESULTS = {}
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+def test_sesa_flow_tree(benchmark, block):
+    kernel = ALL_KERNELS["reduction"]
+    result = benchmark.pedantic(
+        lambda: run_sesa(kernel, block=(block, 1, 1), check_oob=False),
+        rounds=1, iterations=1)
+    RESULTS[("sesa", block)] = result
+    assert result.flows == 1
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+def test_gkleep_flow_tree(benchmark, block):
+    kernel = ALL_KERNELS["reduction"]
+    result = benchmark.pedantic(
+        lambda: run_gkleep(kernel, block=(block, 1, 1), check_oob=False),
+        rounds=1, iterations=1)
+    RESULTS[("gkleep", block)] = result
+    assert result.flows > 1
+
+
+def test_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for block in BLOCKS:
+        s = RESULTS.get(("sesa", block))
+        g = RESULTS.get(("gkleep", block))
+        if s is None or g is None:
+            pytest.skip("run the full module for the report")
+        rows.append([block, g.flows, f"{g.seconds:.2f}",
+                     s.flows, f"{s.seconds:.2f}"])
+    print_table(
+        "Figure 4: reduction flow tree — max concurrent flows",
+        ["blockDim", "GKLEEp flows", "GKLEEp s", "SESA flows", "SESA s"],
+        rows)
+    gk = [RESULTS[("gkleep", b)].flows for b in BLOCKS]
+    assert gk == sorted(gk), "GKLEEp flow count grows with block size"

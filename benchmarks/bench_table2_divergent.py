@@ -1,0 +1,75 @@
+"""Table II — highly divergent kernels: SESA vs GKLEEp flow counts.
+
+The paper's shape: GKLEEp's flows grow with the thread count (often
+exponentially) until the 3,600 s timeout; SESA's flow combining keeps
+1-O(1) flows at every size. Cells are ``flows (seconds)`` or ``T.O.``
+(budget exhausted — see common.py).
+
+Thread counts {16, 32} keep the whole table under a few minutes; the
+paper's {16..256} columns show the same monotone separation.
+"""
+import pytest
+
+from common import print_table, run_gkleep, run_sesa
+from repro.kernels import ALL_KERNELS
+
+KERNELS = ["bitonic2.0", "wordsearch", "bitonic4.3", "mergeSort4.3",
+           "stream_compaction", "n_stream_compaction", "blelloch",
+           "brentkung"]
+THREADS = [16, 32]
+
+RESULTS = {}
+
+
+def _config(name, threads):
+    return dict(block=(threads, 1, 1), grid=(1, 1, 1), check_oob=False)
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("name", KERNELS)
+def test_sesa(benchmark, name, threads):
+    kernel = ALL_KERNELS[name]
+    result = benchmark.pedantic(
+        lambda: run_sesa(kernel, **_config(name, threads)),
+        rounds=1, iterations=1)
+    RESULTS[("sesa", name, threads)] = result
+    assert not result.timed_out, f"SESA must not time out on {name}"
+    # the paper's flow counts: 1 for the sort/search kernels, <= 3 for
+    # the scans, single digits for compaction
+    assert result.flows <= 9, f"{name}: {result.flows} flows"
+
+
+@pytest.mark.parametrize("threads", THREADS)
+@pytest.mark.parametrize("name", KERNELS)
+def test_gkleep(benchmark, name, threads):
+    kernel = ALL_KERNELS[name]
+    result = benchmark.pedantic(
+        lambda: run_gkleep(kernel, **_config(name, threads)),
+        rounds=1, iterations=1)
+    RESULTS[("gkleep", name, threads)] = result
+
+
+def test_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    explosion = 0
+    for name in KERNELS:
+        row = [name, ALL_KERNELS[name].paper_resolvable or "?"]
+        for threads in THREADS:
+            s = RESULTS.get(("sesa", name, threads))
+            g = RESULTS.get(("gkleep", name, threads))
+            if s is None or g is None:
+                pytest.skip("run the full module for the report")
+            row.append(g.cell)
+            row.append(s.cell)
+            if g.timed_out or g.flows > 4 * s.flows:
+                explosion += 1
+        rows.append(row)
+    header = ["Kernel", "RSLV?"]
+    for threads in THREADS:
+        header += [f"GKLEEp T={threads}", f"SESA T={threads}"]
+    print_table("Table II: divergent kernels — flows (seconds) or T.O.",
+                header, rows)
+    # the headline: GKLEEp explodes or badly trails SESA on most rows
+    assert explosion >= len(KERNELS), \
+        f"expected flow explosion on most kernels, saw {explosion}"

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The developer loop the paper motivates: find a race, fix it, verify.
+
+The kernel is the classic buggy parallel reduction (barrier hoisted out
+of the loop — a real bug class the paper's reduction example is built
+around). SESA pinpoints the race with a concrete witness; after the fix
+the same configuration verifies race-free, and scaling the block up
+costs nothing extra (parametric execution).
+
+Run:  python examples/fix_verify.py
+"""
+from repro.core import SESA, LaunchConfig
+
+BUGGY = """
+__shared__ float sdata[512];
+__global__ void reduce(float *idata, float *odata) {
+  sdata[threadIdx.x] = idata[threadIdx.x];
+  __syncthreads();
+  for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+    if (threadIdx.x % (2*s) == 0)
+      sdata[threadIdx.x] += sdata[threadIdx.x + s];
+    // BUG: missing __syncthreads() here
+  }
+  __syncthreads();
+  odata[threadIdx.x] = sdata[threadIdx.x];
+}
+"""
+
+FIXED = BUGGY.replace(
+    "    // BUG: missing __syncthreads() here",
+    "    __syncthreads();")
+
+
+def analyse(tag: str, source: str, block: int = 64):
+    report = SESA.from_source(source).check(
+        LaunchConfig(block_dim=block, check_oob=False))
+    status = "RACY" if report.has_races else "race-free"
+    print(f"[{tag}] blockDim={block}: {status} "
+          f"({report.elapsed_seconds:.2f}s, "
+          f"{report.check_stats.queries} queries)")
+    for race in report.races[:2]:
+        print(f"    {race.describe()}")
+    return report
+
+
+def main() -> None:
+    print("Step 1: check the kernel as written")
+    buggy = analyse("buggy", BUGGY)
+    assert buggy.has_races
+
+    race = buggy.races[0]
+    print()
+    print("Step 2: read the witness — two threads in the same interval,")
+    print(f"        one reading sdata[tid+s] the other updating it:")
+    print(f"        {race.witness}")
+    print()
+
+    print("Step 3: add the missing __syncthreads() and re-check")
+    fixed = analyse("fixed", FIXED)
+    assert not fixed.has_races
+    print()
+
+    print("Step 4: the fix holds at every block size (one parametric run")
+    print("        each — no thread-count blow-up):")
+    for block in (128, 256, 512):
+        report = analyse("fixed", FIXED, block)
+        assert not report.has_races
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Figure 4 reproduced: the parametric flow tree of the reduction kernel.
+
+Runs the reduction kernel under both engines and prints how many flows
+each explores per barrier interval — GKLEEp's tree grows (F0 → F1/F2 →
+F3..F5 → ...) while SESA's flow combining keeps exactly one flow.
+
+Run:  python examples/reduction_flows.py
+"""
+from repro.core import GKLEEp, SESA, LaunchConfig
+from repro.kernels.paper_examples import REDUCTION
+from repro.sym import render_flow_tree
+
+
+def run(engine_name: str, tool, config: LaunchConfig, tree: bool = False):
+    report = tool.check(config)
+    ex = report.execution
+    print(f"{engine_name:8s} flows(max)={ex.max_flows:3d} "
+          f"splits={ex.num_splits:3d} barriers={ex.num_barriers} "
+          f"time={report.elapsed_seconds:6.2f}s "
+          f"races={'yes' if report.has_races else 'no'}")
+    if tree:
+        print()
+        print(f"{engine_name} flow tree (cf. the paper's Fig. 4):")
+        print(render_flow_tree(ex))
+        print()
+
+
+def main() -> None:
+    print("Reduction kernel (Fig. 1 / Fig. 4), blockDim.x = 64")
+    print("=" * 60)
+
+    config = LaunchConfig(block_dim=64, check_oob=False)
+    sesa = SESA.from_source(REDUCTION.source)
+    print("taint:", sesa.taint.summary(),
+          "->", sorted(sesa.inferred_symbolic_inputs()) or "all concrete")
+    run("SESA", sesa, config, tree=True)
+    run("GKLEEp", GKLEEp.from_source(REDUCTION.source),
+        LaunchConfig(block_dim=8, check_oob=False), tree=True)
+
+    print()
+    print("The paper's Fig. 4: GKLEEp splits threads at every "
+          "tid % (2s) == 0 branch (F1/F2, then F3..F5, ...). SESA's "
+          "static analysis proves the branch-written values never reach "
+          "a sensitive sink, so the flows are combined: one flow per "
+          "barrier interval, at any block size.")
+
+    print()
+    print("Scaling (SESA, flow count must stay 1):")
+    for bdim in (16, 64, 256):
+        config = LaunchConfig(block_dim=bdim, check_oob=False)
+        report = SESA.from_source(REDUCTION.source).check(config)
+        print(f"  blockDim={bdim:4d}: flows={report.max_flows} "
+              f"({report.elapsed_seconds:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""repro — a Python reproduction of SESA (SC'14).
+
+SESA: practical symbolic race checking of GPU programs via parametric
+symbolic execution plus static (taint / data-flow) analysis.
+
+Public entry points:
+
+* :class:`repro.core.SESA` — compile a MiniCUDA kernel, run the static
+  analyses, execute parametrically, and report races / OOBs with witnesses.
+* :mod:`repro.core.baselines` — GKLEE- and GKLEEp-style comparators.
+* :mod:`repro.kernels` — the benchmark kernel suite from the paper.
+"""
+
+__version__ = "1.0.0"

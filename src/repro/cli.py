@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+::
+
+    python -m repro check kernel.cu --block 64 --grid 4
+    python -m repro taint kernel.cu
+    python -m repro ir kernel.cu
+    python -m repro tests kernel.cu --block 32
+
+``check`` analyses a kernel for races/OOB (engine selectable), ``taint``
+prints the §V input advisory, ``ir`` dumps the SSA bytecode after the
+standard pipeline, and ``tests`` emits concrete per-flow test vectors.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from .core import GKLEE, GKLEEp, SESA, LaunchConfig
+
+
+def _dim3(text: str) -> Tuple[int, int, int]:
+    parts = [int(p) for p in text.split(",")]
+    while len(parts) < 3:
+        parts.append(1)
+    if len(parts) != 3 or any(p < 1 for p in parts):
+        raise argparse.ArgumentTypeError(f"bad dim3 {text!r}")
+    return tuple(parts)  # type: ignore[return-value]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SESA: symbolic race checking for (Mini)CUDA kernels")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="MiniCUDA source file")
+        p.add_argument("--kernel", help="kernel name (if several)")
+
+    check = sub.add_parser("check", help="run the race/OOB analysis")
+    common(check)
+    check.add_argument("--grid", type=_dim3, default=(1, 1, 1),
+                       metavar="X[,Y[,Z]]")
+    check.add_argument("--block", type=_dim3, default=(64, 1, 1),
+                       metavar="X[,Y[,Z]]")
+    check.add_argument("--engine", choices=["sesa", "gkleep", "gklee"],
+                       default="sesa")
+    check.add_argument("--warp-size", type=int, default=32)
+    check.add_argument("--lockstep", action="store_true",
+                       help="assume SIMD lock-step ordering within warps")
+    check.add_argument("--no-oob", action="store_true",
+                       help="disable out-of-bounds checking")
+    check.add_argument("--symbolic", action="append", default=None,
+                       metavar="PARAM",
+                       help="force PARAM symbolic (repeatable; default: "
+                            "taint-inferred)")
+    check.add_argument("--set", action="append", default=[],
+                       metavar="PARAM=VALUE",
+                       help="concrete scalar value (repeatable)")
+    check.add_argument("--array-size", action="append", default=[],
+                       metavar="PARAM=COUNT",
+                       help="element count for a pointer param")
+    check.add_argument("--time-budget", type=float, default=None,
+                       metavar="SECONDS")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    taint = sub.add_parser("taint", help="print the §V input advisory")
+    common(taint)
+
+    ir_cmd = sub.add_parser("ir", help="dump the SSA bytecode")
+    common(ir_cmd)
+
+    tests = sub.add_parser(
+        "tests", help="emit concrete per-flow test vectors")
+    common(tests)
+    tests.add_argument("--grid", type=_dim3, default=(1, 1, 1))
+    tests.add_argument("--block", type=_dim3, default=(64, 1, 1))
+    return parser
+
+
+def _parse_kv(pairs: List[str], what: str) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad {what} {pair!r}: expected PARAM=VALUE")
+        key, value = pair.split("=", 1)
+        out[key] = int(value, 0)
+    return out
+
+
+def _config_from(args) -> LaunchConfig:
+    return LaunchConfig(
+        grid_dim=args.grid, block_dim=args.block,
+        warp_size=args.warp_size, warp_lockstep=args.lockstep,
+        check_oob=not args.no_oob,
+        symbolic_inputs=set(args.symbolic) if args.symbolic is not None
+        else None,
+        scalar_values=_parse_kv(args.set, "--set"),
+        array_sizes=_parse_kv(args.array_size, "--array-size"),
+        time_budget_seconds=args.time_budget)
+
+
+def cmd_check(args) -> int:
+    """The ``check`` subcommand: analyse and report races/OOB."""
+    source = open(args.file).read()
+    engine_cls = {"sesa": SESA, "gkleep": GKLEEp, "gklee": GKLEE}[args.engine]
+    tool = engine_cls.from_source(source, args.kernel)
+    report = tool.check(_config_from(args))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 1 if (report.has_races or report.has_oob) else 0
+
+
+def cmd_taint(args) -> int:
+    """The ``taint`` subcommand: per-input symbolisation advisory."""
+    tool = SESA.from_source(open(args.file).read(), args.kernel)
+    inferred = tool.inferred_symbolic_inputs()
+    print(f"kernel {tool.kernel.name}: "
+          f"{len(inferred)}/{len(tool.taint.verdicts)} inputs symbolic")
+    for name, v in tool.taint.verdicts.items():
+        marker = "SYMBOLIC " if name in inferred else "concrete "
+        print(f"  {marker} {name:20s} {v.reason}")
+    return 0
+
+
+def cmd_ir(args) -> int:
+    """The ``ir`` subcommand: dump the SSA bytecode with the §V
+    flow-merging annotations (combine / combine_ite / split)."""
+    from .ir import module_to_str
+    from .passes import annotate_flow_merging
+    tool = SESA.from_source(open(args.file).read(), args.kernel)
+    annotate_flow_merging(tool.kernel, tool.taint)
+    print(module_to_str(tool.module))
+    return 0
+
+
+def cmd_tests(args) -> int:
+    """The ``tests`` subcommand: concrete per-flow test vectors."""
+    tool = SESA.from_source(open(args.file).read(), args.kernel)
+    config = LaunchConfig(grid_dim=args.grid, block_dim=args.block)
+    vectors = tool.generate_tests(config)
+    if not vectors:
+        print("no feasible flows (empty kernel?)")
+        return 0
+    for i, vec in enumerate(vectors):
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(vec.items()))
+        print(f"test[{i}]: {inner}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {"check": cmd_check, "taint": cmd_taint,
+               "ir": cmd_ir, "tests": cmd_tests}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Public API: the SESA tool, launch configuration, and comparators."""
+from ..sym.config import LaunchConfig
+from .report import AnalysisReport
+from .sesa import SESA, check_source
+from .baselines import GKLEE, GKLEEp
+
+__all__ = ["LaunchConfig", "AnalysisReport", "SESA", "check_source",
+           "GKLEE", "GKLEEp"]

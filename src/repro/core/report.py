@@ -1,0 +1,110 @@
+"""Analysis report: the user-facing result of one SESA run."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..passes.taint import TaintReport
+from ..sym.executor import ExecutionResult
+from ..sym.races import AssertionReport, CheckStats, OOBReport, RaceReport
+from ..sym.resolvable import ResolvabilityReport
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    kernel: str
+    mode: str
+    races: List[RaceReport] = field(default_factory=list)
+    oobs: List[OOBReport] = field(default_factory=list)
+    assertion_failures: List[AssertionReport] = field(default_factory=list)
+    taint: Optional[TaintReport] = None
+    resolvability: Optional[ResolvabilityReport] = None
+    execution: Optional[ExecutionResult] = None
+    check_stats: Optional[CheckStats] = None
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (used by ``python -m repro check --json``)."""
+        return {
+            "kernel": self.kernel,
+            "engine": self.mode,
+            "races": [
+                {"kind": r.kind, "object": r.obj_name, "benign": r.benign,
+                 "unresolvable": r.unresolvable,
+                 "lines": [r.access1.loc, r.access2.loc],
+                 "witness": str(r.witness)} for r in self.races],
+            "oobs": [
+                {"object": o.obj_name, "line": o.access.loc,
+                 "witness": str(o.witness)} for o in self.oobs],
+            "assertion_failures": [
+                {"line": a.loc, "witness": str(a.witness)}
+                for a in self.assertion_failures],
+            "flows": self.max_flows,
+            "resolvable": self.resolvable,
+            "timed_out": self.timed_out,
+            "symbolic_inputs": (sorted(self.taint.symbolic_inputs)
+                                if self.taint else None),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    # -- convenience ----------------------------------------------------
+
+    @property
+    def has_races(self) -> bool:
+        return any(not r.benign for r in self.races)
+
+    @property
+    def has_benign_races(self) -> bool:
+        return any(r.benign for r in self.races)
+
+    @property
+    def has_oob(self) -> bool:
+        return bool(self.oobs)
+
+    @property
+    def max_flows(self) -> int:
+        return self.execution.max_flows if self.execution else 0
+
+    @property
+    def timed_out(self) -> bool:
+        return bool(self.execution and self.execution.timed_out)
+
+    @property
+    def resolvable(self) -> str:
+        return self.resolvability.verdict if self.resolvability else "?"
+
+    def race_kinds(self) -> List[str]:
+        out = []
+        for r in self.races:
+            tag = f"{r.kind}{' (Benign)' if r.benign else ''}"
+            if tag not in out:
+                out.append(tag)
+        return out
+
+    def summary(self) -> str:
+        lines = [f"kernel {self.kernel} [{self.mode}]"]
+        if self.taint is not None:
+            lines.append(f"  inputs: {self.taint.summary()}")
+        if self.execution is not None:
+            lines.append(
+                f"  flows: {self.execution.max_flows} "
+                f"(splits {self.execution.num_splits}, "
+                f"barriers {self.execution.num_barriers}, "
+                f"steps {self.execution.steps})"
+                + (" [TIMED OUT]" if self.execution.timed_out else ""))
+        lines.append(f"  resolvable: {self.resolvable}")
+        if self.races:
+            for race in self.races:
+                lines.append(f"  RACE: {race.describe()}")
+        else:
+            lines.append("  no races found")
+        for oob in self.oobs:
+            lines.append(f"  OOB: {oob.describe()}")
+        for failure in self.assertion_failures:
+            lines.append(f"  ASSERT: {failure.describe()}")
+        if self.execution:
+            for err in self.execution.errors:
+                lines.append(f"  ERROR: {err}")
+        return "\n".join(lines)

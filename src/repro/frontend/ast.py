@@ -1,0 +1,219 @@
+"""AST for MiniCUDA — the C subset with CUDA qualifiers that the paper's
+benchmark kernels are written in.
+
+Nodes carry the source ``line`` for diagnostics; race reports point back
+at these positions.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# types (syntactic; resolved by sema)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TypeName(Node):
+    """e.g. ``unsigned int``, ``float*``, ``int[256]``."""
+    base: str = "int"            # int, unsigned, char, short, long, float, double, void
+    signed: bool = True
+    pointer_depth: int = 0
+    array_dims: List["Expr"] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        sign = "" if self.signed else "unsigned "
+        stars = "*" * self.pointer_depth
+        dims = "".join("[...]" for _ in self.array_dims)
+        return f"{sign}{self.base}{stars}{dims}"
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    unsigned: bool = False
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class BuiltinRef(Expr):
+    """threadIdx.x / blockIdx.y / blockDim.z / gridDim.x / warpSize."""
+    base: str = "threadIdx"
+    axis: str = "x"
+
+
+@dataclass
+class Unary(Expr):
+    op: str = "-"                 # - ! ~ * & ++pre --pre
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class PostIncDec(Expr):
+    op: str = "++"
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = "+"
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """``lhs op rhs`` where op is =, +=, -=, ..."""
+    op: str = "="
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CastExpr(Expr):
+    to_type: Optional[TypeName] = None
+    operand: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class DeclStmt(Stmt):
+    type_name: Optional[TypeName] = None
+    declarators: List[Tuple[str, Optional[TypeName], Optional[Expr]]] = \
+        field(default_factory=list)   # (name, full type, initializer)
+    shared: bool = False
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_body: Optional["Block"] = None
+    else_body: Optional["Block"] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional["Block"] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional["Block"] = None
+    is_do_while: bool = False
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class SyncStmt(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type_name: Optional[TypeName] = None
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    qualifier: str = ""           # __global__ / __device__ / "" (host)
+    ret_type: Optional[TypeName] = None
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class SharedDecl(Node):
+    """Module-level ``__shared__ int sdata[N];``"""
+    name: str = ""
+    type_name: Optional[TypeName] = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    functions: List[FunctionDef] = field(default_factory=list)
+    shared_decls: List[SharedDecl] = field(default_factory=list)

@@ -1,0 +1,764 @@
+"""AST → IR lowering.
+
+Locals become allocas (promoted to SSA by the mem2reg pass); ``__shared__``
+declarations become module-level globals in SHARED space; kernel pointer
+parameters point into GLOBAL space. Booleans are i1 and widened on demand,
+floats are opaque bit patterns (their arithmetic is carried as calls the
+executor treats as uninterpreted).
+
+MiniCUDA evaluates ``&&``/``||`` and ``?:`` eagerly (no short-circuit
+control flow); the bundled kernels are written accordingly. This keeps the
+flow structure that SESA analyses in one-to-one correspondence with the
+visible branches of the source.
+"""
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from .. import ir
+from . import ast
+from .parser import parse
+from .sema import Scope, SemaError, common_int_type, const_eval, resolve_type
+
+_BOOL = ir.IntType(1, signed=False)
+
+# CUDA built-ins exposed to kernels, all unsigned 32-bit
+_BUILTIN_TYPE = ir.IntType(32, signed=False)
+
+_ATOMIC_CALLS = {
+    "atomicAdd": "add", "atomicSub": "sub", "atomicMin": "min",
+    "atomicMax": "max", "atomicAnd": "and", "atomicOr": "or",
+    "atomicXor": "xor", "atomicExch": "exch", "atomicInc": "inc",
+    "atomicDec": "dec",
+}
+
+# float math intrinsics carried through as opaque calls
+_FLOAT_INTRINSICS = frozenset({
+    "sqrtf", "sqrt", "expf", "exp", "logf", "log", "sinf", "cosf", "sin",
+    "cos", "powf", "pow", "fabsf", "fabs", "floorf", "ceilf", "rsqrtf",
+    "__fdividef", "fminf", "fmaxf", "__expf", "__logf", "__sinf", "__cosf",
+    "__powf",
+})
+
+
+class CodeGenError(SemaError):
+    """Raised for semantic errors during lowering."""
+    pass
+
+
+class CodeGen:
+    """Compiles a translation unit into an :class:`ir.Module`."""
+
+    def __init__(self, module_name: str = "minicuda") -> None:
+        self.module = ir.Module(module_name)
+        self.builtins: Dict[str, ir.BuiltinValue] = {}
+        self.device_fns: Dict[str, ast.FunctionDef] = {}
+
+    # ------------------------------------------------------------------
+
+    def compile(self, unit: ast.TranslationUnit) -> ir.Module:
+        for decl in unit.shared_decls:
+            self._emit_shared_global(decl, prefix="")
+        for fn in unit.functions:
+            if fn.qualifier == "__device__":
+                self.device_fns[fn.name] = fn
+        for fn in unit.functions:
+            if fn.qualifier == "__global__":
+                FunctionCompiler(self, fn).run()
+        return self.module
+
+    def builtin(self, name: str) -> ir.BuiltinValue:
+        bv = self.builtins.get(name)
+        if bv is None:
+            bv = ir.BuiltinValue(name, _BUILTIN_TYPE)
+            self.builtins[name] = bv
+        return bv
+
+    def _emit_shared_global(self, decl: ast.SharedDecl,
+                            prefix: str) -> ir.GlobalVariable:
+        tn = decl.type_name
+        elem = resolve_type(
+            ast.TypeName(line=tn.line, base=tn.base, signed=tn.signed),
+            ir.MemSpace.SHARED)
+        storage: ir.Type = elem
+        for dim in reversed(tn.array_dims):
+            storage = ir.ArrayType(storage, const_eval(dim))
+        name = f"{prefix}{decl.name}" if prefix else decl.name
+        gv = ir.GlobalVariable(name, storage, ir.MemSpace.SHARED)
+        self.module.add_global(gv)
+        return gv
+
+
+class _Binding:
+    """A name binding: either a memory slot (load/store) or a direct
+    pointer (arrays, whose name decays to the address of element 0)."""
+
+    __slots__ = ("value", "direct")
+
+    def __init__(self, value: ir.Value, direct: bool) -> None:
+        self.value = value
+        self.direct = direct
+
+
+class FunctionCompiler:
+    """Lowers one kernel body to IR (with device-fn inlining)."""
+    def __init__(self, cg: CodeGen, fn_ast: ast.FunctionDef) -> None:
+        self.cg = cg
+        self.fn_ast = fn_ast
+        param_types = []
+        for p in fn_ast.params:
+            space = ir.MemSpace.GLOBAL  # kernel pointers point at device mem
+            param_types.append(resolve_type(p.type_name, space))
+        ret = resolve_type(fn_ast.ret_type)
+        fn_type = ir.FunctionType(ret, tuple(param_types))
+        self.function = ir.Function(
+            fn_ast.name, fn_type, [p.name for p in fn_ast.params],
+            is_kernel=(fn_ast.qualifier == "__global__"))
+        cg.module.add_function(self.function)
+        self.builder = ir.IRBuilder(self.function)
+        self.scope = Scope()
+        # (break_target, continue_target) stack
+        self.loop_stack: List[Tuple[ir.BasicBlock, ir.BasicBlock]] = []
+        # inlining state: (return slot, continuation block) when inside a
+        # __device__ body, plus the active call chain for recursion checks
+        self.ret_target = None
+        self.inline_stack: List[str] = []
+        self.shared_counter = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ir.Function:
+        entry = self.function.new_block("entry")
+        self.builder.position_at(entry)
+        for arg in self.function.args:
+            slot = self.builder.alloca(arg.type, hint=f"{arg.name}.addr")
+            self.builder.store(arg, slot)
+            self.scope.declare(arg.name, _Binding(slot, direct=False))
+        self.gen_block(self.fn_ast.body)
+        if not self.builder.block.is_terminated():
+            if self.function.type.ret.is_void():
+                self.builder.ret()
+            else:
+                self.builder.ret(ir.Constant(0, self.function.type.ret))
+        self.function.verify()
+        return self.function
+
+
+    def _lookup(self, name: str):
+        binding = self.scope.lookup(name)
+        if binding is not None:
+            return binding
+        gv = self.cg.module.globals.get(name) \
+            or self.cg.module.globals.get(f"{self.function.name}.{name}")
+        if gv is not None:
+            return _Binding(gv, direct=isinstance(gv.storage_type,
+                                                  ir.ArrayType))
+        return None
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def gen_block(self, block: ast.Block) -> None:
+        outer = self.scope
+        self.scope = Scope(outer)
+        try:
+            for stmt in block.stmts:
+                self.gen_stmt(stmt)
+        finally:
+            self.scope = outer
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        self.builder.current_loc = stmt.line
+        if isinstance(stmt, ast.Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, ast.DeclStmt):
+            self.gen_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self.gen_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            if not self.loop_stack:
+                raise CodeGenError("break outside loop", stmt.line)
+            self.builder.jump(self.loop_stack[-1][0])
+            self._dead_block()
+        elif isinstance(stmt, ast.ContinueStmt):
+            if not self.loop_stack:
+                raise CodeGenError("continue outside loop", stmt.line)
+            self.builder.jump(self.loop_stack[-1][1])
+            self._dead_block()
+        elif isinstance(stmt, ast.ReturnStmt):
+            if self.ret_target is not None:
+                ret_slot, cont = self.ret_target
+                if stmt.value is not None:
+                    if ret_slot is None:
+                        raise CodeGenError("value returned from void function",
+                                           stmt.line)
+                    slot_ty = ret_slot.type
+                    assert isinstance(slot_ty, ir.PointerType)
+                    value = self._coerce(self.gen_expr(stmt.value),
+                                         slot_ty.pointee, stmt.line)
+                    self.builder.store(value, ret_slot)
+                self.builder.jump(cont)
+            elif stmt.value is not None:
+                value = self.gen_expr(stmt.value)
+                value = self._coerce(value, self.function.type.ret, stmt.line)
+                self.builder.ret(value)
+            else:
+                self.builder.ret()
+            self._dead_block()
+        elif isinstance(stmt, ast.SyncStmt):
+            self.builder.sync()
+        else:
+            raise CodeGenError(f"unsupported statement {type(stmt).__name__}",
+                               stmt.line)
+
+    def _dead_block(self) -> None:
+        dead = self.function.new_block("dead")
+        self.builder.position_at(dead)
+
+    def gen_decl(self, stmt: ast.DeclStmt) -> None:
+        for name, type_name, init in stmt.declarators:
+            if stmt.shared:
+                decl = ast.SharedDecl(line=stmt.line, name=name,
+                                      type_name=type_name)
+                gv = self.cg._emit_shared_global(
+                    decl, prefix=f"{self.function.name}.")
+                direct = bool(type_name.array_dims)
+                self.scope.declare(name, _Binding(gv, direct=direct),
+                                   stmt.line)
+                if init is not None:
+                    raise CodeGenError(
+                        "__shared__ initialisers are not supported "
+                        "(CUDA has none either)", stmt.line)
+                continue
+            elem = resolve_type(type_name, ir.MemSpace.LOCAL)
+            if type_name.array_dims:
+                count = 1
+                for dim in type_name.array_dims:
+                    count *= const_eval(dim)
+                slot = self.builder.alloca(elem, count, hint=name)
+                self.scope.declare(name, _Binding(slot, direct=True),
+                                   stmt.line)
+            else:
+                slot = self.builder.alloca(elem, hint=name)
+                self.scope.declare(name, _Binding(slot, direct=False),
+                                   stmt.line)
+                if init is not None:
+                    value = self._coerce(self.gen_expr(init), elem, stmt.line)
+                    self.builder.store(value, slot)
+
+    def gen_if(self, stmt: ast.IfStmt) -> None:
+        cond = self._as_bool(self.gen_expr(stmt.cond), stmt.line)
+        then_bb = self.function.new_block("if.then")
+        merge_bb = self.function.new_block("if.end")
+        else_bb = merge_bb if stmt.else_body is None \
+            else self.function.new_block("if.else")
+        br = ir.Br(cond, then_bb, else_bb)
+        br.loc = stmt.line
+        self.builder.block.append(br)
+
+        self.builder.position_at(then_bb)
+        self.gen_block(stmt.then_body)
+        if not self.builder.block.is_terminated():
+            self.builder.jump(merge_bb)
+        if stmt.else_body is not None:
+            self.builder.position_at(else_bb)
+            self.gen_block(stmt.else_body)
+            if not self.builder.block.is_terminated():
+                self.builder.jump(merge_bb)
+        self.builder.position_at(merge_bb)
+
+    def gen_for(self, stmt: ast.ForStmt) -> None:
+        outer = self.scope
+        self.scope = Scope(outer)
+        try:
+            if stmt.init is not None:
+                self.gen_stmt(stmt.init)
+            header = self.function.new_block("for.cond")
+            body = self.function.new_block("for.body")
+            step = self.function.new_block("for.step")
+            exit_bb = self.function.new_block("for.end")
+            self.builder.jump(header)
+            self.builder.position_at(header)
+            if stmt.cond is not None:
+                self.builder.current_loc = stmt.line
+                cond = self._as_bool(self.gen_expr(stmt.cond), stmt.line)
+                br = ir.Br(cond, body, exit_bb)
+                br.loc = stmt.line
+                br.meta["loop_branch"] = True
+                self.builder.block.append(br)
+            else:
+                self.builder.jump(body)
+            self.builder.position_at(body)
+            self.loop_stack.append((exit_bb, step))
+            self.gen_block(stmt.body)
+            self.loop_stack.pop()
+            if not self.builder.block.is_terminated():
+                self.builder.jump(step)
+            self.builder.position_at(step)
+            if stmt.step is not None:
+                self.builder.current_loc = stmt.line
+                self.gen_expr(stmt.step)
+            self.builder.jump(header)
+            self.builder.position_at(exit_bb)
+        finally:
+            self.scope = outer
+
+    def gen_while(self, stmt: ast.WhileStmt) -> None:
+        header = self.function.new_block("while.cond")
+        body = self.function.new_block("while.body")
+        exit_bb = self.function.new_block("while.end")
+        self.builder.jump(body if stmt.is_do_while else header)
+
+        self.builder.position_at(header)
+        self.builder.current_loc = stmt.line
+        cond = self._as_bool(self.gen_expr(stmt.cond), stmt.line)
+        br = ir.Br(cond, body, exit_bb)
+        br.loc = stmt.line
+        br.meta["loop_branch"] = True
+        self.builder.block.append(br)
+
+        self.builder.position_at(body)
+        self.loop_stack.append((exit_bb, header))
+        self.gen_block(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated():
+            self.builder.jump(header)
+        self.builder.position_at(exit_bb)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Expr) -> ir.Value:
+        self.builder.current_loc = expr.line
+        if isinstance(expr, ast.IntLit):
+            ty = ir.IntType(32, signed=not expr.unsigned)
+            if expr.value >= 2**31 and not expr.unsigned:
+                ty = ir.IntType(32, signed=False)
+            return ir.Constant(expr.value & 0xFFFFFFFF, ty)
+        if isinstance(expr, ast.FloatLit):
+            bits = struct.unpack("<I", struct.pack("<f", expr.value))[0]
+            return ir.Constant(bits, ir.F32)
+        if isinstance(expr, ast.BuiltinRef):
+            if expr.base == "warpSize":
+                return self.cg.builtin("warpSize")
+            short = {"threadIdx": "tid", "blockIdx": "bid",
+                     "blockDim": "bdim", "gridDim": "gdim"}[expr.base]
+            return self.cg.builtin(f"{short}.{expr.axis}")
+        if isinstance(expr, ast.Ident):
+            binding = self._lookup(expr.name)
+            if binding is None:
+                raise CodeGenError(f"undeclared identifier {expr.name}",
+                                   expr.line)
+            if binding.direct:
+                return binding.value
+            return self.builder.load(binding.value)
+        if isinstance(expr, ast.Index):
+            ptr_val = self.gen_lvalue(expr)
+            return self.builder.load(ptr_val)
+        if isinstance(expr, ast.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, ast.PostIncDec):
+            slot = self.gen_lvalue(expr.operand)
+            old = self.builder.load(slot)
+            one = ir.Constant(1, old.type)
+            op = "add" if expr.op == "++" else "sub"
+            new = self.builder.binop(op, old, one)
+            self.builder.store(new, slot)
+            return old
+        if isinstance(expr, ast.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            cond = self._as_bool(self.gen_expr(expr.cond), expr.line)
+            then = self.gen_expr(expr.then)
+            other = self.gen_expr(expr.otherwise)
+            then, other = self._unify(then, other, expr.line)
+            return self.builder.select(cond, then, other)
+        if isinstance(expr, ast.Assign):
+            return self.gen_assign(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self.gen_call(expr)
+        if isinstance(expr, ast.CastExpr):
+            value = self.gen_expr(expr.operand)
+            target = resolve_type(expr.to_type, ir.MemSpace.GLOBAL)
+            return self._coerce(value, target, expr.line, explicit=True)
+        raise CodeGenError(f"unsupported expression {type(expr).__name__}",
+                           expr.line)
+
+    def gen_unary(self, expr: ast.Unary) -> ir.Value:
+        op = expr.op
+        if op == "*":
+            pointer = self.gen_expr(expr.operand)
+            if not pointer.type.is_pointer():
+                raise CodeGenError("dereference of non-pointer", expr.line)
+            return self.builder.load(pointer)
+        if op == "&":
+            return self.gen_lvalue(expr.operand)
+        if op in ("++pre", "--pre"):
+            slot = self.gen_lvalue(expr.operand)
+            old = self.builder.load(slot)
+            one = ir.Constant(1, old.type)
+            new = self.builder.binop("add" if op == "++pre" else "sub",
+                                     old, one)
+            self.builder.store(new, slot)
+            return new
+        value = self.gen_expr(expr.operand)
+        if op == "-":
+            if value.type.is_float():
+                return self.builder.binop(
+                    "fsub", ir.Constant(0, value.type), value)
+            return self.builder.binop(
+                "sub", ir.Constant(0, value.type), value)
+        if op == "~":
+            return self.builder.binop(
+                "xor", value, ir.Constant(-1 & ((1 << value.type.width) - 1),
+                                          value.type))
+        if op == "!":
+            b = self._as_bool(value, expr.line)
+            return self.builder.binop(
+                "xor", b, ir.Constant(1, _BOOL), _BOOL)
+        raise CodeGenError(f"unsupported unary {op}", expr.line)
+
+    def gen_binary(self, expr: ast.Binary) -> ir.Value:
+        op = expr.op
+        if op == ",":
+            self.gen_expr(expr.lhs)
+            return self.gen_expr(expr.rhs)
+        if op in ("&&", "||"):
+            lhs = self._as_bool(self.gen_expr(expr.lhs), expr.line)
+            rhs = self._as_bool(self.gen_expr(expr.rhs), expr.line)
+            return self.builder.binop("and" if op == "&&" else "or",
+                                      lhs, rhs, _BOOL)
+        lhs = self.gen_expr(expr.lhs)
+        rhs = self.gen_expr(expr.rhs)
+
+        # pointer arithmetic
+        if lhs.type.is_pointer() and rhs.type.is_int() and op in ("+", "-"):
+            index = rhs
+            if op == "-":
+                index = self.builder.binop(
+                    "sub", ir.Constant(0, rhs.type), rhs)
+            return self.builder.gep(lhs, index)
+        if rhs.type.is_pointer() and lhs.type.is_int() and op == "+":
+            return self.builder.gep(rhs, lhs)
+
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return self.gen_compare(op, lhs, rhs, expr.line)
+
+        lhs, rhs = self._unify(lhs, rhs, expr.line)
+        if lhs.type.is_float():
+            fmap = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+                    "%": "frem"}
+            if op not in fmap:
+                raise CodeGenError(f"operator {op} not valid on floats",
+                                   expr.line)
+            return self.builder.binop(fmap[op], lhs, rhs)
+        signed = lhs.type.signed
+        imap = {
+            "+": "add", "-": "sub", "*": "mul",
+            "/": "sdiv" if signed else "udiv",
+            "%": "srem" if signed else "urem",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl", ">>": "ashr" if signed else "lshr",
+        }
+        if op not in imap:
+            raise CodeGenError(f"unsupported operator {op}", expr.line)
+        return self.builder.binop(imap[op], lhs, rhs)
+
+    def gen_compare(self, op: str, lhs: ir.Value, rhs: ir.Value,
+                    line: int) -> ir.Value:
+        if lhs.type.is_pointer() or rhs.type.is_pointer():
+            pred = {"==": "eq", "!=": "ne", "<": "ult", "<=": "ule",
+                    ">": "ugt", ">=": "uge"}[op]
+            return self.builder.icmp(pred, lhs, rhs)
+        lhs, rhs = self._unify(lhs, rhs, line)
+        if lhs.type.is_float():
+            fpred = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole",
+                     ">": "ogt", ">=": "oge"}[op]
+            return self.builder.fcmp(fpred, lhs, rhs)
+        signed = lhs.type.signed
+        base = {"==": "eq", "!=": "ne"}
+        if op in base:
+            pred = base[op]
+        else:
+            letter = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge"}[op]
+            pred = ("s" if signed else "u") + letter
+        return self.builder.icmp(pred, lhs, rhs)
+
+    def gen_assign(self, expr: ast.Assign) -> ir.Value:
+        slot = self.gen_lvalue(expr.lhs)
+        slot_ty = slot.type
+        assert isinstance(slot_ty, ir.PointerType)
+        target_ty = slot_ty.pointee
+        if expr.op == "=":
+            value = self._coerce(self.gen_expr(expr.rhs), target_ty,
+                                 expr.line)
+            self.builder.store(value, slot)
+            return value
+        # compound: load-op-store
+        binop = expr.op[:-1]
+        current = self.builder.load(slot)
+        rhs = self.gen_expr(expr.rhs)
+        synthetic = ast.Binary(line=expr.line, op=binop)
+        value = self._apply_binop(binop, current, rhs, expr.line)
+        value = self._coerce(value, target_ty, expr.line)
+        self.builder.store(value, slot)
+        return value
+
+    def _apply_binop(self, op: str, lhs: ir.Value, rhs: ir.Value,
+                     line: int) -> ir.Value:
+        if lhs.type.is_pointer() and op in ("+", "-"):
+            index = rhs
+            if op == "-":
+                index = self.builder.binop("sub",
+                                           ir.Constant(0, rhs.type), rhs)
+            return self.builder.gep(lhs, index)
+        lhs2, rhs2 = self._unify(lhs, rhs, line)
+        if lhs2.type.is_float():
+            fmap = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+                    "%": "frem"}
+            return self.builder.binop(fmap[op], lhs2, rhs2)
+        signed = lhs2.type.signed
+        imap = {
+            "+": "add", "-": "sub", "*": "mul",
+            "/": "sdiv" if signed else "udiv",
+            "%": "srem" if signed else "urem",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl", ">>": "ashr" if signed else "lshr",
+        }
+        return self.builder.binop(imap[op], lhs2, rhs2)
+
+    def gen_lvalue(self, expr: ast.Expr) -> ir.Value:
+        """Address of an assignable expression."""
+        self.builder.current_loc = expr.line
+        if isinstance(expr, ast.Ident):
+            binding = self._lookup(expr.name)
+            if binding is None:
+                raise CodeGenError(f"undeclared identifier {expr.name}",
+                                   expr.line)
+            if binding.direct:
+                raise CodeGenError(
+                    f"{expr.name} is an array and cannot be assigned",
+                    expr.line)
+            return binding.value
+        if isinstance(expr, ast.Index):
+            base = self.gen_expr(expr.base)
+            if not base.type.is_pointer():
+                raise CodeGenError("indexing a non-pointer", expr.line)
+            index = self.gen_expr(expr.index)
+            index = self._as_int(index, expr.line)
+            return self.builder.gep(base, index)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self.gen_expr(expr.operand)
+        raise CodeGenError(
+            f"expression is not assignable ({type(expr).__name__})",
+            expr.line)
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+
+    def gen_call(self, expr: ast.CallExpr) -> ir.Value:
+        name = expr.name
+        if name == "__syncthreads":
+            self.builder.sync()
+            return ir.Constant(0, ir.I32)
+        if name in _ATOMIC_CALLS:
+            pointer = self._pointer_arg(expr.args[0], expr.line)
+            if _ATOMIC_CALLS[name] in ("inc", "dec"):
+                value = self.gen_expr(expr.args[1]) if len(expr.args) > 1 \
+                    else ir.Constant(0xFFFFFFFF, ir.U32)
+            else:
+                value = self.gen_expr(expr.args[1])
+            return self.builder.atomic_rmw(_ATOMIC_CALLS[name], pointer,
+                                           value)
+        if name == "atomicCAS":
+            pointer = self._pointer_arg(expr.args[0], expr.line)
+            expected = self.gen_expr(expr.args[1])
+            new_value = self.gen_expr(expr.args[2])
+            return self.builder.atomic_cas(pointer, expected, new_value)
+        if name in ("min", "max", "umin", "umax"):
+            a = self.gen_expr(expr.args[0])
+            b = self.gen_expr(expr.args[1])
+            a, b = self._unify(a, b, expr.line)
+            if a.type.is_float():
+                cond = self.builder.fcmp(
+                    "olt" if name in ("min", "umin") else "ogt", a, b)
+            else:
+                signed = a.type.signed and not name.startswith("u")
+                pred = ("slt" if signed else "ult") \
+                    if name.endswith("min") or name == "min" else \
+                    ("sgt" if signed else "ugt")
+                cond = self.builder.icmp(pred, a, b)
+            return self.builder.select(cond, a, b)
+        if name in ("abs", "labs"):
+            a = self.gen_expr(expr.args[0])
+            zero = ir.Constant(0, a.type)
+            neg = self.builder.binop("sub", zero, a)
+            cond = self.builder.icmp("slt", a, zero)
+            return self.builder.select(cond, neg, a)
+        if name in _FLOAT_INTRINSICS:
+            args = [self.gen_expr(a) for a in expr.args]
+            result = self.builder.call(name, args, ir.F32)
+            return result
+        if name == "assert" or name == "__assert":
+            cond = self._as_bool(self.gen_expr(expr.args[0]), expr.line)
+            self.builder.call("__assert", [cond], None)
+            return ir.Constant(0, ir.I32)
+        if name in self.cg.device_fns:
+            return self.inline_device_call(expr)
+        raise CodeGenError(f"unknown function {name}", expr.line)
+
+    def inline_device_call(self, expr: ast.CallExpr) -> ir.Value:
+        """Inline a ``__device__`` function at the call site.
+
+        This performs the paper's inlining pass (§V pass 1) in the front
+        end: by the time the static analyzer and the executor see the IR,
+        kernels are call-free apart from intrinsics. Recursion is rejected.
+        """
+        fn_ast = self.cg.device_fns[expr.name]
+        if expr.name in self.inline_stack:
+            raise CodeGenError(
+                f"recursive device function {expr.name} is not supported",
+                expr.line)
+        if len(expr.args) != len(fn_ast.params):
+            raise CodeGenError(
+                f"{expr.name} expects {len(fn_ast.params)} arguments",
+                expr.line)
+        args = [self.gen_expr(a) for a in expr.args]
+
+        outer_scope = self.scope
+        outer_ret = self.ret_target
+        self.scope = Scope()  # device fn body sees only its own params
+        self.inline_stack.append(expr.name)
+        try:
+            for value, param in zip(args, fn_ast.params):
+                ptype = resolve_type(param.type_name, ir.MemSpace.GLOBAL)
+                slot = self.builder.alloca(ptype, hint=f"{param.name}.inl")
+                self.builder.store(
+                    self._coerce(value, ptype, expr.line), slot)
+                self.scope.declare(param.name, _Binding(slot, direct=False))
+            ret_type = resolve_type(fn_ast.ret_type)
+            ret_slot = None
+            if not ret_type.is_void():
+                ret_slot = self.builder.alloca(ret_type, hint="ret.inl")
+                self.builder.store(ir.Constant(0, ret_type), ret_slot)
+            cont = self.function.new_block(f"{expr.name}.cont")
+            self.ret_target = (ret_slot, cont)
+            self.gen_block(fn_ast.body)
+            if not self.builder.block.is_terminated():
+                self.builder.jump(cont)
+            self.builder.position_at(cont)
+            if ret_slot is not None:
+                return self.builder.load(ret_slot)
+            return ir.Constant(0, ir.I32)
+        finally:
+            self.inline_stack.pop()
+            self.scope = outer_scope
+            self.ret_target = outer_ret
+
+    def _pointer_arg(self, expr: ast.Expr, line: int) -> ir.Value:
+        """Atomics accept ``&a[i]``, ``p + i`` or a bare pointer."""
+        value = self.gen_expr(expr)
+        if not value.type.is_pointer():
+            raise CodeGenError("atomic operand must be a pointer", line)
+        return value
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+
+    def _as_bool(self, value: ir.Value, line: int) -> ir.Value:
+        if isinstance(value.type, ir.IntType) and value.type.width == 1:
+            return value
+        if value.type.is_float():
+            return self.builder.fcmp("one", value,
+                                     ir.Constant(0, value.type))
+        if value.type.is_pointer():
+            raise CodeGenError("pointer used as condition", line)
+        return self.builder.icmp("ne", value, ir.Constant(0, value.type))
+
+    def _as_int(self, value: ir.Value, line: int) -> ir.Value:
+        if isinstance(value.type, ir.IntType):
+            if value.type.width == 1:
+                return self.builder.cast("zext", value, ir.I32)
+            return value
+        if value.type.is_float():
+            return self.builder.cast("fptosi", value, ir.I32)
+        raise CodeGenError("expected integer value", line)
+
+    def _unify(self, a: ir.Value, b: ir.Value,
+               line: int) -> Tuple[ir.Value, ir.Value]:
+        """C usual arithmetic conversions."""
+        if a.type == b.type:
+            return a, b
+        if a.type.is_float() or b.type.is_float():
+            fa = a if a.type.is_float() else None
+            target = a.type if a.type.is_float() else b.type
+            if a.type.is_float() and b.type.is_float():
+                target = a.type if a.type.size_bytes() >= b.type.size_bytes() \
+                    else b.type
+            return (self._coerce(a, target, line),
+                    self._coerce(b, target, line))
+        if isinstance(a.type, ir.IntType) and isinstance(b.type, ir.IntType):
+            target = common_int_type(a.type, b.type)
+            return (self._coerce(a, target, line),
+                    self._coerce(b, target, line))
+        if a.type.is_pointer() and b.type.is_pointer():
+            return a, b
+        raise CodeGenError(f"cannot unify {a.type!r} and {b.type!r}", line)
+
+    def _coerce(self, value: ir.Value, target: ir.Type, line: int,
+                explicit: bool = False) -> ir.Value:
+        src = value.type
+        if src == target:
+            return value
+        if isinstance(value, ir.Constant) and isinstance(target, ir.IntType) \
+                and isinstance(src, ir.IntType):
+            wrapped = value.value & ((1 << target.width) - 1)
+            if isinstance(src, ir.IntType) and src.signed and \
+                    value.value >> (src.width - 1) and target.width > src.width:
+                # sign-extend the literal
+                wrapped = (value.value | (~((1 << src.width) - 1))) \
+                    & ((1 << target.width) - 1)
+            return ir.Constant(wrapped, target)
+        if isinstance(src, ir.IntType) and isinstance(target, ir.IntType):
+            if src.width == target.width:
+                return self.builder.cast("bitcast", value, target)
+            if src.width > target.width:
+                return self.builder.cast("trunc", value, target)
+            kind = "sext" if src.signed else "zext"
+            return self.builder.cast(kind, value, target)
+        if isinstance(src, ir.IntType) and target.is_float():
+            kind = "sitofp" if src.signed else "uitofp"
+            return self.builder.cast(kind, value, target)
+        if src.is_float() and isinstance(target, ir.IntType):
+            kind = "fptosi" if target.signed else "fptoui"
+            return self.builder.cast(kind, value, target)
+        if src.is_float() and target.is_float():
+            kind = "fpext" if target.size_bytes() > src.size_bytes() \
+                else "fptrunc"
+            return self.builder.cast(kind, value, target)
+        if src.is_pointer() and target.is_pointer():
+            if explicit:
+                space = src.space  # keep the true memory space
+                return self.builder.cast(
+                    "bitcast", value,
+                    ir.PointerType(target.pointee, space))
+            return value
+        raise CodeGenError(f"cannot convert {src!r} to {target!r}", line)
+
+
+def compile_source(source: str, name: str = "minicuda") -> ir.Module:
+    """Front door: MiniCUDA source text → IR module."""
+    unit = parse(source)
+    return CodeGen(name).compile(unit)

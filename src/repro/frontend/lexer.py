@@ -1,0 +1,147 @@
+"""Tokenizer for MiniCUDA.
+
+Handles // and /* */ comments and object-like ``#define NAME <tokens>``
+macros (expanded textually at the token level, which is what the paper's
+SDK-style kernels need for things like ``#define NUM 256``). Function-like
+macros and conditional compilation are intentionally out of scope — the
+bundled kernels are written without them.
+"""
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+class LexError(Exception):
+    """Tokenisation failure with a source line number."""
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'ident', 'int', 'float', 'punct', 'keyword', 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}"
+
+
+KEYWORDS = frozenset({
+    "void", "int", "unsigned", "signed", "char", "short", "long", "float",
+    "double", "bool", "if", "else", "for", "while", "do", "break",
+    "continue", "return", "const", "volatile", "struct", "sizeof",
+    "__global__", "__device__", "__shared__", "__constant__", "__host__",
+    "uint", "ushort", "uchar", "size_t",
+})
+
+# longest first so '>>=' wins over '>>' and '>'
+PUNCTUATION = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=",
+    "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<float>(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?|\d+\.?[fF])
+  | (?P<int>0[xX][0-9a-fA-F]+[uUlL]*|\d+[uUlL]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in PUNCTUATION) + r""")
+    """,
+    re.VERBOSE,
+)
+
+
+def _strip_comments(source: str) -> str:
+    """Remove comments while preserving line numbers."""
+    out: List[str] = []
+    i, n = 0, len(source)
+    while i < n:
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+        elif source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                raise LexError("unterminated block comment",
+                               source.count("\n", 0, i) + 1)
+            out.append("\n" * source.count("\n", i, j + 2))
+            i = j + 2
+        else:
+            out.append(source[i])
+            i += 1
+    return "".join(out)
+
+
+def _tokenize_line(text: str, line: int) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        ch = text[pos]
+        if ch in " \t\r":
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise LexError(f"unexpected character {ch!r}", line)
+        pos = m.end()
+        if m.lastgroup == "float":
+            tokens.append(Token("float", m.group(), line))
+        elif m.lastgroup == "int":
+            tokens.append(Token("int", m.group(), line))
+        elif m.lastgroup == "ident":
+            kind = "keyword" if m.group() in KEYWORDS else "ident"
+            tokens.append(Token(kind, m.group(), line))
+        else:
+            tokens.append(Token("punct", m.group(), line))
+    return tokens
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex a MiniCUDA source string into tokens (with macro expansion)."""
+    source = _strip_comments(source)
+    macros: Dict[str, List[Token]] = {}
+    tokens: List[Token] = []
+
+    for lineno, raw in enumerate(source.split("\n"), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("#"):
+            directive = stripped[1:].strip()
+            if directive.startswith("define"):
+                body = directive[len("define"):].strip()
+                m = re.match(r"([A-Za-z_][A-Za-z0-9_]*)(\(?)\s*(.*)", body)
+                if m is None:
+                    raise LexError("malformed #define", lineno)
+                name = m.group(1)
+                # C rule: '(' immediately after the name (no whitespace)
+                # makes it function-like; '#define N (expr)' is object-like
+                if m.group(2) == "(":
+                    raise LexError(
+                        "function-like macros are not supported; "
+                        "inline the definition", lineno)
+                replacement = m.group(3)
+                macros[name] = _tokenize_line(replacement, lineno)
+            elif directive.startswith("include"):
+                continue  # headers are irrelevant: builtins are built in
+            elif directive == "" or directive.startswith("pragma"):
+                continue
+            else:
+                raise LexError(f"unsupported directive #{directive}", lineno)
+            continue
+        line_tokens = _tokenize_line(raw, lineno)
+        # macro expansion (single level, sufficient for constant defines)
+        for tok in line_tokens:
+            if tok.kind == "ident" and tok.text in macros:
+                for m_tok in macros[tok.text]:
+                    tokens.append(Token(m_tok.kind, m_tok.text, lineno))
+            else:
+                tokens.append(tok)
+
+    tokens.append(Token("eof", "", source.count("\n") + 1))
+    return tokens

@@ -1,0 +1,464 @@
+"""Recursive-descent parser for MiniCUDA.
+
+Grammar: a C subset — function definitions with CUDA qualifiers,
+declarations, the usual statements, and expressions with full C operator
+precedence. The CUDA built-ins (``threadIdx.x`` etc.) are parsed into
+:class:`BuiltinRef` nodes directly.
+"""
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Syntax error with the offending token and line."""
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+_BUILTIN_BASES = {"threadIdx", "blockIdx", "blockDim", "gridDim"}
+_TYPE_KEYWORDS = {"void", "int", "unsigned", "signed", "char", "short",
+                  "long", "float", "double", "bool", "uint", "ushort",
+                  "uchar", "size_t"}
+
+# binary operator precedence (C): higher binds tighter
+_BINARY_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+
+class Parser:
+    """Recursive-descent parser with C operator precedence."""
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def accept(self, text: str) -> Optional[Token]:
+        if self.at(text):
+            return self.advance()
+        return None
+
+    def expect(self, text: str) -> Token:
+        if not self.at(text):
+            raise ParseError(f"expected {text!r}", self.peek())
+        return self.advance()
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(line=1)
+        while self.peek().kind != "eof":
+            if self.at("__shared__"):
+                unit.shared_decls.append(self.parse_shared_decl())
+            else:
+                unit.functions.append(self.parse_function())
+        return unit
+
+    def parse_shared_decl(self) -> ast.SharedDecl:
+        line = self.expect("__shared__").line
+        type_name = self.parse_type_name()
+        name = self.expect_ident()
+        while self.at("["):
+            self.advance()
+            type_name.array_dims.append(self.parse_expr())
+            self.expect("]")
+        self.expect(";")
+        return ast.SharedDecl(line=line, name=name, type_name=type_name)
+
+    def parse_function(self) -> ast.FunctionDef:
+        line = self.peek().line
+        qualifier = ""
+        while self.peek().text in ("__global__", "__device__", "__host__"):
+            qual = self.advance().text
+            if qual in ("__global__", "__device__"):
+                qualifier = qual
+        ret_type = self.parse_type_name()
+        name = self.expect_ident()
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.at(")"):
+            while True:
+                p_line = self.peek().line
+                p_type = self.parse_type_name()
+                p_name = self.expect_ident()
+                while self.at("["):      # array param decays to pointer
+                    self.advance()
+                    if not self.at("]"):
+                        self.parse_expr()
+                    self.expect("]")
+                    p_type.pointer_depth += 1
+                params.append(ast.Param(line=p_line, name=p_name,
+                                        type_name=p_type))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return ast.FunctionDef(line=line, name=name, qualifier=qualifier,
+                               ret_type=ret_type, params=params, body=body)
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise ParseError("expected identifier", tok)
+        return self.advance().text
+
+    # -- types --------------------------------------------------------------
+
+    def looks_like_type(self, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        return tok.kind == "keyword" and tok.text in (
+            _TYPE_KEYWORDS | {"const", "volatile", "__shared__"})
+
+    def parse_type_name(self) -> ast.TypeName:
+        line = self.peek().line
+        signed = True
+        base: Optional[str] = None
+        saw_specifier = False
+        while True:
+            tok = self.peek()
+            if tok.text in ("const", "volatile"):
+                self.advance()
+                continue
+            if tok.text == "unsigned":
+                signed = False
+                saw_specifier = True
+                self.advance()
+                continue
+            if tok.text == "signed":
+                saw_specifier = True
+                self.advance()
+                continue
+            if tok.text in ("void", "int", "char", "short", "long", "float",
+                            "double", "bool"):
+                base = tok.text
+                saw_specifier = True
+                self.advance()
+                # 'long long', 'unsigned long long'
+                while self.peek().text in ("int", "long"):
+                    if self.peek().text == "long":
+                        base = "long"
+                    self.advance()
+                continue
+            if tok.text in ("uint", "size_t"):
+                base, signed = "int", False
+                saw_specifier = True
+                self.advance()
+                continue
+            if tok.text == "ushort":
+                base, signed = "short", False
+                saw_specifier = True
+                self.advance()
+                continue
+            if tok.text == "uchar":
+                base, signed = "char", False
+                saw_specifier = True
+                self.advance()
+                continue
+            break
+        if not saw_specifier:
+            raise ParseError("expected type", self.peek())
+        if base is None:
+            base = "int"  # bare 'unsigned'
+        depth = 0
+        while self.at("*"):
+            self.advance()
+            while self.peek().text in ("const", "volatile"):
+                self.advance()
+            depth += 1
+        return ast.TypeName(line=line, base=base, signed=signed,
+                            pointer_depth=depth)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.expect("{").line
+        block = ast.Block(line=line)
+        while not self.at("}"):
+            block.stmts.append(self.parse_statement())
+        self.expect("}")
+        return block
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.text == "{":
+            return self.parse_block()
+        if tok.text == "if":
+            return self.parse_if()
+        if tok.text == "for":
+            return self.parse_for()
+        if tok.text == "while":
+            return self.parse_while()
+        if tok.text == "do":
+            return self.parse_do_while()
+        if tok.text == "break":
+            self.advance()
+            self.expect(";")
+            return ast.BreakStmt(line=tok.line)
+        if tok.text == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.ContinueStmt(line=tok.line)
+        if tok.text == "return":
+            self.advance()
+            value = None if self.at(";") else self.parse_expr()
+            self.expect(";")
+            return ast.ReturnStmt(line=tok.line, value=value)
+        if tok.text == ";":
+            self.advance()
+            return ast.Block(line=tok.line)
+        if tok.text == "__syncthreads":
+            self.advance()
+            self.expect("(")
+            self.expect(")")
+            self.expect(";")
+            return ast.SyncStmt(line=tok.line)
+        if tok.text == "__shared__" or self.looks_like_type():
+            return self.parse_declaration()
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def parse_declaration(self) -> ast.DeclStmt:
+        line = self.peek().line
+        shared = bool(self.accept("__shared__"))
+        base_type = self.parse_type_name()
+        decl = ast.DeclStmt(line=line, type_name=base_type, shared=shared)
+        while True:
+            # per-declarator pointer depth: 'int *p, x;'
+            extra_depth = 0
+            while self.at("*"):
+                self.advance()
+                extra_depth += 1
+            name = self.expect_ident()
+            this_type = ast.TypeName(
+                line=base_type.line, base=base_type.base,
+                signed=base_type.signed,
+                pointer_depth=base_type.pointer_depth + extra_depth)
+            while self.at("["):
+                self.advance()
+                this_type.array_dims.append(self.parse_expr())
+                self.expect("]")
+            init = None
+            if self.accept("="):
+                init = self.parse_assignment()
+            decl.declarators.append((name, this_type, init))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        return decl
+
+    def parse_if(self) -> ast.IfStmt:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self.as_block(self.parse_statement())
+        else_body = None
+        if self.accept("else"):
+            else_body = self.as_block(self.parse_statement())
+        return ast.IfStmt(line=line, cond=cond, then_body=then_body,
+                          else_body=else_body)
+
+    def parse_for(self) -> ast.ForStmt:
+        line = self.expect("for").line
+        self.expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self.at(";"):
+            if self.looks_like_type():
+                init = self.parse_declaration()  # consumes ';'
+            else:
+                expr = self.parse_expr()
+                self.expect(";")
+                init = ast.ExprStmt(line=line, expr=expr)
+        else:
+            self.expect(";")
+        cond = None if self.at(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.at(")") else self.parse_expr()
+        self.expect(")")
+        body = self.as_block(self.parse_statement())
+        return ast.ForStmt(line=line, init=init, cond=cond, step=step,
+                           body=body)
+
+    def parse_while(self) -> ast.WhileStmt:
+        line = self.expect("while").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.as_block(self.parse_statement())
+        return ast.WhileStmt(line=line, cond=cond, body=body)
+
+    def parse_do_while(self) -> ast.WhileStmt:
+        line = self.expect("do").line
+        body = self.as_block(self.parse_statement())
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return ast.WhileStmt(line=line, cond=cond, body=body,
+                             is_do_while=True)
+
+    @staticmethod
+    def as_block(stmt: ast.Stmt) -> ast.Block:
+        if isinstance(stmt, ast.Block):
+            return stmt
+        return ast.Block(line=stmt.line, stmts=[stmt])
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.accept(","):
+            rhs = self.parse_assignment()
+            expr = ast.Binary(line=rhs.line, op=",", lhs=expr, rhs=rhs)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text in _ASSIGN_OPS:
+            self.advance()
+            rhs = self.parse_assignment()  # right-assoc
+            return ast.Assign(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.accept("?"):
+            then = self.parse_assignment()
+            self.expect(":")
+            otherwise = self.parse_assignment()
+            return ast.Ternary(line=cond.line, cond=cond, then=then,
+                               otherwise=otherwise)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _BINARY_PREC.get(tok.text) if tok.kind == "punct" else None
+            if prec is None or prec < min_prec:
+                return lhs
+            self.advance()
+            rhs = self.parse_binary(prec + 1)
+            lhs = ast.Binary(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.text in ("-", "!", "~", "*", "&", "+"):
+            self.advance()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.Unary(line=tok.line, op=tok.text, operand=operand)
+        if tok.text in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(line=tok.line, op=tok.text + "pre",
+                             operand=operand)
+        # cast: '(' type ')' unary
+        if tok.text == "(" and self.looks_like_type(1):
+            self.advance()
+            to_type = self.parse_type_name()
+            self.expect(")")
+            operand = self.parse_unary()
+            return ast.CastExpr(line=tok.line, to_type=to_type,
+                                operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if tok.text == "[":
+                self.advance()
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(line=tok.line, base=expr, index=index)
+            elif tok.text in ("++", "--"):
+                self.advance()
+                expr = ast.PostIncDec(line=tok.line, op=tok.text,
+                                      operand=expr)
+            elif tok.text == ".":
+                # only CUDA builtins have members in MiniCUDA
+                if not isinstance(expr, ast.Ident) \
+                        or expr.name not in _BUILTIN_BASES:
+                    raise ParseError(
+                        "member access is only supported on CUDA builtins "
+                        "(threadIdx/blockIdx/blockDim/gridDim)", tok)
+                self.advance()
+                axis = self.expect_ident()
+                if axis not in ("x", "y", "z"):
+                    raise ParseError(f"unknown axis .{axis}", tok)
+                expr = ast.BuiltinRef(line=tok.line, base=expr.name,
+                                      axis=axis)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            text = tok.text.rstrip("uUlL")
+            unsigned = any(c in "uU" for c in tok.text)
+            value = int(text, 0)
+            return ast.IntLit(line=tok.line, value=value, unsigned=unsigned)
+        if tok.kind == "float":
+            self.advance()
+            return ast.FloatLit(line=tok.line,
+                                value=float(tok.text.rstrip("fF")))
+        if tok.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if tok.kind == "ident":
+            self.advance()
+            if self.at("(") :
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.at(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.CallExpr(line=tok.line, name=tok.text, args=args)
+            if tok.text == "warpSize":
+                return ast.BuiltinRef(line=tok.line, base="warpSize",
+                                      axis="x")
+            return ast.Ident(line=tok.line, name=tok.text)
+        raise ParseError("expected expression", tok)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniCUDA source text into an AST."""
+    return Parser(tokenize(source)).parse_translation_unit()

@@ -1,0 +1,99 @@
+"""Semantic helpers: type resolution, scopes, constant evaluation.
+
+MiniCUDA type mapping: char/short/int/long → i8/i16/i32/i64 (with C
+signedness), bool → i32, float/double → opaque 32/64-bit patterns.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .. import ir
+from . import ast
+
+
+class SemaError(Exception):
+    """Semantic error with a source line number."""
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+_BASE_WIDTHS = {"char": 8, "short": 16, "int": 32, "long": 64, "bool": 32}
+
+
+def resolve_type(tn: ast.TypeName,
+                 space: ir.MemSpace = ir.MemSpace.GLOBAL) -> ir.Type:
+    """Resolve a syntactic type (ignoring array dims, which callers handle)."""
+    if tn.base == "void":
+        base: ir.Type = ir.VOID
+    elif tn.base in ("float", "double"):
+        base = ir.F32 if tn.base == "float" else ir.F64
+    elif tn.base in _BASE_WIDTHS:
+        base = ir.IntType(_BASE_WIDTHS[tn.base], tn.signed)
+    else:
+        raise SemaError(f"unknown base type {tn.base}", tn.line)
+    for _ in range(tn.pointer_depth):
+        base = ir.PointerType(base, space)
+    return base
+
+
+def const_eval(expr: ast.Expr, env: Optional[Dict[str, int]] = None) -> int:
+    """Evaluate a compile-time constant expression (array dims, configs)."""
+    env = env or {}
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Ident):
+        if expr.name in env:
+            return env[expr.name]
+        raise SemaError(f"{expr.name} is not a compile-time constant",
+                        expr.line)
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return -const_eval(expr.operand, env)
+    if isinstance(expr, ast.Unary) and expr.op == "~":
+        return ~const_eval(expr.operand, env)
+    if isinstance(expr, ast.Binary):
+        a = const_eval(expr.lhs, env)
+        b = const_eval(expr.rhs, env)
+        ops = {
+            "+": lambda: a + b, "-": lambda: a - b, "*": lambda: a * b,
+            "/": lambda: a // b, "%": lambda: a % b,
+            "<<": lambda: a << b, ">>": lambda: a >> b,
+            "&": lambda: a & b, "|": lambda: a | b, "^": lambda: a ^ b,
+        }
+        if expr.op in ops:
+            return ops[expr.op]()
+    raise SemaError("expression is not a compile-time constant",
+                    getattr(expr, "line", 0))
+
+
+class Scope:
+    """Lexically nested variable scope mapping names to IR pointer values."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self.vars: Dict[str, ir.Value] = {}
+
+    def declare(self, name: str, value: ir.Value, line: int = 0) -> None:
+        if name in self.vars:
+            raise SemaError(f"redeclaration of {name}", line)
+        self.vars[name] = value
+
+    def lookup(self, name: str) -> Optional[ir.Value]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+def common_int_type(a: ir.IntType, b: ir.IntType) -> ir.IntType:
+    """C usual arithmetic conversions restricted to integers."""
+    width = max(a.width, b.width, 32)
+    # unsigned wins at equal rank (C semantics)
+    if a.width == b.width:
+        signed = a.signed and b.signed
+    else:
+        wider = a if a.width > b.width else b
+        signed = wider.signed
+    return ir.IntType(width, signed)

@@ -1,0 +1,133 @@
+"""Convenience builder for emitting IR (used by codegen and by tests)."""
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .instrs import (
+    GEP, Alloca, AtomicCAS, AtomicRMW, BinOp, Br, Call, Cast, FCmp, ICmp,
+    Instruction, Jump, Load, Phi, Ret, Select, Store, Sync,
+)
+from .module import BasicBlock, Function
+from .types import I1, IntType, PointerType, Type
+from .values import Constant, Register, Value
+
+
+class IRBuilder:
+    """Positions at a block and emits instructions with auto-named registers."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.block: Optional[BasicBlock] = None
+        self.current_loc: Optional[int] = None
+
+    def position_at(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def _emit(self, instr: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("builder not positioned at a block")
+        instr.loc = self.current_loc
+        self.block.append(instr)
+        return instr
+
+    def _reg(self, type_: Type, hint: str = "r") -> Register:
+        return self.function.new_register(type_, hint)
+
+    # -- arithmetic -----------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Value,
+              type_: Optional[Type] = None) -> Register:
+        result = self._reg(type_ or lhs.type)
+        self._emit(BinOp(result, op, lhs, rhs))
+        return result
+
+    def icmp(self, pred: str, lhs: Value, rhs: Value) -> Register:
+        result = self._reg(I1, "c")
+        self._emit(ICmp(result, pred, lhs, rhs))
+        return result
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value) -> Register:
+        result = self._reg(I1, "c")
+        self._emit(FCmp(result, pred, lhs, rhs))
+        return result
+
+    def select(self, cond: Value, then: Value, otherwise: Value) -> Register:
+        result = self._reg(then.type)
+        self._emit(Select(result, cond, then, otherwise))
+        return result
+
+    def cast(self, kind: str, value: Value, to_type: Type) -> Register:
+        result = self._reg(to_type)
+        self._emit(Cast(result, kind, value, to_type))
+        return result
+
+    # -- memory ----------------------------------------------------------
+
+    def alloca(self, allocated: Type, count: int = 1,
+               hint: str = "slot") -> Register:
+        from .types import MemSpace, ptr
+        result = self._reg(ptr(allocated, MemSpace.LOCAL), hint)
+        self._emit(Alloca(result, allocated, count))
+        return result
+
+    def load(self, pointer: Value) -> Register:
+        pt = pointer.type
+        assert isinstance(pt, PointerType), f"load from non-pointer {pt!r}"
+        result = self._reg(pt.pointee)
+        self._emit(Load(result, pointer))
+        return result
+
+    def store(self, value: Value, pointer: Value) -> None:
+        self._emit(Store(value, pointer))
+
+    def gep(self, base: Value, index: Value) -> Register:
+        result = self._reg(base.type, "p")
+        self._emit(GEP(result, base, index))
+        return result
+
+    def atomic_rmw(self, op: str, pointer: Value, value: Value) -> Register:
+        pt = pointer.type
+        assert isinstance(pt, PointerType)
+        result = self._reg(pt.pointee, "old")
+        self._emit(AtomicRMW(result, op, pointer, value))
+        return result
+
+    def atomic_cas(self, pointer: Value, expected: Value,
+                   new_value: Value) -> Register:
+        pt = pointer.type
+        assert isinstance(pt, PointerType)
+        result = self._reg(pt.pointee, "old")
+        self._emit(AtomicCAS(result, pointer, expected, new_value))
+        return result
+
+    # -- control flow ------------------------------------------------------
+
+    def br(self, cond: Value, then_block: BasicBlock,
+           else_block: BasicBlock) -> None:
+        self._emit(Br(cond, then_block, else_block))
+
+    def jump(self, target: BasicBlock) -> None:
+        self._emit(Jump(target))
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        self._emit(Ret(value))
+
+    def phi(self, type_: Type, hint: str = "phi") -> Phi:
+        result = self._reg(type_, hint)
+        return self._emit(Phi(result))  # type: ignore[return-value]
+
+    def call(self, callee: str, args: Sequence[Value],
+             ret_type: Optional[Type] = None) -> Optional[Register]:
+        result = self._reg(ret_type, "call") if ret_type is not None \
+            and not ret_type.is_void() else None
+        self._emit(Call(result, callee, list(args)))
+        return result
+
+    def sync(self) -> None:
+        self._emit(Sync())
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def const(value: int, type_: Type) -> Constant:
+        return Constant(value, type_)

@@ -1,0 +1,261 @@
+"""Control-flow graph analyses: dominators, post-dominators, natural loops.
+
+The immediate post-dominator is what warp-mode execution reconverges at
+(paper §IV-B, "the nearest common post-dominator"); natural loops feed the
+loop-bound concretisation advice of §III-C.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .instrs import Br
+from .module import BasicBlock, Function
+
+
+class CFG:
+    """Predecessor/successor maps plus derived analyses for one function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.blocks = list(function.blocks)
+        self.succs: Dict[BasicBlock, List[BasicBlock]] = {}
+        self.preds: Dict[BasicBlock, List[BasicBlock]] = {}
+        for block in self.blocks:
+            self.succs[block] = block.successors()
+            self.preds.setdefault(block, [])
+        for block in self.blocks:
+            for succ in self.succs[block]:
+                self.preds.setdefault(succ, []).append(block)
+        self._idom: Optional[Dict[BasicBlock, Optional[BasicBlock]]] = None
+        self._ipostdom: Optional[Dict[BasicBlock, Optional[BasicBlock]]] = None
+        self._rpo: Optional[List[BasicBlock]] = None
+
+    # ------------------------------------------------------------------
+
+    def reverse_postorder(self) -> List[BasicBlock]:
+        if self._rpo is not None:
+            return self._rpo
+        seen: Set[int] = set()
+        order: List[BasicBlock] = []
+
+        def dfs(block: BasicBlock) -> None:
+            stack = [(block, iter(self.succs[block]))]
+            seen.add(id(block))
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if id(succ) not in seen:
+                        seen.add(id(succ))
+                        stack.append((succ, iter(self.succs[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        dfs(self.function.entry)
+        order.reverse()
+        self._rpo = order
+        return order
+
+    # ------------------------------------------------------------------
+    # dominators (Cooper-Harvey-Kennedy)
+    # ------------------------------------------------------------------
+
+    def idom(self) -> Dict[BasicBlock, Optional[BasicBlock]]:
+        if self._idom is not None:
+            return self._idom
+        rpo = self.reverse_postorder()
+        index = {id(b): i for i, b in enumerate(rpo)}
+        entry = self.function.entry
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+
+        def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+            while a is not b:
+                while index[id(a)] > index[id(b)]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[id(b)] > index[id(a)]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block is entry:
+                    continue
+                preds = [p for p in self.preds[block]
+                         if p in idom and id(p) in index]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = intersect(new_idom, p)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        idom[entry] = None
+        self._idom = idom
+        return idom
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        idom = self.idom()
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = idom.get(node)
+        return False
+
+    def dominance_frontiers(self) -> Dict[BasicBlock, Set[BasicBlock]]:
+        """DF(b): blocks where b's dominance ends (phi placement points)."""
+        idom = self.idom()
+        df: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in self.blocks}
+        for block in self.blocks:
+            preds = [p for p in self.preds[block] if p in idom or p is self.function.entry]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner: Optional[BasicBlock] = pred
+                while runner is not None and runner is not idom.get(block):
+                    df[runner].add(block)
+                    runner = idom.get(runner)
+        return df
+
+    # ------------------------------------------------------------------
+    # post-dominators (on the reverse CFG, with a virtual exit)
+    # ------------------------------------------------------------------
+
+    def ipostdom(self) -> Dict[BasicBlock, Optional[BasicBlock]]:
+        """Immediate post-dominator of each block (None for exits)."""
+        if self._ipostdom is not None:
+            return self._ipostdom
+        exits = [b for b in self.blocks if not self.succs[b]]
+        # postorder on the reverse CFG from the virtual exit
+        seen: Set[int] = set()
+        order: List[BasicBlock] = []
+
+        def dfs(block: BasicBlock) -> None:
+            stack = [(block, iter(self.preds[block]))]
+            seen.add(id(block))
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for p in it:
+                    if id(p) not in seen:
+                        seen.add(id(p))
+                        stack.append((p, iter(self.preds[p])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        for e in exits:
+            if id(e) not in seen:
+                dfs(e)
+        order.reverse()  # reverse postorder of reverse CFG
+        index = {id(b): i for i, b in enumerate(order)}
+
+        VIRTUAL_EXIT = object()
+        ipdom: Dict[object, object] = {}
+        for e in exits:
+            ipdom[e] = VIRTUAL_EXIT
+        ipdom[VIRTUAL_EXIT] = VIRTUAL_EXIT
+
+        def intersect(a: object, b: object) -> object:
+            def idx(x: object) -> int:
+                return -1 if x is VIRTUAL_EXIT else index[id(x)]
+            while a is not b:
+                while idx(a) > idx(b):
+                    a = ipdom[a]
+                while idx(b) > idx(a):
+                    b = ipdom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                rsuccs: List[object] = list(self.succs[block]) or [VIRTUAL_EXIT]
+                avail = [s for s in rsuccs if s in ipdom or s is VIRTUAL_EXIT]
+                if block in exits:
+                    continue
+                if not avail:
+                    continue
+                new = avail[0]
+                for s in avail[1:]:
+                    new = intersect(new, s)
+                if ipdom.get(block) is not new:
+                    ipdom[block] = new
+                    changed = True
+
+        result: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        for block in self.blocks:
+            pd = ipdom.get(block)
+            result[block] = None if pd is VIRTUAL_EXIT or pd is None else pd  # type: ignore[assignment]
+        self._ipostdom = result
+        return result
+
+    def reconvergence_point(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """Where warp-divergent branches out of ``block`` reconverge."""
+        return self.ipostdom().get(block)
+
+    # ------------------------------------------------------------------
+    # natural loops
+    # ------------------------------------------------------------------
+
+    def back_edges(self) -> List[Tuple[BasicBlock, BasicBlock]]:
+        """(tail, header) pairs where header dominates tail."""
+        edges = []
+        for block in self.blocks:
+            for succ in self.succs[block]:
+                if self.dominates(succ, block):
+                    edges.append((block, succ))
+        return edges
+
+    def natural_loops(self) -> List["Loop"]:
+        loops: Dict[int, Loop] = {}
+        for tail, header in self.back_edges():
+            loop = loops.get(id(header))
+            if loop is None:
+                loop = Loop(header)
+                loops[id(header)] = loop
+            loop.add_tail(tail, self.preds)
+        return list(loops.values())
+
+
+class Loop:
+    """A natural loop: header plus body blocks."""
+
+    def __init__(self, header: BasicBlock) -> None:
+        self.header = header
+        self.blocks: Set[BasicBlock] = {header}
+
+    def add_tail(self, tail: BasicBlock,
+                 preds: Dict[BasicBlock, List[BasicBlock]]) -> None:
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            if node in self.blocks:
+                continue
+            self.blocks.add(node)
+            stack.extend(preds.get(node, []))
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    def exit_condition_branches(self) -> List[Br]:
+        """Conditional branches leaving the loop (candidate loop bounds)."""
+        out = []
+        for block in self.blocks:
+            term = block.terminator
+            if isinstance(term, Br):
+                succs = term.successors()
+                if any(s not in self.blocks for s in succs):
+                    out.append(term)
+        return out
+
+    def __repr__(self) -> str:
+        return f"<loop header={self.header.name} blocks={len(self.blocks)}>"

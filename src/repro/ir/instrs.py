@@ -1,0 +1,455 @@
+"""The instruction set (Fig. 3 of the paper, plus atomics and casts).
+
+Every instruction carries:
+
+* ``result`` — the defined :class:`Register` (or None),
+* ``operands()`` — the used values, for generic data-flow passes,
+* ``meta`` — a free-form annotation dict. The static analyzer writes the
+  flow-merging hints here (``meta["skip_fork"]``, §V Example 1) which the
+  symbolic executor reads during parametric execution.
+* ``loc`` — source line for diagnostics and race reports.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .types import IntType, MemSpace, PointerType, Type, VOID
+from .values import Register, Value
+
+
+class Instruction:
+    """Base class for all IR instructions."""
+
+    __slots__ = ("result", "parent", "meta", "loc")
+
+    def __init__(self, result: Optional[Register] = None) -> None:
+        self.result = result
+        self.parent = None          # BasicBlock, set on insertion
+        self.meta: Dict[str, object] = {}
+        self.loc: Optional[int] = None
+        if result is not None:
+            result.defining = self
+
+    def operands(self) -> List[Value]:
+        """Values read by this instruction (for use-def analyses)."""
+        raise NotImplementedError
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        """Substitute a used value (needed by inlining and mem2reg)."""
+        raise NotImplementedError
+
+    def is_terminator(self) -> bool:
+        return False
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.lower()
+
+    def _res(self) -> str:
+        return f"{self.result.short()} = " if self.result else ""
+
+    def __repr__(self) -> str:
+        ops = ", ".join(v.short() for v in self.operands())
+        return f"{self._res()}{self.name} {ops}"
+
+
+class _SimpleOperands:
+    """Mixin storing operands in a plain list ``self.ops``."""
+
+    __slots__ = ()
+
+    def operands(self) -> List[Value]:
+        return list(self.ops)
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        self.ops = [new if v is old else v for v in self.ops]
+
+
+# ---------------------------------------------------------------------------
+# arithmetic / comparison
+# ---------------------------------------------------------------------------
+
+INT_BINOPS = frozenset({"add", "sub", "mul", "udiv", "sdiv", "urem", "srem",
+                        "and", "or", "xor", "shl", "lshr", "ashr"})
+FLOAT_BINOPS = frozenset({"fadd", "fsub", "fmul", "fdiv", "frem"})
+ICMP_PREDS = frozenset({"eq", "ne", "ult", "ule", "ugt", "uge",
+                        "slt", "sle", "sgt", "sge"})
+FCMP_PREDS = frozenset({"oeq", "one", "olt", "ole", "ogt", "oge"})
+
+
+class BinOp(_SimpleOperands, Instruction):
+    """Integer/float binary arithmetic (Fig. 3 ``binop``)."""
+    __slots__ = ("op", "ops")
+
+    def __init__(self, result: Register, op: str, lhs: Value, rhs: Value) -> None:
+        if op not in INT_BINOPS and op not in FLOAT_BINOPS:
+            raise ValueError(f"unknown binop {op}")
+        super().__init__(result)
+        self.op = op
+        self.ops = [lhs, rhs]
+
+    @property
+    def lhs(self) -> Value:
+        return self.ops[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.ops[1]
+
+    def __repr__(self) -> str:
+        return f"{self._res()}{self.op} {self.lhs.short()}, {self.rhs.short()}"
+
+
+class ICmp(_SimpleOperands, Instruction):
+    """Integer comparison producing an i1."""
+    __slots__ = ("pred", "ops")
+
+    def __init__(self, result: Register, pred: str, lhs: Value, rhs: Value) -> None:
+        if pred not in ICMP_PREDS:
+            raise ValueError(f"unknown icmp predicate {pred}")
+        super().__init__(result)
+        self.pred = pred
+        self.ops = [lhs, rhs]
+
+    @property
+    def lhs(self) -> Value:
+        return self.ops[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.ops[1]
+
+    def __repr__(self) -> str:
+        return f"{self._res()}icmp {self.pred} {self.lhs.short()}, {self.rhs.short()}"
+
+
+class FCmp(_SimpleOperands, Instruction):
+    """Float comparison (opaque at runtime, see DESIGN.md)."""
+    __slots__ = ("pred", "ops")
+
+    def __init__(self, result: Register, pred: str, lhs: Value, rhs: Value) -> None:
+        if pred not in FCMP_PREDS:
+            raise ValueError(f"unknown fcmp predicate {pred}")
+        super().__init__(result)
+        self.pred = pred
+        self.ops = [lhs, rhs]
+
+    def __repr__(self) -> str:
+        a, b = self.ops
+        return f"{self._res()}fcmp {self.pred} {a.short()}, {b.short()}"
+
+
+class Select(_SimpleOperands, Instruction):
+    """Branch-free conditional value."""
+    __slots__ = ("ops",)
+
+    def __init__(self, result: Register, cond: Value, then: Value,
+                 otherwise: Value) -> None:
+        super().__init__(result)
+        self.ops = [cond, then, otherwise]
+
+    @property
+    def cond(self) -> Value:
+        return self.ops[0]
+
+
+CAST_KINDS = frozenset({"zext", "sext", "trunc", "bitcast",
+                        "uitofp", "sitofp", "fptoui", "fptosi",
+                        "fpext", "fptrunc"})
+
+
+class Cast(_SimpleOperands, Instruction):
+    """Width/kind conversions (zext/sext/trunc/bitcast/fp*)."""
+    __slots__ = ("kind", "ops")
+
+    def __init__(self, result: Register, kind: str, value: Value,
+                 to_type: Type) -> None:
+        if kind not in CAST_KINDS:
+            raise ValueError(f"unknown cast kind {kind}")
+        super().__init__(result)
+        self.kind = kind
+        self.ops = [value]
+        assert result.type == to_type
+
+    @property
+    def value(self) -> Value:
+        return self.ops[0]
+
+    def __repr__(self) -> str:
+        return f"{self._res()}{self.kind} {self.value.short()} to {self.result.type!r}"
+
+
+# ---------------------------------------------------------------------------
+# memory
+# ---------------------------------------------------------------------------
+
+class Alloca(Instruction):
+    """Stack allocation of a thread-local slot (pre-mem2reg locals)."""
+
+    __slots__ = ("allocated_type", "count")
+
+    def __init__(self, result: Register, allocated_type: Type,
+                 count: int = 1) -> None:
+        super().__init__(result)
+        self.allocated_type = allocated_type
+        self.count = count
+
+    def operands(self) -> List[Value]:
+        return []
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"{self._res()}alloca {self.allocated_type!r} x {self.count}"
+
+
+class Load(_SimpleOperands, Instruction):
+    """Memory read through a typed pointer (Fig. 3 ``load``)."""
+    __slots__ = ("ops",)
+
+    def __init__(self, result: Register, pointer: Value) -> None:
+        super().__init__(result)
+        self.ops = [pointer]
+
+    @property
+    def pointer(self) -> Value:
+        return self.ops[0]
+
+    def __repr__(self) -> str:
+        return f"{self._res()}load {self.pointer.short()}"
+
+
+class Store(_SimpleOperands, Instruction):
+    """Memory write through a typed pointer (Fig. 3 ``store``)."""
+    __slots__ = ("ops",)
+
+    def __init__(self, value: Value, pointer: Value) -> None:
+        super().__init__(None)
+        self.ops = [value, pointer]
+
+    @property
+    def value(self) -> Value:
+        return self.ops[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.ops[1]
+
+    def __repr__(self) -> str:
+        return f"store {self.value.short()}, {self.pointer.short()}"
+
+
+class GEP(_SimpleOperands, Instruction):
+    """Address arithmetic: ``result = base + index * sizeof(elem)``.
+
+    Multi-dimensional indexing is lowered to explicit arithmetic by the
+    front-end, so a single scaled index suffices (LLVM's getelementptr
+    restricted to the patterns GPU kernels produce).
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self, result: Register, base: Value, index: Value) -> None:
+        super().__init__(result)
+        self.ops = [base, index]
+
+    @property
+    def base(self) -> Value:
+        return self.ops[0]
+
+    @property
+    def index(self) -> Value:
+        return self.ops[1]
+
+    def elem_size(self) -> int:
+        base_ty = self.base.type
+        assert isinstance(base_ty, PointerType)
+        return base_ty.pointee.size_bytes()
+
+    def __repr__(self) -> str:
+        return (f"{self._res()}getelptr {self.base.short()}, "
+                f"{self.index.short()} x {self.elem_size()}")
+
+
+ATOMIC_OPS = frozenset({"add", "sub", "min", "max", "umin", "umax",
+                        "and", "or", "xor", "exch", "inc", "dec"})
+
+
+class AtomicRMW(_SimpleOperands, Instruction):
+    """Atomic read-modify-write; result is the *old* value (CUDA semantics)."""
+
+    __slots__ = ("op", "ops")
+
+    def __init__(self, result: Register, op: str, pointer: Value,
+                 value: Value) -> None:
+        if op not in ATOMIC_OPS:
+            raise ValueError(f"unknown atomic op {op}")
+        super().__init__(result)
+        self.op = op
+        self.ops = [pointer, value]
+
+    @property
+    def pointer(self) -> Value:
+        return self.ops[0]
+
+    @property
+    def value(self) -> Value:
+        return self.ops[1]
+
+    def __repr__(self) -> str:
+        return (f"{self._res()}atomic_{self.op} {self.pointer.short()}, "
+                f"{self.value.short()}")
+
+
+class AtomicCAS(_SimpleOperands, Instruction):
+    """Compare-and-swap; result is the old value."""
+    __slots__ = ("ops",)
+
+    def __init__(self, result: Register, pointer: Value, expected: Value,
+                 new_value: Value) -> None:
+        super().__init__(result)
+        self.ops = [pointer, expected, new_value]
+
+    @property
+    def pointer(self) -> Value:
+        return self.ops[0]
+
+    def __repr__(self) -> str:
+        p, e, n = self.ops
+        return f"{self._res()}atomic_cas {p.short()}, {e.short()}, {n.short()}"
+
+
+# ---------------------------------------------------------------------------
+# control flow
+# ---------------------------------------------------------------------------
+
+class Phi(Instruction):
+    """SSA join (Fig. 3 ``phi``)."""
+    __slots__ = ("incoming",)
+
+    def __init__(self, result: Register,
+                 incoming: Optional[List[Tuple["BasicBlock", Value]]] = None) -> None:
+        super().__init__(result)
+        self.incoming: List[Tuple[object, Value]] = list(incoming or [])
+
+    def add_incoming(self, block: object, value: Value) -> None:
+        self.incoming.append((block, value))
+
+    def operands(self) -> List[Value]:
+        return [v for _, v in self.incoming]
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        self.incoming = [(b, new if v is old else v) for b, v in self.incoming]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{getattr(b, 'name', b)}, {v.short()}]"
+                          for b, v in self.incoming)
+        return f"{self._res()}phi {inner}"
+
+
+class Br(_SimpleOperands, Instruction):
+    """Conditional branch."""
+
+    __slots__ = ("ops", "then_block", "else_block")
+
+    def __init__(self, cond: Value, then_block: object, else_block: object) -> None:
+        super().__init__(None)
+        self.ops = [cond]
+        self.then_block = then_block
+        self.else_block = else_block
+
+    @property
+    def cond(self) -> Value:
+        return self.ops[0]
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def successors(self) -> List[object]:
+        return [self.then_block, self.else_block]
+
+    def __repr__(self) -> str:
+        return (f"br {self.cond.short()} {self.then_block.name} "
+                f"{self.else_block.name}")
+
+
+class Jump(Instruction):
+    """Unconditional branch (Fig. 3 ``br lab``)."""
+    __slots__ = ("target",)
+
+    def __init__(self, target: object) -> None:
+        super().__init__(None)
+        self.target = target
+
+    def operands(self) -> List[Value]:
+        return []
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        pass
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def successors(self) -> List[object]:
+        return [self.target]
+
+    def __repr__(self) -> str:
+        return f"br {self.target.name}"
+
+
+class Ret(_SimpleOperands, Instruction):
+    """Function return."""
+    __slots__ = ("ops",)
+
+    def __init__(self, value: Optional[Value] = None) -> None:
+        super().__init__(None)
+        self.ops = [value] if value is not None else []
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.ops[0] if self.ops else None
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def successors(self) -> List[object]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"ret {self.value.short()}" if self.ops else "ret"
+
+
+class Call(_SimpleOperands, Instruction):
+    """Direct call to a device function or intrinsic (by name)."""
+
+    __slots__ = ("callee", "ops")
+
+    def __init__(self, result: Optional[Register], callee: str,
+                 args: Sequence[Value]) -> None:
+        super().__init__(result)
+        self.callee = callee
+        self.ops = list(args)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(v.short() for v in self.ops)
+        ret = f"{self.result.type!r} " if self.result is not None else ""
+        return f"{self._res()}call {ret}{self.callee}({inner})"
+
+
+class Sync(Instruction):
+    """``__syncthreads()`` — ends the current barrier interval."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(None)
+
+    def operands(self) -> List[Value]:
+        return []
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "syncthreads"

@@ -1,0 +1,146 @@
+"""Module / Function / BasicBlock containers."""
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+from .instrs import Instruction, Phi
+from .types import FunctionType, MemSpace, Type
+from .values import Argument, GlobalVariable, Register
+
+
+class BasicBlock:
+    """A straight-line instruction sequence ending in a terminator."""
+
+    def __init__(self, name: str, parent: "Function") -> None:
+        self.name = name
+        self.parent = parent
+        self.instrs: List[Instruction] = []
+
+    def append(self, instr: Instruction) -> Instruction:
+        if self.is_terminated():
+            raise ValueError(f"block {self.name} already terminated")
+        instr.parent = self
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instrs and self.instrs[-1].is_terminator():
+            return self.instrs[-1]
+        return None
+
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return term.successors()  # type: ignore[attr-defined]
+
+    def phis(self) -> List[Phi]:
+        return [i for i in self.instrs if isinstance(i, Phi)]
+
+    def non_phi_instrs(self) -> List[Instruction]:
+        return [i for i in self.instrs if not isinstance(i, Phi)]
+
+    def __repr__(self) -> str:
+        return f"<block {self.name}: {len(self.instrs)} instrs>"
+
+
+class Function:
+    """A kernel (``is_kernel=True``) or a ``__device__`` helper."""
+
+    def __init__(self, name: str, fn_type: FunctionType,
+                 arg_names: List[str], is_kernel: bool = False) -> None:
+        self.name = name
+        self.type = fn_type
+        self.is_kernel = is_kernel
+        self.args: List[Argument] = [
+            Argument(arg_name, ty, i)
+            for i, (arg_name, ty) in enumerate(zip(arg_names, fn_type.params))
+        ]
+        self.blocks: List[BasicBlock] = []
+        self._name_counter = itertools.count()
+        self._block_counter = itertools.count()
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        block = BasicBlock(f"{hint}.{next(self._block_counter)}", self)
+        self.blocks.append(block)
+        return block
+
+    def new_register(self, type_: Type, hint: str = "r") -> Register:
+        return Register(f"{hint}{next(self._name_counter)}", type_)
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instrs
+
+    def verify(self) -> None:
+        """Sanity checks: all blocks terminated, phi edges exist."""
+        block_set = set(id(b) for b in self.blocks)
+        for block in self.blocks:
+            if not block.is_terminated():
+                raise ValueError(
+                    f"{self.name}: block {block.name} lacks a terminator")
+            for succ in block.successors():
+                if id(succ) not in block_set:
+                    raise ValueError(
+                        f"{self.name}: edge to foreign block {succ.name}")
+            for phi in block.phis():
+                for pred, _ in phi.incoming:
+                    if id(pred) not in block_set:
+                        raise ValueError(
+                            f"{self.name}: phi references foreign block")
+
+    def __repr__(self) -> str:
+        kind = "kernel" if self.is_kernel else "device fn"
+        return f"<{kind} {self.name}: {len(self.blocks)} blocks>"
+
+
+class Module:
+    """A compiled translation unit: functions plus module-level globals."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function {fn.name}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_global(self, gv: GlobalVariable) -> GlobalVariable:
+        if gv.name in self.globals:
+            raise ValueError(f"duplicate global {gv.name}")
+        self.globals[gv.name] = gv
+        return gv
+
+    def kernels(self) -> List[Function]:
+        return [f for f in self.functions.values() if f.is_kernel]
+
+    def get_kernel(self, name: Optional[str] = None) -> Function:
+        """Look up a kernel; with no name, expect exactly one kernel."""
+        if name is not None:
+            fn = self.functions.get(name)
+            if fn is None or not fn.is_kernel:
+                raise KeyError(f"no kernel named {name}")
+            return fn
+        kernels = self.kernels()
+        if len(kernels) != 1:
+            raise ValueError(
+                f"module has {len(kernels)} kernels; specify a name")
+        return kernels[0]
+
+    def __repr__(self) -> str:
+        return (f"<module {self.name}: {len(self.functions)} functions, "
+                f"{len(self.globals)} globals>")

@@ -1,0 +1,328 @@
+"""Textual IR parser — round-trips :mod:`repro.ir.printer` output.
+
+Lets tests and tools author IR directly, and guarantees the printed form
+is a faithful serialisation (the round-trip property is tested). Only
+the printer's grammar is accepted; this is a development substrate, not
+a general assembler.
+"""
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .instrs import (
+    CAST_KINDS, FCMP_PREDS, FLOAT_BINOPS, GEP, ICMP_PREDS, INT_BINOPS,
+    Alloca, AtomicCAS, AtomicRMW, BinOp, Br, Call, Cast, FCmp, ICmp,
+    Instruction, Jump, Load, Phi, Ret, Select, Store, Sync, ATOMIC_OPS,
+)
+from .module import BasicBlock, Function, Module
+from .types import (
+    ArrayType, F32, F64, FunctionType, I1, IntType, MemSpace, PointerType,
+    Type, VOID,
+)
+from .values import Argument, BuiltinValue, Constant, GlobalVariable, Register
+
+
+class IRParseError(Exception):
+    """Malformed textual IR with the offending line."""
+    def __init__(self, message: str, line_no: int, line: str = "") -> None:
+        super().__init__(f"line {line_no}: {message}"
+                         + (f"  [{line.strip()}]" if line else ""))
+
+
+# -- types -------------------------------------------------------------
+
+_INT_RE = re.compile(r"([iu])(\d+)$")
+
+
+def parse_type(text: str) -> Type:
+    """Parse one printed type (``i32``, ``float*{global}``, ``[64 x i32]``)."""
+    text = text.strip()
+    if text.endswith("}") and "*{" in text:
+        base, _, space = text.rpartition("*{")
+        return PointerType(parse_type(base), MemSpace(space[:-1]))
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1]
+        count_text, _, elem_text = inner.partition(" x ")
+        return ArrayType(parse_type(elem_text), int(count_text))
+    if text == "void":
+        return VOID
+    if text == "float":
+        return F32
+    if text == "double":
+        return F64
+    m = _INT_RE.match(text)
+    if m:
+        return IntType(int(m.group(2)), signed=(m.group(1) == "i"))
+    raise ValueError(f"unknown type {text!r}")
+
+
+# -- module ------------------------------------------------------------
+
+_GLOBAL_RE = re.compile(
+    r"@([\w.]+):\s*(.+?)\s*\[(local|shared|global)\]\s*$")
+_FUNC_RE = re.compile(
+    r"(kernel|device)\s+(.+?)\s+@([\w.]+)\((.*)\)\s*\{\s*$")
+_BLOCK_RE = re.compile(r"^([\w.][\w.]*):\s*$")
+
+
+class _FunctionParser:
+    def __init__(self, module: Module, fn: Function) -> None:
+        self.module = module
+        self.fn = fn
+        self.regs: Dict[str, Register] = {}
+        self.blocks: Dict[str, BasicBlock] = {}
+        #: (fixups) placeholder blocks referenced before definition
+        self.pending: List[Tuple[Instruction, str, str]] = []
+        self.args = {a.name: a for a in fn.args}
+        self.order: List[str] = []   # block definition order
+
+    def block(self, name: str) -> BasicBlock:
+        b = self.blocks.get(name)
+        if b is None:
+            b = BasicBlock(name, self.fn)
+            self.blocks[name] = b
+        return b
+
+    def reg(self, name: str, type_: Optional[Type] = None) -> Register:
+        r = self.regs.get(name)
+        if r is None:
+            r = Register(name, type_ if type_ is not None else IntType(32))
+            self.regs[name] = r
+        elif type_ is not None:
+            r.type = type_
+        return r
+
+    def value(self, text: str, hint: Optional[Type] = None):
+        text = text.strip()
+        if text.startswith("%"):
+            name = text[1:]
+            if name in self.args:
+                return self.args[name]
+            return self.reg(name, None if name in self.regs else hint)
+        if text.startswith("@"):
+            gv = self.module.globals.get(text[1:])
+            if gv is None:
+                raise ValueError(f"unknown global {text}")
+            return gv
+        if text.startswith("$"):
+            return BuiltinValue(text[1:], IntType(32, signed=False))
+        if text in ("true", "false"):
+            return Constant(1 if text == "true" else 0, I1)
+        value = int(text, 0)
+        return Constant(value, hint if isinstance(hint, IntType)
+                        else IntType(32))
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on commas not inside brackets."""
+    parts, depth, cur = [], 0, ""
+    for ch in text:
+        if ch in "[({":
+            depth += 1
+        elif ch in "])}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        parts.append(cur)
+    return [p.strip() for p in parts]
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    """Parse a printed module back into IR objects."""
+    module = Module(name)
+    lines = text.split("\n")
+    i = 0
+    n = len(lines)
+    while i < n:
+        raw = lines[i]
+        line = raw.split(";", 1)[0].strip()
+        i += 1
+        if not line:
+            continue
+        m = _GLOBAL_RE.match(line)
+        if m:
+            gname, type_text, space = m.groups()
+            module.add_global(GlobalVariable(
+                gname, parse_type(type_text), MemSpace(space)))
+            continue
+        m = _FUNC_RE.match(line)
+        if m:
+            kind, ret_text, fname, args_text = m.groups()
+            arg_names, arg_types = [], []
+            for part in _split_args(args_text):
+                if not part:
+                    continue
+                type_text, _, aname = part.rpartition(" %")
+                arg_names.append(aname)
+                arg_types.append(parse_type(type_text))
+            fn = Function(fname,
+                          FunctionType(parse_type(ret_text),
+                                       tuple(arg_types)),
+                          arg_names, is_kernel=(kind == "kernel"))
+            module.add_function(fn)
+            i = _parse_body(module, fn, lines, i)
+            continue
+        raise IRParseError("unrecognised top-level construct", i, raw)
+    return module
+
+
+def _parse_body(module: Module, fn: Function, lines: List[str],
+                start: int) -> int:
+    fp = _FunctionParser(module, fn)
+    current: Optional[BasicBlock] = None
+    i = start
+    while i < len(lines):
+        raw = lines[i]
+        line = raw.split(";", 1)[0].strip()
+        i += 1
+        if not line:
+            continue
+        if line == "}":
+            fn.blocks.extend(
+                b for name, b in fp.blocks.items()
+                if b not in fn.blocks)
+            # preserve first-seen order
+            fn.blocks.sort(key=lambda b: fp.order.index(b.name)
+                           if b.name in fp.order else 1 << 30)
+            fn.verify()
+            return i
+        m = _BLOCK_RE.match(line)
+        if m:
+            current = fp.block(m.group(1))
+            if m.group(1) not in fp.order:
+                fp.order.append(m.group(1))
+            continue
+        if current is None:
+            raise IRParseError("instruction outside block", i, raw)
+        instr = _parse_instr(fp, line, i, raw)
+        # restore printed meta tags:  instr  ; [tag1,tag2]
+        _, _, comment = raw.partition(";")
+        m_tags = re.search(r"\[([\w,]+)\]", comment)
+        if m_tags:
+            for tag in m_tags.group(1).split(","):
+                instr.meta[tag] = True
+        instr.parent = current
+        current.instrs.append(instr)
+    raise IRParseError("unexpected end of input (missing '}')", i)
+
+
+def _parse_instr(fp: _FunctionParser, line: str, line_no: int,
+                 raw: str) -> Instruction:
+    result_name = None
+    body = line
+    if line.startswith("%"):
+        head, _, body = line.partition(" = ")
+        result_name = head[1:].strip()
+        body = body.strip()
+
+    opcode, _, rest = body.partition(" ")
+    rest = rest.strip()
+
+    def res(type_: Type) -> Register:
+        assert result_name is not None, f"{opcode} needs a result"
+        return fp.reg(result_name, type_)
+
+    if opcode == "syncthreads":
+        return Sync()
+    if opcode == "ret":
+        return Ret(fp.value(rest) if rest else None)
+    if opcode == "br":
+        parts = rest.split()
+        if len(parts) == 1:
+            return Jump(fp.block(parts[0]))
+        cond, then_name, else_name = parts
+        return Br(fp.value(cond, I1), fp.block(then_name),
+                  fp.block(else_name))
+    if opcode in INT_BINOPS or opcode in FLOAT_BINOPS:
+        a_text, b_text = _split_args(rest)
+        a = fp.value(a_text)
+        b = fp.value(b_text, hint=getattr(a, "type", None))
+        if isinstance(a, Constant) and not isinstance(b, Constant):
+            a = fp.value(a_text, hint=b.type)
+        ty = F32 if opcode in FLOAT_BINOPS else \
+            (a.type if not isinstance(a, Constant) or
+             isinstance(b, Constant) else b.type)
+        return BinOp(res(ty), opcode, a, b)
+    if opcode == "icmp":
+        pred, _, args = rest.partition(" ")
+        a_text, b_text = _split_args(args)
+        a = fp.value(a_text)
+        b = fp.value(b_text, hint=getattr(a, "type", None))
+        return ICmp(res(I1), pred, a, b)
+    if opcode == "fcmp":
+        pred, _, args = rest.partition(" ")
+        a_text, b_text = _split_args(args)
+        return FCmp(res(I1), pred, fp.value(a_text, F32),
+                    fp.value(b_text, F32))
+    if opcode == "select":
+        c_text, a_text, b_text = _split_args(rest)
+        a = fp.value(a_text)
+        b = fp.value(b_text, hint=getattr(a, "type", None))
+        ty = a.type if not isinstance(a, Constant) else b.type
+        return Select(res(ty), fp.value(c_text, I1), a, b)
+    if opcode in CAST_KINDS:
+        value_text, _, type_text = rest.partition(" to ")
+        target = parse_type(type_text)
+        return Cast(res(target), opcode, fp.value(value_text), target)
+    if opcode == "alloca":
+        type_text, _, count_text = rest.rpartition(" x ")
+        allocated = parse_type(type_text)
+        return Alloca(res(PointerType(allocated, MemSpace.LOCAL)),
+                      allocated, int(count_text))
+    if opcode == "load":
+        pointer = fp.value(rest)
+        pt = pointer.type
+        pointee = pt.pointee if isinstance(pt, PointerType) else IntType(32)
+        return Load(res(pointee), pointer)
+    if opcode == "store":
+        value_text, pointer_text = _split_args(rest)
+        pointer = fp.value(pointer_text)
+        hint = pointer.type.pointee \
+            if isinstance(pointer.type, PointerType) else None
+        return Store(fp.value(value_text, hint), pointer)
+    if opcode == "getelptr":
+        base_text, index_part = _split_args(rest)
+        index_text, _, _size = index_part.rpartition(" x ")
+        base = fp.value(base_text)
+        return GEP(res(base.type), base, fp.value(index_text))
+    if opcode == "phi":
+        incoming = []
+        ty: Optional[Type] = None
+        for pair in re.findall(r"\[([^,\]]+),\s*([^\]]+)\]", rest):
+            block_name, value_text = pair
+            value = fp.value(value_text.strip())
+            if not isinstance(value, Constant) and ty is None:
+                ty = value.type
+            incoming.append((fp.block(block_name.strip()), value))
+        phi = Phi(res(ty if ty is not None else IntType(32)))
+        for block, value in incoming:
+            phi.add_incoming(block, value)
+        return phi
+    if opcode == "call":
+        m = re.match(r"(?:(.+?)\s+)?([\w.]+)\((.*)\)$", rest)
+        if m is None:
+            raise IRParseError("malformed call", line_no, raw)
+        type_text, callee, args_text = m.groups()
+        args = [fp.value(a) for a in _split_args(args_text)]
+        if result_name is None:
+            return Call(None, callee, args)
+        return Call(res(parse_type(type_text or "i32")), callee, args)
+    if opcode.startswith("atomic_"):
+        op = opcode[len("atomic_"):]
+        parts = _split_args(rest)
+        pointer = fp.value(parts[0])
+        pointee = pointer.type.pointee \
+            if isinstance(pointer.type, PointerType) else IntType(32)
+        if op == "cas":
+            return AtomicCAS(res(pointee), pointer,
+                             fp.value(parts[1], pointee),
+                             fp.value(parts[2], pointee))
+        if op in ATOMIC_OPS:
+            return AtomicRMW(res(pointee), op, pointer,
+                             fp.value(parts[1], pointee))
+    raise IRParseError(f"unknown instruction {opcode!r}", line_no, raw)

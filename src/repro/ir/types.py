@@ -1,0 +1,199 @@
+"""The IR type system.
+
+Mirrors the LLVM types the paper's Fig. 3 bytecode needs: fixed-width
+integers, floats (carried as opaque bit patterns — see DESIGN.md), pointers
+tagged with a GPU memory space, and sized arrays.
+"""
+from __future__ import annotations
+
+from enum import Enum
+from functools import lru_cache
+from typing import Optional, Tuple
+
+
+class MemSpace(Enum):
+    """GPU memory spaces; races are checked in SHARED and GLOBAL."""
+
+    LOCAL = "local"      # registers / thread-private stack
+    SHARED = "shared"    # per-block __shared__ memory
+    GLOBAL = "global"    # device global memory (kernel pointer args)
+
+    def is_shared_between_threads(self) -> bool:
+        return self in (MemSpace.SHARED, MemSpace.GLOBAL)
+
+
+class Type:
+    """Base class for IR types."""
+
+    __slots__ = ()
+
+    def size_bytes(self) -> int:
+        raise NotImplementedError
+
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+
+class VoidType(Type):
+    """The unit type of void functions."""
+    __slots__ = ()
+    _instance: Optional["VoidType"] = None
+
+    def __new__(cls) -> "VoidType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "void"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def size_bytes(self) -> int:
+        raise TypeError("void has no size")
+
+
+class IntType(Type):
+    """``iN``; ``signed`` records the C-level signedness for div/rem/cmp."""
+
+    __slots__ = ("width", "signed")
+
+    def __init__(self, width: int, signed: bool = True) -> None:
+        self.width = width
+        self.signed = signed
+
+    def __repr__(self) -> str:
+        return f"{'i' if self.signed else 'u'}{self.width}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, IntType) and other.width == self.width
+                and other.signed == self.signed)
+
+    def __hash__(self) -> int:
+        return hash(("int", self.width, self.signed))
+
+    def size_bytes(self) -> int:
+        return max(1, self.width // 8)
+
+
+class FloatType(Type):
+    """``float``/``double``, represented at runtime as opaque bit patterns."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int = 32) -> None:
+        self.width = width
+
+    def __repr__(self) -> str:
+        return "float" if self.width == 32 else "double"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatType) and other.width == self.width
+
+    def __hash__(self) -> int:
+        return hash(("float", self.width))
+
+    def size_bytes(self) -> int:
+        return self.width // 8
+
+
+class PointerType(Type):
+    """Pointer into a specific GPU memory space."""
+    __slots__ = ("pointee", "space")
+
+    def __init__(self, pointee: Type, space: MemSpace = MemSpace.GLOBAL) -> None:
+        self.pointee = pointee
+        self.space = space
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*{{{self.space.value}}}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PointerType) and other.pointee == self.pointee
+                and other.space == self.space)
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee, self.space))
+
+    def size_bytes(self) -> int:
+        return 8
+
+
+class ArrayType(Type):
+    """Fixed-count array (shared buffers, local arrays)."""
+    __slots__ = ("elem", "count")
+
+    def __init__(self, elem: Type, count: int) -> None:
+        self.elem = elem
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"[{self.count} x {self.elem!r}]"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ArrayType) and other.elem == self.elem
+                and other.count == self.count)
+
+    def __hash__(self) -> int:
+        return hash(("array", self.elem, self.count))
+
+    def size_bytes(self) -> int:
+        return self.elem.size_bytes() * self.count
+
+
+class FunctionType(Type):
+    """Return type plus parameter types."""
+    __slots__ = ("ret", "params")
+
+    def __init__(self, ret: Type, params: Tuple[Type, ...]) -> None:
+        self.ret = ret
+        self.params = tuple(params)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(p) for p in self.params)
+        return f"{self.ret!r}({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, FunctionType) and other.ret == self.ret
+                and other.params == self.params)
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.ret, self.params))
+
+    def size_bytes(self) -> int:
+        raise TypeError("function type has no size")
+
+
+VOID = VoidType()
+I1 = IntType(1, signed=False)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+U8 = IntType(8, signed=False)
+U16 = IntType(16, signed=False)
+U32 = IntType(32, signed=False)
+U64 = IntType(64, signed=False)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def ptr(pointee: Type, space: MemSpace = MemSpace.GLOBAL) -> PointerType:
+    """Shorthand PointerType constructor."""
+    return PointerType(pointee, space)

@@ -1,0 +1,117 @@
+"""IR values: constants, virtual registers, arguments, globals."""
+from __future__ import annotations
+
+from typing import Optional
+
+from .types import ArrayType, MemSpace, PointerType, Type
+
+
+class Value:
+    """Base class for anything an instruction can take as an operand."""
+
+    __slots__ = ("type",)
+
+    def __init__(self, type_: Type) -> None:
+        self.type = type_
+
+    def short(self) -> str:
+        """Operand-position rendering (e.g. ``%r3`` or ``42``)."""
+        raise NotImplementedError
+
+
+class Constant(Value):
+    """An integer (or float-bit-pattern) literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, type_: Type) -> None:
+        super().__init__(type_)
+        self.value = int(value)
+
+    def short(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value}: {self.type!r})"
+
+
+class Register(Value):
+    """A virtual register (SSA name once mem2reg has run)."""
+
+    __slots__ = ("name", "defining")
+
+    def __init__(self, name: str, type_: Type) -> None:
+        super().__init__(type_)
+        self.name = name
+        self.defining = None  # set to the defining Instruction by the builder
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"%{self.name}: {self.type!r}"
+
+
+class Argument(Value):
+    """A kernel/function parameter. ``index`` is its position."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, type_: Type, index: int) -> None:
+        super().__init__(type_)
+        self.name = name
+        self.index = index
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"arg %{self.name}: {self.type!r}"
+
+
+class GlobalVariable(Value):
+    """A module-level variable, e.g. a ``__shared__`` array.
+
+    Its value is a pointer to the underlying storage; ``space`` says which
+    memory it lives in (races are checked on SHARED/GLOBAL objects).
+    """
+
+    __slots__ = ("name", "space", "storage_type")
+
+    def __init__(self, name: str, storage_type: Type, space: MemSpace) -> None:
+        super().__init__(PointerType(
+            storage_type.elem if isinstance(storage_type, ArrayType)
+            else storage_type, space))
+        self.name = name
+        self.space = space
+        self.storage_type = storage_type
+
+    @property
+    def size_bytes(self) -> int:
+        return self.storage_type.size_bytes()
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"@{self.name}: {self.storage_type!r} [{self.space.value}]"
+
+
+class BuiltinValue(Value):
+    """A CUDA built-in (tid.x, bid.y, bdim.x, gdim.z, warp size...).
+
+    These are the *parametric* values: the executor maps them to symbolic
+    variables shared by all threads of a flow.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, type_: Type) -> None:
+        super().__init__(type_)
+        self.name = name
+
+    def short(self) -> str:
+        return f"${self.name}"
+
+    def __repr__(self) -> str:
+        return f"${self.name}: {self.type!r}"

@@ -1,0 +1,84 @@
+"""The benchmark kernel suite.
+
+MiniCUDA re-implementations of every kernel the paper evaluates:
+
+* :mod:`repro.kernels.paper_examples` — the kernels printed in the paper
+  itself (§II race example, Fig. 1 Generic/Reduction/Bitonic).
+* :mod:`repro.kernels.sdk` — CUDA SDK kernels of Table I (plus the
+  racy histogram64 of SDK 2.0).
+* :mod:`repro.kernels.reductions` — the SDK reduce0..reduce5 family,
+  including the warp-synchronous reduce4 hazard (§II refs [25]/[26]).
+* :mod:`repro.kernels.divergent` — the highly divergent kernels of
+  Table II (bitonic, wordsearch, mergeSort, stream compaction, blelloch,
+  brentkung).
+* :mod:`repro.kernels.lonestar` — irregular-application analogues of
+  Table III (BFS and SSSP variants, BarnesHut BoundingBox).
+* :mod:`repro.kernels.parboil` — Table IV analogues, including the three
+  genuine bugs of Figs. 8-10 (histo_prescan RW race, histo_final OOB,
+  binning inter-block RW race).
+
+Each entry is a :class:`Kernel` with the source text, the launch
+configuration the paper used (downscaled proportionally where noted),
+and the expected verdicts for the test-suite.
+"""
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Kernel:
+    """One benchmark kernel plus its paper-reported expectations."""
+
+    name: str
+    source: str
+    table: str                               # which table/figure it backs
+    kernel_name: Optional[str] = None        # entry point (if several)
+    grid_dim: Tuple[int, int, int] = (1, 1, 1)
+    block_dim: Tuple[int, int, int] = (64, 1, 1)
+    #: inputs count as reported: (symbolic, total)
+    paper_inputs: Optional[Tuple[int, int]] = None
+    #: expected issue kinds ("RW", "WW", "WW (Benign)", "OOB"), empty = clean
+    expected_issues: List[str] = field(default_factory=list)
+    #: paper's RSLV? column
+    paper_resolvable: Optional[str] = None
+    scalar_values: Dict[str, int] = field(default_factory=dict)
+    array_sizes: Dict[str, int] = field(default_factory=dict)
+    #: the paper disabled OOB checking for some suites (Table III note)
+    disable_oob: bool = False
+    #: cap for symbolic-loop-bound flow splitting (None: engine default)
+    max_loop_splits: int = None
+    notes: str = ""
+
+    def launch_config(self, grid_dim=None, block_dim=None, **overrides):
+        """A LaunchConfig matching this kernel's paper configuration."""
+        from ..sym import LaunchConfig
+        kw = dict(
+            grid_dim=grid_dim or self.grid_dim,
+            block_dim=block_dim or self.block_dim,
+            scalar_values=dict(self.scalar_values),
+            array_sizes=dict(self.array_sizes),
+        )
+        if self.disable_oob:
+            kw["check_oob"] = False
+        if self.max_loop_splits is not None:
+            kw["max_loop_splits"] = self.max_loop_splits
+        kw.update(overrides)
+        return LaunchConfig(**kw)
+
+
+from .paper_examples import PAPER_EXAMPLES
+from .sdk import SDK_KERNELS
+from .reductions import REDUCTION_FAMILY
+from .divergent import DIVERGENT_KERNELS
+from .lonestar import LONESTAR_KERNELS
+from .parboil import PARBOIL_KERNELS
+
+ALL_KERNELS: Dict[str, Kernel] = {}
+for _group in (PAPER_EXAMPLES, SDK_KERNELS, REDUCTION_FAMILY,
+               DIVERGENT_KERNELS, LONESTAR_KERNELS, PARBOIL_KERNELS):
+    for _k in _group:
+        ALL_KERNELS[_k.name] = _k
+
+__all__ = ["Kernel", "PAPER_EXAMPLES", "SDK_KERNELS", "REDUCTION_FAMILY",
+           "DIVERGENT_KERNELS", "LONESTAR_KERNELS", "PARBOIL_KERNELS",
+           "ALL_KERNELS"]

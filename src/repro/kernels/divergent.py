@@ -1,0 +1,289 @@
+"""Highly divergent kernels (Table II).
+
+These kernels fork a flow per thread-ID-dependent branch under GKLEEp
+(exponential / T.O.) while SESA's flow combining keeps O(1) flows. The
+last four are from the GPUVerify test suite, as in the paper.
+"""
+from . import Kernel
+from .paper_examples import BITONIC
+
+BITONIC20 = Kernel(
+    name="bitonic2.0",
+    table="Table II",
+    block_dim=(16, 1, 1),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="SDK 2.0 bitonic sort (one element per thread).",
+    source=BITONIC.source.replace("BitonicKernel", "bitonicSort"),
+    kernel_name="bitonicSort",
+)
+
+WORDSEARCH = Kernel(
+    name="wordsearch",
+    table="Table II",
+    block_dim=(16, 1, 1),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="Each thread matches a word against its window of the text; "
+          "per-character input-dependent branches make GKLEEp fork "
+          "2^WORD_LEN flows per thread group.",
+    source="""
+#define WORD_LEN 8
+__global__ void wordsearch(int *text, int *word, int *result, int n) {
+  unsigned tid = threadIdx.x;
+  unsigned gid = blockIdx.x * blockDim.x + tid;
+  int matches = 0;
+  for (int j = 0; j < WORD_LEN; j++) {
+    if (text[gid + j] == word[j]) {
+      matches = matches + 1;
+    }
+  }
+  if (matches == WORD_LEN) {
+    result[gid] = 1;
+  } else {
+    result[gid] = 0;
+  }
+}
+""")
+
+BITONIC43 = Kernel(
+    name="bitonic4.3",
+    table="Table II",
+    block_dim=(16, 1, 1),
+    expected_issues=[],
+    paper_resolvable="N",
+    notes="SDK 4.3-style bitonic: two elements per thread, direction "
+          "flag per subsequence — more divergence than 2.0.",
+    source="""
+__shared__ unsigned s_key[1024];
+__global__ void bitonicSortShared(unsigned *d_key, unsigned arrayLength,
+                                  unsigned dir) {
+  unsigned tid = threadIdx.x;
+  s_key[tid] = d_key[blockIdx.x * 2 * blockDim.x + tid];
+  s_key[tid + blockDim.x] =
+      d_key[blockIdx.x * 2 * blockDim.x + tid + blockDim.x];
+  for (unsigned size = 2; size < 2 * blockDim.x; size <<= 1) {
+    unsigned ddd = dir ^ ((tid & (size / 2)) != 0);
+    for (unsigned stride = size / 2; stride > 0; stride >>= 1) {
+      __syncthreads();
+      unsigned pos = 2 * tid - (tid & (stride - 1));
+      if (((s_key[pos] > s_key[pos + stride]) != 0) == ddd) {
+        unsigned t = s_key[pos];
+        s_key[pos] = s_key[pos + stride];
+        s_key[pos + stride] = t;
+      }
+    }
+  }
+  for (unsigned stride2 = blockDim.x; stride2 > 0; stride2 >>= 1) {
+    __syncthreads();
+    unsigned pos2 = 2 * tid - (tid & (stride2 - 1));
+    if (((s_key[pos2] > s_key[pos2 + stride2]) != 0) == dir) {
+      unsigned t2 = s_key[pos2];
+      s_key[pos2] = s_key[pos2 + stride2];
+      s_key[pos2 + stride2] = t2;
+    }
+  }
+  __syncthreads();
+  d_key[blockIdx.x * 2 * blockDim.x + tid] = s_key[tid];
+  d_key[blockIdx.x * 2 * blockDim.x + tid + blockDim.x] =
+      s_key[tid + blockDim.x];
+}
+""",
+    kernel_name="bitonicSortShared",
+    scalar_values={"arrayLength": 32, "dir": 1},
+)
+
+MERGESORT43 = Kernel(
+    name="mergeSort4.3",
+    table="Table II",
+    block_dim=(16, 1, 1),
+    expected_issues=[],
+    paper_resolvable="N",
+    notes="SDK 4.3 mergeSort's rank-and-scatter step: a binary search "
+          "per thread whose every probe is an input-dependent branch — "
+          "GKLEEp's flows grow with the thread count (17/38/78/T.O. in "
+          "the paper), SESA keeps one.",
+    source="""
+__shared__ unsigned s_key[512];
+__global__ void mergeRanks(unsigned *d_dst, unsigned *d_src, unsigned n) {
+  unsigned tid = threadIdx.x;
+  s_key[tid] = d_src[blockIdx.x * blockDim.x + tid];
+  __syncthreads();
+  unsigned key = s_key[tid];
+  unsigned lo = 0;
+  for (unsigned s = blockDim.x / 2; s > 0; s /= 2) {
+    if (s_key[lo + s - 1] < key) {
+      lo = lo + s;
+    }
+  }
+  d_dst[blockIdx.x * blockDim.x + tid] = s_key[lo] + key;
+}
+""",
+    kernel_name="mergeRanks",
+)
+
+STREAM_COMPACTION = Kernel(
+    name="stream_compaction",
+    table="Table II",
+    block_dim=(16, 1, 1),
+    expected_issues=["WW"],   # the paper's manually-confirmed FALSE alarm
+    paper_resolvable="N",
+    notes="Scan-based compaction: the scatter address comes from the "
+          "scanned flags, i.e. from other threads' writes. The paper "
+          "reports a false OOB and WW race here (RR with RSLV=N); the "
+          "over-approximated addresses produce the same spurious report "
+          "in this implementation.",
+    source="""
+__shared__ unsigned flags[512];
+__global__ void stream_compact(int *in, int *out, int *num, int n) {
+  unsigned tid = threadIdx.x;
+  unsigned flag = 0;
+  if (in[tid] != 0) { flag = 1; }
+  flags[tid] = flag;
+  __syncthreads();
+  for (unsigned offset = 1; offset < blockDim.x; offset *= 2) {
+    unsigned val = 0;
+    if (tid >= offset) { val = flags[tid - offset]; }
+    __syncthreads();
+    flags[tid] = flags[tid] + val;
+    __syncthreads();
+  }
+  if (flag != 0) {
+    out[flags[tid] - 1] = in[tid];
+  }
+  if (tid == 0) { num[0] = flags[blockDim.x - 1]; }
+}
+""",
+    kernel_name="stream_compact",
+)
+
+N_STREAM_COMPACTION = Kernel(
+    name="n_stream_compaction",
+    table="Table II",
+    block_dim=(16, 1, 1),
+    expected_issues=["WW"],
+    paper_resolvable="N",
+    notes="The corrected compaction: scatter through a double-buffered "
+          "exclusive scan; still unresolvable (scatter address from "
+          "other threads' data) but no race is reported.",
+    source="""
+__shared__ unsigned scan_a[512];
+__shared__ unsigned scan_b[512];
+__global__ void n_stream_compact(int *in, int *out, int *num, int n) {
+  unsigned tid = threadIdx.x;
+  unsigned flag = 0;
+  if (in[tid] != 0) { flag = 1; }
+  scan_a[tid] = flag;
+  __syncthreads();
+  unsigned which = 0;
+  for (unsigned offset = 1; offset < blockDim.x; offset *= 2) {
+    unsigned v = 0;
+    if (which == 0) {
+      v = scan_a[tid];
+      if (tid >= offset) { v = v + scan_a[tid - offset]; }
+      scan_b[tid] = v;
+    } else {
+      v = scan_b[tid];
+      if (tid >= offset) { v = v + scan_b[tid - offset]; }
+      scan_a[tid] = v;
+    }
+    which = 1 - which;
+    __syncthreads();
+  }
+  unsigned total = 0;
+  if (which == 0) { total = scan_a[tid]; }
+  else { total = scan_b[tid]; }
+  if (flag != 0) {
+    out[total - flag] = in[tid];
+  }
+}
+""",
+    kernel_name="n_stream_compact",
+)
+
+BLELLOCH = Kernel(
+    name="blelloch",
+    table="Table II",
+    block_dim=(64, 1, 1),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="Work-efficient exclusive scan (up-sweep, root clear, "
+          "down-sweep).",
+    source="""
+__shared__ int temp[1024];
+__global__ void blelloch_scan(int *g_idata, int *g_odata) {
+  unsigned thid = threadIdx.x;
+  unsigned offset = 1;
+  temp[2 * thid] = g_idata[2 * thid];
+  temp[2 * thid + 1] = g_idata[2 * thid + 1];
+  for (unsigned d = blockDim.x; d > 0; d >>= 1) {
+    __syncthreads();
+    if (thid < d) {
+      unsigned ai = offset * (2 * thid + 1) - 1;
+      unsigned bi = offset * (2 * thid + 2) - 1;
+      temp[bi] += temp[ai];
+    }
+    offset *= 2;
+  }
+  if (thid == 0) { temp[2 * blockDim.x - 1] = 0; }
+  for (unsigned d2 = 1; d2 < 2 * blockDim.x; d2 *= 2) {
+    offset >>= 1;
+    __syncthreads();
+    if (thid < d2) {
+      unsigned ai2 = offset * (2 * thid + 1) - 1;
+      unsigned bi2 = offset * (2 * thid + 2) - 1;
+      int t = temp[ai2];
+      temp[ai2] = temp[bi2];
+      temp[bi2] += t;
+    }
+  }
+  __syncthreads();
+  g_odata[2 * thid] = temp[2 * thid];
+  g_odata[2 * thid + 1] = temp[2 * thid + 1];
+}
+""",
+    kernel_name="blelloch_scan",
+)
+
+BRENTKUNG = Kernel(
+    name="brentkung",
+    table="Table II",
+    block_dim=(64, 1, 1),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="Brent-Kung adder-style inclusive scan.",
+    source="""
+__shared__ int sums[1024];
+__global__ void brentkung_scan(int *in, int *out) {
+  unsigned tid = threadIdx.x;
+  sums[2 * tid] = in[2 * tid];
+  sums[2 * tid + 1] = in[2 * tid + 1];
+  unsigned stride = 1;
+  while (stride < 2 * blockDim.x) {
+    __syncthreads();
+    unsigned index = (tid + 1) * stride * 2 - 1;
+    if (index < 2 * blockDim.x) {
+      sums[index] += sums[index - stride];
+    }
+    stride *= 2;
+  }
+  stride = blockDim.x / 2;
+  while (stride > 0) {
+    __syncthreads();
+    unsigned index2 = (tid + 1) * stride * 2 - 1;
+    if (index2 + stride < 2 * blockDim.x) {
+      sums[index2 + stride] += sums[index2];
+    }
+    stride /= 2;
+  }
+  __syncthreads();
+  out[2 * tid] = sums[2 * tid];
+  out[2 * tid + 1] = sums[2 * tid + 1];
+}
+""",
+    kernel_name="brentkung_scan",
+)
+
+DIVERGENT_KERNELS = [BITONIC20, WORDSEARCH, BITONIC43, MERGESORT43,
+                     STREAM_COMPACTION, N_STREAM_COMPACTION, BLELLOCH,
+                     BRENTKUNG]

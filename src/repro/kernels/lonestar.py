@@ -1,0 +1,280 @@
+"""LonestarGPU analogues (Table III): irregular graph kernels.
+
+The originals traverse CSR graphs with data-dependent degrees and
+worklists. The MiniCUDA ports preserve exactly that structure; the
+synthetic CSR graph supplied by :func:`synthetic_csr` plays the role of
+the paper's concrete input columns ("Conc."), while the taint-selected
+symbolic columns ("Sym.") symbolise the data arrays that flow into
+addresses (with loop-bound inputs kept concrete, §III-C).
+"""
+from typing import Dict, List, Tuple
+
+from . import Kernel
+
+
+def synthetic_csr(num_nodes: int, degree: int = 2
+                  ) -> Tuple[List[int], List[int]]:
+    """A ring-with-chords graph in CSR form (row offsets, column list)."""
+    row = [0]
+    col: List[int] = []
+    for v in range(num_nodes):
+        col.append((v + 1) % num_nodes)
+        for d in range(1, degree):
+            col.append((v + 2 * d) % num_nodes)
+        row.append(len(col))
+    return row, col
+
+
+def csr_arrays(num_nodes: int, degree: int = 2) -> Dict[str, List[int]]:
+    """The synthetic graph as named kernel-argument arrays."""
+    row, col = synthetic_csr(num_nodes, degree)
+    return {"row": row, "col": col}
+
+
+def attach_concrete_graph(config) -> None:
+    """Populate a LaunchConfig with the synthetic CSR graph and worklist
+    (the concrete inputs of Table III's "Conc." columns)."""
+    n = config.total_threads
+    arrays = csr_arrays(n)
+    for name, values in arrays.items():
+        config.array_values.setdefault(name, values)
+    config.array_values.setdefault("wt", [1] * len(arrays["col"]))
+    config.array_values.setdefault("inwl", list(range(n)))
+    config.array_sizes.setdefault("row", n + 1)
+    config.array_sizes.setdefault("col", len(arrays["col"]))
+    config.array_sizes.setdefault("wt", len(arrays["col"]))
+    config.scalar_values.setdefault("nnodes", n)
+    config.scalar_values.setdefault("ninwl", n)
+
+
+BFS_LS = Kernel(
+    name="bfs_ls",
+    table="Table III",
+    grid_dim=(4, 1, 1), block_dim=(64, 1, 1),   # 256 threads
+    expected_issues=["RW"],
+    paper_resolvable="N",
+    disable_oob=True,
+    max_loop_splits=8,
+    notes="Level-synchronous BFS: neighbours at the frontier update "
+          "dist[] without atomics — the classic benign-on-purpose "
+          "('don't care') WW/RW race of Lonestar.",
+    scalar_values={"level": 0},
+    source="""
+__global__ void bfs_ls(int *row, int *col, int *dist, int *changed,
+                       int level, int nnodes) {
+  unsigned v = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)v < nnodes) {
+    if (dist[v] == level) {
+      for (int e = row[v]; e < row[v + 1]; e++) {
+        int dst = col[e];
+        if (dist[dst] > level + 1) {
+          dist[dst] = level + 1;
+          changed[0] = 1;
+        }
+      }
+    }
+  }
+}
+""")
+
+BFS_ATOMIC = Kernel(
+    name="bfs_atomic",
+    table="Table III",
+    grid_dim=(16, 1, 1), block_dim=(64, 1, 1),   # 1,024 threads
+    expected_issues=["Atomic/R"],
+    paper_resolvable="N",
+    disable_oob=True,
+    max_loop_splits=8,
+    notes="atomicMin-based relaxation still races with the plain read "
+          "of dist[dst] (the paper's R/W* 'don't-care nondeterminism').",
+    scalar_values={"level": 0},
+    source="""
+__global__ void bfs_atomic(int *row, int *col, int *dist, int *changed,
+                           int level, int nnodes) {
+  unsigned v = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)v < nnodes) {
+    if (dist[v] == level) {
+      for (int e = row[v]; e < row[v + 1]; e++) {
+        int dst = col[e];
+        if (dist[dst] > level + 1) {
+          atomicMin(&dist[dst], level + 1);
+          changed[0] = 1;
+        }
+      }
+    }
+  }
+}
+""")
+
+BFS_WORKLISTW = Kernel(
+    name="bfs_worklistw",
+    table="Table III",
+    grid_dim=(4, 1, 1), block_dim=(64, 1, 1),
+    expected_issues=["RW"],
+    paper_resolvable="N",
+    disable_oob=True,
+    max_loop_splits=8,
+    notes="Worklist BFS, warp-centric: discovered nodes are appended "
+          "through an atomically-reserved index.",
+    scalar_values={"level": 0, "ninwl": 64},
+    source="""
+__global__ void bfs_worklistw(int *row, int *col, int *dist,
+                              int *inwl, int *outwl, int *tail,
+                              int level, int ninwl) {
+  unsigned id = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)id < ninwl) {
+    int v = inwl[id];
+    for (int e = row[v]; e < row[v + 1]; e++) {
+      int dst = col[e];
+      if (dist[dst] > level + 1) {
+        dist[dst] = level + 1;
+        int idx = atomicAdd(&tail[0], 1);
+        outwl[idx] = dst;
+      }
+    }
+  }
+}
+""")
+
+BFS_WORKLISTA = Kernel(
+    name="bfs_worklista",
+    table="Table III",
+    grid_dim=(16, 1, 1), block_dim=(64, 1, 1),   # 1,024 threads
+    expected_issues=["WW"],
+    paper_resolvable="N",
+    disable_oob=True,
+    max_loop_splits=8,
+    notes="Worklist BFS with atomic distance updates; the worklist "
+          "append itself is still racy against readers.",
+    scalar_values={"level": 0, "ninwl": 64},
+    source="""
+__global__ void bfs_worklista(int *row, int *col, int *dist,
+                              int *inwl, int *outwl, int *tail,
+                              int level, int ninwl) {
+  unsigned id = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)id < ninwl) {
+    int v = inwl[id];
+    for (int e = row[v]; e < row[v + 1]; e++) {
+      int dst = col[e];
+      int old = atomicMin(&dist[dst], level + 1);
+      if (old > level + 1) {
+        int idx = atomicAdd(&tail[0], 1);
+        outwl[idx] = dst;
+      }
+    }
+  }
+}
+""")
+
+BOUNDINGBOX = Kernel(
+    name="BoundingBox",
+    table="Table III",
+    grid_dim=(12, 1, 1), block_dim=(512, 1, 1),   # 6,144 threads
+    expected_issues=["RW", "WW"],
+    paper_resolvable="N",   # paper: Y — our atomicInc return value is
+                            # havocked, which taints the last-block guard
+    disable_oob=True,
+    notes="Barnes-Hut bounding box: per-block min/max reduction, then "
+          "the last block combines the per-block results — the "
+          "inter-block handoff races by design (paper: R/W* from "
+          "'don't-care non-det').",
+    source="""
+__shared__ int sminx[512];
+__shared__ int smaxx[512];
+__global__ void BoundingBoxKernel(int *posx, int *gminx, int *gmaxx,
+                                  int *blkcnt, int *bounds) {
+  unsigned tid = threadIdx.x;
+  unsigned i = blockIdx.x * blockDim.x + tid;
+  int val = posx[i];
+  sminx[tid] = val;
+  smaxx[tid] = val;
+  __syncthreads();
+  for (unsigned s = blockDim.x / 2; s > 0; s /= 2) {
+    if (tid < s) {
+      sminx[tid] = min(sminx[tid], sminx[tid + s]);
+      smaxx[tid] = max(smaxx[tid], smaxx[tid + s]);
+    }
+    __syncthreads();
+  }
+  if (tid == 0) {
+    gminx[blockIdx.x] = sminx[0];
+    gmaxx[blockIdx.x] = smaxx[0];
+    int done = atomicInc(&blkcnt[0], gridDim.x);
+    if (done == gridDim.x - 1) {
+      int mn = gminx[0];
+      int mx = gmaxx[0];
+      for (unsigned b = 1; b < gridDim.x; b++) {
+        mn = min(mn, gminx[b]);
+        mx = max(mx, gmaxx[b]);
+      }
+      bounds[0] = mn;
+      bounds[1] = mx;
+    }
+  }
+}
+""",
+    kernel_name="BoundingBoxKernel",
+)
+
+SSSP_LS = Kernel(
+    name="sssp_ls",
+    table="Table III",
+    grid_dim=(16, 1, 1), block_dim=(64, 1, 1),   # 1,024 threads
+    expected_issues=["RW", "WW"],
+    paper_resolvable="N",
+    disable_oob=True,
+    max_loop_splits=8,
+    notes="Topology-driven SSSP: unsynchronised relaxations produce the "
+          "genuine W/W race the paper confirms.",
+    source="""
+__global__ void sssp_ls(int *row, int *col, int *wt, int *dist,
+                        int *changed, int nnodes) {
+  unsigned v = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)v < nnodes) {
+    int dv = dist[v];
+    for (int e = row[v]; e < row[v + 1]; e++) {
+      int dst = col[e];
+      int alt = dv + wt[e];
+      if (alt < dist[dst]) {
+        dist[dst] = alt;
+        changed[0] = 1;
+      }
+    }
+  }
+}
+""")
+
+SSSP_WORKLISTN = Kernel(
+    name="sssp_worklistn",
+    table="Table III",
+    grid_dim=(16, 1, 1), block_dim=(64, 1, 1),
+    expected_issues=["RW"],
+    paper_resolvable="N",
+    disable_oob=True,
+    max_loop_splits=8,
+    notes="Worklist SSSP; relaxation plus worklist append, W/W confirmed "
+          "genuine in the paper.",
+    scalar_values={"ninwl": 64},
+    source="""
+__global__ void sssp_worklistn(int *row, int *col, int *wt, int *dist,
+                               int *inwl, int *outwl, int *tail,
+                               int ninwl) {
+  unsigned id = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)id < ninwl) {
+    int v = inwl[id];
+    int dv = dist[v];
+    for (int e = row[v]; e < row[v + 1]; e++) {
+      int dst = col[e];
+      int alt = dv + wt[e];
+      if (alt < dist[dst]) {
+        dist[dst] = alt;
+        int idx = atomicAdd(&tail[0], 1);
+        outwl[idx] = dst;
+      }
+    }
+  }
+}
+""")
+
+LONESTAR_KERNELS = [BFS_LS, BFS_ATOMIC, BFS_WORKLISTW, BFS_WORKLISTA,
+                    BOUNDINGBOX, SSSP_LS, SSSP_WORKLISTN]

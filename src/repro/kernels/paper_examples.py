@@ -1,0 +1,139 @@
+"""The kernels printed in the paper itself (§II and Fig. 1)."""
+from . import Kernel
+
+RACE_EXAMPLE = Kernel(
+    name="race_example",
+    table="§II",
+    block_dim=(64, 1, 1),
+    expected_issues=["RW"],
+    paper_resolvable="Y",
+    notes="WR race between threads 0 and bdim-1 before the barrier; "
+          "RW race across the divergent halves after it.",
+    source="""
+__shared__ int v[64];
+__global__ void race() {
+  v[threadIdx.x] = v[(threadIdx.x + 1) % blockDim.x];
+  __syncthreads();
+  if (threadIdx.x % 2 == 0) {
+    int x = v[threadIdx.x];
+    x = x + 1;
+  } else {
+    v[threadIdx.x >> 2] = 1;
+  }
+}
+""")
+
+GENERIC = Kernel(
+    name="generic",
+    table="§III / §V Ex.1",
+    block_dim=(64, 1, 1),
+    paper_inputs=(0, 3),
+    expected_issues=["WW"],
+    paper_resolvable="Y",
+    notes="The running Generic example: v = a|b under e1(tid), u under "
+          "e3(c); A[w] with w untainted by any input, so all 3 inputs "
+          "are concretisable. A[w]=... with w=tid is race-free per "
+          "thread... but every thread writing A[tid] is fine; the WW "
+          "would appear only if w collided — here w = tid so no race; "
+          "expected_issues empty when w=tid.",
+    source="""
+__shared__ int A[64];
+__global__ void generic(int a, int b, int c) {
+  int u = 0;
+  int v = 0;
+  int w = threadIdx.x;
+  int z = 1;
+  if (threadIdx.x < 32) { v = a; } else { v = b; }
+  if (c > 3) { u = threadIdx.x * 2; }
+  A[w] = v + z;
+}
+""")
+# w = tid.x: each thread writes its own cell — no race expected after all
+GENERIC.expected_issues = []
+
+REDUCTION = Kernel(
+    name="reduction",
+    table="Fig. 1 / Fig. 4",
+    block_dim=(64, 1, 1),
+    paper_inputs=(0, 2),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="Fig. 4's parametric flow tree collapses to one flow per "
+          "barrier interval under flow combining; no races.",
+    source="""
+__shared__ float sdata[512];
+__global__ void reduce(float *idata, float *odata) {
+  sdata[threadIdx.x] = idata[threadIdx.x];
+  __syncthreads();
+  for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+    if (threadIdx.x % (2*s) == 0)
+      sdata[threadIdx.x] += sdata[threadIdx.x + s];
+    __syncthreads();
+  }
+  odata[threadIdx.x] = sdata[threadIdx.x];
+}
+""")
+
+REDUCTION_RACY = Kernel(
+    name="reduction_racy",
+    table="Fig. 1 (variant)",
+    block_dim=(64, 1, 1),
+    expected_issues=["RW"],
+    paper_resolvable="Y",
+    notes="The classic buggy reduction with the barrier hoisted out of "
+          "the loop: adjacent strides race.",
+    source="""
+__shared__ float sdata[512];
+__global__ void reduce_racy(float *idata, float *odata) {
+  sdata[threadIdx.x] = idata[threadIdx.x];
+  __syncthreads();
+  for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+    if (threadIdx.x % (2*s) == 0)
+      sdata[threadIdx.x] += sdata[threadIdx.x + s];
+  }
+  __syncthreads();
+  odata[threadIdx.x] = sdata[threadIdx.x];
+}
+""")
+
+BITONIC = Kernel(
+    name="bitonic_fig1",
+    table="Fig. 1",
+    block_dim=(16, 1, 1),
+    expected_issues=[],
+    paper_resolvable="N",
+    notes="Fig. 1's bitonic sort: the swap guards read shared values "
+          "written by partner threads, so guards are unresolvable "
+          "(§IV-B discussion); flow combining keeps a single flow.",
+    source="""
+__shared__ unsigned shared[256];
+__global__ void BitonicKernel(unsigned *values) {
+  shared[threadIdx.x] = values[threadIdx.x];
+  __syncthreads();
+  for (unsigned int k = 2; k <= blockDim.x; k *= 2) {
+    for (unsigned int j = k / 2; j > 0; j /= 2) {
+      unsigned int ixj = threadIdx.x ^ j;
+      if (ixj > threadIdx.x) {
+        if ((threadIdx.x & k) == 0) {
+          if (shared[threadIdx.x] > shared[ixj]) {
+            unsigned tmp = shared[threadIdx.x];
+            shared[threadIdx.x] = shared[ixj];
+            shared[ixj] = tmp;
+          }
+        }
+        else {
+          if (shared[threadIdx.x] < shared[ixj]) {
+            unsigned tmp = shared[threadIdx.x];
+            shared[threadIdx.x] = shared[ixj];
+            shared[ixj] = tmp;
+          }
+        }
+      }
+      __syncthreads();
+    }
+  }
+  values[threadIdx.x] = shared[threadIdx.x];
+}
+""")
+
+PAPER_EXAMPLES = [RACE_EXAMPLE, GENERIC, REDUCTION, REDUCTION_RACY, BITONIC]

@@ -1,0 +1,335 @@
+"""Parboil analogues (Table IV), including the three genuine bugs of
+Figs. 8-10: the histo_prescan RW race, the histo_final out-of-bounds
+access, and the binning inter-block RW race.
+
+The histo/mri-gridding configurations keep the paper's exact constants
+(42 blocks x 512 threads, 8,159,232-byte histogram) so the Fig. 9 OOB
+witness falls in the same iteration range the paper reports.
+"""
+from . import Kernel
+
+BFS_PARBOIL = Kernel(
+    name="parboil_bfs",
+    table="Table IV",
+    grid_dim=(8, 1, 1), block_dim=(64, 1, 1),   # 512 threads
+    paper_inputs=(4, 11),
+    expected_issues=["RW", "WW"],
+    notes="Parboil's BFS_in_GPU_kernel: frontier expansion with a "
+          "benign WW on the colour/visited array.",
+    disable_oob=True,
+    max_loop_splits=8,
+    scalar_values={"frontier_len": 64},
+    source="""
+__global__ void BFS_in_GPU_kernel(int *frontier, int *row, int *col,
+                                  int *color, int *cost, int *next_tail,
+                                  int *next_frontier, int frontier_len,
+                                  int max_nodes, int k_level, int gray) {
+  unsigned id = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)id < frontier_len) {
+    int node = frontier[id];
+    int c = cost[node];
+    for (int e = row[node]; e < row[node + 1]; e++) {
+      int nbr = col[e];
+      if (color[nbr] == 0) {
+        color[nbr] = 1;
+        cost[nbr] = c + 1;
+        int idx = atomicAdd(&next_tail[0], 1);
+        next_frontier[idx] = nbr;
+      }
+    }
+  }
+}
+""",
+    kernel_name="BFS_in_GPU_kernel",
+)
+
+CUTCP = Kernel(
+    name="cutcp",
+    table="Table IV",
+    grid_dim=(121, 1, 1), block_dim=(128, 1, 1),   # 15,488 threads
+    paper_inputs=(1, 8),
+    expected_issues=["WW (Benign)"],
+    notes="cutoff potential lattice: each thread accumulates into its "
+          "lattice cell; the overlap region writes the same value "
+          "(benign WW in the paper).",
+    scalar_values={"zRegionIndex": 0, "binDim": 8},
+    source="""
+__shared__ float AtomBinCache[512];
+__global__ void cutoff_potential_lattice6overlap(
+    int binDim, float *binZeroAddr, float h, float cutoff2,
+    float inv_cutoff2, float *regionZeroAddr, int zRegionIndex,
+    float *zeroFlag) {
+  unsigned tid = threadIdx.x;
+  unsigned block_base = blockIdx.x * blockDim.x;
+  AtomBinCache[tid] = binZeroAddr[block_base + tid];
+  __syncthreads();
+  float energy = AtomBinCache[tid] * 2.0f;
+  regionZeroAddr[block_base + tid] = energy;
+  if (tid == 0) {
+    zeroFlag[0] = 0.0f;
+  }
+}
+""",
+    kernel_name="cutoff_potential_lattice6overlap",
+)
+
+HISTO_PRESCAN = Kernel(
+    name="histo_prescan",
+    table="Table IV / Fig. 8",
+    grid_dim=(64, 1, 1), block_dim=(512, 1, 1),   # 32,768 threads
+    paper_inputs=(1, 3),
+    expected_issues=["RW"],
+    notes="Fig. 8's genuine RW race: the tree reduction's final SUM(16) "
+          "step runs without a barrier after the strided loop — thread "
+          "17's write to Avg[17] races thread 1's read of Avg[1+16].",
+    source="""
+__shared__ float Avg[512];
+__shared__ float StdDev[512];
+__global__ void histo_prescan_kernel(unsigned *input, int size,
+                                     unsigned *minmax) {
+  unsigned tid = threadIdx.x;
+  unsigned stride = blockDim.x * gridDim.x;
+  unsigned addr = blockIdx.x * blockDim.x + tid;
+  float avg = 0.0f;
+  avg = avg + (float)input[addr];
+  Avg[tid] = avg;
+  StdDev[tid] = avg * avg;
+  for (int s = blockDim.x / 2; s >= 32; s = s >> 1) {
+    __syncthreads();
+    if ((int)tid < s) {
+      Avg[tid] += Avg[tid + s];
+      StdDev[tid] += StdDev[tid + s];
+    }
+  }
+  if (tid < 16) {
+    Avg[tid] += Avg[tid + 16];
+    StdDev[tid] += StdDev[tid + 16];
+  }
+  if (tid < 8) {
+    Avg[tid] += Avg[tid + 8];
+    StdDev[tid] += StdDev[tid + 8];
+  }
+  __syncthreads();
+  if (tid == 0) {
+    minmax[blockIdx.x] = (unsigned)Avg[0];
+  }
+}
+""",
+    kernel_name="histo_prescan_kernel",
+)
+
+HISTO_INTERMEDIATES = Kernel(
+    name="histo_intermediates",
+    table="Table IV",
+    grid_dim=(127, 1, 1), block_dim=(255, 1, 1),   # ~32,370 threads
+    paper_inputs=(0, 5),
+    expected_issues=[],
+    notes="Data reformatting stage; each thread owns disjoint cells.",
+    scalar_values={"inputPitch": 256},
+    source="""
+__global__ void histo_intermediates_kernel(unsigned *input, int height,
+                                           int width, int inputPitch,
+                                           unsigned *sm_mappings) {
+  unsigned line = blockIdx.x;
+  unsigned tid = threadIdx.x;
+  unsigned base = line * inputPitch + tid;
+  unsigned data = input[base];
+  sm_mappings[line * inputPitch + tid] = data;
+}
+""",
+    kernel_name="histo_intermediates_kernel",
+)
+
+HISTO_MAIN = Kernel(
+    name="histo_main",
+    table="Table IV",
+    grid_dim=(42, 1, 1), block_dim=(512, 1, 1),   # 21,504 threads
+    paper_inputs=(2, 9),
+    expected_issues=[],
+    notes="Main histogramming with atomics: atomic-vs-atomic pairs do "
+          "not race.",
+    scalar_values={"sm_range_min": 0, "sm_range_max": 1},
+    array_sizes={"global_subhisto": 1024, "global_histo": 1024,
+                 "global_overflow": 1024},
+    source="""
+__global__ void histo_main_kernel(unsigned *sm_mappings, int num_elements,
+                                  int sm_range_min, int sm_range_max,
+                                  unsigned *global_subhisto,
+                                  unsigned *global_histo,
+                                  unsigned *global_overflow,
+                                  int flag1, int flag2) {
+  unsigned tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)tid < num_elements) {
+    unsigned bin = sm_mappings[tid] & 1023u;
+    atomicAdd(&global_subhisto[bin], 1);
+  }
+}
+""",
+    kernel_name="histo_main_kernel",
+)
+
+HISTO_FINAL = Kernel(
+    name="histo_final",
+    table="Table IV / Fig. 9",
+    grid_dim=(42, 1, 1), block_dim=(512, 1, 1),   # 21,504 threads
+    paper_inputs=(0, 8),
+    expected_issues=["OOB"],
+    notes="Fig. 9's genuine out-of-bounds: the grid-stride loop runs to "
+          "size_low_histo/4 = 2,039,808 but global_histo (read as "
+          "8-byte ushort4) holds only 8,159,232/8 = 1,019,904 elements; "
+          "the 47th iteration of block 24 walks past the end.",
+    scalar_values={"size_low_histo": 8159232},
+    max_loop_splits=128,
+    array_sizes={"global_histo": 1019904,      # in 8-byte elements
+                 "global_subhisto": 2039808,
+                 "final_histo": 2039808},
+    source="""
+__global__ void histo_final_kernel(int size_low_histo,
+                                   unsigned *global_subhisto,
+                                   long *global_histo,
+                                   unsigned *final_histo,
+                                   int flag1, int flag2, int flag3,
+                                   int flag4) {
+  unsigned start_offset = threadIdx.x + blockIdx.x * blockDim.x;
+  unsigned stride = gridDim.x * blockDim.x;
+  for (unsigned i = start_offset; i < (unsigned)(size_low_histo / 4);
+       i += stride) {
+    long global_histo_data = global_histo[i];
+    final_histo[i] = (unsigned)global_histo_data
+                     + global_subhisto[i];
+  }
+}
+""",
+    kernel_name="histo_final_kernel",
+)
+
+BINNING = Kernel(
+    name="binning",
+    table="Table IV / Fig. 10",
+    grid_dim=(132, 1, 1), block_dim=(128, 1, 1),   # 16,896 threads
+    paper_inputs=(2, 7),
+    expected_issues=["Atomic/R"],
+    notes="Fig. 10's inter-block RW race on binCount_g: the guard reads "
+          "binCount_g[binIdx] while another thread atomically "
+          "increments the same cell; binIdx derives from the symbolic "
+          "sample_g contents (paper witness: block 32 thread 64 reads "
+          "vs block 0 thread 0 atomicAdd).",
+    scalar_values={"n": 16896, "binsize": 4, "size_xy_c": 64,
+                   "gridSize0": 8},
+    array_sizes={"sample_g": 101040, "binCount_g": 32768,
+                 "sample_sorted_g": 101040},
+    source="""
+__global__ void binning_kernel(float *sample_g, unsigned *binCount_g,
+                               float *sample_sorted_g, int n, int binsize,
+                               int size_xy_c, int gridSize0) {
+  unsigned sampleIdx = blockIdx.x * blockDim.x + threadIdx.x;
+  if (sampleIdx < (unsigned)n) {
+    float pt = sample_g[sampleIdx];
+    unsigned binIdx = (unsigned)pt * size_xy_c + (unsigned)pt * gridSize0
+                      + (unsigned)pt;
+    binIdx = binIdx & 32767u;
+    if (binCount_g[binIdx] < (unsigned)binsize) {
+      unsigned count = atomicAdd(&binCount_g[binIdx], 1);
+      sample_sorted_g[sampleIdx] = pt;
+    }
+  }
+}
+""",
+    kernel_name="binning_kernel",
+)
+
+REORDER = Kernel(
+    name="reorder",
+    table="Table IV",
+    grid_dim=(132, 1, 1), block_dim=(128, 1, 1),   # 16,896 threads
+    paper_inputs=(1, 4),
+    expected_issues=[],
+    notes="mri-gridding reorder: a gather through a precomputed "
+          "permutation (disjoint by construction in the concrete run).",
+    scalar_values={"n": 16896},
+    array_sizes={"bin_index": 16896, "sample_g": 16384, "sorted_g": 16896},
+    source="""
+__global__ void reorder_kernel(int n, unsigned *bin_index,
+                               float *sample_g, float *sorted_g) {
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < (unsigned)n) {
+    unsigned index = bin_index[i];
+    sorted_g[i] = sample_g[index & 16383u];
+  }
+}
+""",
+    kernel_name="reorder_kernel",
+)
+
+SPMV = Kernel(
+    name="spmv_jds",
+    table="Table IV",
+    grid_dim=(18, 1, 1), block_dim=(64, 1, 1),   # 1,152 threads
+    paper_inputs=(2, 7),
+    expected_issues=["WW"],
+    notes="JDS sparse matrix-vector product. The paper reports the WW "
+          "as benign (padding rows write the same zero); our float "
+          "values are opaque, so value-equality cannot be proven and "
+          "the WW is reported without the benign flag (see "
+          "EXPERIMENTS.md).",
+    scalar_values={"dem_rows": 1152, "depth": 2},
+    array_sizes={"d_data": 2304, "d_index": 2304, "d_perm": 1152,
+                 "x_vec": 1024, "dst_vector": 2048},
+    source="""
+__global__ void spmv_jds(float *dst_vector, float *d_data,
+                         int *d_index, int *d_perm, float *x_vec,
+                         int dem_rows, int depth) {
+  unsigned ix = blockIdx.x * blockDim.x + threadIdx.x;
+  if (ix < (unsigned)dem_rows) {
+    float sum = 0.0f;
+    for (int k = 0; k < depth; k++) {
+      int j = d_index[k * dem_rows + ix];
+      sum += d_data[k * dem_rows + ix] * x_vec[j & 1023];
+    }
+    int p = d_perm[ix];
+    dst_vector[p & 2047] = sum;
+  }
+}
+""",
+    kernel_name="spmv_jds",
+)
+
+STENCIL = Kernel(
+    name="stencil",
+    table="Table IV",
+    grid_dim=(16, 8, 1), block_dim=(32, 2, 1),   # 8,192 threads
+    paper_inputs=(0, 7),
+    expected_issues=[],
+    notes="block2D 7-point stencil; the paper's run timed out at 2 "
+          "hours — the heaviest Parboil entry (deep per-thread loops).",
+    scalar_values={"c0": 1, "c1": 2, "nx": 64, "ny": 32, "nz": 8},
+    array_sizes={"A0": 16384, "Anext": 16384, "c0f": 16384, "c1f": 16384},
+    source="""
+__global__ void block2D_hybrid_coarsen_x(float *c0f, float *c1f,
+                                         float *A0, float *Anext,
+                                         int nx, int ny, int nz) {
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  unsigned j = blockIdx.y * blockDim.y + threadIdx.y;
+  for (int k = 1; k < nz - 1; k++) {
+    if (i > 0) {
+      if (j > 0) {
+        if ((int)i < nx - 1) {
+          if ((int)j < ny - 1) {
+            unsigned base = i + nx * (j + ny * k);
+            Anext[base] =
+                A0[base + nx * ny] + A0[base - nx * ny]
+                + A0[base + nx] + A0[base - nx]
+                + A0[base + 1] + A0[base - 1]
+                - A0[base] * 6.0f;
+          }
+        }
+      }
+    }
+  }
+}
+""",
+    kernel_name="block2D_hybrid_coarsen_x",
+)
+
+PARBOIL_KERNELS = [BFS_PARBOIL, CUTCP, HISTO_PRESCAN, HISTO_INTERMEDIATES,
+                   HISTO_MAIN, HISTO_FINAL, BINNING, REORDER, SPMV, STENCIL]

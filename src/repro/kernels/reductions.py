@@ -1,0 +1,193 @@
+"""The CUDA SDK reduction-kernel family (reduce0..reduce5).
+
+The optimisation sequence every CUDA tutorial walks through — and a
+perfect exercise for the §II warp-semantics discussion: ``reduce4``
+drops ``__syncthreads()`` for the last warp (the classic
+"warp-synchronous" idiom) and is correct **only** under lock-step warp
+execution; under the compiler-legal "warp size may be 1" view the tail
+races. The paper's references [25]/[26] are exactly about this hazard.
+"""
+from . import Kernel
+
+REDUCE0 = Kernel(
+    name="reduce0",
+    table="SDK reductions",
+    block_dim=(64, 1, 1),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="Interleaved addressing with modulo (the Fig. 1 reduction).",
+    source="""
+__shared__ int sdata0[512];
+__global__ void reduce0(int *g_idata, int *g_odata) {
+  unsigned tid = threadIdx.x;
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  sdata0[tid] = g_idata[i];
+  __syncthreads();
+  for (unsigned s = 1; s < blockDim.x; s *= 2) {
+    if (tid % (2 * s) == 0) {
+      sdata0[tid] += sdata0[tid + s];
+    }
+    __syncthreads();
+  }
+  if (tid == 0) g_odata[blockIdx.x] = sdata0[0];
+}
+""",
+    kernel_name="reduce0",
+)
+
+REDUCE1 = Kernel(
+    name="reduce1",
+    table="SDK reductions",
+    block_dim=(64, 1, 1),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="Interleaved addressing with contiguous indices.",
+    source="""
+__shared__ int sdata1[512];
+__global__ void reduce1(int *g_idata, int *g_odata) {
+  unsigned tid = threadIdx.x;
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  sdata1[tid] = g_idata[i];
+  __syncthreads();
+  for (unsigned s = 1; s < blockDim.x; s *= 2) {
+    unsigned index = 2 * s * tid;
+    if (index < blockDim.x) {
+      sdata1[index] += sdata1[index + s];
+    }
+    __syncthreads();
+  }
+  if (tid == 0) g_odata[blockIdx.x] = sdata1[0];
+}
+""",
+    kernel_name="reduce1",
+)
+
+REDUCE2 = Kernel(
+    name="reduce2",
+    table="SDK reductions",
+    block_dim=(64, 1, 1),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="Sequential addressing (no divergence within the active half).",
+    source="""
+__shared__ int sdata2[512];
+__global__ void reduce2(int *g_idata, int *g_odata) {
+  unsigned tid = threadIdx.x;
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  sdata2[tid] = g_idata[i];
+  __syncthreads();
+  for (unsigned s = blockDim.x / 2; s > 0; s >>= 1) {
+    if (tid < s) {
+      sdata2[tid] += sdata2[tid + s];
+    }
+    __syncthreads();
+  }
+  if (tid == 0) g_odata[blockIdx.x] = sdata2[0];
+}
+""",
+    kernel_name="reduce2",
+)
+
+REDUCE3 = Kernel(
+    name="reduce3",
+    table="SDK reductions",
+    grid_dim=(2, 1, 1), block_dim=(64, 1, 1),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="First add during global load (each thread sums two elements).",
+    source="""
+__shared__ int sdata3[512];
+__global__ void reduce3(int *g_idata, int *g_odata) {
+  unsigned tid = threadIdx.x;
+  unsigned i = blockIdx.x * blockDim.x * 2 + threadIdx.x;
+  sdata3[tid] = g_idata[i] + g_idata[i + blockDim.x];
+  __syncthreads();
+  for (unsigned s = blockDim.x / 2; s > 0; s >>= 1) {
+    if (tid < s) {
+      sdata3[tid] += sdata3[tid + s];
+    }
+    __syncthreads();
+  }
+  if (tid == 0) g_odata[blockIdx.x] = sdata3[0];
+}
+""",
+    kernel_name="reduce3",
+)
+
+REDUCE4 = Kernel(
+    name="reduce4",
+    table="SDK reductions / §II warp discussion",
+    block_dim=(64, 1, 1),
+    expected_issues=["RW"],   # under the default "warp size may be 1" view
+    paper_resolvable="Y",
+    notes="Unrolled warp-synchronous tail: no barrier once only one warp "
+          "remains. Correct under lock-step SIMD (warp_lockstep=True), "
+          "racy under the compiler-legal warp-size-1 view — the [25]/[26] "
+          "hazard the paper highlights (volatile no longer rescues it).",
+    source="""
+__shared__ int sdata4[512];
+__global__ void reduce4(int *g_idata, int *g_odata) {
+  unsigned tid = threadIdx.x;
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  sdata4[tid] = g_idata[i];
+  __syncthreads();
+  for (unsigned s = blockDim.x / 2; s > 32; s >>= 1) {
+    if (tid < s) {
+      sdata4[tid] += sdata4[tid + s];
+    }
+    __syncthreads();
+  }
+  if (tid < 32) {
+    sdata4[tid] += sdata4[tid + 32];
+    sdata4[tid] += sdata4[tid + 16];
+    sdata4[tid] += sdata4[tid + 8];
+    sdata4[tid] += sdata4[tid + 4];
+    sdata4[tid] += sdata4[tid + 2];
+    sdata4[tid] += sdata4[tid + 1];
+  }
+  if (tid == 0) g_odata[blockIdx.x] = sdata4[0];
+}
+""",
+    kernel_name="reduce4",
+)
+
+REDUCE5 = Kernel(
+    name="reduce5",
+    table="SDK reductions",
+    block_dim=(64, 1, 1),
+    expected_issues=[],
+    paper_resolvable="Y",
+    notes="The barrier-correct version of the unrolled tail (a barrier "
+          "between every tail step): race-free under either warp view.",
+    source="""
+__shared__ int sdata5[512];
+__global__ void reduce5(int *g_idata, int *g_odata) {
+  unsigned tid = threadIdx.x;
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  sdata5[tid] = g_idata[i];
+  __syncthreads();
+  for (unsigned s = blockDim.x / 2; s > 32; s >>= 1) {
+    if (tid < s) {
+      sdata5[tid] += sdata5[tid + s];
+    }
+    __syncthreads();
+  }
+  if (tid < 32) { sdata5[tid] += sdata5[tid + 32]; }
+  __syncthreads();
+  if (tid < 16) { sdata5[tid] += sdata5[tid + 16]; }
+  __syncthreads();
+  if (tid < 8) { sdata5[tid] += sdata5[tid + 8]; }
+  __syncthreads();
+  if (tid < 4) { sdata5[tid] += sdata5[tid + 4]; }
+  __syncthreads();
+  if (tid < 2) { sdata5[tid] += sdata5[tid + 2]; }
+  __syncthreads();
+  if (tid < 1) { sdata5[tid] += sdata5[tid + 1]; }
+  __syncthreads();
+  if (tid == 0) g_odata[blockIdx.x] = sdata5[0];
+}
+""",
+    kernel_name="reduce5",
+)
+
+REDUCTION_FAMILY = [REDUCE0, REDUCE1, REDUCE2, REDUCE3, REDUCE4, REDUCE5]

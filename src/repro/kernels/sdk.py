@@ -1,0 +1,287 @@
+"""CUDA SDK kernels (Table I) plus the racy histogram64 of SDK 2.0.
+
+These are faithful MiniCUDA ports preserving each kernel's memory access
+pattern and divergence structure; array/struct conveniences of the
+originals are flattened per DESIGN.md.
+"""
+from . import Kernel
+
+VECTOR_ADD = Kernel(
+    name="vectorAdd",
+    table="Table I",
+    grid_dim=(196, 1, 1), block_dim=(256, 1, 1),   # 50,176 threads
+    paper_inputs=(0, 4),
+    expected_issues=[],
+    source="""
+__global__ void vectorAdd(float *A, float *B, float *C, int numElements) {
+  int i = blockDim.x * blockIdx.x + threadIdx.x;
+  if (i < numElements) {
+    C[i] = A[i] + B[i];
+  }
+}
+""")
+
+CLOCK = Kernel(
+    name="clock",
+    table="Table I",
+    grid_dim=(64, 1, 1), block_dim=(256, 1, 1),    # 16,384 threads
+    paper_inputs=(0, 3),
+    expected_issues=[],
+    notes="The SDK clock kernel: per-block reduction plus a timer write "
+          "by thread 0 (clock() itself modelled as an opaque float op).",
+    source="""
+__shared__ float shared[512];
+__global__ void timedReduction(float *input, float *output, int *timer) {
+  unsigned tid = threadIdx.x;
+  unsigned bid = blockIdx.x;
+  if (tid == 0) timer[bid] = 1;
+  shared[tid] = input[tid + bid * blockDim.x];
+  shared[tid + blockDim.x] = input[tid + bid * blockDim.x + blockDim.x];
+  __syncthreads();
+  for (unsigned d = blockDim.x; d > 0; d /= 2) {
+    __syncthreads();
+    if (tid < d) {
+      float f0 = shared[tid];
+      float f1 = shared[tid + d];
+      if (f1 < f0) {
+        shared[tid] = f1;
+      }
+    }
+  }
+  if (tid == 0) output[bid] = shared[0];
+  __syncthreads();
+  if (tid == 0) timer[bid + gridDim.x] = 1;
+}
+""")
+
+MATRIX_MUL = Kernel(
+    name="matrixMul",
+    table="Table I",
+    grid_dim=(20, 40, 1), block_dim=(16, 16, 1),   # 204,800 threads
+    paper_inputs=(0, 5),
+    expected_issues=[],
+    scalar_values={"wA": 64, "wB": 320},
+    array_sizes={"A": 40960, "B": 20480, "C": 204800},
+    notes="Tiled matrix multiply; tile loops bound by wA (input), which "
+          "SESA concretises as a loop bound (§III-C).",
+    source="""
+__shared__ float As[256];
+__shared__ float Bs[256];
+__global__ void matrixMul(float *C, float *A, float *B, int wA, int wB) {
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int aBegin = wA * 16 * by;
+  int aEnd = aBegin + wA - 1;
+  int aStep = 16;
+  int bBegin = 16 * bx;
+  int bStep = 16 * wB;
+  float Csub = 0.0f;
+  int b = bBegin;
+  for (int a = aBegin; a <= aEnd; a += aStep) {
+    As[ty * 16 + tx] = A[a + wA * ty + tx];
+    Bs[ty * 16 + tx] = B[b + wB * ty + tx];
+    __syncthreads();
+    for (int k = 0; k < 16; k++) {
+      Csub += As[ty * 16 + k] * Bs[k * 16 + tx];
+    }
+    __syncthreads();
+    b += bStep;
+  }
+  int c = wB * 16 * by + 16 * bx;
+  C[c + wB * ty + tx] = Csub;
+}
+""")
+
+SCAN_SHORT = Kernel(
+    name="scan_short",
+    table="Table I",
+    grid_dim=(16, 1, 1), block_dim=(256, 1, 1),    # 4,096 threads
+    paper_inputs=(0, 4),
+    expected_issues=[],
+    notes="Hillis-Steele scan with double buffering in shared memory.",
+    source="""
+__shared__ float temp[512];
+__global__ void scan_short(float *g_odata, float *g_idata, int n, int dir) {
+  unsigned thid = threadIdx.x;
+  unsigned base = blockIdx.x * blockDim.x;
+  int pout = 0;
+  int pin = 1;
+  if (thid > 0) { temp[thid] = g_idata[base + thid - 1]; }
+  else { temp[thid] = 0.0f; }
+  __syncthreads();
+  for (unsigned offset = 1; offset < blockDim.x; offset *= 2) {
+    pout = 1 - pout;
+    pin = 1 - pin;
+    if (thid >= offset)
+      temp[pout * 256 + thid] =
+        temp[pin * 256 + thid] + temp[pin * 256 + thid - offset];
+    else
+      temp[pout * 256 + thid] = temp[pin * 256 + thid];
+    __syncthreads();
+  }
+  g_odata[base + thid] = temp[pout * 256 + thid];
+}
+""")
+
+SCAN_LARGE = Kernel(
+    name="scan_large",
+    table="Table I",
+    grid_dim=(16, 1, 1), block_dim=(256, 1, 1),
+    paper_inputs=(0, 4),
+    expected_issues=[],
+    notes="Work-efficient (Blelloch-style) scan: up-sweep and down-sweep "
+          "with a concrete block-size bound.",
+    source="""
+__shared__ float temp[1024];
+__global__ void scan_large(float *g_odata, float *g_idata, int n, int dir) {
+  unsigned thid = threadIdx.x;
+  unsigned base = 2 * blockIdx.x * blockDim.x;
+  unsigned offset = 1;
+  temp[2 * thid] = g_idata[base + 2 * thid];
+  temp[2 * thid + 1] = g_idata[base + 2 * thid + 1];
+  for (unsigned d = blockDim.x; d > 0; d /= 2) {
+    __syncthreads();
+    if (thid < d) {
+      unsigned ai = offset * (2 * thid + 1) - 1;
+      unsigned bi = offset * (2 * thid + 2) - 1;
+      temp[bi] += temp[ai];
+    }
+    offset *= 2;
+  }
+  if (thid == 0) { temp[2 * blockDim.x - 1] = 0.0f; }
+  for (unsigned d2 = 1; d2 < 2 * blockDim.x; d2 *= 2) {
+    offset /= 2;
+    __syncthreads();
+    if (thid < d2) {
+      unsigned ai2 = offset * (2 * thid + 1) - 1;
+      unsigned bi2 = offset * (2 * thid + 2) - 1;
+      float t = temp[ai2];
+      temp[ai2] = temp[bi2];
+      temp[bi2] += t;
+    }
+  }
+  __syncthreads();
+  g_odata[base + 2 * thid] = temp[2 * thid];
+  g_odata[base + 2 * thid + 1] = temp[2 * thid + 1];
+}
+""")
+
+SCALAR_PROD = Kernel(
+    name="scalarProd",
+    table="Table I",
+    grid_dim=(128, 1, 1), block_dim=(256, 1, 1),   # 32,768 threads
+    paper_inputs=(0, 5),
+    expected_issues=[],
+    scalar_values={"vectorN": 128, "elementN": 256},
+    source="""
+__shared__ float accumResult[256];
+__global__ void scalarProd(float *d_C, float *d_A, float *d_B,
+                           int vectorN, int elementN) {
+  unsigned tid = threadIdx.x;
+  unsigned vec = blockIdx.x;
+  unsigned vectorBase = elementN * vec;
+  float sum = 0.0f;
+  for (unsigned pos = tid; pos < elementN; pos += blockDim.x) {
+    sum += d_A[vectorBase + pos] * d_B[vectorBase + pos];
+  }
+  accumResult[tid] = sum;
+  for (unsigned stride = blockDim.x / 2; stride > 0; stride /= 2) {
+    __syncthreads();
+    if (tid < stride)
+      accumResult[tid] += accumResult[stride + tid];
+  }
+  if (tid == 0) d_C[vec] = accumResult[0];
+}
+""")
+
+TRANSPOSE = Kernel(
+    name="transpose",
+    table="Table I",
+    grid_dim=(32, 32, 1), block_dim=(16, 16, 1),   # 262,144 threads
+    paper_inputs=(0, 4),
+    expected_issues=[],
+    scalar_values={"width": 512, "height": 512},
+    array_sizes={"idata": 262144, "odata": 262144},
+    notes="Coalesced tiled transpose; the +1 tile pitch avoids shared "
+          "memory bank conflicts in the original (kept here for the "
+          "access pattern).",
+    source="""
+__shared__ float tile[272];
+__global__ void transpose(float *odata, float *idata,
+                          int width, int height) {
+  unsigned xIndex = blockIdx.x * 16 + threadIdx.x;
+  unsigned yIndex = blockIdx.y * 16 + threadIdx.y;
+  unsigned index_in = xIndex + yIndex * width;
+  tile[threadIdx.y * 17 + threadIdx.x] = idata[index_in];
+  __syncthreads();
+  unsigned xOut = blockIdx.y * 16 + threadIdx.x;
+  unsigned yOut = blockIdx.x * 16 + threadIdx.y;
+  unsigned index_out = xOut + yOut * height;
+  odata[index_out] = tile[threadIdx.x * 17 + threadIdx.y];
+}
+""")
+
+FAST_WALSH = Kernel(
+    name="fastWalsh",
+    table="Table I",
+    grid_dim=(2, 1, 1), block_dim=(512, 1, 1),     # 1,024 threads
+    paper_inputs=(0, 4),
+    expected_issues=[],
+    notes="Butterfly (Walsh-Hadamard) transform over a shared buffer.",
+    source="""
+__shared__ float s_data[1024];
+__global__ void fwtBatch1Kernel(float *d_Output, float *d_Input,
+                                int log2N, int pad) {
+  unsigned pos = threadIdx.x;
+  unsigned base = blockIdx.x * 2 * blockDim.x;
+  s_data[pos] = d_Input[base + pos];
+  s_data[pos + blockDim.x] = d_Input[base + pos + blockDim.x];
+  __syncthreads();
+  for (unsigned stride = blockDim.x; stride >= 1; stride /= 2) {
+    unsigned lo = pos & (stride - 1);
+    unsigned i0 = ((pos - lo) << 1) + lo;
+    unsigned i1 = i0 + stride;
+    float t0 = s_data[i0];
+    float t1 = s_data[i1];
+    s_data[i0] = t0 + t1;
+    s_data[i1] = t0 - t1;
+    __syncthreads();
+  }
+  d_Output[base + pos] = s_data[pos];
+  d_Output[base + pos + blockDim.x] = s_data[pos + blockDim.x];
+}
+""")
+
+HISTOGRAM64 = Kernel(
+    name="histogram64",
+    table="§VI-A (SDK 2.0)",
+    grid_dim=(2, 1, 1), block_dim=(32, 1, 1),
+    expected_issues=["WW", "RW"],
+    paper_resolvable="Y",
+    notes="The SDK 2.0 histogram64 bug: non-atomic read-modify-write of "
+          "shared counters indexed by input data — a genuine WW race "
+          "(found by SESA in 2 s vs 20+ s for GKLEE/GKLEEp).",
+    source="""
+__shared__ unsigned s_Hist[64];
+__global__ void histogram64Kernel(unsigned *d_Result, unsigned *d_Data,
+                                  int dataN) {
+  unsigned tid = threadIdx.x;
+  if (tid < 64) { s_Hist[tid] = 0; }
+  __syncthreads();
+  unsigned pos = blockIdx.x * blockDim.x + tid;
+  if ((int)pos < dataN) {
+    unsigned data4 = d_Data[pos];
+    unsigned bin = (data4 >> 2) & 63u;
+    s_Hist[bin] = s_Hist[bin] + 1;
+  }
+  __syncthreads();
+  if (tid < 64) {
+    d_Result[blockIdx.x * 64 + tid] = s_Hist[tid];
+  }
+}
+""")
+
+SDK_KERNELS = [VECTOR_ADD, CLOCK, MATRIX_MUL, SCAN_SHORT, SCAN_LARGE,
+               SCALAR_PROD, TRANSPOSE, FAST_WALSH, HISTOGRAM64]

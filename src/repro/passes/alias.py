@@ -1,0 +1,100 @@
+"""Pointer root analysis (the ``Tµ`` resolution helper of §V).
+
+GPU kernels compute addresses as ``base + f(tid, inputs)`` where ``base``
+is a kernel argument, a ``__shared__`` global, or an alloca. Chasing GEP
+and bitcast chains to that root is a precise-enough points-to analysis
+for both the taint pass and the executor's memory object resolution —
+MiniCUDA has no pointer stores into memory that could obscure the root
+(pointer-typed locals are promoted to SSA by mem2reg first).
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import (
+    GEP, Alloca, Argument, Cast, Function, GlobalVariable, Instruction,
+    Load, MemSpace, Phi, PointerType, Register, Select, Value,
+)
+
+
+def root_object(value: Value) -> Optional[Value]:
+    """The allocation a pointer value is derived from, or None if unknown.
+
+    Returns an :class:`Argument` (kernel input buffer), a
+    :class:`GlobalVariable` (``__shared__`` array), or the
+    :class:`Register` defined by an :class:`Alloca` (local slot).
+    Phi/select of pointers with a single common root resolves to it.
+    """
+    seen = set()
+    stack = [value]
+    roots: List[Value] = []
+    while stack:
+        v = stack.pop()
+        if id(v) in seen:
+            continue
+        seen.add(id(v))
+        if isinstance(v, (Argument, GlobalVariable)):
+            roots.append(v)
+            continue
+        if isinstance(v, Register):
+            d = v.defining
+            if isinstance(d, Alloca):
+                roots.append(v)
+            elif isinstance(d, GEP):
+                stack.append(d.base)
+            elif isinstance(d, Cast):
+                stack.append(d.value)
+            elif isinstance(d, Phi):
+                stack.extend(val for _, val in d.incoming)
+            elif isinstance(d, Select):
+                stack.extend(d.ops[1:])
+            elif isinstance(d, Load):
+                return None  # pointer loaded from memory: unknown
+            else:
+                return None
+        else:
+            return None
+    uniq = {id(r): r for r in roots}
+    if len(uniq) == 1:
+        return next(iter(uniq.values()))
+    return None
+
+
+def address_space(value: Value) -> Optional[MemSpace]:
+    """Memory space of the object a pointer refers to."""
+    root = root_object(value)
+    if isinstance(root, GlobalVariable):
+        return root.space
+    if isinstance(root, Argument):
+        ty = root.type
+        return ty.space if isinstance(ty, PointerType) else None
+    if isinstance(root, Register):
+        return MemSpace.LOCAL
+    return None
+
+
+def gep_chain(value: Value) -> List[GEP]:
+    """All GEPs between a pointer value and its root (innermost first)."""
+    chain: List[GEP] = []
+    v = value
+    while isinstance(v, Register) and v.defining is not None:
+        d = v.defining
+        if isinstance(d, GEP):
+            chain.append(d)
+            v = d.base
+        elif isinstance(d, Cast):
+            v = d.value
+        else:
+            break
+    return chain
+
+
+def index_values(value: Value) -> List[Value]:
+    """The index operands contributing to a pointer's offset."""
+    return [g.index for g in gep_chain(value)]
+
+
+def is_shared_or_global(value: Value) -> bool:
+    """Does this pointer target thread-shared memory?"""
+    space = address_space(value)
+    return space is not None and space.is_shared_between_threads()

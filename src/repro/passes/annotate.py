@@ -1,0 +1,81 @@
+"""Branch annotation (§V Example 1's "skip" flags).
+
+The paper instruments LLVM branches with a flag telling the executor not
+to fork a flow. In this implementation the executor consults the taint
+sink set directly, so the annotations are *informational*: they are
+written into ``br.meta`` so `python -m repro ir` dumps show exactly
+which branches SESA will combine and why, and tools/tests can assert on
+them without running the VM.
+
+Tags written:
+
+* ``combine``      — a diamond whose merged values feed no sensitive
+  sink: merging is free (§V Ex. 2's "undef" case).
+* ``combine_ite``  — a mergeable diamond whose merged values do feed
+  sinks: merged with precise ``ite`` values.
+* ``split``        — structural divergence (loop-exit branch, or a
+  barrier/return inside the region): the executor forks parametric flows
+  here.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import Br, CFG, Function, Phi, Ret, Sync
+from .taint import TaintReport, analyze_taint
+
+
+def annotate_flow_merging(fn: Function,
+                          taint: Optional[TaintReport] = None) -> Dict[str, int]:
+    """Annotate every conditional branch; returns tag counts."""
+    if taint is None:
+        taint = analyze_taint(fn)
+    cfg = CFG(fn)
+    ipdom = cfg.ipostdom()
+    back_edges = {(id(t), id(h)) for t, h in cfg.back_edges()}
+    counts = {"combine": 0, "combine_ite": 0, "split": 0}
+
+    for block in fn.blocks:
+        term = block.terminator
+        if not isinstance(term, Br):
+            continue
+        tag = _classify(fn, cfg, ipdom, back_edges, block, term, taint)
+        term.meta[tag] = True
+        counts[tag] += 1
+    return counts
+
+
+def _region_blocks(block, ipdom_block):
+    seen = {id(ipdom_block)}
+    out = []
+    stack = list(block.successors())
+    while stack:
+        b = stack.pop()
+        if id(b) in seen:
+            continue
+        seen.add(id(b))
+        out.append(b)
+        stack.extend(b.successors())
+    return out
+
+
+def _classify(fn, cfg, ipdom, back_edges, block, term, taint) -> str:
+    merge_point = ipdom.get(block)
+    if merge_point is None:
+        return "split"
+    region = _region_blocks(block, merge_point)
+    for rb in region:
+        for instr in rb.instrs:
+            if isinstance(instr, (Sync, Ret)):
+                return "split"
+        for succ in rb.successors():
+            if (id(rb), id(succ)) in back_edges:
+                return "split"
+    for succ in block.successors():
+        if (id(block), id(succ)) in back_edges:
+            return "split"
+    # mergeable: does any merged value feed a sink?
+    for phi in merge_point.phis():
+        if id(phi.result) in taint.sink_value_ids:
+            return "combine_ite"
+    return "combine"

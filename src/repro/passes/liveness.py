@@ -1,0 +1,71 @@
+"""Classic backward live-variable analysis over SSA registers.
+
+§V describes SESA's LVS propagation as "similar to the live variable
+calculation in compiler construction"; this module is that calculation.
+The taint pass and the flow-merging advice both consult it: a value dead
+at a barrier cannot affect later barrier intervals, so it never forces
+two flows to stay split.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import BasicBlock, CFG, Function, Instruction, Phi, Register
+
+
+class Liveness:
+    """Backward live-variable fixpoint over SSA registers."""
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        cfg = CFG(fn)
+        self.live_in: Dict[BasicBlock, Set[int]] = {}
+        self.live_out: Dict[BasicBlock, Set[int]] = {}
+        self._by_id: Dict[int, Register] = {}
+
+        use: Dict[BasicBlock, Set[int]] = {}
+        defs: Dict[BasicBlock, Set[int]] = {}
+        # phi uses count as live-out of the predecessor, not live-in here
+        phi_uses: Dict[BasicBlock, Set[int]] = {b: set() for b in fn.blocks}
+        for block in fn.blocks:
+            u: Set[int] = set()
+            d: Set[int] = set()
+            for instr in block.instrs:
+                if isinstance(instr, Phi):
+                    for pred, value in instr.incoming:
+                        if isinstance(value, Register):
+                            phi_uses[pred].add(id(value))
+                            self._by_id[id(value)] = value
+                else:
+                    for op in instr.operands():
+                        if isinstance(op, Register) and id(op) not in d:
+                            u.add(id(op))
+                            self._by_id[id(op)] = op
+                if instr.result is not None:
+                    d.add(id(instr.result))
+                    self._by_id[id(instr.result)] = instr.result
+            use[block] = u
+            defs[block] = d
+            self.live_in[block] = set()
+            self.live_out[block] = set()
+
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(cfg.reverse_postorder()):
+                out: Set[int] = set(phi_uses[block])
+                for succ in cfg.succs[block]:
+                    out |= self.live_in[succ]
+                inn = use[block] | (out - defs[block])
+                if out != self.live_out[block] or inn != self.live_in[block]:
+                    self.live_out[block] = out
+                    self.live_in[block] = inn
+                    changed = True
+
+    def live_at_entry(self, block: BasicBlock) -> List[Register]:
+        return [self._by_id[i] for i in self.live_in[block]]
+
+    def live_at_exit(self, block: BasicBlock) -> List[Register]:
+        return [self._by_id[i] for i in self.live_out[block]]
+
+    def is_live_out(self, reg: Register, block: BasicBlock) -> bool:
+        return id(reg) in self.live_out.get(block, set())

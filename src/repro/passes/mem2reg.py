@@ -1,0 +1,196 @@
+"""mem2reg: promote scalar allocas to SSA registers.
+
+Classic SSA construction (Cytron et al.): phi insertion at iterated
+dominance frontiers of the stores, then renaming along the dominator
+tree. Local arrays and address-taken slots stay in memory — those are
+thread-private and irrelevant to race checking, but keeping them in the
+memory model preserves their data-flow for the taint pass.
+
+After this pass the IR matches the form the paper's Fig. 3/§V examples
+are written in (``%3 = phi [loop,1] [if.end,%9]`` for the reduction loop
+counter, etc.).
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import (
+    CFG, Alloca, BasicBlock, Constant, Function, Instruction, Load, Phi,
+    Register, Store, Value,
+)
+
+
+def _promotable_allocas(fn: Function) -> List[Alloca]:
+    """Scalar allocas whose address is only used by direct loads/stores."""
+    allocas = [i for i in fn.instructions()
+               if isinstance(i, Alloca) and i.count == 1
+               and not i.allocated_type.is_array()]
+    out = []
+    for alloca in allocas:
+        reg = alloca.result
+        ok = True
+        for instr in fn.instructions():
+            if isinstance(instr, Load) and instr.pointer is reg:
+                continue
+            if isinstance(instr, Store) and instr.pointer is reg:
+                if instr.value is reg:  # storing the address itself: escapes
+                    ok = False
+                    break
+                continue
+            if reg in instr.operands():
+                ok = False  # address escapes (GEP, call, compare, ...)
+                break
+        if ok:
+            out.append(alloca)
+    return out
+
+
+def mem2reg(fn: Function) -> int:
+    """Promote allocas; returns the number promoted."""
+    allocas = _promotable_allocas(fn)
+    if not allocas:
+        return 0
+    cfg = CFG(fn)
+    frontiers = cfg.dominance_frontiers()
+    idom = cfg.idom()
+
+    # dominator-tree children
+    children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in fn.blocks}
+    for block in fn.blocks:
+        parent = idom.get(block)
+        if parent is not None and parent is not block:
+            children[parent].append(block)
+
+    alloca_set = {id(a.result): a for a in allocas}
+    # blocks containing a store, per alloca
+    def_blocks: Dict[int, Set[BasicBlock]] = {id(a.result): set()
+                                              for a in allocas}
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, Store) and id(instr.pointer) in alloca_set:
+                def_blocks[id(instr.pointer)].add(block)
+
+    # phi insertion at iterated dominance frontiers
+    phi_for: Dict[Tuple[int, int], Phi] = {}   # (alloca id, block id) -> phi
+    for alloca in allocas:
+        key = id(alloca.result)
+        work = list(def_blocks[key])
+        placed: Set[int] = set()
+        while work:
+            block = work.pop()
+            for frontier in frontiers.get(block, ()):
+                if id(frontier) in placed:
+                    continue
+                placed.add(id(frontier))
+                phi = Phi(fn.new_register(alloca.allocated_type, "phi"))
+                phi.parent = frontier
+                frontier.instrs.insert(0, phi)
+                phi_for[(key, id(frontier))] = phi
+                if frontier not in def_blocks[key]:
+                    work.append(frontier)
+
+    # renaming
+    replacements: Dict[int, Value] = {}   # load result id -> value
+    stacks: Dict[int, List[Value]] = {id(a.result): [] for a in allocas}
+    undef: Dict[int, Value] = {
+        id(a.result): Constant(0, a.allocated_type) for a in allocas}
+
+    def current(key: int) -> Value:
+        stack = stacks[key]
+        return stack[-1] if stack else undef[key]
+
+    dead: Set[int] = set()
+
+    def rename(block: BasicBlock) -> None:
+        pushed: List[int] = []
+        for instr in list(block.instrs):
+            if isinstance(instr, Phi):
+                for (key, bid), phi in phi_for.items():
+                    if phi is instr:
+                        stacks[key].append(phi.result)
+                        pushed.append(key)
+                        break
+            elif isinstance(instr, Load) and id(instr.pointer) in alloca_set:
+                replacements[id(instr.result)] = current(id(instr.pointer))
+                dead.add(id(instr))
+            elif isinstance(instr, Store) and id(instr.pointer) in alloca_set:
+                stacks[id(instr.pointer)].append(instr.value)
+                pushed.append(id(instr.pointer))
+                dead.add(id(instr))
+        for succ in block.successors():
+            for (key, bid), phi in phi_for.items():
+                if bid == id(succ):
+                    phi.add_incoming(block, current(key))
+        for child in children[block]:
+            rename(child)
+        for key in pushed:
+            stacks[key].pop()
+
+    import sys
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000))
+    try:
+        rename(fn.entry)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    # transitively resolve replacement chains (load of load)
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while id(value) in replacements and id(value) not in seen:
+            seen.add(id(value))
+            value = replacements[id(value)]
+        return value
+
+    for block in fn.blocks:
+        new_instrs = []
+        for instr in block.instrs:
+            if id(instr) in dead:
+                continue
+            if isinstance(instr, Alloca) and id(instr.result) in alloca_set:
+                continue
+            if isinstance(instr, Phi):
+                instr.incoming = [(b, resolve(v)) for b, v in instr.incoming]
+            else:
+                for op in instr.operands():
+                    new = resolve(op)
+                    if new is not op:
+                        instr.replace_operand(op, new)
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+
+    _prune_trivial_phis(fn)
+    return len(allocas)
+
+
+def _prune_trivial_phis(fn: Function) -> None:
+    """Remove phis whose incomings are all the same value (or self)."""
+    changed = True
+    while changed:
+        changed = False
+        replace: Dict[int, Value] = {}
+        for block in fn.blocks:
+            for phi in block.phis():
+                values = {id(v) for _, v in phi.incoming
+                          if v is not phi.result}
+                if len(values) == 1:
+                    only = next(v for _, v in phi.incoming
+                                if v is not phi.result)
+                    replace[id(phi.result)] = only
+        if not replace:
+            return
+        changed = True
+        for block in fn.blocks:
+            new_instrs = []
+            for instr in block.instrs:
+                if isinstance(instr, Phi) and id(instr.result) in replace:
+                    continue
+                if isinstance(instr, Phi):
+                    instr.incoming = [
+                        (b, replace.get(id(v), v)) for b, v in instr.incoming]
+                else:
+                    for op in instr.operands():
+                        if id(op) in replace:
+                            instr.replace_operand(op, replace[id(op)])
+                new_instrs.append(instr)
+            block.instrs = new_instrs

@@ -1,0 +1,358 @@
+"""Taint / data-flow analysis (paper §V).
+
+Computes which values flow into *sensitive sinks* — the addresses of
+shared/global memory accesses, either by data dependence (the value
+appears in the address computation) or by control dependence (the value
+appears in a flow condition governing the access).
+
+Two products:
+
+* :class:`TaintReport` — per kernel input: must it be kept symbolic for
+  full race coverage, or can it safely be concretised? (Paper Tables
+  I/III/IV, the ``#Inputs`` columns.) Inputs that only flow into loop
+  bounds are classified separately (§III-C: these are concretised so the
+  concolic search terminates, with a warning).
+* The ``sink-feeding`` value set, which the executor's flow combining
+  consults: a branch-merged value that never feeds a sink can be dropped
+  instead of tracked precisely (§III-A/III-B, §V Example 2's "undef").
+
+The analysis runs to a fixed point over use-def chains, memory objects
+(via :mod:`repro.passes.alias` roots), and control dependence (via the
+post-dominator tree).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir import (
+    GEP, Alloca, Argument, AtomicCAS, AtomicRMW, BasicBlock, Br,
+    BuiltinValue, CFG, Call, Cast, Constant, Function, GlobalVariable,
+    Instruction, Load, MemSpace, Phi, PointerType, Register, Select,
+    Store, Value,
+)
+from .alias import address_space, index_values, is_shared_or_global, root_object
+
+
+@dataclass
+class InputVerdict:
+    """Why an input must (or need not) be symbolic."""
+
+    name: str
+    must_be_symbolic: bool
+    is_pointer: bool = False
+    flows_into_address: bool = False
+    flows_into_condition: bool = False
+    flows_into_loop_bound: bool = False
+    reason: str = ""
+
+
+@dataclass
+class TaintReport:
+    kernel: str
+    verdicts: Dict[str, InputVerdict] = field(default_factory=dict)
+    #: values (by id) that feed sensitive sinks — the executor's merge hint
+    sink_value_ids: Set[int] = field(default_factory=set)
+    #: values feeding access *addresses* (data dependence, §V case 1)
+    address_value_ids: Set[int] = field(default_factory=set)
+    #: values feeding access *flow conditions* (control dep., §V case 2)
+    condition_value_ids: Set[int] = field(default_factory=set)
+    #: memory objects (by id) whose *contents* feed sinks
+    sink_object_ids: Set[int] = field(default_factory=set)
+    #: how many accesses were treated as sinks
+    num_sinks: int = 0
+
+    @property
+    def symbolic_inputs(self) -> List[str]:
+        return [v.name for v in self.verdicts.values() if v.must_be_symbolic]
+
+    @property
+    def concrete_inputs(self) -> List[str]:
+        return [v.name for v in self.verdicts.values()
+                if not v.must_be_symbolic]
+
+    @property
+    def loop_bound_inputs(self) -> List[str]:
+        return [v.name for v in self.verdicts.values()
+                if v.flows_into_loop_bound]
+
+    def summary(self) -> str:
+        total = len(self.verdicts)
+        sym = len(self.symbolic_inputs)
+        return f"{sym}/{total} inputs symbolic"
+
+
+class ControlDependence:
+    """block → conditional branches it is control-dependent on.
+
+    B is control-dependent on branch A→S iff B post-dominates S but does
+    not post-dominate A (Ferrante-Ottenstein-Warren, computed by walking
+    the post-dominator tree from each successor up to ipostdom(A)).
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        ipdom = cfg.ipostdom()
+        self.deps: Dict[int, List[Br]] = {id(b): [] for b in cfg.blocks}
+        br_block: Dict[int, BasicBlock] = {}
+        for block in cfg.blocks:
+            term = block.terminator
+            if not isinstance(term, Br):
+                continue
+            br_block[id(term)] = block
+            stop = ipdom.get(block)
+            for succ in term.successors():
+                runner: Optional[BasicBlock] = succ
+                guard = 0
+                while runner is not None and runner is not stop \
+                        and guard <= len(cfg.blocks):
+                    self.deps[id(runner)].append(term)
+                    runner = ipdom.get(runner)
+                    guard += 1
+        # transitive closure: a block guarded by an inner branch is also
+        # guarded by whatever guards that branch's own block — required
+        # for the taint pass (an input feeding only an outer guard still
+        # controls the access)
+        changed = True
+        while changed:
+            changed = False
+            for bid, brs in self.deps.items():
+                have = {id(b) for b in brs}
+                for br in list(brs):
+                    owner = br_block.get(id(br))
+                    if owner is None:
+                        continue
+                    for outer in self.deps.get(id(owner), ()):
+                        if id(outer) not in have:
+                            brs.append(outer)
+                            have.add(id(outer))
+                            changed = True
+
+    def of(self, block: BasicBlock) -> List[Br]:
+        """All branches (transitively) guarding this block."""
+        return self.deps.get(id(block), [])
+
+
+def _memory_accesses(fn: Function) -> List[Tuple[Instruction, Value, str]]:
+    """(instruction, pointer, kind) for every memory access."""
+    out = []
+    for instr in fn.instructions():
+        if isinstance(instr, Load):
+            out.append((instr, instr.pointer, "read"))
+        elif isinstance(instr, Store):
+            out.append((instr, instr.pointer, "write"))
+        elif isinstance(instr, AtomicRMW):
+            out.append((instr, instr.pointer, "atomic"))
+        elif isinstance(instr, AtomicCAS):
+            out.append((instr, instr.pointer, "atomic"))
+    return out
+
+
+class TaintAnalysis:
+    """One kernel's sink-flow fixed point."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.cfg = CFG(fn)
+        self.cd = ControlDependence(self.cfg)
+        self.accesses = _memory_accesses(fn)
+        # S: values known to feed a sink; S_mem: objects whose contents do
+        self.sink_values: Set[int] = set()
+        self.sink_objects: Set[int] = set()
+        self.reason_of: Dict[int, str] = {}
+        self._by_id: Dict[int, Value] = {}
+        self._worklist: List[Value] = []
+        # writes per object id: (store instr, value operand, ptr)
+        self._writes: Dict[int, List[Tuple[Instruction, Value, Value]]] = {}
+        for instr, ptr, kind in self.accesses:
+            if kind in ("write", "atomic"):
+                root = root_object(ptr)
+                if root is not None:
+                    value = instr.value if isinstance(instr, (Store, AtomicRMW)) \
+                        else instr.ops[2]
+                    self._writes.setdefault(id(root), []).append(
+                        (instr, value, ptr))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> TaintReport:
+        # pass A: data flow into *addresses* (the paper's case 1)
+        self._seed(addresses=True, conditions=False)
+        self._fixpoint()
+        addr_values = set(self.sink_values)
+        addr_objects = set(self.sink_objects)
+        addr_reasons = dict(self.reason_of)
+        # pass B: flow into *conditions governing accesses* (case 2)
+        self.sink_values = set()
+        self.sink_objects = set()
+        self.reason_of = {}
+        self._worklist = []
+        self._seed(addresses=False, conditions=True)
+        self._fixpoint()
+        cond_values = set(self.sink_values)
+
+        report = TaintReport(kernel=self.fn.name)
+        report.address_value_ids = addr_values
+        report.condition_value_ids = cond_values
+        report.sink_value_ids = addr_values | cond_values
+        report.sink_object_ids = addr_objects | set(self.sink_objects)
+        report.num_sinks = sum(
+            1 for _, ptr, _ in self.accesses if is_shared_or_global(ptr))
+        loop_bound_feeders = self._loop_bound_values()
+        for arg in self.fn.args:
+            verdict = self._verdict_for(arg, addr_values, cond_values,
+                                        addr_reasons, loop_bound_feeders)
+            report.verdicts[arg.name] = verdict
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _mark(self, value: Value, reason: str) -> None:
+        if isinstance(value, Constant):
+            return
+        vid = id(value)
+        if vid in self.sink_values:
+            return
+        self.sink_values.add(vid)
+        self.reason_of.setdefault(vid, reason)
+        self._by_id[vid] = value
+        self._worklist.append(value)
+
+    def _seed(self, addresses: bool = True, conditions: bool = True) -> None:
+        """Sinks: address computations of shared/global accesses, and/or
+        the conditions controlling those accesses."""
+        for instr, ptr, kind in self.accesses:
+            if not is_shared_or_global(ptr):
+                continue
+            where = f"{kind} at line {instr.loc}" if instr.loc else kind
+            if addresses:
+                for index in index_values(ptr):
+                    self._mark(index, f"address of {where}")
+            if conditions:
+                block = instr.parent
+                if block is not None:
+                    for br in self.cd.of(block):
+                        self._mark(br.cond, f"flow condition of {where}")
+
+    def _fixpoint(self) -> None:
+        while self._worklist:
+            value = self._worklist.pop()
+            if not isinstance(value, Register):
+                continue  # Argument / BuiltinValue are terminals
+            d = value.defining
+            if d is None:
+                continue
+            reason = self.reason_of.get(id(value), "")
+            # NOTE: whether the definition *executes* is condition flow
+            # (handled by the pass-B seeds); path-dependent *values* are
+            # covered by the phi rule and the conditional-store rule below.
+            if isinstance(d, Load):
+                self._taint_object_contents(d.pointer, reason)
+                # which slot was loaded also influences the value
+                for index in index_values(d.pointer):
+                    self._mark(index, reason)
+            elif isinstance(d, (AtomicRMW, AtomicCAS)):
+                self._taint_object_contents(d.pointer, reason)
+                for op in d.operands():
+                    if not isinstance(op, Constant) and op is not d.pointer:
+                        self._mark(op, reason)
+            elif isinstance(d, Phi):
+                for pred, incoming in d.incoming:
+                    self._mark(incoming, reason)
+                    term = pred.terminator if hasattr(pred, "terminator") \
+                        else None
+                    if isinstance(term, Br):
+                        self._mark(term.cond, reason)
+            elif isinstance(d, GEP):
+                self._mark(d.index, reason)
+                # base chase: loading through the pointer is handled above
+            elif isinstance(d, Alloca):
+                pass
+            else:
+                for op in d.operands():
+                    self._mark(op, reason)
+
+    def _taint_object_contents(self, ptr: Value, reason: str) -> None:
+        root = root_object(ptr)
+        if root is None:
+            return
+        rid = id(root)
+        if rid not in self.sink_objects:
+            self.sink_objects.add(rid)
+        # contents come from (a) stores to the object, (b) for kernel
+        # argument buffers, the input data itself
+        for instr, stored, sptr in self._writes.get(rid, ()):
+            self._mark(stored, reason)
+            for index in index_values(sptr):
+                self._mark(index, reason)
+            if instr.parent is not None:
+                for br in self.cd.of(instr.parent):
+                    self._mark(br.cond, reason)
+        if isinstance(root, Argument):
+            self._mark(root, reason)
+
+    # ------------------------------------------------------------------
+
+    def _loop_bound_values(self) -> Set[int]:
+        """Values feeding loop-exit branch conditions (backward closure)."""
+        seeds: List[Value] = []
+        for loop in self.cfg.natural_loops():
+            for br in loop.exit_condition_branches():
+                seeds.append(br.cond)
+        for instr in self.fn.instructions():
+            if isinstance(instr, Br) and instr.meta.get("loop_branch"):
+                seeds.append(instr.cond)
+        closure: Set[int] = set()
+        work = list(seeds)
+        while work:
+            value = work.pop()
+            if id(value) in closure or isinstance(value, Constant):
+                continue
+            closure.add(id(value))
+            if isinstance(value, Register) and value.defining is not None:
+                d = value.defining
+                if isinstance(d, Load):
+                    root = root_object(d.pointer)
+                    if isinstance(root, Argument):
+                        work.append(root)
+                    for index in index_values(d.pointer):
+                        work.append(index)
+                elif isinstance(d, Phi):
+                    work.extend(v for _, v in d.incoming)
+                else:
+                    work.extend(d.operands())
+        return closure
+
+    def _verdict_for(self, arg: Argument, addr_values: Set[int],
+                     cond_values: Set[int], addr_reasons: Dict[int, str],
+                     loop_bounds: Set[int]) -> InputVerdict:
+        in_addr = id(arg) in addr_values
+        in_cond = id(arg) in cond_values
+        in_loop = id(arg) in loop_bounds
+        is_pointer = isinstance(arg.type, PointerType)
+        reason = addr_reasons.get(id(arg)) or self.reason_of.get(id(arg), "")
+        # must_be_symbolic records the strict §V verdict: the input flows
+        # into an address. The symbolisation *policy* on top of this
+        # (pointer contents only; scalars and loop bounds concretised with
+        # a note, matching Table I's counts) lives in
+        # SESA.inferred_symbolic_inputs.
+        verdict = InputVerdict(
+            name=arg.name,
+            must_be_symbolic=in_addr,
+            is_pointer=is_pointer,
+            flows_into_address=in_addr,
+            flows_into_condition=in_cond,
+            flows_into_loop_bound=in_loop,
+            reason=reason or (
+                "flows into access conditions only" if in_cond
+                else "loop bound only" if in_loop
+                else "does not reach any sensitive sink"),
+        )
+        if in_addr and in_loop:
+            verdict.reason += " (also flows into a loop bound: keep the " \
+                              "bound assumption concrete, §III-C)"
+        return verdict
+
+
+def analyze_taint(fn: Function) -> TaintReport:
+    """Run the §V analysis on a kernel in SSA form."""
+    return TaintAnalysis(fn).run()

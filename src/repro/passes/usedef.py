@@ -1,0 +1,30 @@
+"""Use-def chains over a function in SSA form."""
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir import Function, Instruction, Register, Value
+
+
+class UseDef:
+    """Def site per register and user list per value (by identity)."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.def_of: Dict[int, Instruction] = {}
+        self.users_of: Dict[int, List[Instruction]] = {}
+        for instr in fn.instructions():
+            if instr.result is not None:
+                self.def_of[id(instr.result)] = instr
+            for op in instr.operands():
+                self.users_of.setdefault(id(op), []).append(instr)
+
+    def definition(self, reg: Register) -> Optional[Instruction]:
+        return self.def_of.get(id(reg))
+
+    def users(self, value: Value) -> List[Instruction]:
+        return self.users_of.get(id(value), [])
+
+    def is_dead(self, reg: Register) -> bool:
+        """Defined but never used (after DCE candidates)."""
+        return id(reg) in self.def_of and not self.users_of.get(id(reg))

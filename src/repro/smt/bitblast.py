@@ -1,0 +1,340 @@
+"""Bit-blasting: lowering bitvector terms to CNF circuits.
+
+Every BV term maps to a list of CNF literals (LSB first); every Bool term
+maps to a single literal. Standard circuits: ripple-carry adders,
+shift-add multipliers, restoring dividers, barrel shifters, borrow-chain
+comparators. Division follows SMT-LIB semantics (``x udiv 0 = all-ones``,
+``x urem 0 = x``) so the solver agrees with the concrete evaluator in
+:mod:`repro.smt.subst` bit for bit — a property the test suite checks with
+hypothesis.
+"""
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .cnf import CNF
+from .sorts import BOOL, BVSort
+from . import terms as T
+from .terms import Op, Term
+
+Bits = List[int]
+
+
+class BitBlaster:
+    """Lowers a set of boolean terms into a shared :class:`CNF`."""
+
+    def __init__(self, cnf: CNF | None = None) -> None:
+        self.cnf = cnf if cnf is not None else CNF()
+        self._bv_map: Dict[int, Bits] = {}
+        self._bool_map: Dict[int, int] = {}
+        self.var_bits: Dict[str, Bits] = {}   # BV variable name -> bit literals
+        self.bool_vars: Dict[str, int] = {}   # Bool variable name -> literal
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def assert_term(self, term: Term) -> None:
+        """Constrain a Bool term to be true."""
+        if term.sort is not BOOL:
+            raise TypeError(f"can only assert Bool terms, got {term.sort}")
+        lit = self.blast_bool(term)
+        self.cnf.add([lit])
+
+    def blast_bool(self, term: Term) -> int:
+        self._lower([term])
+        return self._bool_map[id(term)]
+
+    def blast_bv(self, term: Term) -> Bits:
+        self._lower([term])
+        return self._bv_map[id(term)]
+
+    def extract_value(self, name: str, model: Dict[int, bool]) -> int:
+        """Read a BV variable's value out of a SAT model."""
+        bits = self.var_bits.get(name)
+        if bits is None:
+            return 0
+        value = 0
+        for i, lit in enumerate(bits):
+            if self._lit_value(lit, model):
+                value |= 1 << i
+        return value
+
+    def extract_bool(self, name: str, model: Dict[int, bool]) -> bool:
+        lit = self.bool_vars.get(name)
+        if lit is None:
+            return False
+        return self._lit_value(lit, model)
+
+    @staticmethod
+    def _lit_value(lit: int, model: Dict[int, bool]) -> bool:
+        val = model.get(abs(lit), False)
+        return val if lit > 0 else not val
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+
+    def _lower(self, roots: List[Term]) -> None:
+        for node in T.iter_dag(roots):
+            nid = id(node)
+            if node.sort is BOOL:
+                if nid not in self._bool_map:
+                    self._bool_map[nid] = self._lower_bool(node)
+            else:
+                if nid not in self._bv_map:
+                    self._bv_map[nid] = self._lower_bv(node)
+
+    # -- bitvector nodes -------------------------------------------------
+
+    def _lower_bv(self, node: Term) -> Bits:
+        op = node.op
+        width = node.width
+        cnf = self.cnf
+        if op == Op.CONST:
+            return [self._const_bit((node.value >> i) & 1) for i in range(width)]
+        if op == Op.VAR:
+            bits = self.var_bits.get(node.name)
+            if bits is None:
+                bits = cnf.new_vars(width)
+                self.var_bits[node.name] = bits
+            return bits
+
+        args = [self._bv_map[id(a)] for a in node.args
+                if isinstance(a.sort, BVSort)]
+
+        if op == Op.ADD:
+            return self._adder(args[0], args[1])[0]
+        if op == Op.SUB:
+            return self._subtract(args[0], args[1])
+        if op == Op.NEG:
+            return self._subtract([self._const_bit(0)] * width, args[0])
+        if op == Op.MUL:
+            return self._multiplier(args[0], args[1])
+        if op == Op.UDIV:
+            q, _ = self._divider(args[0], args[1])
+            return q
+        if op == Op.UREM:
+            _, r = self._divider(args[0], args[1])
+            return r
+        if op == Op.SDIV:
+            return self._signed_divrem(args[0], args[1], want_quotient=True)
+        if op == Op.SREM:
+            return self._signed_divrem(args[0], args[1], want_quotient=False)
+        if op == Op.AND:
+            return [cnf.gate_and(a, b) for a, b in zip(args[0], args[1])]
+        if op == Op.OR:
+            return [cnf.gate_or(a, b) for a, b in zip(args[0], args[1])]
+        if op == Op.XOR:
+            return [cnf.gate_xor(a, b) for a, b in zip(args[0], args[1])]
+        if op == Op.NOT:
+            return [-b for b in args[0]]
+        if op == Op.SHL:
+            return self._barrel_shift(args[0], args[1], kind="shl")
+        if op == Op.LSHR:
+            return self._barrel_shift(args[0], args[1], kind="lshr")
+        if op == Op.ASHR:
+            return self._barrel_shift(args[0], args[1], kind="ashr")
+        if op == Op.CONCAT:
+            hi, lo = args[0], args[1]
+            return lo + hi
+        if op == Op.EXTRACT:
+            h, l = node.payload  # type: ignore[misc]
+            return args[0][l:h + 1]
+        if op == Op.ZEXT:
+            pad = width - len(args[0])
+            return args[0] + [self._const_bit(0)] * pad
+        if op == Op.SEXT:
+            pad = width - len(args[0])
+            return args[0] + [args[0][-1]] * pad
+        if op == Op.ITE:
+            cond = self._bool_map[id(node.args[0])]
+            t_bits = self._bv_map[id(node.args[1])]
+            e_bits = self._bv_map[id(node.args[2])]
+            return [cnf.gate_mux(cond, t, e) for t, e in zip(t_bits, e_bits)]
+        if op == Op.UF:
+            # fresh unconstrained bits per application node (Ackermann-lite:
+            # identical applications share a node via hash-consing)
+            return cnf.new_vars(width)
+        raise NotImplementedError(f"bitblast: unsupported BV op {op}")
+
+    # -- boolean nodes ----------------------------------------------------
+
+    def _lower_bool(self, node: Term) -> int:
+        op = node.op
+        cnf = self.cnf
+        if op == Op.CONST:
+            return cnf.const_true() if node.payload else cnf.const_false()
+        if op == Op.VAR:
+            lit = self.bool_vars.get(node.name)
+            if lit is None:
+                lit = cnf.new_var()
+                self.bool_vars[node.name] = lit
+            return lit
+        if op == Op.EQ:
+            a, b = node.args
+            if a.sort is BOOL:
+                la, lb = self._bool_map[id(a)], self._bool_map[id(b)]
+                return -cnf.gate_xor(la, lb)
+            return self._equal(self._bv_map[id(a)], self._bv_map[id(b)])
+        if op in (Op.ULT, Op.ULE, Op.SLT, Op.SLE):
+            a_bits = list(self._bv_map[id(node.args[0])])
+            b_bits = list(self._bv_map[id(node.args[1])])
+            if op in (Op.SLT, Op.SLE):
+                # flip sign bits: signed compare == unsigned on biased values
+                a_bits[-1] = -a_bits[-1]
+                b_bits[-1] = -b_bits[-1]
+            lt = self._less_than(a_bits, b_bits)
+            if op in (Op.ULE, Op.SLE):
+                eq = self._equal(a_bits, b_bits)
+                return cnf.gate_or(lt, eq)
+            return lt
+        if op == Op.BNOT:
+            return -self._bool_map[id(node.args[0])]
+        if op == Op.BAND:
+            return cnf.gate_and_many([self._bool_map[id(a)] for a in node.args])
+        if op == Op.BOR:
+            return cnf.gate_or_many([self._bool_map[id(a)] for a in node.args])
+        if op == Op.BXOR:
+            la = self._bool_map[id(node.args[0])]
+            lb = self._bool_map[id(node.args[1])]
+            return cnf.gate_xor(la, lb)
+        raise NotImplementedError(f"bitblast: unsupported Bool op {op}")
+
+    # ------------------------------------------------------------------
+    # circuits
+    # ------------------------------------------------------------------
+
+    def _const_bit(self, bit: int) -> int:
+        return self.cnf.const_true() if bit else self.cnf.const_false()
+
+    def _full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        cnf = self.cnf
+        s1 = cnf.gate_xor(a, b)
+        total = cnf.gate_xor(s1, cin)
+        c1 = cnf.gate_and(a, b)
+        c2 = cnf.gate_and(s1, cin)
+        cout = cnf.gate_or(c1, c2)
+        return total, cout
+
+    def _adder(self, a: Bits, b: Bits, cin: int | None = None) -> tuple[Bits, int]:
+        carry = cin if cin is not None else self._const_bit(0)
+        out: Bits = []
+        for ai, bi in zip(a, b):
+            s, carry = self._full_adder(ai, bi, carry)
+            out.append(s)
+        return out, carry
+
+    def _subtract(self, a: Bits, b: Bits) -> Bits:
+        out, _ = self._adder(a, [-x for x in b], cin=self._const_bit(1))
+        return out
+
+    def _multiplier(self, a: Bits, b: Bits) -> Bits:
+        width = len(a)
+        zero = self._const_bit(0)
+        acc: Bits = [zero] * width
+        for i in range(width):
+            partial = ([zero] * i +
+                       [self.cnf.gate_and(b[i], a[j]) for j in range(width - i)])
+            acc, _ = self._adder(acc, partial)
+        return acc
+
+    def _less_than(self, a: Bits, b: Bits) -> int:
+        """Unsigned a < b via MSB-down chain."""
+        cnf = self.cnf
+        lt = self._const_bit(0)
+        eq_so_far = self._const_bit(1)
+        for ai, bi in zip(reversed(a), reversed(b)):
+            bit_lt = cnf.gate_and(-ai, bi)
+            lt = cnf.gate_or(lt, cnf.gate_and(eq_so_far, bit_lt))
+            eq_so_far = cnf.gate_and(eq_so_far, -cnf.gate_xor(ai, bi))
+        return lt
+
+    def _equal(self, a: Bits, b: Bits) -> int:
+        cnf = self.cnf
+        xnors = [-cnf.gate_xor(x, y) for x, y in zip(a, b)]
+        return cnf.gate_and_many(xnors)
+
+    def _barrel_shift(self, a: Bits, amount: Bits, kind: str) -> Bits:
+        """Logarithmic shifter; shift >= width saturates to 0 / sign fill."""
+        cnf = self.cnf
+        width = len(a)
+        fill = a[-1] if kind == "ashr" else self._const_bit(0)
+        stages = max(1, (width - 1).bit_length())
+        cur = list(a)
+        for s in range(stages):
+            sel = amount[s] if s < len(amount) else self._const_bit(0)
+            step = 1 << s
+            shifted: Bits = []
+            for i in range(width):
+                if kind == "shl":
+                    src = cur[i - step] if i - step >= 0 else self._const_bit(0)
+                else:
+                    src = cur[i + step] if i + step < width else fill
+                shifted.append(cnf.gate_mux(sel, src, cur[i]))
+            cur = shifted
+        # amount >= width (any high bit set beyond the stage range)?
+        high = [amount[s] for s in range(stages, len(amount))]
+        # also handle non-power-of-two widths: amount in [width, 2**stages)
+        if (1 << stages) > width:
+            low_part = amount[:stages] + [self._const_bit(0)]
+            width_bits = [self._const_bit((width >> i) & 1)
+                          for i in range(stages + 1)]
+            ge_width = -self._less_than(low_part, width_bits)
+            high.append(ge_width)
+        if high:
+            overflow = cnf.gate_or_many(high)
+            cur = [cnf.gate_mux(overflow, fill, bit) for bit in cur]
+        return cur
+
+    def _divider(self, a: Bits, b: Bits) -> tuple[Bits, Bits]:
+        """Restoring division. SMT-LIB: x/0 = all-ones, x%0 = x."""
+        cnf = self.cnf
+        width = len(a)
+        zero = self._const_bit(0)
+        # work in width+1 bits so (r << 1 | a_i) never wraps
+        rem: Bits = [zero] * (width + 1)
+        b_ext = list(b) + [zero]
+        q: Bits = [zero] * width
+        for i in range(width - 1, -1, -1):
+            rem = [a[i]] + rem[:width]
+            ge = -self._less_than(rem, b_ext)
+            sub = self._subtract(rem, b_ext)
+            rem = [cnf.gate_mux(ge, s, r) for s, r in zip(sub, rem)]
+            q[i] = ge
+        b_is_zero = self._equal(b, [zero] * width)
+        ones = self._const_bit(1)
+        q = [cnf.gate_mux(b_is_zero, ones, qi) for qi in q]
+        r = [cnf.gate_mux(b_is_zero, ai, ri) for ai, ri in zip(a, rem[:width])]
+        return q, r
+
+    def _signed_divrem(self, a: Bits, b: Bits, want_quotient: bool) -> Bits:
+        """Signed division by sign-abs-unsigned-divide-fix-signs.
+
+        SMT-LIB semantics: truncating division, remainder follows dividend's
+        sign; division by zero handled in the unsigned core then sign-fixed
+        to match :func:`repro.smt.terms._c_sdiv` / ``_c_srem``.
+        """
+        cnf = self.cnf
+        width = len(a)
+        zero_bits = [self._const_bit(0)] * width
+        sa, sb = a[-1], b[-1]
+        abs_a = [cnf.gate_mux(sa, n, x)
+                 for n, x in zip(self._subtract(zero_bits, a), a)]
+        abs_b = [cnf.gate_mux(sb, n, x)
+                 for n, x in zip(self._subtract(zero_bits, b), b)]
+        q, r = self._divider(abs_a, abs_b)
+        q_neg = cnf.gate_xor(sa, sb)
+        q_fixed = [cnf.gate_mux(q_neg, n, x)
+                   for n, x in zip(self._subtract(zero_bits, q), q)]
+        r_fixed = [cnf.gate_mux(sa, n, x)
+                   for n, x in zip(self._subtract(zero_bits, r), r)]
+        b_is_zero = self._equal(b, zero_bits)
+        if want_quotient:
+            # SMT-LIB: sdiv by 0 is 1 if a < 0 else all-ones
+            one = [self._const_bit(1)] + [self._const_bit(0)] * (width - 1)
+            ones = [self._const_bit(1)] * width
+            dz = [cnf.gate_mux(sa, o, m) for o, m in zip(one, ones)]
+            return [cnf.gate_mux(b_is_zero, d, x) for d, x in zip(dz, q_fixed)]
+        # srem by 0 is a
+        return [cnf.gate_mux(b_is_zero, ai, x) for ai, x in zip(a, r_fixed)]

@@ -1,0 +1,103 @@
+"""CNF formula container with Tseitin helpers.
+
+Literals are non-zero ints: ``+v`` / ``-v`` for variable ``v >= 1``
+(DIMACS convention). The bitblaster emits into a :class:`CNF`, which the
+SAT solver consumes.
+"""
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class CNF:
+    """A growable CNF formula plus fresh-variable allocation."""
+
+    def __init__(self) -> None:
+        self.num_vars: int = 0
+        self.clauses: List[List[int]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        start = self.num_vars + 1
+        self.num_vars += count
+        return list(range(start, start + count))
+
+    def add(self, clause: Sequence[int]) -> None:
+        lits = list(clause)
+        for lit in lits:
+            v = abs(lit)
+            if v == 0:
+                raise ValueError("literal 0 is not allowed")
+            if v > self.num_vars:
+                self.num_vars = v
+        self.clauses.append(lits)
+
+    def add_all(self, clauses: Iterable[Sequence[int]]) -> None:
+        for c in clauses:
+            self.add(c)
+
+    # -- Tseitin gates --------------------------------------------------
+    # Each returns the output literal.
+
+    def gate_and(self, a: int, b: int) -> int:
+        if a == b:
+            return a
+        if a == -b:
+            return self.const_false()
+        out = self.new_var()
+        self.add([-out, a])
+        self.add([-out, b])
+        self.add([out, -a, -b])
+        return out
+
+    def gate_or(self, a: int, b: int) -> int:
+        return -self.gate_and(-a, -b)
+
+    def gate_xor(self, a: int, b: int) -> int:
+        out = self.new_var()
+        self.add([-out, a, b])
+        self.add([-out, -a, -b])
+        self.add([out, a, -b])
+        self.add([out, -a, b])
+        return out
+
+    def gate_and_many(self, lits: Sequence[int]) -> int:
+        if not lits:
+            return self.const_true()
+        out = lits[0]
+        for lit in lits[1:]:
+            out = self.gate_and(out, lit)
+        return out
+
+    def gate_or_many(self, lits: Sequence[int]) -> int:
+        return -self.gate_and_many([-l for l in lits])
+
+    def gate_mux(self, sel: int, then_lit: int, else_lit: int) -> int:
+        """``sel ? then_lit : else_lit``."""
+        if then_lit == else_lit:
+            return then_lit
+        out = self.new_var()
+        self.add([-out, -sel, then_lit])
+        self.add([-out, sel, else_lit])
+        self.add([out, -sel, -then_lit])
+        self.add([out, sel, -else_lit])
+        return out
+
+    # -- constants ------------------------------------------------------
+
+    _true_lit: int | None = None
+
+    def const_true(self) -> int:
+        if self._true_lit is None:
+            self._true_lit = self.new_var()
+            self.add([self._true_lit])
+        return self._true_lit
+
+    def const_false(self) -> int:
+        return -self.const_true()
+
+    def __len__(self) -> int:
+        return len(self.clauses)

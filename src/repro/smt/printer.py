@@ -1,0 +1,53 @@
+"""Human-readable rendering of terms (SMT-LIB-flavoured, infix for brevity)."""
+from __future__ import annotations
+
+from .sorts import BOOL
+from . import terms as T
+
+_INFIX = {
+    T.Op.ADD: "+", T.Op.SUB: "-", T.Op.MUL: "*",
+    T.Op.UDIV: "/u", T.Op.UREM: "%u", T.Op.SDIV: "/s", T.Op.SREM: "%s",
+    T.Op.AND: "&", T.Op.OR: "|", T.Op.XOR: "^",
+    T.Op.SHL: "<<", T.Op.LSHR: ">>u", T.Op.ASHR: ">>s",
+    T.Op.EQ: "==", T.Op.ULT: "<u", T.Op.ULE: "<=u",
+    T.Op.SLT: "<s", T.Op.SLE: "<=s",
+    T.Op.BXOR: "xor", T.Op.IMPLIES: "=>",
+}
+
+
+def term_to_str(term: "T.Term", max_depth: int = 40) -> str:
+    """Render a term; deep sub-DAGs are elided with ``...``."""
+    def go(t: "T.Term", depth: int) -> str:
+        if depth > max_depth:
+            return "..."
+        if t.op == T.Op.CONST:
+            if t.sort is BOOL:
+                return "true" if t.payload else "false"
+            return str(t.payload)
+        if t.op == T.Op.VAR:
+            return str(t.payload)
+        if t.op in _INFIX and len(t.args) == 2:
+            a, b = (go(x, depth + 1) for x in t.args)
+            return f"({a} {_INFIX[t.op]} {b})"
+        if t.op == T.Op.BAND:
+            return "(" + " && ".join(go(x, depth + 1) for x in t.args) + ")"
+        if t.op == T.Op.BOR:
+            return "(" + " || ".join(go(x, depth + 1) for x in t.args) + ")"
+        if t.op in (T.Op.BNOT, T.Op.NOT):
+            return f"!{go(t.args[0], depth + 1)}"
+        if t.op == T.Op.NEG:
+            return f"-{go(t.args[0], depth + 1)}"
+        if t.op == T.Op.ITE:
+            c, a, b = (go(x, depth + 1) for x in t.args)
+            return f"({c} ? {a} : {b})"
+        if t.op == T.Op.EXTRACT:
+            hi, lo = t.payload  # type: ignore[misc]
+            return f"{go(t.args[0], depth + 1)}[{hi}:{lo}]"
+        if t.op in (T.Op.ZEXT, T.Op.SEXT):
+            return f"{t.op}({go(t.args[0], depth + 1)}, {t.payload})"
+        if t.op == T.Op.CONCAT:
+            return f"({go(t.args[0], depth + 1)} ++ {go(t.args[1], depth + 1)})"
+        inner = " ".join(go(x, depth + 1) for x in t.args)
+        return f"({t.op} {inner})"
+
+    return go(term, 0)

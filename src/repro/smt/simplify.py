@@ -1,0 +1,169 @@
+"""Algebraic simplification over term DAGs.
+
+The smart constructors already fold constants and identities; this module
+adds the rewrites that matter for SESA's race queries:
+
+* ``x urem 2**k``  →  ``x & (2**k - 1)`` and ``x udiv 2**k`` → ``x >> k``
+  (the reduction/bitonic kernels are full of ``tid % (2*s)`` with concrete
+  strides — turning them into masks makes both the interval layer and the
+  bitblaster dramatically cheaper),
+* ``x * 2**k`` → ``x << k``,
+* offset normalisation for equalities (``x + c1 == c2`` → ``x == c2 - c1``),
+* mask/constant contradiction (``(x & m) == c`` with ``c & ~m != 0`` →
+  ``false``).
+
+The pass runs bottom-up with memoisation; each rewritten node is re-run
+through the rules until a local fixed point (with a small bound).
+"""
+from __future__ import annotations
+
+from typing import Dict
+
+from .sorts import BOOL, BVSort
+from . import terms as T
+from .subst import rebuild
+from .terms import Op, Term
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1
+
+
+def _rewrite_once(term: Term) -> Term:
+    """One local rewrite step; returns the input if no rule applies."""
+    op = term.op
+    args = term.args
+
+    if op == Op.UREM:
+        x, c = args
+        if c.is_const() and _is_pow2(c.value):
+            return T.mk_bvand(x, T.mk_bv(c.value - 1, x.width))
+
+    elif op == Op.UDIV:
+        x, c = args
+        if c.is_const() and _is_pow2(c.value):
+            return T.mk_lshr(x, T.mk_bv(_log2(c.value), x.width))
+
+    elif op == Op.MUL:
+        x, c = args
+        if c.is_const() and _is_pow2(c.value):
+            return T.mk_shl(x, T.mk_bv(_log2(c.value), x.width))
+
+    elif op == Op.EQ and isinstance(args[0].sort, BVSort):
+        a, b = args
+        width = a.width
+        # (x + c1) == c2   ->   x == c2 - c1   (modular, hence exact)
+        if b.is_const() and a.op == Op.ADD and a.args[1].is_const():
+            return T.mk_eq(a.args[0], T.mk_bv(b.value - a.args[1].value, width))
+        # (x + c1) == (y + c2)  ->  x == y + (c2 - c1)
+        if (a.op == Op.ADD and a.args[1].is_const()
+                and b.op == Op.ADD and b.args[1].is_const()):
+            delta = b.args[1].value - a.args[1].value
+            return T.mk_eq(a.args[0], T.mk_add(b.args[0], T.mk_bv(delta, width)))
+        # (x & m) == c with c outside the mask is impossible
+        if (b.is_const() and a.op == Op.AND and a.args[1].is_const()
+                and (b.value & ~a.args[1].value) != 0):
+            return T.FALSE
+        # (x << k) == c: c must have k low zero bits
+        if (b.is_const() and a.op == Op.SHL and a.args[1].is_const()
+                and a.args[1].value < width):
+            k = a.args[1].value
+            if b.value & ((1 << k) - 1):
+                return T.FALSE
+        # x - y == 0  ->  x == y
+        if b.is_const() and b.value == 0 and a.op == Op.SUB:
+            return T.mk_eq(a.args[0], a.args[1])
+        # x ^ y == 0  ->  x == y
+        if b.is_const() and b.value == 0 and a.op == Op.XOR:
+            return T.mk_eq(a.args[0], a.args[1])
+        # zext(x) == c: high bits of c must be zero
+        if b.is_const() and a.op == Op.ZEXT:
+            inner = a.args[0]
+            if b.value >> inner.width:
+                return T.FALSE
+            return T.mk_eq(inner, T.mk_bv(b.value, inner.width))
+
+    elif op == Op.ULT:
+        a, b = args
+        # (x & m) < c with  m < c  is always true
+        if (b.is_const() and a.op == Op.AND and a.args[1].is_const()
+                and a.args[1].value < b.value):
+            return T.TRUE
+        # zext(x) < c
+        if b.is_const() and a.op == Op.ZEXT:
+            inner = a.args[0]
+            if b.value > inner.sort.mask:  # type: ignore[union-attr]
+                return T.TRUE
+            return T.mk_ult(inner, T.mk_bv(b.value, inner.width))
+
+    elif op == Op.AND:
+        a, b = args
+        # (x & c1) & c2  ->  x & (c1 & c2)
+        if b.is_const() and a.op == Op.AND and a.args[1].is_const():
+            return T.mk_bvand(a.args[0], T.mk_bv(a.args[1].value & b.value,
+                                                 b.width))
+        # (x << k) & m == 0 when mask only covers the low k bits
+        if (b.is_const() and a.op == Op.SHL and a.args[1].is_const()
+                and a.args[1].value < a.width
+                and b.value < (1 << a.args[1].value)):
+            return T.mk_bv(0, a.width)
+
+    elif op == Op.LSHR:
+        a, b = args
+        # (x << k) >> k  ->  x & mask  when widths allow
+        if (b.is_const() and a.op == Op.SHL and a.args[1].is_const()
+                and a.args[1] is b and b.value < a.width):
+            mask = (1 << (a.width - b.value)) - 1
+            return T.mk_bvand(a.args[0], T.mk_bv(mask, a.width))
+
+    elif op == Op.ZEXT:
+        inner = args[0]
+        # zext(zext(x)) -> zext(x)
+        if inner.op == Op.ZEXT:
+            return T.mk_zext(inner.args[0], term.payload)  # type: ignore[arg-type]
+
+    elif op == Op.EXTRACT:
+        hi, lo = term.payload  # type: ignore[misc]
+        inner = args[0]
+        if inner.op == Op.ZEXT:
+            src = inner.args[0]
+            if hi < src.width:
+                return T.mk_extract(src, hi, lo)
+            if lo >= src.width:
+                return T.mk_bv(0, hi - lo + 1)
+        if inner.op == Op.EXTRACT:
+            ihi, ilo = inner.payload  # type: ignore[misc]
+            return T.mk_extract(inner.args[0], ilo + hi, ilo + lo)
+
+    return term
+
+
+_MAX_LOCAL_STEPS = 8
+
+
+def simplify(term: Term, cache: Dict[int, Term] | None = None) -> Term:
+    """Bottom-up simplification with memoisation over the DAG."""
+    if cache is None:
+        cache = {}
+    for node in T.iter_dag([term]):
+        nid = id(node)
+        if nid in cache:
+            continue
+        if not node.args:
+            cache[nid] = node
+            continue
+        new_args = tuple(cache[id(a)] for a in node.args)
+        current = rebuild(node, new_args)
+        for _ in range(_MAX_LOCAL_STEPS):
+            after = _rewrite_once(current)
+            if after is current:
+                break
+            current = after
+            if not current.args:
+                break
+        cache[nid] = current
+    return cache[id(term)]

@@ -1,0 +1,201 @@
+"""Layered satisfiability solver for QF_BV queries.
+
+The pipeline mirrors what production concolic engines do in front of their
+SAT core:
+
+1. **Simplify** each assertion (constant folding + algebraic rewrites).
+2. **Trivial** answers: an assertion simplified to ``false`` is UNSAT; all
+   ``true`` is SAT with an arbitrary model.
+3. **Interval pre-filter**: derive per-variable bounds from the conjuncts
+   and abstractly evaluate — many race queries (disjoint strides) die here
+   without bit-blasting.
+4. **Bit-blast + CDCL SAT** with an optional conflict budget.
+
+Models are validated against the concrete evaluator before being returned,
+so a solver bug surfaces as a loud exception instead of a bogus witness.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .bitblast import BitBlaster
+from .cnf import CNF
+from .interval import IntervalAnalysis, derive_bounds
+from .sat import SatResult, SatSolver
+from .simplify import simplify
+from .sorts import BOOL, BVSort
+from . import terms as T
+from .subst import EvaluationError, evaluate
+from .terms import Term
+
+
+class CheckResult:
+    """Result tags for the layered solver."""
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Model:
+    """A satisfying assignment, mapping variable names to values."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.values.items()))
+        return f"Model({inner})"
+
+
+@dataclass
+class SolverStats:
+    """Where queries were dispatched; drives the solver ablation bench."""
+
+    queries: int = 0
+    by_simplifier: int = 0
+    by_interval: int = 0
+    by_sat: int = 0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+
+    def merge(self, other: "SolverStats") -> None:
+        self.queries += other.queries
+        self.by_simplifier += other.by_simplifier
+        self.by_interval += other.by_interval
+        self.by_sat += other.by_sat
+        self.sat_conflicts += other.sat_conflicts
+        self.sat_decisions += other.sat_decisions
+
+
+class Solver:
+    """One-shot satisfiability checking with incremental assertion adding."""
+
+    def __init__(self, *, use_simplifier: bool = True,
+                 use_interval: bool = True,
+                 conflict_budget: Optional[int] = 200_000,
+                 deadline: Optional[float] = None,
+                 validate_models: bool = True) -> None:
+        self.assertions: List[Term] = []
+        self.use_simplifier = use_simplifier
+        self.use_interval = use_interval
+        self.conflict_budget = conflict_budget
+        self.deadline = deadline
+        self.validate_models = validate_models
+        self.stats = SolverStats()
+        self._model: Optional[Model] = None
+
+    # ------------------------------------------------------------------
+
+    def add(self, *terms: Term) -> None:
+        for t in terms:
+            if t.sort is not BOOL:
+                raise TypeError(f"assertions must be Bool, got {t.sort}")
+            self.assertions.append(t)
+
+    def push_scope(self) -> int:
+        return len(self.assertions)
+
+    def pop_scope(self, mark: int) -> None:
+        del self.assertions[mark:]
+
+    # ------------------------------------------------------------------
+
+    def check(self, *extra: Term) -> str:
+        """Check satisfiability of the conjunction of all assertions."""
+        self.stats.queries += 1
+        self._model = None
+        goal = list(self.assertions) + list(extra)
+
+        if self.use_simplifier:
+            goal = [simplify(t) for t in goal]
+        if any(t.is_false() for t in goal):
+            self.stats.by_simplifier += 1
+            return CheckResult.UNSAT
+        goal = [t for t in goal if not t.is_true()]
+        if not goal:
+            self.stats.by_simplifier += 1
+            self._model = Model({})
+            return CheckResult.SAT
+
+        if self.use_interval:
+            bounds = derive_bounds(goal)
+            analysis = IntervalAnalysis(bounds)
+            if any(analysis.must_be_false(t) for t in goal):
+                self.stats.by_interval += 1
+                return CheckResult.UNSAT
+
+        return self._check_sat(goal)
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise RuntimeError("no model available (last check was not SAT)")
+        return self._model
+
+    # ------------------------------------------------------------------
+
+    def _check_sat(self, goal: List[Term]) -> str:
+        self.stats.by_sat += 1
+        blaster = BitBlaster()
+        for t in goal:
+            blaster.assert_term(t)
+        sat = SatSolver(blaster.cnf, conflict_budget=self.conflict_budget,
+                        deadline=self.deadline)
+        result = sat.solve()
+        self.stats.sat_conflicts += sat.conflicts
+        self.stats.sat_decisions += sat.decisions
+        if result == SatResult.UNKNOWN:
+            return CheckResult.UNKNOWN
+        if result == SatResult.UNSAT:
+            return CheckResult.UNSAT
+
+        values: Dict[str, int] = {}
+        for name in blaster.var_bits:
+            values[name] = blaster.extract_value(name, sat.model)
+        for name in blaster.bool_vars:
+            values[name] = int(blaster.extract_bool(name, sat.model))
+        model = Model(values)
+
+        if self.validate_models:
+            self._validate(goal, model)
+        self._model = model
+        return CheckResult.SAT
+
+    def _validate(self, goal: Iterable[Term], model: Model) -> None:
+        assignment = dict(model.values)
+        for t in goal:
+            # fill variables the blaster never saw (eliminated by simplify)
+            for name, var in T.free_vars(t).items():
+                assignment.setdefault(name, 0)
+            try:
+                ok = evaluate(t, assignment)
+            except EvaluationError:
+                continue  # uninterpreted applications: nothing to validate
+            if not ok:
+                raise AssertionError(
+                    f"solver produced an invalid model {model} for {t}")
+
+
+def is_sat(*terms: Term, **kwargs) -> bool:
+    """Convenience: one-shot satisfiability of a conjunction."""
+    solver = Solver(**kwargs)
+    solver.add(*terms)
+    return solver.check() == CheckResult.SAT
+
+
+def get_model(*terms: Term, **kwargs) -> Optional[Model]:
+    """Convenience: model of a conjunction, or None if UNSAT/unknown."""
+    solver = Solver(**kwargs)
+    solver.add(*terms)
+    if solver.check() == CheckResult.SAT:
+        return solver.model()
+    return None

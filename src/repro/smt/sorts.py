@@ -1,0 +1,112 @@
+"""Sorts (types) for the SMT term language.
+
+The solver decides quantifier-free fixed-width bitvector logic (QF_BV),
+which is the theory SESA's race queries live in: thread identifiers,
+array indices and kernel inputs are machine integers, and race conditions
+are boolean combinations of (in)equalities over them.
+"""
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+class Sort:
+    """Base class for term sorts."""
+
+    __slots__ = ()
+
+    def is_bool(self) -> bool:
+        return isinstance(self, BoolSort)
+
+    def is_bv(self) -> bool:
+        return isinstance(self, BVSort)
+
+
+class BoolSort(Sort):
+    """The two-valued boolean sort."""
+
+    __slots__ = ()
+    _instance: "BoolSort | None" = None
+
+    def __new__(cls) -> "BoolSort":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Bool"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolSort)
+
+    def __hash__(self) -> int:
+        return hash("BoolSort")
+
+
+class BVSort(Sort):
+    """Fixed-width bitvector sort.
+
+    Values are represented as unsigned Python integers in ``[0, 2**width)``.
+    Signed operations reinterpret them in two's complement.
+    """
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"bitvector width must be positive, got {width}")
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"BV{self.width}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BVSort) and other.width == self.width
+
+    def __hash__(self) -> int:
+        return hash(("BVSort", self.width))
+
+    @property
+    def mask(self) -> int:
+        """All-ones value of this width."""
+        return (1 << self.width) - 1
+
+    @property
+    def modulus(self) -> int:
+        """``2 ** width``."""
+        return 1 << self.width
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.width - 1))
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.width - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce an arbitrary integer to this width (unsigned)."""
+        return value & self.mask
+
+    def to_signed(self, value: int) -> int:
+        """Reinterpret an unsigned value of this width as two's complement."""
+        value &= self.mask
+        if value >= (1 << (self.width - 1)):
+            value -= 1 << self.width
+        return value
+
+
+BOOL = BoolSort()
+
+
+@lru_cache(maxsize=None)
+def bv_sort(width: int) -> BVSort:
+    """Interned constructor for :class:`BVSort`."""
+    return BVSort(width)
+
+
+BV1 = bv_sort(1)
+BV8 = bv_sort(8)
+BV16 = bv_sort(16)
+BV32 = bv_sort(32)
+BV64 = bv_sort(64)

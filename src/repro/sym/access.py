@@ -1,0 +1,93 @@
+"""Conditional access records — the paper's ``condition ? access`` sets.
+
+Every shared/global memory operation executed by the parametric thread
+becomes an :class:`Access`: kind, object, symbolic byte offset, guard.
+At each barrier the scheduler unions the per-flow sets into the barrier
+interval's read/write sets and hands them to the race checker.
+"""
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..smt import TRUE, Term, mk_and
+from .memory import MemoryObject
+
+_access_counter = itertools.count()
+
+
+class AccessKind(Enum):
+    """Read / write / atomic read-modify-write."""
+    READ = "R"
+    WRITE = "W"
+    ATOMIC = "A"      # atomic read-modify-write
+
+    def is_write(self) -> bool:
+        return self in (AccessKind.WRITE, AccessKind.ATOMIC)
+
+
+@dataclass
+class Access:
+    """One conditional access by the parametric thread of one flow."""
+
+    kind: AccessKind
+    obj: MemoryObject
+    offset: Term                   # byte offset into obj
+    size: int                      # bytes accessed
+    cond: Term                     # flow condition ∧ local path guard
+    flow_id: int
+    bi_index: int                  # barrier interval ordinal
+    instr_id: int                  # identity of the IR instruction
+    loc: Optional[int] = None      # source line
+    value: Optional[Term] = None   # stored value (writes)
+    uid: int = field(default_factory=lambda: next(_access_counter))
+
+    def describe(self) -> str:
+        where = f"line {self.loc}" if self.loc else f"instr {self.instr_id}"
+        return (f"{self.kind.value} {self.obj.name}"
+                f"[{self.offset!r}] @{where} if {self.cond!r}")
+
+    def dedupe_key(self) -> tuple:
+        return (self.kind, id(self.obj), id(self.offset), self.size,
+                id(self.cond), self.instr_id)
+
+
+class AccessSet:
+    """Accesses accumulated during one barrier interval by one flow."""
+
+    def __init__(self) -> None:
+        self.accesses: List[Access] = []
+        self._seen: set = set()
+
+    def add(self, access: Access) -> None:
+        # dedupe by identity: flow splits hand children the parent's
+        # Access objects, which must union back to one copy at the
+        # barrier; distinct loop iterations are distinct accesses
+        if access.uid in self._seen:
+            return
+        self._seen.add(access.uid)
+        self.accesses.append(access)
+
+    def extend(self, other: "AccessSet") -> None:
+        for access in other.accesses:
+            self.add(access)
+
+    def reads(self) -> List[Access]:
+        return [a for a in self.accesses if a.kind == AccessKind.READ]
+
+    def writes(self) -> List[Access]:
+        return [a for a in self.accesses if a.kind.is_write()]
+
+    def by_object(self) -> Dict[MemoryObject, List[Access]]:
+        out: Dict[MemoryObject, List[Access]] = {}
+        for access in self.accesses:
+            out.setdefault(access.obj, []).append(access)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self):
+        return iter(self.accesses)

@@ -1,0 +1,58 @@
+"""Rendering of the parametric flow tree (the paper's Fig. 4).
+
+Each flow split refines the parent's flow condition; the tree of
+refinements is recorded by the executor and rendered here as ASCII —
+GKLEEp's reduction tree (F0 → F1/F2 → F3..F5 → ...) prints exactly like
+the figure, while SESA's merged run is a single node.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .executor import ExecutionResult
+
+
+def render_flow_tree(result: ExecutionResult, max_cond_len: int = 48) -> str:
+    """ASCII tree of flow splits; ``F<id>`` nodes with their refinements."""
+    children: Dict[Optional[int], List[Tuple[int, object]]] = {}
+    roots: List[int] = []
+    seen = set()
+    for parent, child, cond in result.flow_events:
+        children.setdefault(parent, []).append((child, cond))
+        seen.add(child)
+        if parent not in seen:
+            if parent not in roots:
+                roots.append(parent)
+    if not result.flow_events:
+        return "F0 (single flow — all splits combined)"
+
+    lines: List[str] = []
+
+    def fmt_cond(cond: object) -> str:
+        text = repr(cond)
+        if len(text) > max_cond_len:
+            text = text[:max_cond_len - 3] + "..."
+        return text
+
+    def walk(node: int, prefix: str, is_last: bool, cond: object,
+             depth: int) -> None:
+        connector = "" if depth == 0 else ("`-- " if is_last else "|-- ")
+        label = f"F{node}"
+        if cond is not None:
+            label += f"  [{fmt_cond(cond)}]"
+        lines.append(prefix + connector + label)
+        kids = children.get(node, [])
+        if depth == 0:
+            child_prefix = prefix
+        else:
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        for i, (kid, kcond) in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1, kcond, depth + 1)
+
+    for root in roots:
+        walk(root, "", True, None, 0)
+    leaf_count = len(result.final_flow_conds)
+    lines.append(f"({len(result.flow_events)} splits, "
+                 f"{leaf_count} final flows, "
+                 f"max concurrent {result.max_flows})")
+    return "\n".join(lines)

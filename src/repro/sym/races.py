@@ -1,0 +1,500 @@
+"""Parametric race checking (paper §IV-B) plus out-of-bounds checking.
+
+The barrier interval's conditional access sets are instantiated over two
+symbolic threads ``t1 != t2`` and every write/other pair is checked for
+address overlap with the SMT solver. Warp semantics:
+
+* ``warp_size = 1`` — any unordered overlapping pair with a write races.
+* ``warp_size = 32`` — threads of the same warp run in lock-step, so an
+  intra-warp pair races only when (a) both sides write at the *same*
+  instruction (simultaneous SIMD write), or (b) the two accesses sit in
+  *divergent* branches of the warp (their guards are mutually exclusive
+  for a single thread), whose execution order is unspecified (§II).
+
+Write/write races additionally get a *benign* classification: if the two
+writes provably store the same value whenever they collide, the paper's
+tables mark them "W/W (Benign)".
+"""
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .. import ir
+from ..smt import (
+    CheckResult, FALSE, Model, Solver, TRUE, Term, mk_and, mk_bv,
+    mk_bv_var, mk_eq, mk_ne, mk_not, mk_or, mk_udiv, mk_ule, mk_ult,
+    simplify,
+)
+from ..smt.affine import affine_decompose, equality_forces_equal_components
+from ..smt.interval import Interval
+from ..smt.subst import substitute
+from ..smt.terms import mk_add, mk_mul, mk_uge
+from .access import Access, AccessKind, AccessSet
+from .config import LaunchConfig, SymbolicEnv
+from .executor import ExecutionResult
+from .memory import MemoryObject, contains_havoc
+
+
+@dataclass
+class RaceWitness:
+    """Concrete thread/block coordinates exhibiting an issue."""
+
+    thread1: Tuple[int, int, int]
+    block1: Tuple[int, int, int]
+    thread2: Optional[Tuple[int, int, int]] = None
+    block2: Optional[Tuple[int, int, int]] = None
+    inputs: Dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        def fmt(t, b):
+            return f"block {b} thread {t}"
+        out = fmt(self.thread1, self.block1)
+        if self.thread2 is not None:
+            out += f" vs {fmt(self.thread2, self.block2)}"
+        if self.inputs:
+            ins = ", ".join(f"{k}={v}" for k, v in sorted(self.inputs.items()))
+            out += f" with {ins}"
+        return out
+
+
+@dataclass
+class RaceReport:
+    """One data race."""
+
+    kind: str                  # "WW", "RW", "WR", "AW", ...
+    obj_name: str
+    access1: Access
+    access2: Access
+    benign: bool = False
+    intra_warp: bool = False
+    witness: Optional[RaceWitness] = None
+    unresolvable: bool = False   # guards/addresses contain havocked values
+
+    def describe(self) -> str:
+        flavour = " (benign)" if self.benign else ""
+        warp = " [intra-warp]" if self.intra_warp else ""
+        locs = f"lines {self.access1.loc}/{self.access2.loc}"
+        out = (f"{self.kind} race{flavour}{warp} on {self.obj_name} "
+               f"({locs})")
+        if self.witness is not None:
+            out += f": {self.witness}"
+        return out
+
+
+@dataclass
+class OOBReport:
+    """An out-of-bounds access."""
+
+    obj_name: str
+    access: Access
+    size_bytes: int
+    witness: Optional[RaceWitness] = None
+
+    def describe(self) -> str:
+        out = (f"out-of-bounds {self.access.kind.value} on {self.obj_name} "
+               f"(size {self.size_bytes} B, line {self.access.loc})")
+        if self.witness is not None:
+            out += f": {self.witness}"
+        return out
+
+
+@dataclass
+class AssertionReport:
+    """A violated ``assert()``: some thread can reach it with the claim
+    false."""
+
+    loc: Optional[int]
+    witness: Optional[RaceWitness] = None
+
+    def describe(self) -> str:
+        out = f"assertion violation at line {self.loc}"
+        if self.witness is not None:
+            out += f": {self.witness}"
+        return out
+
+
+@dataclass
+class CheckStats:
+    pairs_considered: int = 0
+    queries: int = 0
+    races_found: int = 0
+    oob_found: int = 0
+    by_affine: int = 0   # pairs discharged by the affine fast path
+
+
+class RaceChecker:
+    """Checks one :class:`ExecutionResult` for races and OOB accesses."""
+
+    def __init__(self, result: ExecutionResult,
+                 solver_budget: Optional[int] = 200_000,
+                 max_reports: int = 16,
+                 extra_assumptions: Optional[List[Term]] = None) -> None:
+        self.result = result
+        self.config = result.config
+        self.env = result.env
+        self.max_reports = max_reports
+        self.solver_budget = solver_budget
+        self.extra_assumptions: List[Term] = list(extra_assumptions or ())
+        self.stats = CheckStats()
+        self.timed_out = False
+        self._deadline: Optional[float] = None
+        self.races: List[RaceReport] = []
+        self.oobs: List[OOBReport] = []
+        self.assertion_failures: List[AssertionReport] = []
+        # two instantiations of the parametric thread
+        self._theta1, self._vars1 = self._instantiation("!1")
+        self._theta2, self._vars2 = self._instantiation("!2")
+
+    # ------------------------------------------------------------------
+
+    def _instantiation(self, suffix: str):
+        """Substitution tid.*→t<suffix>, bid.*→b<suffix> plus bounds."""
+        theta = {}
+        bounds: List[Term] = []
+        new_vars: Dict[str, Term] = {}
+        for name, var in self.env.thread_vars().items():
+            fresh = mk_bv_var(f"{name}{suffix}", 32)
+            theta[var] = fresh
+            new_vars[name] = fresh
+            axis = name.split(".")[1]
+            i = {"x": 0, "y": 1, "z": 2}[axis]
+            extent = self.config.block_dim[i] if name.startswith("tid") \
+                else self.config.grid_dim[i]
+            bounds.append(mk_ult(fresh, mk_bv(extent, 32)))
+        return (theta, bounds), new_vars
+
+    def _inst(self, term: Term, which: int) -> Term:
+        theta, _ = self._theta1 if which == 1 else self._theta2
+        return substitute(term, theta)
+
+    def _var(self, which: int, name: str) -> Term:
+        vars_ = self._vars1 if which == 1 else self._vars2
+        return vars_.get(name, mk_bv(0, 32))
+
+    def _bounds(self) -> List[Term]:
+        return self._theta1[1] + self._theta2[1] + \
+            list(self.config.assumptions) + self.extra_assumptions
+
+    # -- thread-identity predicates ----------------------------------------
+
+    def _same_block(self) -> Term:
+        conj = TRUE
+        for name in self._vars1:
+            if name.startswith("bid"):
+                conj = mk_and(conj, mk_eq(self._var(1, name),
+                                          self._var(2, name)))
+        return conj
+
+    def _same_thread_in_block(self) -> Term:
+        conj = TRUE
+        for name in self._vars1:
+            if name.startswith("tid"):
+                conj = mk_and(conj, mk_eq(self._var(1, name),
+                                          self._var(2, name)))
+        return conj
+
+    def _flat_tid(self, which: int) -> Term:
+        bx, by, _ = self.config.block_dim
+        t = self._var(which, "tid.x")
+        t = mk_add(t, mk_mul(self._var(which, "tid.y"), mk_bv(bx, 32)))
+        t = mk_add(t, mk_mul(self._var(which, "tid.z"),
+                             mk_bv(bx * by, 32)))
+        return t
+
+    def _same_warp(self) -> Term:
+        ws = mk_bv(self.config.warp_size, 32)
+        return mk_and(
+            self._same_block(),
+            mk_eq(mk_udiv(self._flat_tid(1), ws),
+                  mk_udiv(self._flat_tid(2), ws)))
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def check(self) -> "RaceChecker":
+        self.timed_out = False
+        self._deadline = None
+        if self.config.time_budget_seconds is not None:
+            self._deadline = time.monotonic() + \
+                self.config.time_budget_seconds
+        self._check_races()
+        if self.config.check_oob and not self.timed_out:
+            self._check_oob()
+        self._check_assertions()
+        return self
+
+    def _check_assertions(self) -> None:
+        seen = set()
+        for reached, claim, loc in self.result.assertions:
+            if self._out_of_time() or len(self.assertion_failures) >= \
+                    self.max_reports:
+                return
+            key = (id(reached), id(claim))
+            if key in seen:
+                continue
+            seen.add(key)
+            formula = mk_and(
+                *self._theta1[1], *self.config.assumptions,
+                *self.extra_assumptions,
+                self._inst(reached, 1), mk_not(self._inst(claim, 1)))
+            model = self._solve(formula)
+            if model is not None:
+                self.assertion_failures.append(AssertionReport(
+                    loc=loc, witness=self._witness(model,
+                                                   two_threads=False)))
+
+    def _out_of_time(self) -> bool:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self.timed_out = True
+            return True
+        return False
+
+    def _check_races(self) -> None:
+        shared_pairs, global_pairs = self._candidate_pairs()
+        for a1, a2, same_bi in itertools.chain(shared_pairs, global_pairs):
+            if len(self.races) >= self.max_reports or self._out_of_time():
+                return
+            self._check_pair(a1, a2, same_bi)
+
+    def _candidate_pairs(self):
+        """Pairs worth solving. Shared memory: same barrier interval only
+        (barriers order across intervals). Global memory: same interval for
+        same-block pairs, any interval pair for cross-block pairs."""
+        shared: List[Tuple[Access, Access, bool]] = []
+        global_: List[Tuple[Access, Access, bool]] = []
+        for bi_set in self.result.bi_access_sets:
+            by_obj = bi_set.by_object()
+            for obj, accesses in by_obj.items():
+                for a1, a2 in self._write_pairs(accesses):
+                    if obj.space == ir.MemSpace.SHARED:
+                        shared.append((a1, a2, True))
+                    else:
+                        global_.append((a1, a2, True))
+        # cross-interval global pairs (only meaningful across blocks)
+        if self.config.num_blocks > 1:
+            sets = self.result.bi_access_sets
+            for i, s1 in enumerate(sets):
+                for s2 in sets[i + 1:]:
+                    by1 = s1.by_object()
+                    by2 = s2.by_object()
+                    for obj in by1:
+                        if obj.space != ir.MemSpace.GLOBAL or obj not in by2:
+                            continue
+                        for a1 in by1[obj]:
+                            for a2 in by2[obj]:
+                                if a1.kind.is_write() or a2.kind.is_write():
+                                    global_.append((a1, a2, False))
+        return shared, global_
+
+    @staticmethod
+    def _write_pairs(accesses: Sequence[Access]):
+        for i, a1 in enumerate(accesses):
+            for a2 in accesses[i:]:
+                if not (a1.kind.is_write() or a2.kind.is_write()):
+                    continue
+                # atomic vs atomic on the same object never races
+                if a1.kind == AccessKind.ATOMIC and \
+                        a2.kind == AccessKind.ATOMIC:
+                    continue
+                # an access cannot race with itself for a single thread,
+                # but CAN for two threads (same instruction, two tids) —
+                # except both-read, filtered above
+                yield a1, a2
+
+    # ------------------------------------------------------------------
+
+    def _overlap(self, a1: Access, a2: Access) -> Term:
+        addr1 = self._inst(a1.offset, 1)
+        addr2 = self._inst(a2.offset, 2)
+        if a1.size == a2.size:
+            return mk_eq(addr1, addr2)
+        # byte ranges [addr, addr+size) intersect
+        s1 = mk_bv(a1.size, 32)
+        s2 = mk_bv(a2.size, 32)
+        return mk_and(
+            mk_ult(addr1, mk_add(addr2, s2)),
+            mk_ult(addr2, mk_add(addr1, s1)))
+
+    def _different_thread(self, obj: MemoryObject) -> Term:
+        if obj.space == ir.MemSpace.SHARED:
+            # shared memory is per block: the two parametric threads live
+            # in the same block and must differ in tid
+            return mk_and(self._same_block(),
+                          mk_not(self._same_thread_in_block()))
+        return mk_not(mk_and(self._same_block(),
+                             self._same_thread_in_block()))
+
+    def _affine_no_overlap(self, a1: Access, a2: Access,
+                           obj: MemoryObject) -> bool:
+        """Fast path: equal-size accesses whose addresses are the *same*
+        injective affine map of the thread coordinates can never collide
+        for distinct threads — UNSAT without the SAT core. Conditions
+        are irrelevant: they only strengthen the conjunction."""
+        if a1.size != a2.size:
+            return False
+        addr1 = affine_decompose(simplify(self._inst(a1.offset, 1)))
+        addr2 = affine_decompose(simplify(self._inst(a2.offset, 2)))
+        if addr1 is None or addr2 is None:
+            return False
+        pairing = {}
+        var_bounds = {}
+        distinct_components = []
+        for name in self._vars1:
+            v1 = self._vars1[name].name
+            v2 = self._vars2[name].name
+            pairing[v1] = v2
+            axis = name.split(".")[1]
+            i = {"x": 0, "y": 1, "z": 2}[axis]
+            extent = self.config.block_dim[i] if name.startswith("tid")                 else self.config.grid_dim[i]
+            var_bounds[v1] = Interval(0, extent - 1, 32)
+            var_bounds[v2] = Interval(0, extent - 1, 32)
+            if name.startswith("tid") or obj.space != ir.MemSpace.SHARED:
+                distinct_components.append(v1)
+        # every coordinate that could distinguish the two threads must be
+        # forced equal by the address equality
+        if not set(distinct_components) <= set(addr1[0]):
+            return False
+        return equality_forces_equal_components(
+            addr1, addr2, var_bounds, pairing, width=32)
+
+    def _check_pair(self, a1: Access, a2: Access, same_bi: bool) -> None:
+        self.stats.pairs_considered += 1
+        obj = a1.obj
+        if self._affine_no_overlap(a1, a2, obj):
+            self.stats.by_affine += 1
+            return
+        base = mk_and(
+            *self._bounds(),
+            self._different_thread(obj),
+            self._inst(a1.cond, 1),
+            self._inst(a2.cond, 2),
+            self._overlap(a1, a2),
+        )
+        if not same_bi:
+            # cross-interval global pair: only unordered across blocks
+            base = mk_and(base, mk_not(self._same_block()))
+        if base is FALSE:
+            return
+        if self.config.warp_lockstep and self.config.warp_size > 1:
+            model = self._solve_warp_aware(a1, a2, base)
+        else:
+            model = self._solve(base)
+        if model is None:
+            return
+        self._report_race(a1, a2, model, base)
+
+    def _solve(self, formula: Term) -> Optional[Model]:
+        self.stats.queries += 1
+        solver = Solver(conflict_budget=self.solver_budget,
+                        deadline=self._deadline)
+        solver.add(formula)
+        if solver.check() == CheckResult.SAT:
+            return solver.model()
+        return None
+
+    def _solve_warp_aware(self, a1: Access, a2: Access,
+                          base: Term) -> Optional[Model]:
+        # inter-warp pairs always qualify
+        model = self._solve(mk_and(base, mk_not(self._same_warp())))
+        if model is not None:
+            return model
+        # intra-warp: same-instruction simultaneous writes ...
+        if a1.instr_id == a2.instr_id and a1.kind.is_write() \
+                and a2.kind.is_write():
+            return self._solve(mk_and(base, self._same_warp()))
+        # ... or accesses in divergent branches (unordered execution):
+        # guards mutually exclusive for one thread
+        both = mk_and(a1.cond, a2.cond)
+        if both is FALSE or self._solve(
+                mk_and(*self._theta1[1], self._inst(both, 1))) is None:
+            return self._solve(mk_and(base, self._same_warp()))
+        return None
+
+    def _report_race(self, a1: Access, a2: Access, model: Model,
+                     base: Term) -> None:
+        # canonical kind: WW for write/write, RW for mixed; atomics noted
+        if a1.kind.is_write() and a2.kind.is_write():
+            kind = "WW"
+        else:
+            kind = "RW"
+        if AccessKind.ATOMIC in (a1.kind, a2.kind):
+            kind = f"Atomic/{kind[0]}" if kind == "WW" else "Atomic/R"
+        benign = False
+        if a1.kind.is_write() and a2.kind.is_write() \
+                and a1.value is not None and a2.value is not None:
+            distinct = mk_ne(self._inst(a1.value, 1),
+                             self._inst(a2.value, 2))
+            if contains_havoc(a1.value) or contains_havoc(a2.value):
+                benign = False
+            elif self._solve(mk_and(base, distinct)) is None:
+                benign = True
+        unresolvable = any(contains_havoc(t) for t in
+                           (a1.cond, a2.cond, a1.offset, a2.offset))
+        report = RaceReport(
+            kind=kind, obj_name=a1.obj.name, access1=a1, access2=a2,
+            benign=benign, witness=self._witness(model, two_threads=True),
+            unresolvable=unresolvable)
+        self.races.append(report)
+        self.stats.races_found += 1
+
+    # ------------------------------------------------------------------
+
+    def _check_oob(self) -> None:
+        seen: Set[tuple] = set()
+        reported: Set[tuple] = set()
+        for access in self.result.all_accesses():
+            if len(self.oobs) >= self.max_reports or self._out_of_time():
+                return
+            obj = access.obj
+            if obj.size_bytes is None:
+                continue
+            # one report per (object, source line): distinct loop
+            # iterations of the same access are the same bug
+            if (obj.name, access.loc) in reported:
+                continue
+            key = (id(obj), id(access.offset), access.size, id(access.cond))
+            if key in seen:
+                continue
+            seen.add(key)
+            addr = self._inst(access.offset, 1)
+            limit = mk_bv(obj.size_bytes - access.size, 32) \
+                if obj.size_bytes >= access.size else mk_bv(0, 32)
+            past_end = mk_not(mk_ule(addr, limit))
+            formula = mk_and(
+                *self._theta1[1], *self.config.assumptions,
+                *self.extra_assumptions,
+                self._inst(access.cond, 1), past_end)
+            model = self._solve(formula)
+            if model is not None:
+                reported.add((obj.name, access.loc))
+                self.oobs.append(OOBReport(
+                    obj_name=obj.name, access=access,
+                    size_bytes=obj.size_bytes,
+                    witness=self._witness(model, two_threads=False)))
+                self.stats.oob_found += 1
+
+    # ------------------------------------------------------------------
+
+    def _witness(self, model: Model, two_threads: bool) -> RaceWitness:
+        def coords(which: int, prefix: str) -> Tuple[int, int, int]:
+            out = []
+            for axis in ("x", "y", "z"):
+                name = f"{prefix}.{axis}"
+                var = (self._vars1 if which == 1 else self._vars2).get(name)
+                out.append(model.get(var.name, 0) if var is not None else 0)
+            return tuple(out)  # type: ignore[return-value]
+
+        inputs = {k: v for k, v in model.values.items()
+                  if not any(k.startswith(p)
+                             for p in ("tid.", "bid.")) and "!" not in k}
+        witness = RaceWitness(
+            thread1=coords(1, "tid"), block1=coords(1, "bid"),
+            inputs=inputs)
+        if two_threads:
+            witness.thread2 = coords(2, "tid")
+            witness.block2 = coords(2, "bid")
+        return witness

@@ -1,0 +1,49 @@
+"""Resolvability analysis (paper §IV-B).
+
+An access ``c ? v`` is *resolvable* when neither the guard ``c`` nor the
+address depends on a value written by other threads (a global SIMD
+write). The executor havocs such values and tags them; this module scans
+the collected access sets for the tags and produces the paper's
+``RSLV?`` verdict: when every access is resolvable, parametric checking
+is sound and complete (the §IV-B Proposition); otherwise races may be
+spurious or missed and the report says so.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .access import Access
+from .executor import ExecutionResult
+from .memory import contains_havoc
+
+
+@dataclass
+class ResolvabilityReport:
+    resolvable: bool
+    offending: List[Access] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        return "Y" if self.resolvable else "N"
+
+
+def analyze_resolvability(result: ExecutionResult) -> ResolvabilityReport:
+    """Scan the access sets for havoc-tainted guards/addresses."""
+    offending: List[Access] = []
+    for access in result.all_accesses():
+        tainted = contains_havoc(access.cond) \
+            or contains_havoc(access.offset)
+        if tainted:
+            offending.append(access)
+    notes = []
+    if offending:
+        sample = offending[0]
+        notes.append(
+            "access guards/addresses depend on values written by other "
+            f"threads (e.g. {sample.describe()}); the parametric check "
+            "over-approximates these (possible false alarms or omissions, "
+            "paper §IV-B)")
+    return ResolvabilityReport(resolvable=not offending,
+                               offending=offending, notes=notes)

@@ -1,0 +1,94 @@
+"""Per-flow execution state.
+
+A *flow* is an equivalence class of threads sharing a flow condition over
+``tid``/``bid`` (paper §IV-B). One parametric thread executes per flow;
+its state is this class. Splits clone the state (copy-on-write for the
+memory logs).
+"""
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import ir
+from ..smt import TRUE, Term, mk_and
+from .access import Access, AccessSet
+from .memory import LocalMemory, MemoryObject, ObjectLog
+
+_flow_counter = itertools.count()
+
+
+class FlowState:
+    """Registers + memory + conditions for one parametric flow."""
+
+    def __init__(self, flow_cond: Term = TRUE,
+                 parent: Optional["FlowState"] = None) -> None:
+        self.flow_id: int = next(_flow_counter)
+        self.parent_id: Optional[int] = None if parent is None \
+            else parent.flow_id
+        self.flow_cond: Term = flow_cond
+        #: SSA register values (id(Register) → SymValue)
+        self.regs: Dict[int, object] = {} if parent is None \
+            else dict(parent.regs)
+        self.local = LocalMemory() if parent is None \
+            else parent.local.clone()
+        #: shared/global write logs, per object
+        self.logs: Dict[int, ObjectLog] = {} if parent is None else {
+            k: v.clone() for k, v in parent.logs.items()}
+        #: accesses of the current barrier interval
+        self.bi_accesses = AccessSet()
+        if parent is not None:
+            self.bi_accesses.extend(parent.bi_accesses)
+        self.bi_index: int = 0 if parent is None else parent.bi_index
+        #: number of loop-branch splits this lineage has performed
+        self.split_depth: int = 0 if parent is None else parent.split_depth
+        #: executor position (filled by the scheduler)
+        self.block: Optional[ir.BasicBlock] = None
+        self.came_from: Optional[ir.BasicBlock] = None
+        self.finished: bool = False
+        self.at_barrier: bool = False
+        #: diagnostics
+        self.warnings: List[str] = [] if parent is None \
+            else list(parent.warnings)
+
+    # ------------------------------------------------------------------
+
+    def split(self, cond_true: Term, cond_false: Term
+              ) -> tuple["FlowState", "FlowState"]:
+        """Fork into two flows refining the flow condition (paper Fig. 4)."""
+        left = FlowState(mk_and(self.flow_cond, cond_true), parent=self)
+        right = FlowState(mk_and(self.flow_cond, cond_false), parent=self)
+        left.split_depth = self.split_depth + 1
+        right.split_depth = self.split_depth + 1
+        left.block = right.block = self.block
+        left.came_from = right.came_from = self.came_from
+        return left, right
+
+    def log_for(self, obj: MemoryObject) -> ObjectLog:
+        log = self.logs.get(id(obj))
+        if log is None:
+            log = ObjectLog(obj)
+            self.logs[id(obj)] = log
+        return log
+
+    def set_reg(self, reg: ir.Register, value: object) -> None:
+        self.regs[id(reg)] = value
+
+    def get_reg(self, reg: ir.Register) -> object:
+        try:
+            return self.regs[id(reg)]
+        except KeyError:
+            raise KeyError(f"register %{reg.name} is undefined "
+                           f"(flow {self.flow_id})") from None
+
+    def record(self, access: Access) -> None:
+        self.bi_accesses.add(access)
+
+    def warn(self, message: str) -> None:
+        if message not in self.warnings:
+            self.warnings.append(message)
+
+    def __repr__(self) -> str:
+        return (f"<flow {self.flow_id} cond={self.flow_cond!r} "
+                f"BI={self.bi_index}>")

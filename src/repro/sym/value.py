@@ -1,0 +1,55 @@
+"""Runtime values of the symbolic VM.
+
+Scalars are SMT terms (bitvectors — floats travel as opaque bit
+patterns). Pointers are (memory object, symbolic byte offset) pairs; they
+never convert to integers in MiniCUDA, which keeps the memory model
+object-precise (no pointer forging).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .. import ir
+from ..smt import Term, bv_sort, mk_bv, mk_bv_var
+from ..smt.terms import mk_add, mk_extract, mk_mul, mk_sext, mk_truncate, mk_zext
+
+
+def width_of(type_: ir.Type) -> int:
+    """Bit width a value of this IR type occupies at runtime."""
+    if isinstance(type_, ir.IntType):
+        return type_.width
+    if isinstance(type_, ir.FloatType):
+        return type_.width
+    if isinstance(type_, ir.PointerType):
+        return 64
+    raise TypeError(f"no runtime width for {type_!r}")
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A pointer value: an object plus a 32-bit byte offset term."""
+
+    obj: "MemoryObject"           # forward ref to repro.sym.memory
+    offset: Term                  # byte offset, 32-bit
+
+    def advanced(self, index: Term, elem_size: int) -> "Pointer":
+        """GEP semantics: ``self + index * elem_size`` (byte-scaled)."""
+        idx = fit_width(index, 32, signed=True)
+        delta = mk_mul(idx, mk_bv(elem_size, 32))
+        return Pointer(self.obj, mk_add(self.offset, delta))
+
+    def __repr__(self) -> str:
+        return f"&{self.obj.name}[{self.offset!r}]"
+
+
+SymValue = Union[Term, Pointer]
+
+
+def fit_width(term: Term, width: int, signed: bool = False) -> Term:
+    """Resize a term to ``width`` bits (trunc / zext / sext)."""
+    if term.width == width:
+        return term
+    if term.width > width:
+        return mk_extract(term, width - 1, 0)
+    return mk_sext(term, width) if signed else mk_zext(term, width)

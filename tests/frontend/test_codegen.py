@@ -1,0 +1,267 @@
+"""Codegen tests: AST → IR structure for the paper's kernel constructs."""
+import pytest
+
+from repro import ir
+from repro.frontend import CodeGenError, compile_source
+
+
+def compile_kernel(body: str, params: str = "int *a, unsigned n",
+                   prelude: str = "") -> ir.Function:
+    module = compile_source(
+        f"{prelude}\n__global__ void k({params}) {{ {body} }}")
+    return module.get_kernel("k")
+
+
+def instrs_of(fn: ir.Function, cls) -> list:
+    return [i for i in fn.instructions() if isinstance(i, cls)]
+
+
+class TestBasics:
+    def test_kernel_flag(self):
+        fn = compile_kernel("")
+        assert fn.is_kernel
+
+    def test_args_spilled_to_allocas(self):
+        fn = compile_kernel("")
+        allocas = instrs_of(fn, ir.Alloca)
+        assert len(allocas) == 2  # one per parameter
+
+    def test_all_blocks_terminated(self):
+        fn = compile_kernel("if (n > 0) { a[0] = 1; } a[1] = 2;")
+        for block in fn.blocks:
+            assert block.is_terminated()
+
+    def test_void_return_added(self):
+        fn = compile_kernel("a[0] = 1;")
+        rets = instrs_of(fn, ir.Ret)
+        assert len(rets) >= 1
+
+    def test_verify_rejects_unterminated(self):
+        fn = compile_kernel("")
+        bad = fn.new_block("bad")
+        with pytest.raises(ValueError):
+            fn.verify()
+        fn.blocks.remove(bad)
+
+
+class TestMemoryLowering:
+    def test_shared_array_becomes_global(self):
+        module = compile_source("""
+            __global__ void k(int *a) {
+                __shared__ int tile[32];
+                tile[threadIdx.x] = a[threadIdx.x];
+            }
+        """)
+        assert "k.tile" in module.globals
+        gv = module.globals["k.tile"]
+        assert gv.space == ir.MemSpace.SHARED
+        assert gv.size_bytes == 32 * 4
+
+    def test_module_level_shared(self):
+        module = compile_source("""
+            __shared__ float sdata[128];
+            __global__ void k(float *a) { sdata[0] = a[0]; }
+        """)
+        assert module.globals["sdata"].size_bytes == 128 * 4
+
+    def test_index_becomes_gep_load(self):
+        fn = compile_kernel("unsigned x = a[n];")
+        geps = instrs_of(fn, ir.GEP)
+        assert len(geps) == 1
+        assert geps[0].elem_size() == 4
+
+    def test_store_through_index(self):
+        fn = compile_kernel("a[n] = 3;")
+        stores = instrs_of(fn, ir.Store)
+        # one spill per arg + the actual a[n] store
+        gep_stores = [s for s in stores
+                      if isinstance(s.pointer, ir.Register)
+                      and isinstance(s.pointer.defining, ir.GEP)]
+        assert len(gep_stores) == 1
+
+    def test_pointer_arith_is_gep(self):
+        fn = compile_kernel("int *p = a + 4; *p = 1;")
+        geps = instrs_of(fn, ir.GEP)
+        assert len(geps) == 1
+
+    def test_local_array_stays_local(self):
+        fn = compile_kernel("int tmp[4]; tmp[0] = 1;")
+        allocas = instrs_of(fn, ir.Alloca)
+        arr = [al for al in allocas if al.count == 4]
+        assert len(arr) == 1
+
+
+class TestBuiltins:
+    def test_tid_expression(self):
+        fn = compile_kernel("a[threadIdx.x] = 1;")
+        geps = instrs_of(fn, ir.GEP)
+        idx = geps[0].index
+        assert isinstance(idx, ir.BuiltinValue)
+        assert idx.name == "tid.x"
+
+    def test_global_id_pattern(self):
+        fn = compile_kernel("a[blockIdx.x * blockDim.x + threadIdx.x] = 1;")
+        names = {v.name for i in fn.instructions()
+                 for v in i.operands() if isinstance(v, ir.BuiltinValue)}
+        assert {"bid.x", "bdim.x", "tid.x"} <= names
+
+    def test_builtin_values_shared_across_uses(self):
+        fn = compile_kernel("a[threadIdx.x] = threadIdx.x;")
+        tids = [v for i in fn.instructions() for v in i.operands()
+                if isinstance(v, ir.BuiltinValue) and v.name == "tid.x"]
+        assert len(tids) >= 2
+        assert all(t is tids[0] for t in tids)
+
+
+class TestOperatorLowering:
+    def test_unsigned_division_ops(self):
+        fn = compile_kernel("unsigned x = n / 2; unsigned y = n % 2;")
+        ops = [i.op for i in instrs_of(fn, ir.BinOp)]
+        assert "udiv" in ops and "urem" in ops
+
+    def test_signed_division_ops(self):
+        fn = compile_kernel("int x = (int)n; int y = x / 2; int z = x % 2;")
+        ops = [i.op for i in instrs_of(fn, ir.BinOp)]
+        assert "sdiv" in ops and "srem" in ops
+
+    def test_shift_signedness(self):
+        fn = compile_kernel("unsigned x = n >> 1; int y = (int)n; y = y >> 1;")
+        ops = [i.op for i in instrs_of(fn, ir.BinOp)]
+        assert "lshr" in ops and "ashr" in ops
+
+    def test_compare_signedness(self):
+        fn = compile_kernel("int s = (int)n; if (s < 0) { a[0]=1; } if (n < 4u) { a[1]=1; }")
+        preds = [i.pred for i in instrs_of(fn, ir.ICmp)]
+        assert "slt" in preds and "ult" in preds
+
+    def test_compound_assignment(self):
+        fn = compile_kernel("n += 2; n <<= 1;")
+        ops = [i.op for i in instrs_of(fn, ir.BinOp)]
+        assert "add" in ops and "shl" in ops
+
+    def test_increment_decrement(self):
+        fn = compile_kernel("n++; --n;")
+        ops = [i.op for i in instrs_of(fn, ir.BinOp)]
+        assert ops.count("add") == 1 and ops.count("sub") == 1
+
+    def test_ternary_becomes_select(self):
+        fn = compile_kernel("unsigned x = n > 2 ? n : 2u;")
+        assert len(instrs_of(fn, ir.Select)) == 1
+
+    def test_min_becomes_select(self):
+        fn = compile_kernel("unsigned x = min(n, 16u);")
+        assert len(instrs_of(fn, ir.Select)) == 1
+
+    def test_float_ops(self):
+        fn = compile_kernel("float x = 1.5f; float y = x * 2.0f;",
+                            params="float *a")
+        ops = [i.op for i in instrs_of(fn, ir.BinOp)]
+        assert "fmul" in ops
+
+
+class TestControlFlow:
+    def test_if_produces_br(self):
+        fn = compile_kernel("if (n > 0) { a[0] = 1; }")
+        assert len(instrs_of(fn, ir.Br)) == 1
+
+    def test_for_loop_structure(self):
+        fn = compile_kernel("for (unsigned s = 1; s < n; s *= 2) { a[s] = 1; }")
+        brs = instrs_of(fn, ir.Br)
+        assert len(brs) == 1
+        assert brs[0].meta.get("loop_branch")
+
+    def test_break_jumps_to_exit(self):
+        fn = compile_kernel(
+            "for (unsigned i = 0; i < n; i++) { if (i == 2) break; a[i]=1; }")
+        fn.verify()
+
+    def test_sync_lowered(self):
+        fn = compile_kernel("__syncthreads();")
+        assert len(instrs_of(fn, ir.Sync)) == 1
+
+    def test_loop_cfg_has_back_edge(self):
+        fn = compile_kernel("for (unsigned i = 0; i < n; i++) { a[i] = i; }")
+        cfg = ir.CFG(fn)
+        assert len(cfg.back_edges()) == 1
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+
+
+class TestCalls:
+    def test_atomic_add(self):
+        fn = compile_kernel("atomicAdd(&a[0], 1);")
+        atomics = instrs_of(fn, ir.AtomicRMW)
+        assert len(atomics) == 1 and atomics[0].op == "add"
+
+    def test_atomic_on_pointer_expr(self):
+        fn = compile_kernel("atomicAdd(a + n, 1);")
+        assert len(instrs_of(fn, ir.AtomicRMW)) == 1
+
+    def test_atomic_cas(self):
+        fn = compile_kernel("atomicCAS(&a[0], 0, 1);")
+        assert len(instrs_of(fn, ir.AtomicCAS)) == 1
+
+    def test_device_function_inlined(self):
+        fn = compile_kernel(
+            "a[0] = twice((int)n);",
+            prelude="__device__ int twice(int x) { return x * 2; }")
+        # the call disappears (inlined, paper §V pass 1); its body remains
+        assert len(instrs_of(fn, ir.Call)) == 0
+        assert any(b.op == "mul" for b in instrs_of(fn, ir.BinOp))
+
+    def test_inline_early_return(self):
+        fn = compile_kernel(
+            "a[0] = clampz((int)n);",
+            prelude="__device__ int clampz(int x) "
+                    "{ if (x < 0) return 0; return x; }")
+        fn.verify()
+
+    def test_recursive_device_fn_rejected(self):
+        with pytest.raises(CodeGenError):
+            compile_kernel(
+                "a[0] = f((int)n);",
+                prelude="__device__ int f(int x) { return f(x - 1); }")
+
+    def test_float_intrinsic_preserved(self):
+        fn = compile_kernel("float x = sqrtf(1.0f);", params="float *a")
+        calls = instrs_of(fn, ir.Call)
+        assert calls[0].callee == "sqrtf"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CodeGenError):
+            compile_kernel("frobnicate(n);")
+
+
+class TestCasts:
+    def test_float_to_uint(self):
+        fn = compile_kernel("unsigned x = (unsigned)b;",
+                            params="float b, int *a")
+        casts = instrs_of(fn, ir.Cast)
+        assert any(c.kind == "fptoui" for c in casts)
+
+    def test_widening_respects_signedness(self):
+        fn = compile_kernel(
+            "long w = (long)x; unsigned long v = (unsigned long)n;",
+            params="int x, unsigned n, int *a")
+        kinds = [c.kind for c in instrs_of(fn, ir.Cast)]
+        assert "sext" in kinds and "zext" in kinds
+
+    def test_pointer_cast_changes_elem_size(self):
+        fn = compile_kernel("long *w = (long*)a; w[n] = 0;")
+        geps = instrs_of(fn, ir.GEP)
+        assert geps[-1].elem_size() == 8
+
+
+class TestSourceLocations:
+    def test_locs_propagate(self):
+        module = compile_source(
+            "__global__ void k(int *a) {\n"
+            "  a[0] = 1;\n"
+            "  a[1] = 2;\n"
+            "}")
+        fn = module.get_kernel()
+        stores = [s for s in fn.instructions() if isinstance(s, ir.Store)
+                  and isinstance(s.pointer, ir.Register)
+                  and isinstance(s.pointer.defining, ir.GEP)]
+        assert stores[0].loc == 2
+        assert stores[1].loc == 3

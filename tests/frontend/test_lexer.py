@@ -1,0 +1,89 @@
+"""Lexer unit tests: tokens, comments, macros, errors."""
+import pytest
+
+from repro.frontend import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        toks = kinds("unsigned int foo __global__ threadIdx")
+        assert toks == [("keyword", "unsigned"), ("keyword", "int"),
+                        ("ident", "foo"), ("keyword", "__global__"),
+                        ("ident", "threadIdx")]
+
+    def test_integer_literals(self):
+        toks = kinds("0 42 0xFF 0x10 7u 3UL")
+        assert all(k == "int" for k, _ in toks)
+
+    def test_float_literals(self):
+        toks = kinds("1.0 0.5f .25 2e3 1.5e-2 7f")
+        assert all(k == "float" for k, _ in toks)
+
+    def test_int_not_confused_with_float(self):
+        toks = kinds("123")
+        assert toks == [("int", "123")]
+
+    def test_multichar_punctuation_longest_match(self):
+        toks = kinds("a <<= b >> c >= d == e && f")
+        puncts = [t for k, t in toks if k == "punct"]
+        assert puncts == ["<<=", ">>", ">=", "==", "&&"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        by_text = {t.text: t.line for t in toks if t.kind == "ident"}
+        assert by_text == {"a": 1, "b": 2, "c": 3}
+
+
+class TestComments:
+    def test_line_comment_stripped(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment_stripped(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment_preserves_lines(self):
+        toks = tokenize("a /* line\nline\n */ b")
+        b = next(t for t in toks if t.text == "b")
+        assert b.line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestMacros:
+    def test_object_macro_expands(self):
+        toks = kinds("#define N 64\nint a[N];")
+        assert ("int", "64") in toks
+
+    def test_macro_with_expression(self):
+        toks = kinds("#define TWO_N (2 * 64)\nTWO_N")
+        texts = [t for _, t in toks]
+        assert texts == ["(", "2", "*", "64", ")"]
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#define SQ(x) ((x)*(x))")
+
+    def test_include_ignored(self):
+        assert kinds('#include <cuda.h>\nint') == [("keyword", "int")]
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#ifdef FOO")
+
+    def test_macro_expansion_keeps_use_site_line(self):
+        toks = tokenize("#define N 64\n\n\nN")
+        n = next(t for t in toks if t.text == "64")
+        assert n.line == 4
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("int a = $;")
+        assert "line 1" in str(err.value)

@@ -1,0 +1,199 @@
+"""Parser unit tests over the constructs the paper's kernels use."""
+import pytest
+
+from repro.frontend import ParseError, parse
+from repro.frontend import ast as A
+
+
+def parse_kernel(body: str, params: str = "int *a, int n") -> A.FunctionDef:
+    unit = parse(f"__global__ void k({params}) {{ {body} }}")
+    assert len(unit.functions) == 1
+    return unit.functions[0]
+
+
+class TestTopLevel:
+    def test_kernel_qualifier(self):
+        fn = parse_kernel("")
+        assert fn.qualifier == "__global__"
+        assert fn.name == "k"
+
+    def test_device_function(self):
+        unit = parse("__device__ int helper(int x) { return x + 1; }")
+        assert unit.functions[0].qualifier == "__device__"
+
+    def test_params(self):
+        fn = parse_kernel("", params="float *idata, float *odata, unsigned n")
+        assert [p.name for p in fn.params] == ["idata", "odata", "n"]
+        assert fn.params[0].type_name.pointer_depth == 1
+        assert fn.params[2].type_name.signed is False
+
+    def test_module_level_shared(self):
+        unit = parse("""
+            __shared__ int sdata[256];
+            __global__ void k(int *a) { }
+        """)
+        assert len(unit.shared_decls) == 1
+        assert unit.shared_decls[0].name == "sdata"
+
+    def test_array_param_decays_to_pointer(self):
+        fn = parse_kernel("", params="int a[], int n")
+        assert fn.params[0].type_name.pointer_depth == 1
+
+    def test_define_macro_expansion(self):
+        unit = parse("""
+            #define NUM 128
+            __shared__ int sdata[NUM];
+            __global__ void k(int *a) { int x = NUM * 2; }
+        """)
+        decl = unit.shared_decls[0]
+        assert isinstance(decl.type_name.array_dims[0], A.IntLit)
+        assert decl.type_name.array_dims[0].value == 128
+
+
+class TestStatements:
+    def test_if_else(self):
+        fn = parse_kernel("if (n > 0) { a[0] = 1; } else { a[1] = 2; }")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, A.IfStmt)
+        assert stmt.else_body is not None
+
+    def test_if_without_braces(self):
+        fn = parse_kernel("if (n > 0) a[0] = 1;")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, A.IfStmt)
+        assert len(stmt.then_body.stmts) == 1
+
+    def test_for_loop(self):
+        fn = parse_kernel(
+            "for (unsigned s = 1; s < n; s *= 2) { a[s] = s; }")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, A.ForStmt)
+        assert isinstance(stmt.init, A.DeclStmt)
+        assert isinstance(stmt.step, A.Assign)
+
+    def test_while_and_do_while(self):
+        fn = parse_kernel("while (n) { n = n - 1; } do { n = 1; } while (n);")
+        assert isinstance(fn.body.stmts[0], A.WhileStmt)
+        assert fn.body.stmts[1].is_do_while
+
+    def test_break_continue(self):
+        fn = parse_kernel(
+            "for (int i = 0; i < n; i++) { if (i == 2) break; continue; }")
+        body = fn.body.stmts[0].body
+        assert isinstance(body.stmts[0].then_body.stmts[0], A.BreakStmt)
+        assert isinstance(body.stmts[1], A.ContinueStmt)
+
+    def test_syncthreads(self):
+        fn = parse_kernel("__syncthreads();")
+        assert isinstance(fn.body.stmts[0], A.SyncStmt)
+
+    def test_local_shared_declaration(self):
+        fn = parse_kernel("__shared__ float tile[16];")
+        decl = fn.body.stmts[0]
+        assert isinstance(decl, A.DeclStmt)
+        assert decl.shared
+
+    def test_multi_declarator(self):
+        fn = parse_kernel("int x = 1, y = 2, *p;")
+        decl = fn.body.stmts[0]
+        assert [d[0] for d in decl.declarators] == ["x", "y", "p"]
+        assert decl.declarators[2][1].pointer_depth == 1
+
+
+class TestExpressions:
+    def expr_of(self, src):
+        fn = parse_kernel(f"n = {src};")
+        return fn.body.stmts[0].expr.rhs
+
+    def test_builtin_refs(self):
+        e = self.expr_of("threadIdx.x + blockIdx.y * blockDim.z")
+        assert isinstance(e, A.Binary)
+        assert isinstance(e.lhs, A.BuiltinRef)
+        assert e.lhs.base == "threadIdx" and e.lhs.axis == "x"
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr_of("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.rhs.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = self.expr_of("a[0] < n << 1 ? 1 : 0")
+        assert isinstance(e, A.Ternary)
+        assert e.cond.op == "<"
+        assert e.cond.rhs.op == "<<"
+
+    def test_xor_tid_pattern(self):
+        # the bitonic pattern: ixj = tid ^ j
+        e = self.expr_of("threadIdx.x ^ 3")
+        assert e.op == "^"
+
+    def test_ternary(self):
+        e = self.expr_of("n > 0 ? a[0] : 1")
+        assert isinstance(e, A.Ternary)
+
+    def test_assignment_right_assoc(self):
+        fn = parse_kernel("a[0] = a[1] = 5;")
+        outer = fn.body.stmts[0].expr
+        assert isinstance(outer.rhs, A.Assign)
+
+    def test_compound_assign(self):
+        fn = parse_kernel("n += 4; n <<= 1; n %= 3;")
+        ops = [s.expr.op for s in fn.body.stmts]
+        assert ops == ["+=", "<<=", "%="]
+
+    def test_post_and_pre_increment(self):
+        fn = parse_kernel("n++; ++n;")
+        assert isinstance(fn.body.stmts[0].expr, A.PostIncDec)
+        assert isinstance(fn.body.stmts[1].expr, A.Unary)
+
+    def test_cast_expression(self):
+        e = self.expr_of("(unsigned int)n")
+        assert isinstance(e, A.CastExpr)
+        assert e.to_type.signed is False
+
+    def test_call_with_args(self):
+        e = self.expr_of("min(n, 4)")
+        assert isinstance(e, A.CallExpr)
+        assert len(e.args) == 2
+
+    def test_atomic_call(self):
+        fn = parse_kernel("atomicAdd(&a[0], 1);")
+        call = fn.body.stmts[0].expr
+        assert call.name == "atomicAdd"
+        assert isinstance(call.args[0], A.Unary)
+
+    def test_address_and_deref(self):
+        fn = parse_kernel("int *p = &a[2]; *p = 7;")
+        assert isinstance(fn.body.stmts[0].declarators[0][2], A.Unary)
+
+    def test_hex_literals(self):
+        e = self.expr_of("0xFF")
+        assert e.value == 255
+
+    def test_unsigned_suffix(self):
+        e = self.expr_of("3u")
+        assert e.unsigned
+
+    def test_member_on_non_builtin_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel("n = foo.x;")
+
+    def test_line_numbers_recorded(self):
+        unit = parse("__global__ void k(int *a) {\n\n  a[0] = 1;\n}")
+        stmt = unit.functions[0].body.stmts[0]
+        assert stmt.line == 3
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_kernel("n = 1")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_kernel("n = (1 + 2;")
+
+    def test_function_like_macro_rejected(self):
+        from repro.frontend import LexError
+        with pytest.raises(LexError):
+            parse("#define SUM(x) a[x]\n__global__ void k(int *a) {}")

@@ -1,0 +1,131 @@
+"""Semantic analysis: type resolution, constant evaluation, error paths."""
+import pytest
+
+from repro import ir
+from repro.frontend import CodeGenError, SemaError, compile_source
+from repro.frontend import ast as A
+from repro.frontend.sema import common_int_type, const_eval, resolve_type
+
+
+class TestTypeResolution:
+    def resolve(self, base="int", signed=True, depth=0):
+        tn = A.TypeName(base=base, signed=signed, pointer_depth=depth)
+        return resolve_type(tn)
+
+    def test_basic_widths(self):
+        assert self.resolve("char").width == 8
+        assert self.resolve("short").width == 16
+        assert self.resolve("int").width == 32
+        assert self.resolve("long").width == 64
+
+    def test_signedness(self):
+        assert self.resolve("int", signed=False).signed is False
+        assert self.resolve("int").signed is True
+
+    def test_floats(self):
+        assert self.resolve("float") == ir.F32
+        assert self.resolve("double") == ir.F64
+
+    def test_pointers(self):
+        t = self.resolve("float", depth=2)
+        assert isinstance(t, ir.PointerType)
+        assert isinstance(t.pointee, ir.PointerType)
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(SemaError):
+            self.resolve("quaternion")
+
+
+class TestConstEval:
+    def eval(self, src):
+        from repro.frontend.parser import Parser
+        from repro.frontend.lexer import tokenize
+        expr = Parser(tokenize(src)).parse_expr()
+        return const_eval(expr)
+
+    def test_arithmetic(self):
+        assert self.eval("2 + 3 * 4") == 14
+        assert self.eval("(1 << 8) - 1") == 255
+        assert self.eval("64 / 4 % 5") == 1
+
+    def test_bitwise(self):
+        assert self.eval("0xF0 | 0x0F") == 0xFF
+        assert self.eval("0xFF & 0x0F") == 0x0F
+        assert self.eval("~0 ^ 5") == ~5
+
+    def test_unary_minus(self):
+        assert self.eval("-4 + 2") == -2
+
+    def test_non_constant_rejected(self):
+        with pytest.raises(SemaError):
+            self.eval("x + 1")
+
+
+class TestCommonIntType:
+    def test_promotes_to_32(self):
+        t = common_int_type(ir.I8, ir.I16)
+        assert t.width == 32
+
+    def test_wider_wins(self):
+        t = common_int_type(ir.I64, ir.I32)
+        assert t.width == 64 and t.signed
+
+    def test_unsigned_wins_at_equal_width(self):
+        t = common_int_type(ir.I32, ir.U32)
+        assert not t.signed
+
+    def test_wider_signedness_carries(self):
+        t = common_int_type(ir.U64, ir.I32)
+        assert t.width == 64 and not t.signed
+
+
+class TestCodegenErrors:
+    def compile(self, body, params="int *a, unsigned n"):
+        return compile_source(f"__global__ void k({params}) {{ {body} }}")
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(CodeGenError, match="undeclared"):
+            self.compile("ghost = 1;")
+
+    def test_redeclaration(self):
+        with pytest.raises(SemaError, match="redeclaration"):
+            self.compile("int x = 1; int x = 2;")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CodeGenError, match="break"):
+            self.compile("break;")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CodeGenError, match="continue"):
+            self.compile("continue;")
+
+    def test_assigning_array_name(self):
+        with pytest.raises(CodeGenError, match="array"):
+            self.compile("int t[4]; t = 0;")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CodeGenError):
+            self.compile("n = *n;")
+
+    def test_indexing_scalar(self):
+        with pytest.raises(CodeGenError, match="non-pointer"):
+            self.compile("n[0] = 1;")
+
+    def test_shared_initialiser_rejected(self):
+        with pytest.raises(CodeGenError, match="initialis"):
+            self.compile("__shared__ int x = 3;")
+
+    def test_scoping_allows_shadowing_in_blocks(self):
+        module = self.compile("int x = 1; { int y = 2; } int y = 3; a[0] = y;")
+        assert module.get_kernel("k")
+
+    def test_scope_ends_with_block(self):
+        with pytest.raises(CodeGenError, match="undeclared"):
+            self.compile("{ int y = 2; } a[0] = y;")
+
+    def test_wrong_arity_device_call(self):
+        with pytest.raises(CodeGenError, match="argument"):
+            compile_source("""
+__device__ int f(int a, int b) { return a + b; }
+__global__ void k(int *out) { out[0] = f(1); }
+""")

@@ -1,0 +1,135 @@
+"""CFG analyses: dominators, post-dominators, loops, frontiers."""
+import pytest
+
+from repro import ir
+from repro.frontend import compile_source
+from repro.passes import remove_unreachable_blocks
+
+
+def cfg_of(body: str, params: str = "int *a, unsigned n") -> ir.CFG:
+    module = compile_source(f"__global__ void k({params}) {{ {body} }}")
+    fn = module.get_kernel("k")
+    remove_unreachable_blocks(fn)
+    return ir.CFG(fn)
+
+
+def block_named(cfg: ir.CFG, prefix: str) -> ir.BasicBlock:
+    for block in cfg.blocks:
+        if block.name.startswith(prefix):
+            return block
+    raise KeyError(prefix)
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        cfg = cfg_of("if (n > 1) { a[0] = 1; } a[1] = 2;")
+        entry = cfg.function.entry
+        for block in cfg.blocks:
+            assert cfg.dominates(entry, block)
+
+    def test_branch_arms_not_dominating_join(self):
+        cfg = cfg_of("if (n > 1) { a[0] = 1; } else { a[1] = 2; } a[2] = 3;")
+        then_b = block_named(cfg, "if.then")
+        join = block_named(cfg, "if.end")
+        assert not cfg.dominates(then_b, join)
+
+    def test_loop_header_dominates_body(self):
+        cfg = cfg_of("for (unsigned i = 0; i < n; i++) { a[i] = 1; }")
+        header = block_named(cfg, "for.cond")
+        body = block_named(cfg, "for.body")
+        assert cfg.dominates(header, body)
+
+    def test_reflexive(self):
+        cfg = cfg_of("a[0] = 1;")
+        assert cfg.dominates(cfg.function.entry, cfg.function.entry)
+
+
+class TestPostDominators:
+    def test_join_postdominates_arms(self):
+        cfg = cfg_of("if (n > 1) { a[0] = 1; } else { a[1] = 2; } a[2] = 3;")
+        then_b = block_named(cfg, "if.then")
+        join = block_named(cfg, "if.end")
+        assert cfg.ipostdom()[then_b] is join
+
+    def test_reconvergence_point_of_branch(self):
+        cfg = cfg_of("if (n > 1) { a[0] = 1; } a[2] = 3;")
+        entry = cfg.function.entry
+        join = block_named(cfg, "if.end")
+        assert cfg.reconvergence_point(entry) is join
+
+    def test_exit_has_no_postdominator(self):
+        cfg = cfg_of("a[0] = 1;")
+        exits = [b for b in cfg.blocks if not b.successors()]
+        assert cfg.ipostdom()[exits[0]] is None
+
+    def test_nested_diamonds(self):
+        cfg = cfg_of("""
+            if (n > 1) {
+              if (n > 2) { a[0] = 1; } else { a[1] = 2; }
+            } else { a[2] = 3; }
+            a[3] = 4;
+        """)
+        ipdom = cfg.ipostdom()
+        # the inner join post-dominates the inner arms; the outer join
+        # post-dominates the inner join
+        inner_join = None
+        for block in cfg.blocks:
+            term = block.terminator
+            if isinstance(term, ir.Br) and block.name.startswith("if.then"):
+                inner_join = ipdom[block]
+        assert inner_join is not None
+
+
+class TestLoops:
+    def test_simple_loop_detected(self):
+        cfg = cfg_of("for (unsigned i = 0; i < n; i++) { a[i] = 1; }")
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        assert loops[0].header.name.startswith("for.cond")
+
+    def test_nested_loops_detected(self):
+        cfg = cfg_of(
+            "for (unsigned i = 0; i < n; i++) "
+            "  for (unsigned j = 0; j < n; j++) a[i+j] = 1;")
+        assert len(cfg.natural_loops()) == 2
+
+    def test_while_loop(self):
+        cfg = cfg_of("while (n > 0) { n = n - 1; }")
+        assert len(cfg.natural_loops()) == 1
+
+    def test_no_loops_in_straight_line(self):
+        cfg = cfg_of("a[0] = 1; if (n > 2) { a[1] = 2; }")
+        assert cfg.natural_loops() == []
+
+    def test_loop_exit_branches(self):
+        cfg = cfg_of("for (unsigned i = 0; i < n; i++) { a[i] = 1; }")
+        loop = cfg.natural_loops()[0]
+        exits = loop.exit_condition_branches()
+        assert len(exits) == 1
+        assert exits[0].meta.get("loop_branch")
+
+
+class TestDominanceFrontiers:
+    def test_join_in_frontier_of_arms(self):
+        cfg = cfg_of("if (n > 1) { a[0] = 1; } else { a[1] = 2; } a[2] = 3;")
+        df = cfg.dominance_frontiers()
+        then_b = block_named(cfg, "if.then")
+        join = block_named(cfg, "if.end")
+        assert join in df[then_b]
+
+    def test_loop_header_in_own_frontier(self):
+        cfg = cfg_of("for (unsigned i = 0; i < n; i++) { a[i] = 1; }")
+        df = cfg.dominance_frontiers()
+        header = block_named(cfg, "for.cond")
+        assert header in df[header]
+
+
+class TestReversePostorder:
+    def test_entry_first(self):
+        cfg = cfg_of("if (n > 1) { a[0] = 1; } a[2] = 3;")
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] is cfg.function.entry
+
+    def test_all_reachable_blocks_present(self):
+        cfg = cfg_of("for (unsigned i = 0; i < n; i++) { a[i] = 1; }")
+        assert len(cfg.reverse_postorder()) == len(cfg.blocks)

@@ -1,0 +1,80 @@
+"""Golden-structure tests: the §V Example 2 bytecode shape is pinned.
+
+Not a byte-for-byte snapshot (register numbering may drift) but the
+structural facts the paper's walkthrough depends on.
+"""
+import re
+
+import pytest
+
+from repro import ir
+from repro.frontend import compile_source
+from repro.kernels.paper_examples import REDUCTION
+from repro.passes import standard_pipeline
+
+
+@pytest.fixture(scope="module")
+def reduction_ir():
+    module = compile_source(REDUCTION.source)
+    standard_pipeline().run(module)
+    return module
+
+
+def text_of(module):
+    return ir.module_to_str(module)
+
+
+class TestPaperExampleTwoBytecode:
+    """§V Example 2's annotated bytecode, line by line."""
+
+    def test_loop_counter_is_single_phi(self, reduction_ir):
+        fn = reduction_ir.get_kernel()
+        phis = [i for i in fn.instructions() if isinstance(i, ir.Phi)]
+        assert len(phis) == 1
+        #   %3 = phi [loop, 1] [if.end, %9]
+        incoming_values = [v for _, v in phis[0].incoming]
+        consts = [v for v in incoming_values
+                  if isinstance(v, ir.Constant)]
+        assert consts and consts[0].value == 1  # s starts at 1
+
+    def test_loop_structure(self, reduction_ir):
+        text = text_of(reduction_ir)
+        #   %2 = cmp lt %1 bdim.x ; s < bdim.x?
+        assert re.search(r"icmp ult %\w+, \$bdim\.x", text)
+        #   %5 = mod tid %4 ; tid % (2*s)
+        assert re.search(r"urem \$tid\.x", text)
+        #   %9 = mul %3 2 ; s *= 2
+        assert re.search(r"mul %\w+, 2", text)
+        #   call __syncthreads ; barrier
+        assert "syncthreads" in text
+        assert text.count("syncthreads") == 2  # one explicit + loop body
+
+    def test_shared_accesses(self, reduction_ir):
+        text = text_of(reduction_ir)
+        #   %8 = load sdata %7 / store sdata tid %8
+        assert re.search(r"getelptr @sdata, \$tid\.x x 4", text)
+        #   tid + s for the partner element
+        assert re.search(r"add \$tid\.x, %\w+", text)
+
+    def test_branch_targets_match_source_structure(self, reduction_ir):
+        fn = reduction_ir.get_kernel()
+        names = {b.name.split(".")[0] for b in fn.blocks}
+        assert {"entry", "for", "if"} <= {n.split(".")[0] for n in
+                                          {b.name for b in fn.blocks}} \
+            or {"entry"} <= names
+
+    def test_memory_spaces(self, reduction_ir):
+        gv = reduction_ir.globals["sdata"]
+        assert gv.space == ir.MemSpace.SHARED
+        fn = reduction_ir.get_kernel()
+        for arg in fn.args:
+            assert arg.type.space == ir.MemSpace.GLOBAL
+
+
+class TestStability:
+    def test_compilation_is_deterministic(self):
+        m1 = compile_source(REDUCTION.source)
+        m2 = compile_source(REDUCTION.source)
+        standard_pipeline().run(m1)
+        standard_pipeline().run(m2)
+        assert ir.module_to_str(m1) == ir.module_to_str(m2)

@@ -1,0 +1,113 @@
+"""IR type system and value classes."""
+import pytest
+
+from repro import ir
+
+
+class TestTypes:
+    def test_int_sizes(self):
+        assert ir.I8.size_bytes() == 1
+        assert ir.I32.size_bytes() == 4
+        assert ir.I64.size_bytes() == 8
+
+    def test_float_sizes(self):
+        assert ir.F32.size_bytes() == 4
+        assert ir.F64.size_bytes() == 8
+
+    def test_pointer_size(self):
+        assert ir.ptr(ir.I32).size_bytes() == 8
+
+    def test_array_size(self):
+        assert ir.ArrayType(ir.F32, 64).size_bytes() == 256
+        nested = ir.ArrayType(ir.ArrayType(ir.I32, 4), 8)
+        assert nested.size_bytes() == 128
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            ir.VOID.size_bytes()
+
+    def test_equality_structural(self):
+        assert ir.IntType(32, True) == ir.I32
+        assert ir.IntType(32, False) != ir.I32
+        assert ir.ptr(ir.I32) == ir.ptr(ir.I32)
+        assert ir.ptr(ir.I32, ir.MemSpace.SHARED) != ir.ptr(ir.I32)
+
+    def test_hashable(self):
+        s = {ir.I32, ir.IntType(32, True), ir.U32, ir.F32}
+        assert len(s) == 3
+
+    def test_memspace_sharedness(self):
+        assert ir.MemSpace.SHARED.is_shared_between_threads()
+        assert ir.MemSpace.GLOBAL.is_shared_between_threads()
+        assert not ir.MemSpace.LOCAL.is_shared_between_threads()
+
+    def test_repr(self):
+        assert repr(ir.I32) == "i32"
+        assert repr(ir.U32) == "u32"
+        assert repr(ir.ArrayType(ir.I32, 4)) == "[4 x i32]"
+        assert "shared" in repr(ir.ptr(ir.I32, ir.MemSpace.SHARED))
+
+
+class TestValues:
+    def test_constant_short(self):
+        assert ir.Constant(42, ir.I32).short() == "42"
+
+    def test_register_short(self):
+        assert ir.Register("r1", ir.I32).short() == "%r1"
+
+    def test_global_variable_pointer_type(self):
+        gv = ir.GlobalVariable("s", ir.ArrayType(ir.F32, 8),
+                               ir.MemSpace.SHARED)
+        assert isinstance(gv.type, ir.PointerType)
+        assert gv.type.pointee == ir.F32
+        assert gv.size_bytes == 32
+
+    def test_scalar_global(self):
+        gv = ir.GlobalVariable("c", ir.I32, ir.MemSpace.SHARED)
+        assert gv.type.pointee == ir.I32
+        assert gv.size_bytes == 4
+
+    def test_builtin_short(self):
+        bv = ir.BuiltinValue("tid.x", ir.U32)
+        assert bv.short() == "$tid.x"
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        m = ir.Module()
+        ft = ir.FunctionType(ir.VOID, ())
+        m.add_function(ir.Function("k", ft, [], is_kernel=True))
+        with pytest.raises(ValueError):
+            m.add_function(ir.Function("k", ft, []))
+
+    def test_duplicate_global_rejected(self):
+        m = ir.Module()
+        m.add_global(ir.GlobalVariable("g", ir.I32, ir.MemSpace.SHARED))
+        with pytest.raises(ValueError):
+            m.add_global(ir.GlobalVariable("g", ir.I32,
+                                           ir.MemSpace.SHARED))
+
+    def test_get_kernel_requires_unique(self):
+        m = ir.Module()
+        ft = ir.FunctionType(ir.VOID, ())
+        m.add_function(ir.Function("a", ft, [], is_kernel=True))
+        m.add_function(ir.Function("b", ft, [], is_kernel=True))
+        with pytest.raises(ValueError):
+            m.get_kernel()
+        assert m.get_kernel("a").name == "a"
+
+    def test_get_kernel_rejects_device_fn(self):
+        m = ir.Module()
+        ft = ir.FunctionType(ir.VOID, ())
+        m.add_function(ir.Function("helper", ft, [], is_kernel=False))
+        with pytest.raises(KeyError):
+            m.get_kernel("helper")
+
+    def test_block_append_after_terminator_rejected(self):
+        m = ir.Module()
+        ft = ir.FunctionType(ir.VOID, ())
+        fn = m.add_function(ir.Function("k", ft, [], is_kernel=True))
+        block = fn.new_block("entry")
+        block.append(ir.Ret())
+        with pytest.raises(ValueError):
+            block.append(ir.Ret())

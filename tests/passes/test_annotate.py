@@ -1,0 +1,85 @@
+"""Flow-merging annotation pass (§V Example 1's 'skip' flags)."""
+import pytest
+
+from repro import ir
+from repro.frontend import compile_source
+from repro.passes import annotate_flow_merging, standard_pipeline
+
+
+def annotated(source):
+    module = compile_source(source)
+    standard_pipeline().run(module)
+    fn = module.get_kernel()
+    counts = annotate_flow_merging(fn)
+    return fn, counts
+
+
+def branch_tags(fn):
+    out = {}
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, ir.Br):
+            tags = [t for t in ("combine", "combine_ite", "split")
+                    if term.meta.get(t)]
+            out[block.name] = tags[0]
+    return out
+
+
+class TestAnnotation:
+    def test_generic_example_combines(self):
+        """§V Ex. 1: both branches of Generic get the skip flag."""
+        fn, counts = annotated("""
+__shared__ int A[64];
+__global__ void generic(int a, int b, int c) {
+  int v = 0;
+  if (threadIdx.x < 32) { v = a; } else { v = b; }
+  int u = 0;
+  if (c > 3) { u = threadIdx.x * 2; }
+  A[threadIdx.x] = v + u;
+}""")
+        assert counts["combine"] == 2
+        assert counts["split"] == 0
+
+    def test_sink_feeding_merge_gets_ite_tag(self):
+        fn, counts = annotated("""
+__shared__ int s[64];
+__global__ void k() {
+  unsigned idx;
+  if (threadIdx.x % 2 == 0) { idx = threadIdx.x; }
+  else { idx = threadIdx.x / 4; }
+  s[idx] = 1;
+}""")
+        assert counts["combine_ite"] == 1
+
+    def test_loop_branch_splits(self):
+        fn, counts = annotated("""
+__shared__ int s[64];
+__global__ void k(int n) {
+  for (int i = 0; i < n; i++) { s[threadIdx.x] = i; }
+}""")
+        assert counts["split"] >= 1
+
+    def test_barrier_in_arm_splits(self):
+        fn, counts = annotated("""
+__shared__ int s[64];
+__global__ void k() {
+  if (threadIdx.x < 4) {
+    __syncthreads();
+  }
+  s[threadIdx.x] = 1;
+}""")
+        tags = branch_tags(fn)
+        entry_tag = next(t for name, t in tags.items()
+                         if name.startswith("entry"))
+        assert entry_tag == "split"
+
+    def test_tags_visible_in_ir_dump(self):
+        fn, _ = annotated("""
+__shared__ int s[64];
+__global__ void k() {
+  int v = 0;
+  if (threadIdx.x % 2 == 0) { v = 1; }
+  s[threadIdx.x] = v;
+}""")
+        text = ir.function_to_str(fn)
+        assert "combine" in text

@@ -1,0 +1,60 @@
+"""Control-dependence computation (used by the taint pass's case 2)."""
+import pytest
+
+from repro import ir
+from repro.frontend import compile_source
+from repro.passes import remove_unreachable_blocks
+from repro.passes.taint import ControlDependence
+
+
+def cd_of(body: str, params: str = "int *a, unsigned n"):
+    module = compile_source(f"__global__ void k({params}) {{ {body} }}")
+    fn = module.get_kernel("k")
+    remove_unreachable_blocks(fn)
+    cfg = ir.CFG(fn)
+    return fn, cfg, ControlDependence(cfg)
+
+
+def block(fn, prefix):
+    return next(b for b in fn.blocks if b.name.startswith(prefix))
+
+
+class TestControlDependence:
+    def test_then_block_depends_on_branch(self):
+        fn, cfg, cd = cd_of("if (n > 2) { a[0] = 1; } a[1] = 2;")
+        then_b = block(fn, "if.then")
+        deps = cd.of(then_b)
+        assert len(deps) == 1
+        assert isinstance(deps[0], ir.Br)
+
+    def test_join_not_dependent(self):
+        fn, cfg, cd = cd_of("if (n > 2) { a[0] = 1; } a[1] = 2;")
+        join = block(fn, "if.end")
+        assert cd.of(join) == []
+
+    def test_both_arms_depend(self):
+        fn, cfg, cd = cd_of(
+            "if (n > 2) { a[0] = 1; } else { a[1] = 2; } a[2] = 3;")
+        assert cd.of(block(fn, "if.then"))
+        assert cd.of(block(fn, "if.else"))
+
+    def test_nested_dependence_accumulates(self):
+        fn, cfg, cd = cd_of("""
+            if (n > 2) {
+              if (n > 4) { a[0] = 1; }
+            }
+        """)
+        inner_thens = [b for b in fn.blocks if b.name.startswith("if.then")]
+        # the innermost then-block depends on both branches
+        deepest = max(inner_thens, key=lambda b: len(cd.of(b)))
+        assert len(cd.of(deepest)) == 2
+
+    def test_loop_body_depends_on_loop_branch(self):
+        fn, cfg, cd = cd_of("for (unsigned i = 0; i < n; i++) { a[i] = 1; }")
+        body = block(fn, "for.body")
+        deps = cd.of(body)
+        assert any(d.meta.get("loop_branch") for d in deps)
+
+    def test_entry_free_of_dependence(self):
+        fn, cfg, cd = cd_of("if (n > 2) { a[0] = 1; }")
+        assert cd.of(fn.entry) == []

@@ -1,0 +1,172 @@
+"""Use-def, liveness, and alias (pointer-root) analysis tests."""
+import pytest
+
+from repro import ir
+from repro.frontend import compile_source
+from repro.passes import (
+    Liveness, UseDef, address_space, index_values, is_shared_or_global,
+    mem2reg, remove_unreachable_blocks, root_object,
+)
+
+
+def compiled(source: str) -> ir.Function:
+    module = compile_source(source)
+    fn = module.get_kernel()
+    remove_unreachable_blocks(fn)
+    mem2reg(fn)
+    return fn
+
+
+REDUCTION = """
+__shared__ float sdata[512];
+__global__ void reduce(float *idata, float *odata) {
+  sdata[threadIdx.x] = idata[threadIdx.x];
+  __syncthreads();
+  for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+    if (threadIdx.x % (2*s) == 0)
+      sdata[threadIdx.x] += sdata[threadIdx.x + s];
+    __syncthreads();
+  }
+  odata[threadIdx.x] = sdata[threadIdx.x];
+}
+"""
+
+
+class TestUseDef:
+    def test_definitions_found(self):
+        fn = compiled(REDUCTION)
+        ud = UseDef(fn)
+        for instr in fn.instructions():
+            if instr.result is not None:
+                assert ud.definition(instr.result) is instr
+
+    def test_users_inverse_of_operands(self):
+        fn = compiled(REDUCTION)
+        ud = UseDef(fn)
+        for instr in fn.instructions():
+            for op in instr.operands():
+                assert instr in ud.users(op)
+
+    def test_dead_register_detected(self):
+        fn = compiled("""
+__global__ void k(int *a, int n) {
+  int dead = n * 17;
+  a[threadIdx.x] = 1;
+}""")
+        ud = UseDef(fn)
+        dead = [i.result for i in fn.instructions()
+                if isinstance(i, ir.BinOp) and i.op == "mul"]
+        assert dead and ud.is_dead(dead[0])
+
+
+class TestLiveness:
+    def test_loop_counter_live_through_body(self):
+        fn = compiled(REDUCTION)
+        live = Liveness(fn)
+        phis = [i for i in fn.instructions() if isinstance(i, ir.Phi)]
+        assert len(phis) == 1
+        s_reg = phis[0].result
+        # s is live at the exit of the loop body (feeds the step)
+        body = next(b for b in fn.blocks if b.name.startswith("for.body"))
+        assert live.is_live_out(s_reg, body)
+
+    def test_value_dead_after_last_use(self):
+        fn = compiled("""
+__global__ void k(int *a, unsigned n) {
+  unsigned x = n + 1;
+  a[x] = 0;
+  a[0] = 1;
+  if (n > 2) { a[1] = 2; }
+}""")
+        live = Liveness(fn)
+        adds = [i.result for i in fn.instructions()
+                if isinstance(i, ir.BinOp) and i.op == "add"]
+        # x's computation is not live out of the entry block's successors
+        last = fn.blocks[-1]
+        for add in adds:
+            assert not live.is_live_out(add, last)
+
+    def test_phi_incomings_live_out_of_predecessors(self):
+        fn = compiled("""
+__global__ void k(int *a, unsigned n) {
+  unsigned v;
+  if (n > 4) { v = n + 1; } else { v = n + 2; }
+  a[v] = 0;
+}""")
+        live = Liveness(fn)
+        phi = next(i for i in fn.instructions() if isinstance(i, ir.Phi))
+        for pred, value in phi.incoming:
+            if isinstance(value, ir.Register):
+                assert live.is_live_out(value, pred)
+
+
+class TestAlias:
+    def test_shared_global_root(self):
+        fn = compiled(REDUCTION)
+        geps = [i for i in fn.instructions() if isinstance(i, ir.GEP)]
+        roots = {root_object(g.result).name if hasattr(
+            root_object(g.result), "name") else None for g in geps}
+        assert "sdata" in roots
+
+    def test_argument_root(self):
+        fn = compiled(REDUCTION)
+        geps = [i for i in fn.instructions() if isinstance(i, ir.GEP)]
+        arg_roots = [root_object(g.result) for g in geps
+                     if isinstance(root_object(g.result), ir.Argument)]
+        assert {r.name for r in arg_roots} == {"idata", "odata"}
+
+    def test_address_space(self):
+        fn = compiled(REDUCTION)
+        geps = [i for i in fn.instructions() if isinstance(i, ir.GEP)]
+        spaces = {address_space(g.result) for g in geps}
+        assert ir.MemSpace.SHARED in spaces
+        assert ir.MemSpace.GLOBAL in spaces
+
+    def test_local_array_root_is_alloca(self):
+        fn = compiled("""
+__global__ void k(int *a) {
+  int t[8];
+  t[threadIdx.x & 7] = 1;
+  a[0] = t[0];
+}""")
+        geps = [i for i in fn.instructions() if isinstance(i, ir.GEP)]
+        local = [g for g in geps
+                 if address_space(g.result) == ir.MemSpace.LOCAL]
+        assert local
+        assert not is_shared_or_global(local[0].result)
+
+    def test_gep_chain_indices(self):
+        fn = compiled("""
+__global__ void k(int *a) {
+  int *p = a + 4;
+  p[threadIdx.x] = 1;
+}""")
+        geps = [i for i in fn.instructions() if isinstance(i, ir.GEP)]
+        final = geps[-1]
+        idx = index_values(final.result)
+        assert len(idx) == 2  # tid and the +4
+
+    def test_phi_of_same_root_resolves(self):
+        fn = compiled("""
+__global__ void k(int *a, unsigned n) {
+  int *p;
+  if (n > 4) { p = a + 1; } else { p = a + 2; }
+  p[0] = 1;
+}""")
+        stores = [i for i in fn.instructions() if isinstance(i, ir.Store)
+                  and is_shared_or_global(i.pointer)]
+        assert stores
+        root = root_object(stores[0].pointer)
+        assert isinstance(root, ir.Argument) and root.name == "a"
+
+    def test_distinct_roots_unresolved(self):
+        fn = compiled("""
+__global__ void k(int *a, int *b, unsigned n) {
+  int *p;
+  if (n > 4) { p = a; } else { p = b; }
+  p[0] = 1;
+}""")
+        stores = [i for i in fn.instructions() if isinstance(i, ir.Store)]
+        ptr_stores = [s for s in stores
+                      if isinstance(s.pointer, ir.Register)]
+        assert any(root_object(s.pointer) is None for s in ptr_stores)

@@ -1,0 +1,58 @@
+"""Inferred symbolic-input counts for the Table III/IV kernels.
+
+Pins the exact counts this implementation's policy produces (see
+EXPERIMENTS.md for the per-row comparison against the paper's columns).
+"""
+import pytest
+
+from repro.core import SESA
+from repro.kernels import ALL_KERNELS
+
+# kernel -> (inferred symbolic count, total params)
+EXPECTED = {
+    # Table IV
+    "parboil_bfs": (5, 11),        # paper: 4/11 (close; the worklist
+                                   # scatter taints one extra array here)
+    "histo_prescan": (0, 3),       # paper: 1/3 (its port differs)
+    "histo_intermediates": (0, 5),  # paper: 0/5 ✓
+    "histo_main": (1, 9),          # paper: 2/9
+    "histo_final": (0, 8),         # paper: 0/8 ✓
+    "binning": (1, 7),             # paper: ⟨2,1⟩/7 — the ⟨·,1⟩ is the
+                                   # *actual needed* count, which we match
+    "reorder": (1, 4),             # paper: ⟨1,0⟩/4 ✓
+    "spmv_jds": (2, 7),            # paper: ⟨2,0⟩/7 ✓
+    "stencil": (0, 7),             # paper: 0/7 ✓
+    # Table III (data arrays feeding addresses; row also via loop inits)
+    "bfs_ls": (2, 6),
+    "sssp_ls": (2, 6),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_inferred_input_count(name):
+    kernel = ALL_KERNELS[name]
+    tool = SESA.from_source(kernel.source, kernel.kernel_name)
+    inferred = tool.inferred_symbolic_inputs()
+    expected_sym, expected_total = EXPECTED[name]
+    assert len(tool.taint.verdicts) == expected_total, \
+        f"{name}: params {sorted(tool.taint.verdicts)}"
+    assert len(inferred) == expected_sym, \
+        f"{name}: inferred {sorted(inferred)}"
+
+
+def test_binning_symbolises_the_sample_array():
+    kernel = ALL_KERNELS["binning"]
+    tool = SESA.from_source(kernel.source, kernel.kernel_name)
+    assert "sample_g" in tool.inferred_symbolic_inputs()
+
+
+def test_bfs_symbolises_the_column_array():
+    kernel = ALL_KERNELS["bfs_ls"]
+    tool = SESA.from_source(kernel.source, kernel.kernel_name)
+    inferred = tool.inferred_symbolic_inputs()
+    assert "col" in inferred
+    # dist feeds only guard conditions: concretised under the policy
+    assert "dist" not in inferred
+    # row feeds both a loop bound and (via the edge index) addresses;
+    # address flow wins (§III-C exclusion only covers bound-only inputs)
+    assert tool.taint.verdicts["row"].flows_into_loop_bound

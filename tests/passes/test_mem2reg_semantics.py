@@ -1,0 +1,102 @@
+"""mem2reg preserves semantics: the symbolic executor produces the same
+observable writes (offset, value) with and without promotion.
+
+The executor handles both forms — allocas become thread-local memory —
+so the recorded shared/global access sets, evaluated under concrete
+thread ids, must match exactly.
+"""
+import pytest
+
+from repro.core import LaunchConfig
+from repro.frontend import compile_source
+from repro.passes import mem2reg, remove_unreachable_blocks
+from repro.smt import evaluate
+from repro.smt.subst import EvaluationError
+from repro.sym import AccessKind, Executor
+
+
+def observable_writes(source: str, promote: bool, tid_values):
+    module = compile_source(source)
+    fn = module.get_kernel()
+    remove_unreachable_blocks(fn)
+    if promote:
+        mem2reg(fn)
+        fn.verify()
+    config = LaunchConfig(block_dim=(8, 1, 1), symbolic_inputs=set())
+    result = Executor(module, fn, config).run()
+    out = []
+    for tid in tid_values:
+        env = {"tid.x": tid}
+        for bi, access_set in enumerate(result.bi_access_sets):
+            for a in access_set:
+                if a.kind != AccessKind.WRITE:
+                    continue
+                try:
+                    if not evaluate(a.cond, env):
+                        continue
+                    offset = evaluate(a.offset, env)
+                    value = evaluate(a.value, env) \
+                        if a.value is not None else None
+                except EvaluationError:
+                    value = "havoc"
+                    offset = evaluate(a.offset, env)
+                out.append((tid, bi, a.obj.name, offset, value))
+    return sorted(out)
+
+
+KERNELS = [
+    # straight-line with locals
+    """
+__shared__ int s[64];
+__global__ void k() {
+  int a = 3;
+  int b = a * 2;
+  s[threadIdx.x] = a + b;
+}""",
+    # diamond writing a local merged at the join
+    """
+__shared__ int s[64];
+__global__ void k() {
+  int v = 0;
+  if (threadIdx.x % 2 == 0) { v = 10; } else { v = 20; }
+  s[threadIdx.x] = v;
+}""",
+    # loop-carried local
+    """
+__shared__ int s[64];
+__global__ void k() {
+  int acc = 0;
+  for (int i = 0; i < 4; i++) { acc = acc + i; }
+  s[threadIdx.x] = acc;
+}""",
+    # local updated across a barrier
+    """
+__shared__ int s[64];
+__global__ void k() {
+  int x = (int)threadIdx.x;
+  s[x] = x;
+  __syncthreads();
+  x = x + 1;
+  s[threadIdx.x] = x;
+}""",
+    # nested control flow
+    """
+__shared__ int s[64];
+__global__ void k() {
+  int v = 1;
+  if (threadIdx.x < 4) {
+    if (threadIdx.x < 2) { v = 2; }
+    v = v * 3;
+  }
+  s[threadIdx.x] = v;
+}""",
+]
+
+
+@pytest.mark.parametrize("idx", range(len(KERNELS)))
+def test_promotion_preserves_observable_writes(idx):
+    source = KERNELS[idx]
+    tids = range(8)
+    before = observable_writes(source, promote=False, tid_values=tids)
+    after = observable_writes(source, promote=True, tid_values=tids)
+    assert before == after

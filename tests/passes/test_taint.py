@@ -1,0 +1,220 @@
+"""Taint analysis tests — reproduces the paper's §V examples exactly."""
+import pytest
+
+from repro import ir
+from repro.core import SESA
+from repro.frontend import compile_source
+from repro.passes import analyze_taint, standard_pipeline
+
+
+def taint_of(source: str, kernel: str = None):
+    module = compile_source(source)
+    standard_pipeline().run(module)
+    return analyze_taint(module.get_kernel(kernel))
+
+
+class TestPaperExampleOne:
+    """§V Example 1: the Generic kernel — all inputs concretisable."""
+
+    SOURCE = """
+__shared__ int A[64];
+__global__ void generic(int a, int b, int c) {
+  int u = 0;
+  int v = 0;
+  int w = threadIdx.x;
+  int z = 1;
+  if (threadIdx.x < 32) { v = a; } else { v = b; }
+  if (c > 3) { u = threadIdx.x * 2; }
+  A[w] = v + z;
+}
+"""
+
+    def test_all_inputs_concretisable(self):
+        report = taint_of(self.SOURCE)
+        assert report.symbolic_inputs == []
+        assert sorted(report.concrete_inputs) == ["a", "b", "c"]
+
+    def test_stored_value_feeds_no_sink(self):
+        # a and b flow into A[w]'s *value*, never its address
+        report = taint_of(self.SOURCE)
+        assert not report.verdicts["a"].must_be_symbolic
+        assert not report.verdicts["b"].must_be_symbolic
+
+
+class TestPaperExampleTwo:
+    """§V Example 2: reduction — all inputs concretisable, fixpoint."""
+
+    SOURCE = """
+__shared__ float sdata[512];
+__global__ void reduce(float *idata, float *odata) {
+  sdata[threadIdx.x] = idata[threadIdx.x];
+  __syncthreads();
+  for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+    if (threadIdx.x % (2*s) == 0)
+      sdata[threadIdx.x] += sdata[threadIdx.x + s];
+    __syncthreads();
+  }
+  odata[threadIdx.x] = sdata[threadIdx.x];
+}
+"""
+
+    def test_no_inputs_symbolic(self):
+        report = taint_of(self.SOURCE)
+        assert report.symbolic_inputs == []
+
+    def test_sinks_counted(self):
+        report = taint_of(self.SOURCE)
+        assert report.num_sinks >= 5  # sdata r/w + idata/odata accesses
+
+
+class TestAddressFlow:
+    def test_indirect_index_flags_input(self):
+        report = taint_of("""
+__global__ void scatter(int *idx, float *out) {
+  out[idx[threadIdx.x]] = 1.0f;
+}""")
+        assert report.verdicts["idx"].must_be_symbolic
+        assert report.verdicts["idx"].flows_into_address
+        assert not report.verdicts["out"].must_be_symbolic
+
+    def test_scalar_offset_flags_input(self):
+        report = taint_of("""
+__global__ void shift(float *out, int base) {
+  out[base + threadIdx.x] = 0.0f;
+}""")
+        assert report.verdicts["base"].must_be_symbolic
+
+    def test_chained_flow_through_locals(self):
+        report = taint_of("""
+__global__ void chain(float *out, int base) {
+  int x = base * 2;
+  int y = x + 1;
+  unsigned idx = y + threadIdx.x;
+  out[idx] = 0.0f;
+}""")
+        assert report.verdicts["base"].must_be_symbolic
+
+    def test_flow_through_shared_memory(self):
+        # input lands in shared memory and is read back into an address
+        report = taint_of("""
+__shared__ int stage[64];
+__global__ void via_shared(int *data, float *out) {
+  stage[threadIdx.x] = data[threadIdx.x];
+  __syncthreads();
+  out[stage[threadIdx.x]] = 1.0f;
+}""")
+        assert report.verdicts["data"].must_be_symbolic
+
+
+class TestConditionFlow:
+    def test_guarding_condition_recorded_as_advisory(self):
+        report = taint_of("""
+__shared__ int s[64];
+__global__ void guarded(int *flags) {
+  if (flags[threadIdx.x] > 0) {
+    s[threadIdx.x >> 1] = 1;
+  }
+}""")
+        verdict = report.verdicts["flags"]
+        # condition flow is recorded (§V case 2) but the Table-I policy
+        # does not force symbolisation for it
+        assert verdict.flows_into_condition
+        assert not verdict.flows_into_address
+
+    def test_value_only_flow_is_not_flagged(self):
+        report = taint_of("""
+__shared__ int s[64];
+__global__ void valonly(int *data) {
+  s[threadIdx.x] = data[threadIdx.x] * 3;
+}""")
+        assert not report.verdicts["data"].must_be_symbolic
+
+
+class TestLoopBounds:
+    def test_loop_bound_input_classified(self):
+        report = taint_of("""
+__shared__ int s[64];
+__global__ void loopy(int n) {
+  for (int i = 0; i < n; i++) {
+    s[threadIdx.x] = i;
+  }
+}""")
+        verdict = report.verdicts["n"]
+        assert verdict.flows_into_loop_bound
+
+    def test_loop_bound_excluded_from_symbolisation(self):
+        tool = SESA.from_source("""
+__shared__ int s[64];
+__global__ void loopy(int n) {
+  for (int i = 0; i < n; i++) {
+    s[threadIdx.x] = i;
+  }
+}""")
+        assert "n" not in tool.inferred_symbolic_inputs()
+
+    def test_address_flow_wins_over_loop_bound(self):
+        # bounds[] feeds the loop bound AND the address: stays symbolic
+        tool = SESA.from_source("""
+__shared__ int s[256];
+__global__ void both(int *bounds) {
+  int n = bounds[0];
+  for (int i = 0; i < n; i++) {
+    s[threadIdx.x + n] = i;
+  }
+}""")
+        assert "bounds" in tool.inferred_symbolic_inputs()
+
+    def test_scalar_address_flow_is_advisory_only(self):
+        tool = SESA.from_source("""
+__global__ void shift(float *out, int base) {
+  out[base + threadIdx.x] = 0.0f;
+}""")
+        verdict = tool.taint.verdicts["base"]
+        assert verdict.flows_into_address           # the strict verdict
+        assert "base" not in tool.inferred_symbolic_inputs()  # the policy
+
+
+class TestSinkValueSet:
+    def test_address_registers_are_sink_values(self):
+        module = compile_source("""
+__shared__ int s[64];
+__global__ void k(int x) {
+  unsigned idx = threadIdx.x * 2;
+  s[idx] = 5;
+}""")
+        standard_pipeline().run(module)
+        fn = module.get_kernel()
+        report = analyze_taint(fn)
+        # the idx computation must be in the sink set
+        mul_regs = [i.result for i in fn.instructions()
+                    if isinstance(i, ir.BinOp) and i.op in ("mul", "shl")]
+        assert any(id(r) in report.sink_value_ids for r in mul_regs)
+
+    def test_unrelated_values_not_in_sink_set(self):
+        module = compile_source("""
+__shared__ int s[64];
+__global__ void k(int x) {
+  int dead = x * 17;
+  s[threadIdx.x] = 1;
+}""")
+        standard_pipeline().run(module)
+        fn = module.get_kernel()
+        report = analyze_taint(fn)
+        mul_regs = [i.result for i in fn.instructions()
+                    if isinstance(i, ir.BinOp) and i.op == "mul"]
+        assert all(id(r) not in report.sink_value_ids for r in mul_regs)
+
+
+class TestTableOneInputCounts:
+    """Table I: SESA infers 0 symbolic inputs for the SDK kernels."""
+
+    @pytest.mark.parametrize("name", [
+        "vectorAdd", "clock", "matrixMul", "scan_short", "scan_large",
+        "scalarProd", "transpose", "fastWalsh",
+    ])
+    def test_zero_symbolic_inputs(self, name):
+        from repro.kernels import ALL_KERNELS
+        k = ALL_KERNELS[name]
+        tool = SESA.from_source(k.source, k.kernel_name)
+        assert tool.inferred_symbolic_inputs() == set(), \
+            f"{name}: {tool.inferred_symbolic_inputs()}"

@@ -1,0 +1,107 @@
+"""CNF container, Tseitin helpers, and term printer tests."""
+import pytest
+
+from repro.smt import (
+    BOOL, mk_add, mk_and, mk_bv, mk_bv_var, mk_eq, mk_extract, mk_ite,
+    mk_lshr, mk_not, mk_or, mk_sext, mk_ult, mk_urem, mk_zext,
+)
+from repro.smt.cnf import CNF
+from repro.smt.printer import term_to_str
+from repro.smt.sat import SatResult, solve_cnf
+
+
+class TestCNF:
+    def test_var_allocation(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_vars(3) == [2, 3, 4]
+        assert cnf.num_vars == 4
+
+    def test_add_tracks_max_var(self):
+        cnf = CNF()
+        cnf.add([5, -3])
+        assert cnf.num_vars == 5
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add([0])
+
+    def test_const_true_is_stable(self):
+        cnf = CNF()
+        t1 = cnf.const_true()
+        t2 = cnf.const_true()
+        assert t1 == t2
+        assert cnf.const_false() == -t1
+
+    def test_gate_and_short_circuits(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        assert cnf.gate_and(a, a) == a
+        assert cnf.gate_and(a, -a) == cnf.const_false()
+
+    def test_gate_or_many_empty(self):
+        cnf = CNF()
+        lit = cnf.gate_or_many([])
+        result, model = solve_cnf(cnf)
+        assert result == SatResult.SAT
+        # empty-or is false
+        value = model.get(abs(lit), False)
+        assert (value if lit > 0 else not value) is False
+
+    def test_mux_same_inputs(self):
+        cnf = CNF()
+        s, a = cnf.new_vars(2)
+        assert cnf.gate_mux(s, a, a) == a
+
+    def test_len_counts_clauses(self):
+        cnf = CNF()
+        cnf.add([1])
+        cnf.add([1, 2])
+        assert len(cnf) == 2
+
+
+class TestPrinter:
+    def test_constants(self):
+        assert term_to_str(mk_bv(42, 32)) == "42"
+
+    def test_bools(self):
+        from repro.smt import TRUE, FALSE
+        assert term_to_str(TRUE) == "true"
+        assert term_to_str(FALSE) == "false"
+
+    def test_infix_operators(self):
+        x, y = mk_bv_var("x"), mk_bv_var("y")
+        assert term_to_str(mk_add(x, y)) == "(x + y)"
+        assert term_to_str(mk_ult(x, y)) == "(x <u y)"
+        assert "%u" in term_to_str(mk_urem(x, mk_bv(6, 32)))
+
+    def test_connectives(self):
+        from repro.smt import mk_bool_var
+        p, q = mk_bool_var("p"), mk_bool_var("q")
+        assert "&&" in term_to_str(mk_and(p, q))
+        assert "||" in term_to_str(mk_or(p, q))
+        assert term_to_str(mk_not(p)) == "!p"
+
+    def test_ite(self):
+        p = mk_eq(mk_bv_var("x"), mk_bv(1, 32))
+        t = mk_ite(p, mk_bv_var("a"), mk_bv_var("b"))
+        assert "?" in term_to_str(t)
+
+    def test_extract_and_ext(self):
+        x = mk_bv_var("x", 32)
+        assert "[7:0]" in term_to_str(mk_extract(x, 7, 0))
+        assert "zext" in term_to_str(mk_zext(x, 64))
+        assert "sext" in term_to_str(mk_sext(x, 64))
+
+    def test_depth_elision(self):
+        t = mk_bv_var("x")
+        for i in range(100):
+            t = mk_add(t, mk_bv_var(f"v{i}"))
+        text = term_to_str(t, max_depth=10)
+        assert "..." in text
+
+    def test_repr_matches_printer(self):
+        x = mk_bv_var("x")
+        t = mk_add(x, mk_bv(1, 32))
+        assert repr(t) == term_to_str(t)

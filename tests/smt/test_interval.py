@@ -1,0 +1,132 @@
+"""Interval-domain unit tests (soundness is also covered by the
+property suite: the solver pipeline never lets the interval layer claim
+UNSAT on satisfiable queries)."""
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt import (
+    Interval, IntervalAnalysis, derive_bounds, evaluate, mk_add, mk_and,
+    mk_bv, mk_bv_var, mk_bvand, mk_eq, mk_lshr, mk_mul, mk_ne, mk_not,
+    mk_shl, mk_ult, mk_urem,
+)
+from repro.smt.interval import B_FALSE, B_TOP, B_TRUE
+
+
+def var(name="x"):
+    return mk_bv_var(name, 32)
+
+
+class TestIntervalAlgebra:
+    def test_point(self):
+        iv = Interval.point(7, 32)
+        assert iv.is_point() and iv.lo == iv.hi == 7
+
+    def test_top(self):
+        iv = Interval.top(8)
+        assert iv.lo == 0 and iv.hi == 255
+
+    def test_join_meet(self):
+        a = Interval(0, 10, 32)
+        b = Interval(5, 20, 32)
+        assert a.join(b) == Interval(0, 20, 32)
+        assert a.meet(b) == Interval(5, 10, 32)
+        assert Interval(0, 3, 32).meet(Interval(5, 9, 32)) is None
+
+
+class TestDeriveBounds:
+    def test_ult_const(self):
+        x = var()
+        bounds = derive_bounds([mk_ult(x, mk_bv(64, 32))])
+        assert bounds["x"] == Interval(0, 63, 32)
+
+    def test_eq_const(self):
+        x = var()
+        bounds = derive_bounds([mk_eq(x, mk_bv(5, 32))])
+        assert bounds["x"].is_point()
+
+    def test_nested_and(self):
+        x, y = var("x"), var("y")
+        conj = mk_and(mk_ult(x, mk_bv(8, 32)), mk_ult(y, mk_bv(4, 32)))
+        bounds = derive_bounds([conj])
+        assert bounds["x"].hi == 7 and bounds["y"].hi == 3
+
+    def test_meet_of_multiple_bounds(self):
+        x = var()
+        bounds = derive_bounds([mk_ult(x, mk_bv(64, 32)),
+                                mk_ult(x, mk_bv(16, 32))])
+        assert bounds["x"].hi == 15
+
+
+class TestAbstractEvaluation:
+    def test_bounded_add_no_overflow(self):
+        x = var()
+        analysis = IntervalAnalysis({"x": Interval(0, 10, 32)})
+        iv = analysis.interval_of(mk_add(x, mk_bv(5, 32)))
+        assert (iv.lo, iv.hi) == (5, 15)
+
+    def test_mul_overflow_goes_top(self):
+        x = var()
+        analysis = IntervalAnalysis({"x": Interval(0, 2**31, 32)})
+        iv = analysis.interval_of(mk_mul(x, mk_bv(4, 32)))
+        assert iv.is_top()
+
+    def test_urem_bounded(self):
+        x = var()
+        analysis = IntervalAnalysis()
+        iv = analysis.interval_of(mk_urem(x, mk_bv(8, 32)))
+        assert iv.hi <= 7
+
+    def test_and_mask_bounded(self):
+        x = var()
+        analysis = IntervalAnalysis()
+        iv = analysis.interval_of(mk_bvand(x, mk_bv(0xFF, 32)))
+        assert iv.hi == 0xFF
+
+    def test_disjoint_ranges_unsat(self):
+        x = var()
+        analysis = IntervalAnalysis({"x": Interval(0, 7, 32)})
+        assert analysis.must_be_false(mk_eq(x, mk_bv(100, 32)))
+
+    def test_tautology_detected(self):
+        x = var()
+        analysis = IntervalAnalysis({"x": Interval(0, 7, 32)})
+        assert analysis.must_be_true(mk_ult(x, mk_bv(8, 32)))
+
+    def test_unknown_stays_top(self):
+        x, y = var("x"), var("y")
+        analysis = IntervalAnalysis()
+        assert analysis.bool_of(mk_eq(x, y)) == B_TOP
+
+
+@settings(max_examples=200, deadline=None)
+@given(x=st.integers(0, 2**32 - 1),
+       c1=st.integers(0, 255), c2=st.integers(1, 255))
+def test_interval_soundness(x, c1, c2):
+    """Any concrete evaluation must fall inside the abstract interval."""
+    xv = var()
+    terms = [
+        mk_add(xv, mk_bv(c1, 32)),
+        mk_mul(xv, mk_bv(c2, 32)),
+        mk_urem(xv, mk_bv(c2, 32)),
+        mk_bvand(xv, mk_bv(c1, 32)),
+        mk_lshr(xv, mk_bv(c1 % 32, 32)),
+        mk_shl(xv, mk_bv(c1 % 32, 32)),
+    ]
+    analysis = IntervalAnalysis({"x": Interval(0, 2**32 - 1, 32)})
+    for t in terms:
+        value = evaluate(t, {"x": x})
+        iv = analysis.interval_of(t)
+        assert iv.lo <= value <= iv.hi, (t, value, iv)
+
+
+@settings(max_examples=100, deadline=None)
+@given(x=st.integers(0, 63), bound=st.integers(1, 64))
+def test_bounded_var_soundness(x, bound):
+    if x >= bound:
+        x = x % bound
+    xv = var()
+    analysis = IntervalAnalysis({"x": Interval(0, bound - 1, 32)})
+    t = mk_add(mk_mul(xv, mk_bv(4, 32)), mk_bv(2, 32))
+    value = evaluate(t, {"x": x})
+    iv = analysis.interval_of(t)
+    assert iv.lo <= value <= iv.hi

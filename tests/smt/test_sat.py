@@ -1,0 +1,213 @@
+"""Unit tests for the CDCL SAT core."""
+import itertools
+import random
+
+import pytest
+
+from repro.smt.cnf import CNF
+from repro.smt.sat import SatResult, SatSolver, solve_cnf
+
+
+def brute_force(cnf: CNF) -> bool:
+    """Reference: try all assignments (small instances only)."""
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        def val(lit):
+            v = bits[abs(lit) - 1]
+            return v if lit > 0 else not v
+        if all(any(val(l) for l in clause) for clause in cnf.clauses):
+            return True
+    return False
+
+
+def check_model(cnf: CNF, model: dict) -> bool:
+    def val(lit):
+        v = model.get(abs(lit), False)
+        return v if lit > 0 else not v
+    return all(any(val(l) for l in clause) for clause in cnf.clauses)
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        result, _ = solve_cnf(CNF())
+        assert result == SatResult.SAT
+
+    def test_unit_clause(self):
+        cnf = CNF()
+        cnf.add([1])
+        result, model = solve_cnf(cnf)
+        assert result == SatResult.SAT
+        assert model[1] is True
+
+    def test_contradiction(self):
+        cnf = CNF()
+        cnf.add([1])
+        cnf.add([-1])
+        result, _ = solve_cnf(cnf)
+        assert result == SatResult.UNSAT
+
+    def test_empty_clause_is_unsat(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.clauses.append([])
+        result, _ = solve_cnf(cnf)
+        assert result == SatResult.UNSAT
+
+    def test_simple_implication_chain(self):
+        cnf = CNF()
+        # 1 -> 2 -> 3 -> ... -> 10, assert 1, deny 10
+        for i in range(1, 10):
+            cnf.add([-i, i + 1])
+        cnf.add([1])
+        cnf.add([-10])
+        result, _ = solve_cnf(cnf)
+        assert result == SatResult.UNSAT
+
+    def test_tautological_clause_ignored(self):
+        cnf = CNF()
+        cnf.add([1, -1])
+        cnf.add([2])
+        result, model = solve_cnf(cnf)
+        assert result == SatResult.SAT
+        assert model[2] is True
+
+
+class TestPigeonhole:
+    """PHP(n+1, n) is UNSAT and exercises clause learning."""
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole_unsat(self, holes):
+        pigeons = holes + 1
+        cnf = CNF()
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[p, h] = cnf.new_var()
+        for p in range(pigeons):
+            cnf.add([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add([-var[p1, h], -var[p2, h]])
+        result, _ = solve_cnf(cnf)
+        assert result == SatResult.UNSAT
+
+    def test_exact_fit_sat(self):
+        n = 4
+        cnf = CNF()
+        var = {(p, h): cnf.new_var() for p in range(n) for h in range(n)}
+        for p in range(n):
+            cnf.add([var[p, h] for h in range(n)])
+        for h in range(n):
+            for p1 in range(n):
+                for p2 in range(p1 + 1, n):
+                    cnf.add([-var[p1, h], -var[p2, h]])
+        result, model = solve_cnf(cnf)
+        assert result == SatResult.SAT
+        assert check_model(cnf, model)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        cnf = CNF()
+        cnf.add([1, 2])
+        solver = SatSolver(cnf)
+        assert solver.solve(assumptions=[-1]) == SatResult.SAT
+        assert solver.model[2] is True
+
+    def test_conflicting_assumptions(self):
+        cnf = CNF()
+        cnf.add([-1, 2])
+        solver = SatSolver(cnf)
+        assert solver.solve(assumptions=[1, -2]) == SatResult.UNSAT
+
+
+class TestRandomised:
+    """Fuzz against brute force on small random 3-SAT instances."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_3sat_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        nvars = rng.randint(3, 8)
+        nclauses = rng.randint(2, 30)
+        cnf = CNF()
+        cnf.new_vars(nvars)
+        for _ in range(nclauses):
+            clause = [rng.choice([-1, 1]) * rng.randint(1, nvars)
+                      for _ in range(3)]
+            cnf.add(clause)
+        expected = brute_force(cnf)
+        result, model = solve_cnf(cnf)
+        assert result == (SatResult.SAT if expected else SatResult.UNSAT)
+        if result == SatResult.SAT:
+            assert check_model(cnf, model)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_wide_clauses(self, seed):
+        rng = random.Random(1000 + seed)
+        nvars = rng.randint(4, 9)
+        cnf = CNF()
+        cnf.new_vars(nvars)
+        for _ in range(rng.randint(5, 25)):
+            width = rng.randint(1, 4)
+            cnf.add([rng.choice([-1, 1]) * rng.randint(1, nvars)
+                     for _ in range(width)])
+        expected = brute_force(cnf)
+        result, model = solve_cnf(cnf)
+        assert result == (SatResult.SAT if expected else SatResult.UNSAT)
+        if result == SatResult.SAT:
+            assert check_model(cnf, model)
+
+
+class TestBudget:
+    def test_budget_returns_unknown_or_answer(self):
+        # hard pigeonhole with a tiny budget should give unknown
+        holes = 7
+        pigeons = holes + 1
+        cnf = CNF()
+        var = {(p, h): cnf.new_var()
+               for p in range(pigeons) for h in range(holes)}
+        for p in range(pigeons):
+            cnf.add([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add([-var[p1, h], -var[p2, h]])
+        result, _ = solve_cnf(cnf, conflict_budget=10)
+        assert result in (SatResult.UNKNOWN, SatResult.UNSAT)
+
+
+class TestTseitinGates:
+    def test_gate_and_truth_table(self):
+        for a_val, b_val in itertools.product([1, -1], repeat=2):
+            cnf = CNF()
+            a, b = cnf.new_vars(2)
+            out = cnf.gate_and(a, b)
+            cnf.add([a * a_val])
+            cnf.add([b * b_val])
+            expected = a_val > 0 and b_val > 0
+            cnf.add([out if expected else -out])
+            result, _ = solve_cnf(cnf)
+            assert result == SatResult.SAT
+
+    def test_gate_xor_truth_table(self):
+        for a_val, b_val in itertools.product([1, -1], repeat=2):
+            cnf = CNF()
+            a, b = cnf.new_vars(2)
+            out = cnf.gate_xor(a, b)
+            cnf.add([a * a_val])
+            cnf.add([b * b_val])
+            expected = (a_val > 0) != (b_val > 0)
+            cnf.add([out if expected else -out])
+            result, _ = solve_cnf(cnf)
+            assert result == SatResult.SAT
+
+    def test_gate_mux(self):
+        for sel, t, e in itertools.product([1, -1], repeat=3):
+            cnf = CNF()
+            s, a, b = cnf.new_vars(3)
+            out = cnf.gate_mux(s, a, b)
+            cnf.add([s * sel]); cnf.add([a * t]); cnf.add([b * e])
+            expected = (t > 0) if sel > 0 else (e > 0)
+            cnf.add([out if expected else -out])
+            result, _ = solve_cnf(cnf)
+            assert result == SatResult.SAT

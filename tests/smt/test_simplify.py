@@ -1,0 +1,101 @@
+"""Simplifier rewrite tests (semantics preservation is property-tested
+in test_properties.py; these pin the specific rewrites the race queries
+rely on)."""
+from repro.smt import (
+    FALSE, TRUE, Op, mk_add, mk_bv, mk_bv_var, mk_bvand, mk_bvxor, mk_eq,
+    mk_extract, mk_lshr, mk_mul, mk_shl, mk_sub, mk_udiv, mk_ult,
+    mk_urem, mk_zext, simplify,
+)
+
+
+def x():
+    return mk_bv_var("x", 32)
+
+
+class TestPowerOfTwoRewrites:
+    def test_urem_to_mask(self):
+        t = simplify(mk_urem(x(), mk_bv(8, 32)))
+        assert t.op == Op.AND
+        assert t.args[1] is mk_bv(7, 32)
+
+    def test_udiv_to_shift(self):
+        t = simplify(mk_udiv(x(), mk_bv(16, 32)))
+        assert t.op == Op.LSHR
+
+    def test_mul_to_shift(self):
+        t = simplify(mk_mul(x(), mk_bv(4, 32)))
+        assert t.op == Op.SHL
+
+    def test_non_power_untouched(self):
+        t = simplify(mk_urem(x(), mk_bv(6, 32)))
+        assert t.op == Op.UREM
+
+    def test_nested_rewrites(self):
+        # (x % 32) / 4  ->  (x & 31) >> 2
+        t = simplify(mk_udiv(mk_urem(x(), mk_bv(32, 32)), mk_bv(4, 32)))
+        assert t.op == Op.LSHR
+        assert t.args[0].op == Op.AND
+
+
+class TestEqualityNormalisation:
+    def test_offset_cancellation(self):
+        # x + 3 == 10  ->  x == 7
+        t = simplify(mk_eq(mk_add(x(), mk_bv(3, 32)), mk_bv(10, 32)))
+        assert t.op == Op.EQ
+        assert t.args[1] is mk_bv(7, 32)
+
+    def test_two_sided_offsets(self):
+        # x + 1 == y + 3  ->  x == y + 2
+        y = mk_bv_var("y", 32)
+        t = simplify(mk_eq(mk_add(x(), mk_bv(1, 32)),
+                           mk_add(y, mk_bv(3, 32))))
+        assert t.op == Op.EQ
+
+    def test_mask_contradiction(self):
+        # (x & 0xF0) == 5 is impossible
+        t = simplify(mk_eq(mk_bvand(x(), mk_bv(0xF0, 32)), mk_bv(5, 32)))
+        assert t is FALSE
+
+    def test_shift_alignment_contradiction(self):
+        # (x << 2) == 3 is impossible
+        t = simplify(mk_eq(mk_shl(x(), mk_bv(2, 32)), mk_bv(3, 32)))
+        assert t is FALSE
+
+    def test_sub_to_eq(self):
+        y = mk_bv_var("y", 32)
+        t = simplify(mk_eq(mk_sub(x(), y), mk_bv(0, 32)))
+        assert t.op == Op.EQ
+        assert set(map(id, t.args)) == {id(x()), id(y)}
+
+    def test_xor_to_eq(self):
+        y = mk_bv_var("y", 32)
+        t = simplify(mk_eq(mk_bvxor(x(), y), mk_bv(0, 32)))
+        assert t.op == Op.EQ
+
+    def test_zext_narrowing(self):
+        small = mk_bv_var("s", 8)
+        t = simplify(mk_eq(mk_zext(small, 32), mk_bv(300, 32)))
+        assert t is FALSE  # 300 needs more than 8 bits
+        t2 = simplify(mk_eq(mk_zext(small, 32), mk_bv(200, 32)))
+        assert t2.op == Op.EQ and t2.args[0].width == 8
+
+
+class TestComparisonRewrites:
+    def test_masked_lt_tautology(self):
+        # (x & 7) < 8 is always true
+        t = simplify(mk_ult(mk_bvand(x(), mk_bv(7, 32)), mk_bv(8, 32)))
+        assert t is TRUE
+
+    def test_extract_of_zext(self):
+        small = mk_bv_var("s", 8)
+        t = simplify(mk_extract(mk_zext(small, 32), 7, 0))
+        assert t is small
+
+
+class TestIdempotence:
+    def test_simplify_twice_is_stable(self):
+        t = mk_eq(mk_add(mk_urem(x(), mk_bv(8, 32)), mk_bv(3, 32)),
+                  mk_bv(10, 32))
+        once = simplify(t)
+        twice = simplify(once)
+        assert once is twice

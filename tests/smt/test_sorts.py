@@ -1,0 +1,49 @@
+"""Sort (BV/Bool) unit tests."""
+import pytest
+
+from repro.smt.sorts import BOOL, BV32, BoolSort, BVSort, bv_sort
+
+
+class TestBoolSort:
+    def test_singleton(self):
+        assert BoolSort() is BOOL
+
+    def test_predicates(self):
+        assert BOOL.is_bool() and not BOOL.is_bv()
+
+
+class TestBVSort:
+    def test_interned(self):
+        assert bv_sort(32) is BV32
+        assert bv_sort(17) is bv_sort(17)
+
+    def test_mask_and_modulus(self):
+        s = bv_sort(8)
+        assert s.mask == 255
+        assert s.modulus == 256
+
+    def test_signed_range(self):
+        s = bv_sort(8)
+        assert s.min_signed == -128
+        assert s.max_signed == 127
+
+    def test_wrap(self):
+        s = bv_sort(8)
+        assert s.wrap(256) == 0
+        assert s.wrap(-1) == 255
+        assert s.wrap(300) == 44
+
+    def test_to_signed(self):
+        s = bv_sort(8)
+        assert s.to_signed(255) == -1
+        assert s.to_signed(127) == 127
+        assert s.to_signed(128) == -128
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            BVSort(0)
+
+    def test_equality_by_width(self):
+        assert bv_sort(16) == BVSort(16)
+        assert bv_sort(16) != bv_sort(32)
+        assert bv_sort(16) != BOOL

@@ -1,0 +1,88 @@
+"""Substitution tests — the mechanism behind two-thread instantiation."""
+import pytest
+
+from repro.smt import (
+    evaluate, mk_add, mk_and, mk_bv, mk_bv_var, mk_eq, mk_ite, mk_not,
+    mk_ult, mk_urem, substitute,
+)
+
+
+def tid():
+    return mk_bv_var("tid.x")
+
+
+class TestSubstitute:
+    def test_variable_replacement(self):
+        t1 = mk_bv_var("t1")
+        term = mk_add(tid(), mk_bv(1, 32))
+        out = substitute(term, {tid(): t1})
+        assert out is mk_add(t1, mk_bv(1, 32))
+
+    def test_parallel_not_sequential(self):
+        """x→y, y→x swaps rather than collapsing."""
+        x, y = mk_bv_var("x"), mk_bv_var("y")
+        term = mk_add(x, mk_add(y, mk_bv(0, 32)))
+        out = substitute(term, {x: y, y: x})
+        assert evaluate(out, {"x": 5, "y": 7}) == 12
+        assert evaluate(out, {"x": 1, "y": 2}) == 3
+        # and the positions swapped
+        assert out is mk_add(y, x)
+
+    def test_images_not_rewritten(self):
+        x, y = mk_bv_var("x"), mk_bv_var("y")
+        term = x
+        out = substitute(term, {x: mk_add(y, mk_bv(1, 32))})
+        # the image contains y; y itself must not be re-substituted even
+        # if it is also a key
+        out2 = substitute(term, {x: y, y: mk_bv(9, 32)})
+        assert out2 is y
+
+    def test_shared_subterms_substituted_once(self):
+        x = mk_bv_var("x")
+        shared = mk_add(x, mk_bv(1, 32))
+        term = mk_eq(shared, mk_urem(shared, mk_bv(7, 32)))
+        t1 = mk_bv_var("t1")
+        out = substitute(term, {x: t1})
+        assert "x" not in repr(out)
+        assert repr(out).count("t1") >= 2
+
+    def test_simplification_through_rebuild(self):
+        # substituting a constant triggers smart-constructor folding
+        x = mk_bv_var("x")
+        term = mk_add(x, mk_bv(3, 32))
+        out = substitute(term, {x: mk_bv(4, 32)})
+        assert out is mk_bv(7, 32)
+
+    def test_bool_structure(self):
+        x = mk_bv_var("x")
+        t1 = mk_bv_var("t1")
+        term = mk_and(mk_ult(x, mk_bv(8, 32)),
+                      mk_not(mk_eq(x, mk_bv(3, 32))))
+        out = substitute(term, {x: t1})
+        assert evaluate(out, {"t1": 2}) is True
+        assert evaluate(out, {"t1": 3}) is False
+        assert evaluate(out, {"t1": 9}) is False
+
+    def test_ite_branches(self):
+        x = mk_bv_var("x")
+        t1 = mk_bv_var("t1")
+        term = mk_ite(mk_ult(x, mk_bv(4, 32)), x, mk_add(x, mk_bv(10, 32)))
+        out = substitute(term, {x: t1})
+        assert evaluate(out, {"t1": 2}) == 2
+        assert evaluate(out, {"t1": 6}) == 16
+
+    def test_empty_mapping_is_identity(self):
+        term = mk_add(tid(), mk_bv(1, 32))
+        assert substitute(term, {}) is term
+
+    def test_two_thread_instantiation_pattern(self):
+        """The exact race-checker pattern: same access term instantiated
+        over t1 and t2 stays independent."""
+        addr = mk_urem(mk_add(tid(), mk_bv(1, 32)), mk_bv(64, 32))
+        t1, t2 = mk_bv_var("t1"), mk_bv_var("t2")
+        a1 = substitute(addr, {tid(): t1})
+        a2 = substitute(addr, {tid(): t2})
+        collision = mk_eq(a1, a2)
+        assert evaluate(collision, {"t1": 5, "t2": 5}) is True
+        assert evaluate(collision, {"t1": 5, "t2": 6}) is False
+        assert evaluate(collision, {"t1": 63, "t2": 127}) is True  # wrap

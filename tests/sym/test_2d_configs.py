@@ -1,0 +1,103 @@
+"""Multi-dimensional launch configurations (2D/3D tids and bids)."""
+import pytest
+
+from repro.core import SESA, LaunchConfig, check_source
+
+
+def check(source, grid=(1, 1, 1), block=(8, 8, 1), **kw):
+    return check_source(source, LaunchConfig(grid_dim=grid,
+                                             block_dim=block, **kw))
+
+
+class TestTwoDimensionalBlocks:
+    def test_disjoint_2d_writes_clean(self):
+        report = check("""
+__shared__ float tile[64];
+__global__ void k() {
+  tile[threadIdx.y * 8 + threadIdx.x] = 1.0f;
+}""")
+        assert not report.races
+
+    def test_row_collision_found(self):
+        # all threads of a row write the same cell
+        report = check("""
+__shared__ int rowsum[8];
+__global__ void k() {
+  rowsum[threadIdx.y] = threadIdx.x;
+}""")
+        assert report.has_races
+        race = report.races[0]
+        w = race.witness
+        # witness threads differ in x, agree in y (same cell)
+        assert w.thread1[1] == w.thread2[1]
+        assert w.thread1[0] != w.thread2[0]
+
+    def test_transposed_access_races(self):
+        report = check("""
+__shared__ int tile[64];
+__global__ void k() {
+  tile[threadIdx.y * 8 + threadIdx.x] = 1;
+  int v = tile[threadIdx.x * 8 + threadIdx.y];
+  tile[threadIdx.y * 8 + threadIdx.x] = v;
+}""")
+        assert report.has_races
+
+    def test_barrier_fixes_transpose(self):
+        report = check("""
+__shared__ int tile[64];
+__global__ void k(int *out) {
+  tile[threadIdx.y * 8 + threadIdx.x] = 1;
+  __syncthreads();
+  out[threadIdx.y * 8 + threadIdx.x] =
+      tile[threadIdx.x * 8 + threadIdx.y];
+}""", check_oob=False)
+        assert not report.has_races
+
+
+class TestMultiBlock2D:
+    def test_global_2d_disjoint(self):
+        report = check("""
+__global__ void k(float *out, int width) {
+  unsigned x = blockIdx.x * blockDim.x + threadIdx.x;
+  unsigned y = blockIdx.y * blockDim.y + threadIdx.y;
+  out[y * 32 + x] = 1.0f;
+}""", grid=(4, 4, 1), block=(8, 8, 1),
+            scalar_values={"width": 32}, check_oob=False)
+        assert not report.races
+
+    def test_affine_fast_path_2d(self):
+        """The 2D global-id map is discharged without the SAT core."""
+        report = check("""
+__global__ void k(float *out) {
+  unsigned x = blockIdx.x * blockDim.x + threadIdx.x;
+  unsigned y = blockIdx.y * blockDim.y + threadIdx.y;
+  out[y * 32 + x] = 1.0f;
+}""", grid=(4, 4, 1), block=(8, 8, 1), check_oob=False)
+        assert not report.races
+        assert report.check_stats.by_affine >= 1
+
+    def test_column_race_across_blocks(self):
+        report = check("""
+__global__ void k(int *colsum) {
+  unsigned x = blockIdx.x * blockDim.x + threadIdx.x;
+  colsum[x & 7] = (int)threadIdx.y;
+}""", grid=(2, 1, 1), block=(8, 2, 1), check_oob=False)
+        assert report.has_races
+
+
+class TestZDimension:
+    def test_3d_disjoint(self):
+        report = check("""
+__shared__ int buf[64];
+__global__ void k() {
+  buf[threadIdx.z * 16 + threadIdx.y * 4 + threadIdx.x] = 1;
+}""", block=(4, 4, 4))
+        assert not report.races
+
+    def test_3d_plane_collision(self):
+        report = check("""
+__shared__ int buf[64];
+__global__ void k() {
+  buf[threadIdx.y * 4 + threadIdx.x] = (int)threadIdx.z;
+}""", block=(4, 4, 4))
+        assert report.has_races

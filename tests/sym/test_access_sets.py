@@ -1,0 +1,79 @@
+"""AccessSet container semantics (barrier-interval unions)."""
+import pytest
+
+from repro import ir
+from repro.smt import TRUE, mk_bv, mk_bv_var
+from repro.sym import Access, AccessKind, AccessSet, MemoryObject
+
+
+def obj(name="m"):
+    return MemoryObject(name=name, space=ir.MemSpace.SHARED,
+                        size_bytes=256, elem_width=32)
+
+
+def acc(o, kind=AccessKind.WRITE, offset=0, cond=TRUE, instr=1, flow=0):
+    offset_term = mk_bv(offset, 32) if isinstance(offset, int) else offset
+    return Access(kind=kind, obj=o, offset=offset_term, size=4, cond=cond,
+                  flow_id=flow, bi_index=0, instr_id=instr)
+
+
+class TestAccessSet:
+    def test_identity_dedupe(self):
+        s = AccessSet()
+        a = acc(obj())
+        s.add(a)
+        s.add(a)
+        assert len(s) == 1
+
+    def test_distinct_accesses_kept(self):
+        o = obj()
+        s = AccessSet()
+        s.add(acc(o, offset=0))
+        s.add(acc(o, offset=4))
+        assert len(s) == 2
+
+    def test_union_of_split_children(self):
+        """Children inheriting the parent's accesses union back to one."""
+        o = obj()
+        parent = AccessSet()
+        shared_access = acc(o)
+        parent.add(shared_access)
+        child1 = AccessSet()
+        child1.extend(parent)
+        child1.add(acc(o, offset=8))
+        child2 = AccessSet()
+        child2.extend(parent)
+        child2.add(acc(o, offset=12))
+        union = AccessSet()
+        union.extend(child1)
+        union.extend(child2)
+        assert len(union) == 3  # shared counted once
+
+    def test_reads_writes_partition(self):
+        o = obj()
+        s = AccessSet()
+        s.add(acc(o, kind=AccessKind.READ))
+        s.add(acc(o, kind=AccessKind.WRITE, offset=4))
+        s.add(acc(o, kind=AccessKind.ATOMIC, offset=8))
+        assert len(s.reads()) == 1
+        assert len(s.writes()) == 2  # atomic counts as a write
+
+    def test_by_object_grouping(self):
+        o1, o2 = obj("a"), obj("b")
+        s = AccessSet()
+        s.add(acc(o1))
+        s.add(acc(o2, offset=4))
+        s.add(acc(o1, offset=8))
+        groups = s.by_object()
+        assert len(groups[o1]) == 2
+        assert len(groups[o2]) == 1
+
+    def test_describe_mentions_location(self):
+        a = acc(obj())
+        a.loc = 42
+        assert "line 42" in a.describe()
+
+    def test_atomic_kind_is_write(self):
+        assert AccessKind.ATOMIC.is_write()
+        assert AccessKind.WRITE.is_write()
+        assert not AccessKind.READ.is_write()

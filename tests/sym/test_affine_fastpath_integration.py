@@ -1,0 +1,52 @@
+"""Regression guard: disjoint-per-thread kernels must be discharged by
+the affine fast path, never reaching the SAT core for their main access
+pairs (this is what keeps Table I/IV interactive)."""
+import pytest
+
+from repro.core import SESA, LaunchConfig, check_source
+
+
+def test_vector_add_needs_no_sat_for_races(sample=None):
+    report = check_source("""
+__global__ void k(float *a, float *b, float *c) {
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  c[i] = a[i] + b[i];
+}""", LaunchConfig(grid_dim=4, block_dim=64, check_oob=False))
+    assert not report.races
+    stats = report.check_stats
+    assert stats.by_affine >= 1
+    # every write/write and read/write pair on c was affine-discharged
+    assert stats.queries == 0, (stats.queries, stats.by_affine)
+
+
+def test_strided_kernel_affine_discharged():
+    report = check_source("""
+__shared__ int s[512];
+__global__ void k() {
+  s[threadIdx.x * 4] = 1;
+  s[threadIdx.x * 4 + 1] = 2;
+}""", LaunchConfig(block_dim=64, check_oob=False))
+    assert not report.races
+    assert report.check_stats.by_affine >= 1
+
+
+def test_fast_path_does_not_hide_real_races():
+    report = check_source("""
+__shared__ int s[64];
+__global__ void k() {
+  s[threadIdx.x / 2] = (int)threadIdx.x;
+}""", LaunchConfig(block_dim=64, check_oob=False))
+    # tid/2 is affine-undecomposable (division): falls through and the
+    # solver finds the genuine collision
+    assert report.has_races
+
+
+def test_different_offsets_not_falsely_discharged():
+    report = check_source("""
+__shared__ int s[64];
+__global__ void k() {
+  s[threadIdx.x] = 1;
+  int v = s[(threadIdx.x + 1) % blockDim.x];
+  s[threadIdx.x] = v;
+}""", LaunchConfig(block_dim=64, check_oob=False))
+    assert report.has_races  # the neighbour read still races

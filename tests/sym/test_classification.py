@@ -1,0 +1,102 @@
+"""Branch classification: which diamonds merge and which split."""
+import pytest
+
+from repro import ir
+from repro.frontend import compile_source
+from repro.passes import standard_pipeline
+from repro.sym import Executor, LaunchConfig
+
+
+def classify(source):
+    module = compile_source(source)
+    standard_pipeline().run(module)
+    fn = module.get_kernel()
+    ex = Executor(module, fn, LaunchConfig(block_dim=8))
+    verdicts = {}
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, ir.Br):
+            verdicts[block.name] = ex.mergeable[id(term)]
+    return verdicts
+
+
+class TestMergeable:
+    def test_plain_diamond_mergeable(self):
+        v = classify("""
+__shared__ int s[64];
+__global__ void k() {
+  if (threadIdx.x % 2 == 0) { s[threadIdx.x] = 1; }
+  else { s[threadIdx.x] = 2; }
+}""")
+        assert any(v.values())
+
+    def test_barrier_inside_arm_not_mergeable(self):
+        v = classify("""
+__shared__ int s[64];
+__global__ void k(int n) {
+  if (threadIdx.x < 4) {
+    s[threadIdx.x] = 1;
+    __syncthreads();
+    s[threadIdx.x] = 2;
+  }
+}""")
+        entry_verdicts = [m for name, m in v.items()
+                          if name.startswith("entry")]
+        assert entry_verdicts == [False]
+
+    def test_loop_inside_arm_not_mergeable(self):
+        v = classify("""
+__shared__ int s[64];
+__global__ void k() {
+  if (threadIdx.x < 4) {
+    for (int i = 0; i < 3; i++) { s[i] = 1; }
+  }
+}""")
+        entry_verdicts = [m for name, m in v.items()
+                          if name.startswith("entry")]
+        assert entry_verdicts == [False]
+
+    def test_loop_branch_itself_not_mergeable(self):
+        v = classify("""
+__shared__ int s[64];
+__global__ void k() {
+  for (unsigned i = 0; i < threadIdx.x; i++) { s[i] = 1; }
+}""")
+        loop_verdicts = [m for name, m in v.items()
+                         if name.startswith("for.cond")]
+        assert loop_verdicts == [False]
+
+    def test_return_inside_arm_not_mergeable(self):
+        v = classify("""
+__shared__ int s[64];
+__global__ void k() {
+  if (threadIdx.x > 4) { return; }
+  s[threadIdx.x] = 1;
+}""")
+        entry_verdicts = [m for name, m in v.items()
+                          if name.startswith("entry")]
+        assert entry_verdicts == [False]
+
+    def test_early_return_splits_flows_correctly(self):
+        """An early-return branch splits; both flows are still analysed."""
+        from repro.core import SESA, LaunchConfig as LC
+        report = SESA.from_source("""
+__shared__ int s[64];
+__global__ void k() {
+  if (threadIdx.x >= 4) { return; }
+  s[threadIdx.x % 2] = (int)threadIdx.x;
+}""").check(LC(block_dim=8, check_oob=False))
+        assert report.max_flows == 2
+        assert report.has_races  # tids 0/2 collide on s[0]
+
+    def test_barrier_after_early_return_diverges(self):
+        from repro.core import SESA, LaunchConfig as LC
+        report = SESA.from_source("""
+__shared__ int s[64];
+__global__ void k() {
+  if (threadIdx.x >= 4) { return; }
+  __syncthreads();
+  s[threadIdx.x] = 1;
+}""").check(LC(block_dim=8, check_oob=False))
+        assert any("barrier divergence" in e
+                   for e in report.execution.errors)

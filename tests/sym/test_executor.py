@@ -1,0 +1,264 @@
+"""Executor tests: parametric execution, flow splitting/combining,
+barrier intervals, access recording."""
+import pytest
+
+from repro import ir
+from repro.frontend import compile_source
+from repro.passes import analyze_taint, standard_pipeline
+from repro.smt import TRUE, evaluate
+from repro.sym import AccessKind, Executor, LaunchConfig
+
+
+def run_kernel(source: str, config=None, mode="sesa", kernel=None,
+               use_taint=True):
+    module = compile_source(source)
+    standard_pipeline().run(module)
+    fn = module.get_kernel(kernel)
+    config = config or LaunchConfig(block_dim=(64, 1, 1))
+    if config.symbolic_inputs is None:
+        config.symbolic_inputs = {a.name for a in fn.args}
+    sinks = analyze_taint(fn).sink_value_ids if use_taint else None
+    executor = Executor(module, fn, config, mode=mode,
+                        sink_value_ids=sinks)
+    return executor.run()
+
+
+class TestStraightLine:
+    def test_single_flow_single_interval(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() { s[threadIdx.x] = 1; }
+""")
+        assert result.max_flows == 1
+        assert result.num_barriers == 1  # the implicit kernel-end interval
+
+    def test_barrier_splits_intervals(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() {
+  s[threadIdx.x] = 1;
+  __syncthreads();
+  s[threadIdx.x] = 2;
+}
+""")
+        assert result.num_barriers == 2
+        assert len(result.bi_access_sets) == 2
+        assert len(result.bi_access_sets[0].writes()) == 1
+        assert len(result.bi_access_sets[1].writes()) == 1
+
+    def test_access_offsets_are_parametric(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() { s[threadIdx.x * 2] = 7; }
+""")
+        write = result.bi_access_sets[0].writes()[0]
+        # offset = tid.x * 2 * 4 bytes
+        assert evaluate(write.offset, {"tid.x": 3}) == 24
+
+    def test_local_accesses_not_recorded(self):
+        result = run_kernel("""
+__global__ void k() {
+  int t[4];
+  t[0] = 1;
+  t[1] = t[0] + 1;
+}
+""")
+        assert len(result.bi_access_sets[0]) == 0
+
+
+class TestDiamondMerging:
+    SRC = """
+__shared__ int s[64];
+__global__ void k() {
+  unsigned v;
+  if (threadIdx.x % 2 == 0) { v = 10; } else { v = 20; }
+  s[threadIdx.x] = v;
+}
+"""
+
+    def test_sesa_merges_diamond(self):
+        result = run_kernel(self.SRC, mode="sesa", use_taint=False)
+        assert result.max_flows == 1
+        assert result.num_splits == 0
+
+    def test_gkleep_splits_diamond(self):
+        result = run_kernel(self.SRC, mode="gkleep")
+        assert result.max_flows == 2
+
+    def test_merged_value_is_ite(self):
+        result = run_kernel(self.SRC, mode="sesa", use_taint=False)
+        write = result.bi_access_sets[0].writes()[0]
+        # without taint hints, the stored value must be the precise ite
+        assert evaluate(write.value, {"tid.x": 2}) == 10
+        assert evaluate(write.value, {"tid.x": 3}) == 20
+
+    def test_accesses_inside_arms_are_guarded(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() {
+  if (threadIdx.x % 2 == 0) { s[threadIdx.x] = 1; }
+  else { s[threadIdx.x + 1] = 2; }
+}
+""", use_taint=False)
+        writes = result.bi_access_sets[0].writes()
+        assert len(writes) == 2
+        conds = sorted(
+            (evaluate(w.cond, {"tid.x": 0}), evaluate(w.cond, {"tid.x": 1}))
+            for w in writes)
+        assert conds == [(False, True), (True, False)]
+
+    def test_nested_diamonds_merge(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() {
+  unsigned v = 0;
+  if (threadIdx.x < 32) {
+    if (threadIdx.x < 16) { v = 1; } else { v = 2; }
+  } else { v = 3; }
+  s[threadIdx.x] = v;
+}
+""", use_taint=False)
+        assert result.max_flows == 1
+        write = result.bi_access_sets[0].writes()[0]
+        assert evaluate(write.value, {"tid.x": 5}) == 1
+        assert evaluate(write.value, {"tid.x": 20}) == 2
+        assert evaluate(write.value, {"tid.x": 40}) == 3
+
+
+class TestConcreteLoops:
+    def test_concrete_loop_unrolls(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() {
+  for (int i = 0; i < 4; i++) {
+    s[threadIdx.x] = i;
+  }
+}
+""")
+        writes = result.bi_access_sets[0].writes()
+        assert len(writes) == 4
+
+    def test_bdim_bound_loop_is_concrete(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() {
+  for (unsigned s1 = 1; s1 < blockDim.x; s1 *= 2) {
+    s[threadIdx.x] = s1;
+  }
+}
+""", config=LaunchConfig(block_dim=(16, 1, 1)))
+        assert result.max_flows == 1
+        assert len(result.bi_access_sets[0].writes()) == 4  # log2(16)
+
+
+class TestFlowSplitting:
+    def test_tid_loop_bound_splits_flows(self):
+        # threads run different trip counts: genuine parametric flows
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() {
+  for (unsigned i = 0; i < threadIdx.x; i++) {
+    s[i] = 1;
+  }
+}
+""", config=LaunchConfig(block_dim=(8, 1, 1)))
+        assert result.num_splits > 0
+        assert result.max_flows >= 2
+
+    def test_infeasible_flow_pruned(self):
+        # tid%4==0 within the tid%2!=0 side is infeasible (paper Fig. 4 F4)
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() {
+  if (threadIdx.x % 2 != 0) {
+    if (threadIdx.x % 4 == 0) {
+      s[0] = 1;
+    }
+  }
+}
+""", mode="gkleep")
+        # flows: split on tid%2 -> 2; inner split keeps only the feasible
+        # side, so never more than 3 concurrent flows
+        assert result.max_flows <= 3
+        # and the infeasible write is never recorded
+        writes = [a for s_ in result.bi_access_sets for a in s_.writes()]
+        assert len(writes) == 0
+
+    def test_flow_budget_reports_timeout(self):
+        result = run_kernel("""
+__shared__ int s[512];
+__global__ void k(int *in) {
+  unsigned v = 0;
+  unsigned d = (unsigned)in[threadIdx.x];
+  if ((d & 1u) != 0) { v = v + 1; }
+  if ((d & 2u) != 0) { v = v + 2; }
+  if ((d & 4u) != 0) { v = v + 4; }
+  if ((d & 8u) != 0) { v = v + 8; }
+  if ((d & 16u) != 0) { v = v + 16; }
+  s[v] = 1;
+}
+""", mode="gkleep", config=LaunchConfig(block_dim=(64, 1, 1), max_flows=8))
+        assert result.timed_out
+
+
+class TestBarrierSemantics:
+    def test_barrier_divergence_detected(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() {
+  for (unsigned i = 0; i < threadIdx.x; i++) {
+    s[i] = 1;
+    __syncthreads();
+  }
+}
+""", config=LaunchConfig(block_dim=(4, 1, 1)))
+        assert any("barrier divergence" in e for e in result.errors)
+
+    def test_aligned_barriers_fine(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k() {
+  s[threadIdx.x] = 1;
+  __syncthreads();
+  s[threadIdx.x] = 2;
+  __syncthreads();
+}
+""")
+        assert not result.errors
+
+
+class TestAtomics:
+    def test_atomic_recorded_as_atomic_kind(self):
+        result = run_kernel("""
+__global__ void k(unsigned *c) { atomicAdd(&c[0], 1); }
+""")
+        accesses = list(result.bi_access_sets[0])
+        assert len(accesses) == 1
+        assert accesses[0].kind == AccessKind.ATOMIC
+
+    def test_atomic_result_is_havoc(self):
+        from repro.sym.memory import contains_havoc
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k(unsigned *c) {
+  unsigned old = atomicAdd(&c[0], 1);
+  s[old & 63u] = 1;
+}
+""")
+        write = [a for a in result.bi_access_sets[0]
+                 if a.obj.name == "k.s" or a.obj.name == "s"][0]
+        assert contains_havoc(write.offset)
+
+
+class TestWarnings:
+    def test_unresolvable_read_warns(self):
+        result = run_kernel("""
+__shared__ int s[64];
+__global__ void k(int *out) {
+  s[threadIdx.x] = 1;
+  __syncthreads();
+  out[threadIdx.x] = s[(threadIdx.x + 1) % blockDim.x];
+}
+""")
+        assert any("could observe other threads" in w
+                   for w in result.warnings)

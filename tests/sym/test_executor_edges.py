@@ -1,0 +1,235 @@
+"""Executor edge cases: casts, selects, atomics, do-while, pointer phis,
+float intrinsics, opaque conversions."""
+import pytest
+
+from repro.core import LaunchConfig, check_source
+from repro.frontend import compile_source
+from repro.passes import standard_pipeline
+from repro.smt import evaluate
+from repro.sym import AccessKind, Executor, LaunchConfig as LC
+
+
+def run(source, block=8, **kw):
+    module = compile_source(source)
+    standard_pipeline().run(module)
+    fn = module.get_kernel()
+    config = LC(block_dim=(block, 1, 1),
+                symbolic_inputs={a.name for a in fn.args}, **kw)
+    return Executor(module, fn, config).run()
+
+
+def write_value(result, tid):
+    writes = [a for s in result.bi_access_sets for a in s
+              if a.kind == AccessKind.WRITE]
+    assert len(writes) == 1
+    return evaluate(writes[0].value, {"tid.x": tid})
+
+
+class TestCasts:
+    def test_trunc_wraps(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  char c = (char)(threadIdx.x + 250);
+  s[threadIdx.x] = (int)c;
+}""")
+        # tid=10: (10+250)=260 -> char 4 -> sext back = 4
+        assert write_value(result, 10) == 4
+
+    def test_sext_of_negative(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  char c = (char)255;
+  s[threadIdx.x] = (int)c;
+}""")
+        assert write_value(result, 0) == 0xFFFFFFFF  # -1 as u32
+
+    def test_zext_of_unsigned_char(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  unsigned char c = (unsigned char)255;
+  s[threadIdx.x] = (int)c;
+}""")
+        assert write_value(result, 0) == 255
+
+    def test_bool_to_int(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  int b = threadIdx.x > 3;
+  s[threadIdx.x] = b;
+}""")
+        assert write_value(result, 2) == 0
+        # need separate eval per tid on the same term
+        writes = [a for st in result.bi_access_sets for a in st
+                  if a.kind == AccessKind.WRITE]
+        assert evaluate(writes[0].value, {"tid.x": 5}) == 1
+
+
+class TestSelect:
+    def test_ternary_value(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  s[threadIdx.x] = threadIdx.x < 4 ? 100 : 200;
+}""")
+        assert write_value(result, 1) == 100
+        writes = [a for st in result.bi_access_sets for a in st
+                  if a.kind == AccessKind.WRITE]
+        assert evaluate(writes[0].value, {"tid.x": 6}) == 200
+
+    def test_min_max(self):
+        result = run("""
+__shared__ unsigned s[64];
+__global__ void k() {
+  s[threadIdx.x] = min(threadIdx.x, 3u) + max(threadIdx.x, 5u);
+}""")
+        assert write_value(result, 1) == 1 + 5
+        writes = [a for st in result.bi_access_sets for a in st
+                  if a.kind == AccessKind.WRITE]
+        assert evaluate(writes[0].value, {"tid.x": 7}) == 3 + 7
+
+    def test_abs(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  int v = (int)threadIdx.x - 4;
+  s[threadIdx.x] = abs(v);
+}""")
+        assert write_value(result, 1) == 3
+        writes = [a for st in result.bi_access_sets for a in st
+                  if a.kind == AccessKind.WRITE]
+        assert evaluate(writes[0].value, {"tid.x": 6}) == 2
+
+
+class TestLoops:
+    def test_do_while_executes_once(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  int i = 0;
+  do { i = i + 1; } while (i < 3);
+  s[threadIdx.x] = i;
+}""")
+        assert write_value(result, 0) == 3
+
+    def test_break_mid_loop(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  int acc = 0;
+  for (int i = 0; i < 100; i++) {
+    if (i == 5) break;
+    acc = acc + 1;
+  }
+  s[threadIdx.x] = acc;
+}""")
+        assert write_value(result, 0) == 5
+
+    def test_continue_skips(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  int acc = 0;
+  for (int i = 0; i < 6; i++) {
+    if (i % 2 == 0) continue;
+    acc = acc + i;
+  }
+  s[threadIdx.x] = acc;
+}""")
+        assert write_value(result, 0) == 1 + 3 + 5
+
+
+class TestAtomicsExtended:
+    def test_atomic_cas_recorded(self):
+        result = run("""
+__global__ void k(unsigned *lock) {
+  atomicCAS(&lock[0], 0, 1);
+}""")
+        accesses = list(result.bi_access_sets[0])
+        assert accesses[0].kind == AccessKind.ATOMIC
+
+    def test_atomic_min_max_exch(self):
+        result = run("""
+__global__ void k(int *a) {
+  atomicMin(&a[0], 1);
+  atomicMax(&a[1], 2);
+  atomicExch(&a[2], 3);
+}""")
+        atomics = [x for x in result.bi_access_sets[0]
+                   if x.kind == AccessKind.ATOMIC]
+        assert len(atomics) == 3
+
+    def test_atomic_inc_default_arg(self):
+        result = run("""
+__global__ void k(unsigned *c) {
+  atomicInc(&c[0], 16u);
+}""")
+        assert len(list(result.bi_access_sets[0])) == 1
+
+
+class TestFloatOpacity:
+    def test_float_ops_are_uf(self):
+        from repro.smt.terms import Op
+        result = run("""
+__shared__ float s[64];
+__global__ void k(float *in) {
+  s[threadIdx.x] = sqrtf(in[threadIdx.x]) * 2.0f;
+}""")
+        writes = [a for st in result.bi_access_sets for a in st
+                  if a.kind == AccessKind.WRITE and "s" in a.obj.name]
+        value = writes[0].value
+        from repro.smt import iter_dag
+        assert any(t.op == Op.UF for t in iter_dag([value]))
+
+    def test_fcmp_guard_is_symbolic(self):
+        result = run("""
+__shared__ float s[64];
+__global__ void k(float *in) {
+  if (in[threadIdx.x] > 0.5f) { s[threadIdx.x] = 1.0f; }
+}""")
+        writes = [a for st in result.bi_access_sets for a in st
+                  if a.kind == AccessKind.WRITE]
+        assert writes and not writes[0].cond.is_const()
+
+    def test_same_float_expr_consistent(self):
+        """Hash-consing gives functional consistency: the same float
+        computation appears as the same opaque node."""
+        result = run("""
+__shared__ float s[64];
+__global__ void k(float *in) {
+  float a = in[threadIdx.x] * 2.0f;
+  float b = in[threadIdx.x] * 2.0f;
+  if (a > b) { s[0] = 1.0f; }  // identical nodes: a > b is one UF
+}""")
+        # executing is enough; the guard folds over identical UF nodes
+        assert result.num_barriers >= 1
+
+
+class TestPointerHandling:
+    def test_pointer_phi_same_object(self):
+        result = run("""
+__shared__ int s[64];
+__global__ void k() {
+  int *p;
+  if (threadIdx.x % 2 == 0) { p = &s[0]; } else { p = &s[32]; }
+  *p = 1;
+}""")
+        writes = [a for st in result.bi_access_sets for a in st
+                  if a.kind == AccessKind.WRITE]
+        assert len(writes) == 1
+        assert evaluate(writes[0].offset, {"tid.x": 0}) == 0
+        assert evaluate(writes[0].offset, {"tid.x": 1}) == 32 * 4
+
+    def test_pointer_arithmetic_chain(self):
+        result = run("""
+__global__ void k(int *a) {
+  int *p = a + 4;
+  int *q = p + (int)threadIdx.x;
+  *q = 1;
+}""")
+        writes = [x for st in result.bi_access_sets for x in st
+                  if x.kind == AccessKind.WRITE]
+        assert evaluate(writes[0].offset, {"tid.x": 3}) == (4 + 3) * 4

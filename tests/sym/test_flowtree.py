@@ -1,0 +1,50 @@
+"""Flow tree recording/rendering (Fig. 4)."""
+import pytest
+
+from repro.core import GKLEEp, SESA, LaunchConfig
+from repro.kernels.paper_examples import REDUCTION
+from repro.sym import render_flow_tree
+
+
+@pytest.fixture(scope="module")
+def gkleep_result():
+    report = GKLEEp.from_source(REDUCTION.source).check(
+        LaunchConfig(block_dim=8, check_oob=False))
+    return report.execution
+
+
+class TestFlowTreeFig4:
+    def test_first_split_is_parity(self, gkleep_result):
+        """Fig. 4: the root splits on tid % 2 == 0."""
+        parents = [e[0] for e in gkleep_result.flow_events]
+        root = min(parents)
+        first_level = [e for e in gkleep_result.flow_events
+                       if e[0] == root]
+        assert len(first_level) == 2
+        conds = [repr(c) for _, _, c in first_level]
+        assert any("2) == 0" in c for c in conds)
+
+    def test_infeasible_refinements_pruned(self, gkleep_result):
+        """The odd-tids flow cannot refine to tid % 4 == 0 (the paper's
+        F4 discussion): no recorded child carries a contradictory cond."""
+        for _, _, cond in gkleep_result.flow_events:
+            text = repr(cond)
+            assert not ("!((tid.x %u 2) == 0)" in text
+                        and "&& ((tid.x %u 4) == 0)" in text), text
+
+    def test_leaf_count_matches_final_flows(self, gkleep_result):
+        children = {c for _, c, _ in gkleep_result.flow_events}
+        parents = {p for p, _, _ in gkleep_result.flow_events}
+        leaves = children - parents
+        assert len(leaves) == len(gkleep_result.final_flow_conds)
+
+    def test_render_contains_tree_glyphs(self, gkleep_result):
+        text = render_flow_tree(gkleep_result)
+        assert "|--" in text and "`--" in text
+        assert "final flows" in text
+
+    def test_sesa_renders_single_node(self):
+        report = SESA.from_source(REDUCTION.source).check(
+            LaunchConfig(block_dim=8, check_oob=False))
+        text = render_flow_tree(report.execution)
+        assert "single flow" in text

@@ -1,0 +1,64 @@
+"""MemoryObject initial-content semantics per input mode."""
+import pytest
+
+from repro import ir
+from repro.smt import mk_bv, mk_bv_var
+from repro.smt.terms import Op
+from repro.sym import MemoryObject
+
+
+def make(space=ir.MemSpace.GLOBAL, symbolic=False, values=None):
+    return MemoryObject(name="buf", space=space, size_bytes=64,
+                        elem_width=32, is_symbolic_input=symbolic,
+                        concrete_values=values)
+
+
+class TestInputValueAt:
+    def test_symbolic_input_is_uf_over_offset(self):
+        obj = make(symbolic=True)
+        v = obj.input_value_at(mk_bv(8, 32), 32)
+        assert v.op == Op.UF
+        assert "in:buf" in str(v.payload)
+
+    def test_symbolic_cells_independent(self):
+        obj = make(symbolic=True)
+        a = obj.input_value_at(mk_bv(0, 32), 32)
+        b = obj.input_value_at(mk_bv(4, 32), 32)
+        assert a is not b
+
+    def test_symbolic_same_cell_consistent(self):
+        obj = make(symbolic=True)
+        off = mk_bv_var("tid.x") * 4
+        assert obj.input_value_at(off, 32) is obj.input_value_at(off, 32)
+
+    def test_concrete_values_indexed_by_element(self):
+        obj = make(values=[100, 200, 300])
+        assert obj.input_value_at(mk_bv(0, 32), 32) is mk_bv(100, 32)
+        assert obj.input_value_at(mk_bv(8, 32), 32) is mk_bv(300, 32)
+
+    def test_concrete_out_of_range_falls_back(self):
+        obj = make(values=[1])
+        v = obj.input_value_at(mk_bv(400, 32), 32)
+        assert v.is_const()  # zero-fill default
+
+    def test_concrete_array_symbolic_offset_is_uf(self):
+        # concrete contents but parametric index: cannot resolve
+        obj = make(values=[1, 2, 3])
+        v = obj.input_value_at(mk_bv_var("tid.x"), 32)
+        assert v.op == Op.UF
+
+    def test_shared_uninitialised_is_uf(self):
+        obj = make(space=ir.MemSpace.SHARED)
+        v = obj.input_value_at(mk_bv(0, 32), 32)
+        assert v.op == Op.UF
+        assert "uninit" in str(v.payload)
+
+    def test_global_default_zero_fill(self):
+        obj = make()
+        assert obj.input_value_at(mk_bv(12, 32), 32) is mk_bv(0, 32)
+
+    def test_identity_semantics(self):
+        a, b = make(), make()
+        assert a != b           # objects compare by identity
+        assert a == a
+        assert len({a, b}) == 2

@@ -1,0 +1,116 @@
+"""Pointer values, width handling, and launch-config environment tests."""
+import pytest
+
+from repro import ir
+from repro.smt import evaluate, mk_bv, mk_bv_var
+from repro.sym import LaunchConfig, MemoryObject, Pointer, SymbolicEnv
+from repro.sym.value import fit_width, width_of
+
+
+def obj(elem_width=32):
+    return MemoryObject(name="m", space=ir.MemSpace.SHARED,
+                        size_bytes=1024, elem_width=elem_width)
+
+
+class TestPointer:
+    def test_advance_scales_by_elem_size(self):
+        p = Pointer(obj(), mk_bv(0, 32))
+        q = p.advanced(mk_bv(3, 32), 4)
+        assert q.offset is mk_bv(12, 32)
+
+    def test_advance_accumulates(self):
+        p = Pointer(obj(), mk_bv(8, 32))
+        q = p.advanced(mk_bv(2, 32), 8)
+        assert q.offset is mk_bv(24, 32)
+
+    def test_symbolic_index(self):
+        tid = mk_bv_var("tid.x")
+        p = Pointer(obj(), mk_bv(0, 32)).advanced(tid, 4)
+        assert evaluate(p.offset, {"tid.x": 5}) == 20
+
+    def test_wide_index_truncated(self):
+        idx = mk_bv_var("i", 64)
+        p = Pointer(obj(), mk_bv(0, 32)).advanced(idx, 4)
+        assert p.offset.width == 32
+
+    def test_narrow_index_sign_extended(self):
+        idx = mk_bv(-1, 16)  # 0xFFFF
+        p = Pointer(obj(), mk_bv(100, 32)).advanced(idx, 4)
+        # -1 * 4 = -4 → offset 96
+        assert evaluate(p.offset, {}) == 96
+
+
+class TestWidths:
+    def test_width_of_types(self):
+        assert width_of(ir.I32) == 32
+        assert width_of(ir.I8) == 8
+        assert width_of(ir.F64) == 64
+        assert width_of(ir.ptr(ir.I32)) == 64
+
+    def test_fit_width_identity(self):
+        x = mk_bv_var("x", 32)
+        assert fit_width(x, 32) is x
+
+    def test_fit_width_trunc_zext(self):
+        x = mk_bv(0x1FF, 16)
+        assert evaluate(fit_width(x, 8), {}) == 0xFF
+        assert evaluate(fit_width(x, 32), {}) == 0x1FF
+
+
+class TestLaunchConfig:
+    def test_scalar_dims_accepted(self):
+        cfg = LaunchConfig(grid_dim=4, block_dim=128)
+        assert cfg.grid_dim == (4, 1, 1)
+        assert cfg.block_dim == (128, 1, 1)
+
+    def test_thread_counts(self):
+        cfg = LaunchConfig(grid_dim=(2, 3, 1), block_dim=(8, 4, 1))
+        assert cfg.threads_per_block == 32
+        assert cfg.num_blocks == 6
+        assert cfg.total_threads == 192
+
+    def test_default_scalar_falls_back_to_total(self):
+        cfg = LaunchConfig(grid_dim=2, block_dim=32)
+        assert cfg.default_scalar("n") == 64
+        cfg.scalar_values["n"] = 7
+        assert cfg.default_scalar("n") == 7
+
+
+class TestSymbolicEnv:
+    def test_unit_dims_collapse_to_zero(self):
+        env = SymbolicEnv(LaunchConfig(grid_dim=1, block_dim=(64, 1, 1)))
+        assert env.lookup("tid.y").is_const()
+        assert env.lookup("tid.y").value == 0
+        assert env.lookup("bid.x").is_const()  # single block
+
+    def test_multi_dims_are_variables(self):
+        env = SymbolicEnv(LaunchConfig(grid_dim=(4, 2, 1),
+                                       block_dim=(8, 8, 1)))
+        assert env.lookup("tid.x").is_var()
+        assert env.lookup("tid.y").is_var()
+        assert env.lookup("bid.y").is_var()
+        assert env.lookup("tid.z").is_const()
+
+    def test_bounds_match_extents(self):
+        cfg = LaunchConfig(grid_dim=(4, 1, 1), block_dim=(8, 1, 1))
+        env = SymbolicEnv(cfg)
+        bounds = env.bounds()
+        assert len(bounds) == 2  # tid.x < 8, bid.x < 4
+        # all satisfied at the corners
+        assert all(evaluate(b, {"tid.x": 7, "bid.x": 3}) for b in bounds)
+        assert not all(evaluate(b, {"tid.x": 8, "bid.x": 0})
+                       for b in bounds)
+
+    def test_dims_are_concrete_constants(self):
+        env = SymbolicEnv(LaunchConfig(block_dim=(128, 1, 1)))
+        assert env.lookup("bdim.x").value == 128
+        assert env.lookup("gdim.x").value == 1
+
+    def test_warp_size_constant(self):
+        env = SymbolicEnv(LaunchConfig(warp_size=32))
+        assert env.lookup("warpSize").value == 32
+
+    def test_thread_vars_listing(self):
+        env = SymbolicEnv(LaunchConfig(grid_dim=(2, 1, 1),
+                                       block_dim=(8, 4, 1)))
+        assert set(env.thread_vars()) == {"tid.x", "tid.y", "bid.x"}

@@ -1,0 +1,57 @@
+"""Kernel assertion checking (inherited from the GKLEE lineage)."""
+import pytest
+
+from repro.core import SESA, LaunchConfig
+
+
+def check(source, **kw):
+    return SESA.from_source(source).check(
+        LaunchConfig(block_dim=64, check_oob=False, **kw))
+
+
+class TestAssertions:
+    def test_violation_found_with_witness(self):
+        report = check("""
+__global__ void k(int *a) {
+  assert(threadIdx.x < 32u);
+  a[threadIdx.x] = 1;
+}""")
+        assert report.assertion_failures
+        failure = report.assertion_failures[0]
+        assert failure.witness.thread1[0] >= 32
+
+    def test_valid_assertion_holds(self):
+        report = check("""
+__global__ void k(int *a) {
+  assert(threadIdx.x < blockDim.x);
+  a[threadIdx.x] = 1;
+}""")
+        assert not report.assertion_failures
+
+    def test_guarded_assertion_respects_guard(self):
+        report = check("""
+__global__ void k(int *a) {
+  if (threadIdx.x < 16u) {
+    assert(threadIdx.x < 16u);
+    a[threadIdx.x] = 1;
+  }
+}""")
+        assert not report.assertion_failures
+
+    def test_assertion_over_symbolic_input(self):
+        report = check("""
+__global__ void k(int *data, int *out) {
+  int v = data[threadIdx.x] & 255;
+  assert(v < 100);
+  out[(unsigned)v & 63u] = 1;
+}""")
+        # data is symbolic (address flow): v can reach 255
+        assert report.assertion_failures
+
+    def test_assertion_in_summary(self):
+        report = check("""
+__global__ void k(int *a) {
+  assert(threadIdx.x < 1u);
+  a[0] = 1;
+}""")
+        assert "ASSERT" in report.summary()

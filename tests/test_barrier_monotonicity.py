@@ -1,0 +1,56 @@
+"""Metamorphic property: barrier insertion is monotone.
+
+Adding ``__syncthreads()`` between statements orders more accesses and
+can only *remove* races — if the barrier-saturated variant still races,
+the original must race. (The converse direction is the reduction_racy
+story: removing a barrier introduced the race.)
+"""
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import SESA, LaunchConfig
+
+STMTS = [
+    "s[threadIdx.x] = (int)threadIdx.x;",
+    "s[(threadIdx.x + 1) % 8] = 1;",
+    "s[threadIdx.x / 2] = 2;",
+    "tmp = s[threadIdx.x] + tmp;",
+    "s[threadIdx.x * 2] = tmp;",
+    "tmp = s[7 - threadIdx.x] + 1;",
+]
+
+
+def kernel_with(statements, barriers: bool) -> str:
+    sep = "\n  __syncthreads();\n  " if barriers else "\n  "
+    body = sep.join(statements)
+    return f"""
+__shared__ int s[64];
+__global__ void k() {{
+  int tmp = 0;
+  {body}
+}}
+"""
+
+
+def has_races(source: str) -> bool:
+    report = SESA.from_source(source).check(
+        LaunchConfig(block_dim=8, check_oob=False))
+    return report.has_races
+
+
+@settings(max_examples=20, deadline=None)
+@given(chosen=st.lists(st.sampled_from(STMTS), min_size=2, max_size=4))
+def test_barriers_only_remove_races(chosen):
+    racy_saturated = has_races(kernel_with(chosen, barriers=True))
+    racy_plain = has_races(kernel_with(chosen, barriers=False))
+    if racy_saturated:
+        assert racy_plain, "\n".join(chosen)
+
+
+def test_known_pair():
+    stmts = ["s[threadIdx.x] = 1;",
+             "tmp = s[(threadIdx.x + 1) % 8] + 1;",
+             "s[threadIdx.x] = tmp;"]
+    assert has_races(kernel_with(stmts, barriers=False))
+    assert not has_races(kernel_with(stmts, barriers=True))

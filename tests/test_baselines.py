@@ -1,0 +1,94 @@
+"""Comparator engine tests: GKLEEp and the GKLEE oracle."""
+import pytest
+
+from repro.core import GKLEE, GKLEEp, SESA, LaunchConfig
+
+RACY = """
+__shared__ int v[64];
+__global__ void race() {
+  v[threadIdx.x] = v[(threadIdx.x + 1) % blockDim.x];
+}
+"""
+
+DIVERGENT = """
+__shared__ int s[64];
+__global__ void k(int *in) {
+  unsigned v = 0;
+  unsigned d = (unsigned)in[threadIdx.x];
+  if ((d & 1u) != 0) { v = v + 1; }
+  if ((d & 2u) != 0) { v = v + 2; }
+  if ((d & 4u) != 0) { v = v + 4; }
+  s[threadIdx.x] = v;
+}
+"""
+
+
+class TestGKLEEp:
+    def test_finds_the_same_race_as_sesa(self):
+        cfg = LaunchConfig(block_dim=16, check_oob=False)
+        sesa = SESA.from_source(RACY).check(cfg)
+        cfg2 = LaunchConfig(block_dim=16, check_oob=False)
+        gkleep = GKLEEp.from_source(RACY).check(cfg2)
+        assert sesa.has_races and gkleep.has_races
+
+    def test_symbolises_everything_by_default(self):
+        tool = GKLEEp.from_source(DIVERGENT)
+        assert tool.default_symbolic_inputs() == {"in"}
+
+    def test_flow_explosion_on_divergence(self):
+        cfg = LaunchConfig(block_dim=16, check_oob=False)
+        report = GKLEEp.from_source(DIVERGENT).check(cfg)
+        # 3 independent input bits -> 8 flows
+        assert report.max_flows == 8
+
+    def test_sesa_merges_the_same_kernel(self):
+        cfg = LaunchConfig(block_dim=16, check_oob=False)
+        report = SESA.from_source(DIVERGENT).check(cfg)
+        assert report.max_flows == 1
+
+    def test_flow_combining_disabled(self):
+        cfg = LaunchConfig(block_dim=16, check_oob=False)
+        report = GKLEEp.from_source(DIVERGENT).check(cfg)
+        assert report.mode == "gkleep"
+        assert not cfg.flow_combining
+
+
+class TestGKLEEOracle:
+    def test_finds_races_with_pinned_threads(self):
+        cfg = LaunchConfig(block_dim=4, check_oob=False)
+        report = GKLEE.from_source(RACY).check(cfg)
+        assert report.has_races
+        # the witness threads are concrete and distinct
+        race = report.races[0]
+        assert race.witness.thread1 != race.witness.thread2
+
+    def test_clean_kernel_clean(self):
+        cfg = LaunchConfig(block_dim=4)
+        report = GKLEE.from_source("""
+__global__ void k(int *a) { a[threadIdx.x] = 1; }
+""").check(cfg)
+        assert not report.has_races
+
+    def test_mode_tag(self):
+        cfg = LaunchConfig(block_dim=2)
+        report = GKLEE.from_source(RACY).check(cfg)
+        assert report.mode == "gklee"
+
+
+class TestEngineAgreement:
+    """All three engines agree on the §II example's verdict."""
+
+    @pytest.mark.parametrize("engine_cls", [SESA, GKLEEp, GKLEE])
+    def test_racy_verdict(self, engine_cls):
+        cfg = LaunchConfig(block_dim=4, check_oob=False)
+        report = engine_cls.from_source(RACY).check(cfg)
+        assert report.has_races, engine_cls.__name__
+
+    @pytest.mark.parametrize("engine_cls", [SESA, GKLEEp, GKLEE])
+    def test_clean_verdict(self, engine_cls):
+        cfg = LaunchConfig(block_dim=4, check_oob=False)
+        report = engine_cls.from_source("""
+__shared__ int v[64];
+__global__ void k() { v[threadIdx.x] = 1; }
+""").check(cfg)
+        assert not report.has_races, engine_cls.__name__

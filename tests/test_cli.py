@@ -1,0 +1,121 @@
+"""CLI tests (python -m repro ...)."""
+import json
+
+import pytest
+
+from repro.cli import main
+
+RACY = """
+__shared__ int v[64];
+__global__ void race() {
+  v[threadIdx.x] = v[(threadIdx.x + 1) % blockDim.x];
+}
+"""
+
+CLEAN = """
+__global__ void k(float *a) { a[threadIdx.x] = 1.0f; }
+"""
+
+SCATTER = """
+__global__ void scatter(int *idx, float *out) {
+  out[idx[threadIdx.x] & 63] = (float)threadIdx.x;
+}
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    f = tmp_path / "racy.cu"
+    f.write_text(RACY)
+    return str(f)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    f = tmp_path / "clean.cu"
+    f.write_text(CLEAN)
+    return str(f)
+
+
+class TestCheck:
+    def test_racy_kernel_exit_code(self, racy_file, capsys):
+        code = main(["check", racy_file, "--block", "64", "--no-oob"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RACE" in out
+
+    def test_clean_kernel_exit_code(self, clean_file, capsys):
+        code = main(["check", clean_file, "--block", "64"])
+        assert code == 0
+        assert "no races found" in capsys.readouterr().out
+
+    def test_json_output(self, racy_file, capsys):
+        code = main(["check", racy_file, "--block", "64", "--no-oob",
+                     "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "race"
+        assert payload["races"]
+        assert payload["flows"] == 1
+        assert payload["resolvable"] == "Y"
+
+    def test_engine_selection(self, racy_file, capsys):
+        code = main(["check", racy_file, "--block", "8", "--no-oob",
+                     "--engine", "gkleep", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "gkleep"
+        assert code == 1
+
+    def test_grid_and_scalar_options(self, tmp_path, capsys):
+        f = tmp_path / "g.cu"
+        f.write_text("""
+__global__ void k(int *a, int n) {
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)i < n) { a[i] = 1; }
+}
+""")
+        code = main(["check", str(f), "--grid", "4", "--block", "32",
+                     "--set", "n=128", "--array-size", "a=128"])
+        assert code == 0
+
+    def test_forced_symbolic(self, tmp_path, capsys):
+        f = tmp_path / "s.cu"
+        f.write_text(SCATTER)
+        code = main(["check", str(f), "--block", "64", "--no-oob",
+                     "--symbolic", "idx"])
+        assert code == 1  # symbolic idx values can collide
+
+
+class TestTaint:
+    def test_advisory_output(self, tmp_path, capsys):
+        f = tmp_path / "s.cu"
+        f.write_text(SCATTER)
+        code = main(["taint", str(f)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SYMBOLIC" in out and "idx" in out
+
+
+class TestIr:
+    def test_ir_dump(self, racy_file, capsys):
+        code = main(["ir", racy_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel void @race" in out
+        assert "getelptr" in out
+
+
+class TestTests:
+    def test_vectors_cover_flows(self, tmp_path, capsys):
+        f = tmp_path / "t.cu"
+        f.write_text("""
+__shared__ int s[64];
+__global__ void k() {
+  for (unsigned i = 0; i < threadIdx.x; i++) { s[i] = 1; }
+}
+""")
+        code = main(["tests", str(f), "--block", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("test[")]
+        assert len(lines) >= 2  # distinct trip counts → distinct vectors

@@ -1,0 +1,95 @@
+"""Flow combining must not change verdicts (the §III soundness story).
+
+SESA's merged execution and GKLEEp's split execution are two evaluation
+strategies for the same parametric semantics; on resolvable kernels they
+must produce identical race verdicts. Property-tested over generated
+divergent kernels.
+"""
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import GKLEEp, SESA, LaunchConfig
+
+
+def verdicts(source: str, block: int = 8):
+    sesa = SESA.from_source(source).check(
+        LaunchConfig(block_dim=block, check_oob=False))
+    gkleep = GKLEEp.from_source(source).check(
+        LaunchConfig(block_dim=block, check_oob=False,
+                     symbolic_inputs=set()))
+    return sesa, gkleep
+
+
+# building blocks for random divergent kernels over tid
+CONDS = ["threadIdx.x % 2 == 0", "threadIdx.x < 4", "(threadIdx.x & 2) != 0",
+         "threadIdx.x > 5"]
+WRITES = ["s[threadIdx.x] = {v};", "s[threadIdx.x * 2] = {v};",
+          "s[threadIdx.x / 2] = {v};", "s[(threadIdx.x + 1) % 8] = {v};"]
+
+
+@st.composite
+def divergent_kernels(draw):
+    parts = ["__shared__ int s[64];", "__global__ void k() {"]
+    n_branches = draw(st.integers(1, 3))
+    for i in range(n_branches):
+        cond = draw(st.sampled_from(CONDS))
+        then_w = draw(st.sampled_from(WRITES)).format(v=i * 2)
+        has_else = draw(st.booleans())
+        parts.append(f"  if ({cond}) {{ {then_w} }}")
+        if has_else:
+            else_w = draw(st.sampled_from(WRITES)).format(v=i * 2 + 1)
+            parts.append(f"  else {{ {else_w} }}")
+    parts.append("}")
+    return "\n".join(parts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=divergent_kernels())
+def test_merged_equals_split_verdict(source):
+    sesa, gkleep = verdicts(source)
+    assert sesa.has_races == gkleep.has_races, source
+
+
+@settings(max_examples=15, deadline=None)
+@given(source=divergent_kernels())
+def test_sesa_never_more_flows(source):
+    sesa, gkleep = verdicts(source)
+    assert sesa.max_flows <= gkleep.max_flows, source
+    assert sesa.max_flows == 1  # diamonds always merge
+
+
+class TestMergedValuesSound:
+    """The merged state must be exact: a value race depending on which
+    arm executed must still be detected through the ite."""
+
+    def test_value_dependent_address_after_merge(self):
+        # the arm result feeds an address AFTER the merge point
+        source = """
+__shared__ int s[64];
+__global__ void k() {
+  unsigned idx;
+  if (threadIdx.x % 2 == 0) { idx = threadIdx.x; }
+  else { idx = threadIdx.x / 4; }
+  s[idx] = (int)threadIdx.x;
+}
+"""
+        sesa, gkleep = verdicts(source)
+        # t=1 -> idx 0, t=0 -> idx 0: genuine WW race; both engines agree
+        assert sesa.has_races and gkleep.has_races
+
+    def test_merge_preserves_race_freedom(self):
+        source = """
+__shared__ int s[64];
+__global__ void k() {
+  unsigned idx;
+  if (threadIdx.x % 2 == 0) { idx = threadIdx.x; }
+  else { idx = threadIdx.x + 32; }
+  s[idx & 63] = 1;
+}
+"""
+        sesa, gkleep = verdicts(source)
+        # even tids write [even], odd write [odd+32 (odd)]: all distinct...
+        # (t even -> t; t odd -> t+32 which is odd+32: t=1->33, t=33? block
+        # is 8 threads so values stay distinct)
+        assert sesa.has_races == gkleep.has_races

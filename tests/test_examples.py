@@ -1,0 +1,45 @@
+"""The bundled examples must run clean (they double as integration
+tests: each asserts its own paper-anchored expectations internally)."""
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "RW race on v" in out
+
+
+def test_taint_advisor():
+    out = run_example("taint_advisor.py", "vectorAdd", "histogram64")
+    assert "SYMBOLIC" in out
+    assert "d_Data" in out
+
+
+def test_fix_verify():
+    out = run_example("fix_verify.py")
+    assert "RACY" in out and "race-free" in out
+
+
+@pytest.mark.slow
+def test_reduction_flows():
+    out = run_example("reduction_flows.py")
+    assert "flows(max)=  1" in out
+
+
+@pytest.mark.slow
+def test_bug_witnesses_fast_mode():
+    out = run_example("bug_witnesses.py", "--fast", timeout=400)
+    assert "All three Parboil bugs reproduced" in out

@@ -1,0 +1,85 @@
+"""Pipeline robustness fuzz: random MiniCUDA programs must flow through
+compile → SSA → taint → execute → check without raising, and the report
+invariants must hold (flows >= 1, witnesses within bounds, benign ⊆ WW).
+"""
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import SESA, LaunchConfig
+
+TYPES = ["int", "unsigned", "float"]
+IDX = ["threadIdx.x", "threadIdx.x * 2", "threadIdx.x / 2",
+       "(threadIdx.x + 1) % 8", "threadIdx.x ^ 1",
+       "blockIdx.x * blockDim.x + threadIdx.x"]
+SCALAR_EXPR = ["threadIdx.x", "n", "i", "threadIdx.x + n",
+               "threadIdx.x & 3", "i * 2"]
+CONDS = ["threadIdx.x % 2 == 0", "threadIdx.x < n", "i < 2",
+         "(threadIdx.x & 1) != 0", "n > 2"]
+
+
+@st.composite
+def statements(draw, depth=0):
+    kind = draw(st.sampled_from(
+        ["store", "load", "atomic", "sync", "if", "for"]
+        if depth < 2 else ["store", "load", "atomic", "sync"]))
+    if kind == "store":
+        return f"s[({draw(st.sampled_from(IDX))}) & 31] = " \
+               f"(int)({draw(st.sampled_from(SCALAR_EXPR))});"
+    if kind == "load":
+        return f"i = s[({draw(st.sampled_from(IDX))}) & 31] + i;"
+    if kind == "atomic":
+        return f"atomicAdd(&g[({draw(st.sampled_from(IDX))}) & 15], 1);"
+    if kind == "sync":
+        return "__syncthreads();"
+    if kind == "if":
+        cond = draw(st.sampled_from(CONDS))
+        body = draw(statements(depth + 1))
+        if "syncthreads" in body:
+            body = "i = i + 1;"  # avoid intentional barrier divergence
+        if draw(st.booleans()):
+            other = draw(statements(depth + 1)).replace("__syncthreads();",
+                                                        "i = i - 1;")
+            return f"if ({cond}) {{ {body} }} else {{ {other} }}"
+        return f"if ({cond}) {{ {body} }}"
+    if kind == "for":
+        body = draw(statements(depth + 1)).replace("__syncthreads();",
+                                                   "i = i + 1;")
+        bound = draw(st.integers(1, 3))
+        return f"for (int j = 0; j < {bound}; j++) {{ {body} }}"
+    raise AssertionError(kind)
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(1, 5))
+    body = "\n  ".join(draw(statements()) for _ in range(n))
+    return f"""
+__shared__ int s[32];
+__global__ void k(unsigned *g, int n) {{
+  int i = 0;
+  {body}
+  g[threadIdx.x & 15] = (unsigned)i;
+}}
+"""
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=programs())
+def test_pipeline_never_crashes(source):
+    tool = SESA.from_source(source)
+    config = LaunchConfig(
+        grid_dim=2, block_dim=8, max_flows=64, max_loop_splits=16,
+        max_steps=200_000, time_budget_seconds=20.0)
+    report = tool.check(config, max_reports=4)
+    assert report.max_flows >= 1
+    assert report.resolvable in ("Y", "N")
+    for race in report.races:
+        assert race.kind
+        w = race.witness
+        assert 0 <= w.thread1[0] < 8
+        assert 0 <= w.block1[0] < 2
+        if race.benign:
+            assert race.kind.endswith("W")
+    for oob in report.oobs:
+        assert oob.witness is not None

@@ -1,0 +1,83 @@
+"""Suite-wide verification: every bundled kernel produces the expected
+verdicts (issues found / clean, resolvability) at a downscaled but
+structure-preserving configuration. Heavier full-config runs live in the
+benchmarks; the three genuine Parboil bugs get dedicated exact tests in
+test_parboil_bugs.py.
+"""
+import pytest
+
+from repro.core import SESA
+from repro.kernels import ALL_KERNELS
+from repro.kernels.lonestar import attach_concrete_graph
+
+
+def _scaled_config(k, max_grid=2, max_block=64):
+    grid = tuple(min(g, max_grid) for g in k.grid_dim)
+    block = tuple(min(b, max_block) for b in k.block_dim)
+    cfg = k.launch_config(grid_dim=grid, block_dim=block)
+    if k.table.startswith("Table III") or k.name == "parboil_bfs":
+        attach_concrete_graph(cfg)
+    return cfg
+
+
+# kernels whose verdict needs the full-size configuration (exercised in
+# test_parboil_bugs.py and the benchmarks instead)
+FULL_CONFIG_ONLY = {"histo_final", "stencil", "matrixMul", "transpose",
+                    "reorder", "spmv_jds"}
+SLOW = {"bitonic_fig1", "bitonic2.0", "bitonic4.3"}
+
+
+@pytest.mark.parametrize("name", sorted(
+    n for n in ALL_KERNELS if n not in FULL_CONFIG_ONLY and n not in SLOW))
+def test_kernel_verdict(name):
+    k = ALL_KERNELS[name]
+    cfg = _scaled_config(k)
+    report = SESA.from_source(k.source, k.kernel_name).check(cfg)
+
+    found = set(report.race_kinds()) | ({"OOB"} if report.oobs else set())
+    expected = set(k.expected_issues)
+    if expected:
+        assert found & _kind_closure(expected), \
+            f"{name}: expected one of {expected}, found {found}\n" + \
+            report.summary()
+    else:
+        non_benign = {f for f in found if "Benign" not in f}
+        assert not non_benign, \
+            f"{name}: expected clean, found {found}\n" + report.summary()
+
+
+def _kind_closure(kinds):
+    """Accept standard aliases: RW covers WR; benign annotations match
+    their base kind."""
+    out = set()
+    for k in kinds:
+        out.add(k)
+        out.add(k.replace(" (Benign)", ""))
+        if k == "RW":
+            out.add("WR")
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(
+    n for n, k in ALL_KERNELS.items()
+    if k.paper_resolvable is not None
+    and n not in FULL_CONFIG_ONLY and n not in SLOW))
+def test_resolvability_verdict(name):
+    k = ALL_KERNELS[name]
+    report = SESA.from_source(k.source, k.kernel_name).check(
+        _scaled_config(k))
+    assert report.resolvable == k.paper_resolvable, \
+        f"{name}: paper says RSLV={k.paper_resolvable}, " \
+        f"tool says {report.resolvable}"
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+def test_kernel_compiles_and_taints(name):
+    k = ALL_KERNELS[name]
+    tool = SESA.from_source(k.source, k.kernel_name)
+    assert tool.taint.verdicts is not None
+    if k.paper_inputs is not None:
+        _, total = k.paper_inputs
+        assert len(tool.taint.verdicts) == total, \
+            f"{name}: expected {total} params, " \
+            f"have {len(tool.taint.verdicts)}"

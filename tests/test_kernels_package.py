@@ -1,0 +1,74 @@
+"""Kernel registry and launch_config helper tests."""
+import pytest
+
+from repro.kernels import (
+    ALL_KERNELS, DIVERGENT_KERNELS, LONESTAR_KERNELS, PAPER_EXAMPLES,
+    PARBOIL_KERNELS, REDUCTION_FAMILY, SDK_KERNELS, Kernel,
+)
+from repro.kernels.lonestar import attach_concrete_graph, synthetic_csr
+
+
+class TestRegistry:
+    def test_names_unique(self):
+        groups = (PAPER_EXAMPLES + SDK_KERNELS + REDUCTION_FAMILY +
+                  DIVERGENT_KERNELS + LONESTAR_KERNELS + PARBOIL_KERNELS)
+        names = [k.name for k in groups]
+        assert len(names) == len(set(names))
+        assert len(ALL_KERNELS) == len(names)
+
+    def test_all_have_source_and_table(self):
+        for k in ALL_KERNELS.values():
+            assert k.source.strip()
+            assert k.table
+
+    def test_expected_counts_per_suite(self):
+        assert len(SDK_KERNELS) == 9         # Table I's 8 + histogram64
+        assert len(REDUCTION_FAMILY) == 6
+        assert len(DIVERGENT_KERNELS) == 8   # Table II
+        assert len(LONESTAR_KERNELS) == 7    # Table III
+        assert len(PARBOIL_KERNELS) == 10    # Table IV
+
+
+class TestLaunchConfigHelper:
+    def test_defaults_from_kernel(self):
+        k = ALL_KERNELS["histo_final"]
+        cfg = k.launch_config()
+        assert cfg.grid_dim == k.grid_dim
+        assert cfg.block_dim == k.block_dim
+        assert cfg.scalar_values == k.scalar_values
+        assert cfg.max_loop_splits == 128
+
+    def test_overrides(self):
+        k = ALL_KERNELS["vectorAdd"]
+        cfg = k.launch_config(grid_dim=(2, 1, 1), check_oob=False)
+        assert cfg.grid_dim == (2, 1, 1)
+        assert not cfg.check_oob
+
+    def test_disable_oob_respected(self):
+        k = ALL_KERNELS["bfs_ls"]
+        assert k.disable_oob
+        assert k.launch_config().check_oob is False
+
+    def test_mutation_isolated(self):
+        k = ALL_KERNELS["matrixMul"]
+        cfg = k.launch_config()
+        cfg.scalar_values["wA"] = 1
+        assert k.scalar_values["wA"] == 64
+
+
+class TestSyntheticGraph:
+    def test_csr_well_formed(self):
+        row, col = synthetic_csr(16, degree=2)
+        assert len(row) == 17
+        assert row[0] == 0
+        assert row[-1] == len(col)
+        assert all(0 <= c < 16 for c in col)
+        assert all(row[i] <= row[i + 1] for i in range(16))
+
+    def test_attach_concrete_graph(self):
+        from repro.sym import LaunchConfig
+        cfg = LaunchConfig(grid_dim=2, block_dim=8)
+        attach_concrete_graph(cfg)
+        assert "row" in cfg.array_values
+        assert len(cfg.array_values["row"]) == cfg.total_threads + 1
+        assert cfg.scalar_values["nnodes"] == cfg.total_threads

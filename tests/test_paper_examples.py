@@ -1,0 +1,151 @@
+"""Integration tests reproducing the paper's own worked examples.
+
+Each test pins a fact the paper states about a specific kernel:
+§II's two race classes, Fig. 4's flow-tree collapse, §V's taint results,
+and the GKLEEp-vs-SESA flow behaviour of §III.
+"""
+import pytest
+
+from repro.core import GKLEEp, SESA, LaunchConfig
+from repro.kernels.paper_examples import (
+    BITONIC, GENERIC, RACE_EXAMPLE, REDUCTION, REDUCTION_RACY,
+)
+
+
+def cfg(kernel, **kw):
+    base = dict(grid_dim=kernel.grid_dim, block_dim=kernel.block_dim,
+                scalar_values=dict(kernel.scalar_values),
+                array_sizes=dict(kernel.array_sizes), check_oob=False)
+    base.update(kw)
+    return LaunchConfig(**base)
+
+
+class TestSectionTwoRaceKernel:
+    """§II: the 'race' kernel has two classes of races."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        tool = SESA.from_source(RACE_EXAMPLE.source)
+        return tool.check(cfg(RACE_EXAMPLE))
+
+    def test_first_barrier_interval_wr_race(self, report):
+        """Thread 0 and thread bdim-1 race on v[0] (paper's witness)."""
+        bi0_races = [r for r in report.races
+                     if r.access1.bi_index == 0 and not r.benign]
+        assert bi0_races, report.summary()
+        race = bi0_races[0]
+        assert {race.access1.kind.value, race.access2.kind.value} == \
+            {"R", "W"}
+        # witness: the two threads are adjacent modulo bdim
+        w = race.witness
+        t1, t2 = w.thread1[0], w.thread2[0]
+        assert (t1 + 1) % 64 == t2 or (t2 + 1) % 64 == t1
+
+    def test_second_barrier_interval_divergent_race(self, report):
+        """then-part read races else-part write: t1 even, t2 odd,
+        t1 == t2 >> 2 (the paper gives t1=0, t2=1)."""
+        bi1 = [r for r in report.races
+               if r.access1.bi_index == 1 and not r.benign]
+        assert bi1, report.summary()
+        race = bi1[0]
+        w = race.witness
+        reader, writer = w.thread1[0], w.thread2[0]
+        if race.access1.kind.value != "R":
+            reader, writer = writer, reader
+        assert reader % 2 == 0
+        assert writer % 2 == 1
+        assert reader == writer >> 2
+
+    def test_race_found_in_single_flow(self, report):
+        assert report.max_flows == 1
+
+    def test_resolvable(self, report):
+        assert report.resolvable == "Y"
+
+
+class TestGenericExample:
+    """§III/§V: Generic — all inputs concrete, single flow, no race."""
+
+    def test_no_symbolic_inputs(self):
+        tool = SESA.from_source(GENERIC.source)
+        assert tool.inferred_symbolic_inputs() == set()
+
+    def test_single_flow_no_race(self):
+        report = SESA.from_source(GENERIC.source).check(cfg(GENERIC))
+        assert report.max_flows == 1
+        assert not report.has_races
+
+    def test_gkleep_forks_on_the_same_kernel(self):
+        # e1(tid) and e3(c) fork flows in GKLEEp (c symbolic there)
+        report = GKLEEp.from_source(GENERIC.source).check(cfg(GENERIC))
+        assert report.execution.num_splits >= 1
+        assert report.max_flows >= 2
+
+
+class TestReductionFigure4:
+    """Fig. 4: the reduction's flow tree, and its collapse."""
+
+    def test_sesa_single_flow_race_free(self):
+        report = SESA.from_source(REDUCTION.source).check(cfg(REDUCTION))
+        assert report.max_flows == 1
+        assert not report.has_races
+        assert report.resolvable == "Y"
+
+    def test_paper_race_queries_unsat_at_barrier_one(self):
+        """The WW/RW queries of §IV-B ('the solver returns unsat')."""
+        report = SESA.from_source(REDUCTION.source).check(cfg(REDUCTION))
+        assert report.check_stats.pairs_considered > 0
+        assert not report.races
+
+    def test_gkleep_flow_growth(self):
+        """GKLEEp's tree: F1/F2 at barrier 1, five flows at barrier 2..."""
+        report = GKLEEp.from_source(REDUCTION.source).check(
+            cfg(REDUCTION, block_dim=(16, 1, 1)))
+        assert report.max_flows > 1
+
+    def test_racy_variant_detected(self):
+        """Hoisting the barrier out of the loop re-introduces the race."""
+        report = SESA.from_source(REDUCTION_RACY.source).check(
+            cfg(REDUCTION_RACY))
+        assert report.has_races
+
+    def test_number_of_barrier_intervals(self):
+        # copy + log2(64) loop barriers + final interval
+        report = SESA.from_source(REDUCTION.source).check(cfg(REDUCTION))
+        assert report.execution.num_barriers == 2 + 6
+
+
+class TestBitonicFigure1:
+    """Fig. 1 bitonic: single flow under combining; unresolvable guards."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return SESA.from_source(BITONIC.source).check(cfg(BITONIC))
+
+    def test_single_flow(self, report):
+        assert report.max_flows == 1
+
+    def test_guards_unresolvable(self, report):
+        """§IV-B: 'the conditions at lines 6 and 10 introduce global SIMD
+        writes into the read set and write set'."""
+        assert report.resolvable == "N"
+
+    def test_no_false_alarm_on_swap(self, report):
+        """The partner-swap is race-free under barrier separation; the
+        over-approximated guards must not invent a race here because the
+        addresses (tid, tid^j) are still precise."""
+        assert not report.has_races
+
+
+class TestTaintExamples:
+    """§V Examples 1-2 summarised counts."""
+
+    def test_generic_zero_of_three(self):
+        tool = SESA.from_source(GENERIC.source)
+        assert len(tool.taint.verdicts) == 3
+        assert tool.inferred_symbolic_inputs() == set()
+
+    def test_reduction_zero_of_two(self):
+        tool = SESA.from_source(REDUCTION.source)
+        assert len(tool.taint.verdicts) == 2
+        assert tool.inferred_symbolic_inputs() == set()

@@ -1,0 +1,55 @@
+"""The SDK reduction-variant family, including the warp-synchronous
+reduce4 hazard (§II / refs [25][26])."""
+import pytest
+
+from repro.core import SESA, LaunchConfig
+from repro.kernels.reductions import REDUCTION_FAMILY, REDUCE4, REDUCE5
+
+BY_NAME = {k.name: k for k in REDUCTION_FAMILY}
+
+
+def check(kernel, lockstep=False, block=64):
+    return SESA.from_source(kernel.source, kernel.kernel_name).check(
+        LaunchConfig(block_dim=block, warp_lockstep=lockstep,
+                     check_oob=False))
+
+
+@pytest.mark.parametrize("name", ["reduce0", "reduce1", "reduce2",
+                                  "reduce3", "reduce5"])
+def test_barrier_correct_variants_clean(name):
+    report = check(BY_NAME[name])
+    assert not report.has_races, report.summary()
+
+
+@pytest.mark.parametrize("name", ["reduce0", "reduce1", "reduce2",
+                                  "reduce3", "reduce4", "reduce5"])
+def test_all_variants_single_flow(name):
+    report = check(BY_NAME[name])
+    assert report.max_flows == 1
+
+
+class TestReduce4WarpHazard:
+    """reduce4 is the canonical warp-synchronous idiom."""
+
+    def test_racy_under_default_view(self):
+        """'NVIDIA makes no guarantees on warp size' (paper ref [26]):
+        the unguarded tail races when lock-step is not assumed."""
+        report = check(REDUCE4)
+        assert report.has_races
+        assert any(r.obj_name == "sdata4" for r in report.races)
+
+    def test_clean_under_lockstep_view(self):
+        """Under SIMD lock-step the tail steps are ordered within the
+        single remaining warp: no race."""
+        report = check(REDUCE4, lockstep=True)
+        assert not report.has_races, report.summary()
+
+    def test_witness_is_within_last_warp(self):
+        report = check(REDUCE4)
+        race = next(r for r in report.races if r.obj_name == "sdata4")
+        t1, t2 = race.witness.thread1[0], race.witness.thread2[0]
+        assert t1 < 64 and t2 < 64
+
+    def test_fixed_variant_clean_under_both_views(self):
+        assert not check(REDUCE5).has_races
+        assert not check(REDUCE5, lockstep=True).has_races

@@ -1,0 +1,126 @@
+"""AnalysisReport / resolvability reporting tests."""
+import pytest
+
+from repro.core import SESA, LaunchConfig, check_source
+from repro.sym import analyze_resolvability
+
+
+def run(source, **kw):
+    return check_source(source, LaunchConfig(block_dim=16, **kw))
+
+
+class TestAnalysisReport:
+    def test_summary_contains_key_facts(self):
+        report = run("""
+__shared__ int v[64];
+__global__ void race() {
+  v[threadIdx.x] = v[(threadIdx.x + 1) % blockDim.x];
+}""", check_oob=False)
+        text = report.summary()
+        assert "race" in text
+        assert "flows: 1" in text
+        assert "RACE:" in text
+        assert "resolvable: Y" in text
+
+    def test_race_kinds_deduplicated(self):
+        report = run("""
+__shared__ int v[64];
+__global__ void k() {
+  v[0] = threadIdx.x;
+  v[1] = threadIdx.x;
+}""")
+        assert report.race_kinds().count("WW") == 1
+
+    def test_benign_flag_separated(self):
+        report = run("""
+__shared__ int v[64];
+__global__ void k() { v[0] = 7; }""")
+        assert report.has_benign_races
+        assert not report.has_races
+
+    def test_elapsed_recorded(self):
+        report = run("__global__ void k(int *a) { a[threadIdx.x] = 1; }")
+        assert report.elapsed_seconds > 0
+
+    def test_check_stats_present(self):
+        report = run("__global__ void k(int *a) { a[threadIdx.x] = 1; }")
+        stats = report.check_stats
+        assert stats.pairs_considered >= 1
+        assert stats.races_found == 0
+
+
+class TestToDict:
+    def test_json_roundtrip(self):
+        import json
+        report = run("""
+__shared__ int v[64];
+__global__ void race() {
+  v[threadIdx.x] = v[(threadIdx.x + 1) % blockDim.x];
+}""", check_oob=False)
+        payload = report.to_dict()
+        text = json.dumps(payload)         # must be serialisable
+        back = json.loads(text)
+        assert back["kernel"] == "race"
+        assert back["races"]
+        assert back["flows"] == 1
+        assert back["symbolic_inputs"] == []
+
+
+class TestResolvabilityReport:
+    def test_clean_kernel_resolvable(self):
+        report = run("""
+__shared__ int s[64];
+__global__ void k() { s[threadIdx.x] = 1; }""")
+        assert report.resolvability.resolvable
+        assert report.resolvability.verdict == "Y"
+        assert not report.resolvability.offending
+
+    def test_data_dependent_guard_unresolvable(self):
+        report = run("""
+__shared__ int s[64];
+__global__ void k() {
+  s[threadIdx.x] = 1;
+  __syncthreads();
+  if (s[(threadIdx.x + 1) % blockDim.x] > 0) {
+    s[threadIdx.x] = 2;
+  }
+}""")
+        assert report.resolvability.verdict == "N"
+        assert report.resolvability.offending
+        assert report.resolvability.notes
+
+    def test_value_only_havoc_still_resolvable(self):
+        # havocked values stored as data (never in guards/addresses)
+        # leave the access sets resolvable (the reduction pattern)
+        report = run("""
+__shared__ int s[64];
+__global__ void k(int *out) {
+  s[threadIdx.x] = 1;
+  __syncthreads();
+  out[threadIdx.x] = s[(threadIdx.x + 1) % blockDim.x];
+}""", check_oob=False)
+        assert report.resolvability.verdict == "Y"
+
+    def test_unresolvable_race_is_flagged(self):
+        report = run("""
+__shared__ unsigned s[64];
+__global__ void k(unsigned *out) {
+  s[threadIdx.x] = threadIdx.x;
+  __syncthreads();
+  out[s[(threadIdx.x + 1) % blockDim.x] & 15u] = 1;
+}""", check_oob=False)
+        racy = [r for r in report.races if r.unresolvable]
+        assert racy, report.summary()
+
+
+class TestWarningsPropagate:
+    def test_executor_warnings_in_result(self):
+        report = run("""
+__shared__ int s[64];
+__global__ void k(int *out) {
+  s[threadIdx.x] = 1;
+  __syncthreads();
+  out[threadIdx.x] = s[(threadIdx.x + 1) % blockDim.x];
+}""", check_oob=False)
+        assert any("could observe" in w
+                   for w in report.execution.warnings)

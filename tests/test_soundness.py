@@ -1,0 +1,135 @@
+"""Soundness/completeness of parametric checking (§IV-B Proposition).
+
+For kernels whose access sets are *resolvable*, the parametric verdict
+must agree with an explicit-thread oracle on downscaled configurations.
+We check both directions on a family of generated kernels: racy variants
+must be reported, race-free variants must not.
+
+The oracle here enumerates all thread pairs concretely (the GKLEE
+comparator), which is exact for resolvable kernels.
+"""
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import GKLEE, SESA, LaunchConfig
+
+
+def sesa_verdict(src: str, block: int) -> bool:
+    report = SESA.from_source(src).check(
+        LaunchConfig(block_dim=block, check_oob=False))
+    assert report.resolvable == "Y", "test family must stay resolvable"
+    return report.has_races
+
+
+def oracle_verdict(src: str, block: int) -> bool:
+    report = GKLEE.from_source(src).check(
+        LaunchConfig(block_dim=block, check_oob=False))
+    return report.has_races
+
+
+# a small language of access patterns over tid with known race status
+PATTERNS = [
+    # (write index expr, read index expr, races?)
+    ("threadIdx.x", "threadIdx.x", False),
+    ("threadIdx.x", "(threadIdx.x + 1) % blockDim.x", True),
+    ("threadIdx.x * 2", "threadIdx.x * 2 + 1", False),
+    ("threadIdx.x * 2", "threadIdx.x + 4", True),
+    ("threadIdx.x / 2", "threadIdx.x", True),   # WW collision on halves
+    ("threadIdx.x ^ 1", "threadIdx.x ^ 1", True),  # read neighbour's cell? no:
+    # ^1 is a permutation: write set = all cells, read own written cell.
+]
+# fix the last entry: xor-by-1 is a bijection, no race
+PATTERNS[-1] = ("threadIdx.x ^ 1", "threadIdx.x ^ 1", False)
+
+
+def kernel_for(write_idx: str, read_idx: str) -> str:
+    return f"""
+__shared__ int s[128];
+__global__ void k() {{
+  s[{write_idx}] = s[{read_idx}] + 1;
+}}
+"""
+
+
+class TestKnownPatterns:
+    @pytest.mark.parametrize("write_idx,read_idx,racy", PATTERNS)
+    def test_sesa_matches_ground_truth(self, write_idx, read_idx, racy):
+        assert sesa_verdict(kernel_for(write_idx, read_idx), 8) == racy
+
+    @pytest.mark.parametrize("write_idx,read_idx,racy", PATTERNS[:4])
+    def test_oracle_agrees(self, write_idx, read_idx, racy):
+        src = kernel_for(write_idx, read_idx)
+        assert oracle_verdict(src, 4) == sesa_verdict(src, 4)
+
+
+# property-based: random affine access patterns
+@st.composite
+def affine_patterns(draw):
+    stride = draw(st.sampled_from([1, 2, 4]))
+    offset = draw(st.integers(0, 3))
+    return stride, offset
+
+
+@settings(max_examples=15, deadline=None)
+@given(w=affine_patterns(), r=affine_patterns())
+def test_affine_accesses_parametric_equals_explicit(w, r):
+    """For affine index maps, SESA == explicit-thread enumeration."""
+    ws, wo = w
+    rs, ro = r
+    src = f"""
+__shared__ int s[128];
+__global__ void k() {{
+  s[threadIdx.x * {ws} + {wo}] = s[threadIdx.x * {rs} + {ro}] + 1;
+}}
+"""
+    block = 4
+    assert sesa_verdict(src, block) == oracle_verdict(src, block)
+
+
+@settings(max_examples=10, deadline=None)
+@given(stride=st.sampled_from([1, 2, 4, 8]),
+       block=st.sampled_from([4, 8]))
+def test_strided_writes_ground_truth(stride, block):
+    """s[tid * k] writes are disjoint for any k >= 1: never a race."""
+    src = f"""
+__shared__ int s[256];
+__global__ void k() {{ s[threadIdx.x * {stride}] = threadIdx.x; }}
+"""
+    assert sesa_verdict(src, block) is False
+
+
+@settings(max_examples=10, deadline=None)
+@given(div=st.sampled_from([2, 4, 8]), block=st.sampled_from([8, 16]))
+def test_dividing_writes_ground_truth(div, block):
+    """s[tid / k] writes collide for k >= 2 whenever block > k... always
+    racy here since block > div."""
+    src = f"""
+__shared__ int s[256];
+__global__ void k() {{ s[threadIdx.x / {div}] = threadIdx.x; }}
+"""
+    assert sesa_verdict(src, block) is True
+
+
+class TestScalingInvariance:
+    """The parametric verdict must not depend on the thread count
+    (that's the whole point of §IV): same kernel, growing blocks."""
+
+    RACY = kernel_for("threadIdx.x", "(threadIdx.x + 1) % blockDim.x")
+    CLEAN = kernel_for("threadIdx.x", "threadIdx.x")
+
+    @pytest.mark.parametrize("block", [4, 16, 64, 128])
+    def test_racy_at_any_scale(self, block):
+        assert sesa_verdict(self.RACY, block) is True
+
+    @pytest.mark.parametrize("block", [4, 16, 64, 128])
+    def test_clean_at_any_scale(self, block):
+        assert sesa_verdict(self.CLEAN, block) is False
+
+    def test_flow_count_constant_across_scales(self):
+        counts = []
+        for block in (8, 64, 256):
+            report = SESA.from_source(self.RACY).check(
+                LaunchConfig(block_dim=block, check_oob=False))
+            counts.append(report.max_flows)
+        assert counts == [1, 1, 1]
