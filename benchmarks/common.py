@@ -14,9 +14,10 @@ are printed as ``T.O.`` exactly like the paper.
 """
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import GKLEEp, SESA, AnalysisReport
 from repro.kernels import ALL_KERNELS, Kernel
@@ -107,6 +108,62 @@ def run_gkleep(kernel: Kernel, grid=None, block=None,
         symbolic_inputs=0 if concrete_inputs else n_inputs,
         total_inputs=n_inputs,
         resolvable=report.resolvable)
+
+
+def run_suite(kernels: Sequence[Kernel], engine: str = "sesa",
+              jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None,
+              timeout: Optional[float] = None) -> Dict[str, "RunResult"]:
+    """Run a list of benchmark kernels, optionally in parallel.
+
+    With ``jobs > 1`` (or ``REPRO_BENCH_JOBS`` set in the environment)
+    the kernels are fanned out through :mod:`repro.service` — each one
+    an isolated, cacheable job — and the per-job records are folded
+    back into the table harness's :class:`RunResult` shape. With one
+    worker the classic sequential path (`run_sesa`/`run_gkleep`) runs
+    unchanged.
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
+    if jobs <= 1:
+        runner = run_sesa if engine == "sesa" else run_gkleep
+        return {k.name: runner(k) for k in kernels}
+
+    from repro.service import Scheduler, ResultCache, Telemetry, \
+        spec_from_kernel
+    specs = []
+    for kernel in kernels:
+        spec = spec_from_kernel(kernel, engine=engine, suite="bench")
+        if engine == "sesa":
+            spec.time_budget_seconds = timeout or SESA_TIME_BUDGET
+        else:
+            spec.time_budget_seconds = timeout or GKLEEP_TIME_BUDGET
+            spec.max_flows = GKLEEP_FLOW_BUDGET
+            spec.max_steps = GKLEEP_STEP_BUDGET
+            spec.max_loop_splits = GKLEEP_FLOW_BUDGET
+        specs.append(spec)
+    sched = Scheduler(
+        max_workers=jobs,
+        cache=ResultCache(cache_dir) if cache_dir else None,
+        telemetry=Telemetry())
+    batch = sched.run(specs)
+    out: Dict[str, RunResult] = {}
+    for spec, job in zip(specs, batch.jobs):
+        verdict = job.verdict or {}
+        inputs = job.inputs or {}
+        out[spec.meta["kernel"]] = RunResult(
+            engine="SESA" if engine == "sesa" else "GKLEEp",
+            kernel=spec.meta["kernel"],
+            threads=spec.total_threads,
+            seconds=verdict.get("elapsed_seconds", job.elapsed_seconds),
+            flows=verdict.get("flows", 0),
+            timed_out=(job.status == "timeout"
+                       or bool(verdict.get("timed_out"))),
+            issues=job.issue_tags(),
+            symbolic_inputs=inputs.get("symbolic"),
+            total_inputs=inputs.get("total"),
+            resolvable=verdict.get("resolvable", "?"))
+    return out
 
 
 def print_table(title: str, header: List[str],

@@ -1,0 +1,7 @@
+// The paper's §II-style shared-memory race: thread t writes v[t] while
+// reading its neighbour v[(t+1) % blockDim.x] in the same barrier
+// interval — threads 0 and blockDim.x-1 collide on v[0].
+__shared__ int v[64];
+__global__ void neighbor_race() {
+  v[threadIdx.x] = v[(threadIdx.x + 1) % blockDim.x];
+}

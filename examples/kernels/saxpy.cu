@@ -1,0 +1,7 @@
+// Clean data-parallel kernel: each thread touches only its own element.
+__global__ void saxpy(float *x, float *y, float a, int n) {
+  unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+  if ((int)i < n) {
+    y[i] = a * x[i] + y[i];
+  }
+}

@@ -1,0 +1,6 @@
+// Input-dependent scatter: the taint analysis keeps `idx` symbolic
+// (its contents flow into an access address), and two threads may be
+// handed the same destination slot — a write/write race.
+__global__ void scatter(int *idx, float *out) {
+  out[idx[threadIdx.x] & 63] = (float)threadIdx.x;
+}

@@ -6,19 +6,35 @@
     python -m repro taint kernel.cu
     python -m repro ir kernel.cu
     python -m repro tests kernel.cu --block 32
+    python -m repro batch examples/ --jobs 4
 
 ``check`` analyses a kernel for races/OOB (engine selectable), ``taint``
 prints the §V input advisory, ``ir`` dumps the SSA bytecode after the
-standard pipeline, and ``tests`` emits concrete per-flow test vectors.
+standard pipeline, ``tests`` emits concrete per-flow test vectors, and
+``batch`` fans a whole corpus out over the parallel scheduler with
+result caching and telemetry (:mod:`repro.service`).
 """
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Tuple
 
 from .core import GKLEE, GKLEEp, SESA, LaunchConfig
+
+
+def _read_source(path: str) -> str:
+    """Read a kernel source file, closing the handle; on failure print
+    a clean one-line error and exit with code 2 (usage error)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"repro: cannot read {path!r}: {reason}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _dim3(text: str) -> Tuple[int, int, int]:
@@ -71,6 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     taint = sub.add_parser("taint", help="print the §V input advisory")
     common(taint)
+    taint.add_argument("--json", action="store_true",
+                       help="machine-readable output")
 
     ir_cmd = sub.add_parser("ir", help="dump the SSA bytecode")
     common(ir_cmd)
@@ -80,6 +98,44 @@ def build_parser() -> argparse.ArgumentParser:
     common(tests)
     tests.add_argument("--grid", type=_dim3, default=(1, 1, 1))
     tests.add_argument("--block", type=_dim3, default=(64, 1, 1))
+    tests.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    batch = sub.add_parser(
+        "batch", help="analyse a whole corpus through the parallel "
+                      "scheduler (with result cache + telemetry)")
+    batch.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="'builtin', 'builtin:<suite>' (paper, sdk, reductions, "
+             "divergent, lonestar, parboil), a directory of .cu files, "
+             "or a single file; default: the full built-in corpus")
+    batch.add_argument("--jobs", type=int, default=4, metavar="N",
+                       help="concurrent worker processes (default 4)")
+    batch.add_argument("--engine", choices=["sesa", "gkleep", "gklee"],
+                       default="sesa")
+    batch.add_argument("--grid", type=_dim3, default=(1, 1, 1),
+                       metavar="X[,Y[,Z]]",
+                       help="launch grid for file/directory targets")
+    batch.add_argument("--block", type=_dim3, default=(64, 1, 1),
+                       metavar="X[,Y[,Z]]",
+                       help="launch block for file/directory targets")
+    batch.add_argument("--cache-dir", default=".repro-cache",
+                       metavar="DIR",
+                       help="verdict cache location (default .repro-cache)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    batch.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="hard per-job wall-clock limit")
+    batch.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="retries for crashed workers (default 1)")
+    batch.add_argument("--trace", default=None, metavar="PATH",
+                       help="JSONL telemetry trace "
+                            "(default <cache-dir>/trace.jsonl)")
+    batch.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="only run the first N jobs of the corpus")
+    batch.add_argument("--json", action="store_true",
+                       help="machine-readable output")
     return parser
 
 
@@ -107,7 +163,7 @@ def _config_from(args) -> LaunchConfig:
 
 def cmd_check(args) -> int:
     """The ``check`` subcommand: analyse and report races/OOB."""
-    source = open(args.file).read()
+    source = _read_source(args.file)
     engine_cls = {"sesa": SESA, "gkleep": GKLEEp, "gklee": GKLEE}[args.engine]
     tool = engine_cls.from_source(source, args.kernel)
     report = tool.check(_config_from(args))
@@ -120,8 +176,21 @@ def cmd_check(args) -> int:
 
 def cmd_taint(args) -> int:
     """The ``taint`` subcommand: per-input symbolisation advisory."""
-    tool = SESA.from_source(open(args.file).read(), args.kernel)
+    tool = SESA.from_source(_read_source(args.file), args.kernel)
     inferred = tool.inferred_symbolic_inputs()
+    if args.json:
+        print(json.dumps({
+            "kernel": tool.kernel.name,
+            "symbolic": sorted(inferred),
+            "total_inputs": len(tool.taint.verdicts),
+            "verdicts": {
+                name: {"symbolic": name in inferred,
+                       "is_pointer": v.is_pointer,
+                       "flows_into_address": v.flows_into_address,
+                       "reason": v.reason}
+                for name, v in tool.taint.verdicts.items()},
+        }, indent=2))
+        return 0
     print(f"kernel {tool.kernel.name}: "
           f"{len(inferred)}/{len(tool.taint.verdicts)} inputs symbolic")
     for name, v in tool.taint.verdicts.items():
@@ -135,7 +204,7 @@ def cmd_ir(args) -> int:
     flow-merging annotations (combine / combine_ite / split)."""
     from .ir import module_to_str
     from .passes import annotate_flow_merging
-    tool = SESA.from_source(open(args.file).read(), args.kernel)
+    tool = SESA.from_source(_read_source(args.file), args.kernel)
     annotate_flow_merging(tool.kernel, tool.taint)
     print(module_to_str(tool.module))
     return 0
@@ -143,9 +212,14 @@ def cmd_ir(args) -> int:
 
 def cmd_tests(args) -> int:
     """The ``tests`` subcommand: concrete per-flow test vectors."""
-    tool = SESA.from_source(open(args.file).read(), args.kernel)
+    tool = SESA.from_source(_read_source(args.file), args.kernel)
     config = LaunchConfig(grid_dim=args.grid, block_dim=args.block)
     vectors = tool.generate_tests(config)
+    if args.json:
+        print(json.dumps({"kernel": tool.kernel.name,
+                          "vectors": [dict(sorted(v.items()))
+                                      for v in vectors]}, indent=2))
+        return 0
     if not vectors:
         print("no feasible flows (empty kernel?)")
         return 0
@@ -155,11 +229,63 @@ def cmd_tests(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    """The ``batch`` subcommand: corpus-scale parallel analysis."""
+    from .service import load_corpus, run_batch
+    try:
+        specs = load_corpus(args.targets, engine=args.engine,
+                            grid_dim=args.grid, block_dim=args.block,
+                            time_budget_seconds=args.timeout)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("repro: corpus is empty (no kernel sources found)",
+              file=sys.stderr)
+        return 2
+    if args.limit is not None:
+        specs = specs[:args.limit]
+    cache_dir = None if args.no_cache else args.cache_dir
+    trace_path = args.trace
+    if trace_path is None:
+        trace_dir = cache_dir or ".repro-cache"
+        os.makedirs(trace_dir, exist_ok=True)
+        trace_path = os.path.join(trace_dir, "trace.jsonl")
+    batch = run_batch(specs, max_workers=args.jobs,
+                      timeout_seconds=args.timeout,
+                      max_retries=args.retries,
+                      cache_dir=cache_dir, trace_path=trace_path)
+    if args.json:
+        payload = batch.to_dict()
+        payload["trace"] = trace_path
+        print(json.dumps(payload, indent=2))
+    else:
+        from .service import Telemetry
+        width = max(len(j.job_id) for j in batch.jobs)
+        for job in batch.jobs:
+            tags = ", ".join(job.issue_tags()) or "clean"
+            if job.status in ("error", "timeout"):
+                tags = (job.error or "").strip().splitlines()[-1] \
+                    if job.error else "-"
+            flag = " [cached]" if job.cached else ""
+            print(f"{job.status.upper():8s} {job.job_id:{width}s} "
+                  f"{job.elapsed_seconds:7.2f}s  {tags}{flag}")
+        print()
+        print(Telemetry.summary_table(batch.jobs))
+        print(f"cache: {batch.cache_hits} hits, "
+              f"{batch.cache_misses} misses"
+              + ("" if cache_dir else " (disabled)"))
+        print(f"wall clock: {batch.elapsed_seconds:.2f}s "
+              f"({args.jobs} workers); trace: {trace_path}")
+    return 0 if batch.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handler = {"check": cmd_check, "taint": cmd_taint,
-               "ir": cmd_ir, "tests": cmd_tests}[args.command]
+               "ir": cmd_ir, "tests": cmd_tests,
+               "batch": cmd_batch}[args.command]
     return handler(args)
 
 

@@ -44,6 +44,8 @@ class AnalysisReport:
             "flows": self.max_flows,
             "resolvable": self.resolvable,
             "timed_out": self.timed_out,
+            "warnings": (list(self.execution.warnings)
+                         if self.execution else []),
             "symbolic_inputs": (sorted(self.taint.symbolic_inputs)
                                 if self.taint else None),
             "elapsed_seconds": self.elapsed_seconds,

@@ -62,6 +62,11 @@ def mem2reg(fn: Function) -> int:
             children[parent].append(block)
 
     alloca_set = {id(a.result): a for a in allocas}
+    # phi placement must not depend on set iteration order (block sets
+    # hash by object identity, which varies between interpreter runs) —
+    # the printed IR is cache-key material, so renaming order has to be
+    # a function of the program alone
+    block_order = {id(b): i for i, b in enumerate(fn.blocks)}
     # blocks containing a store, per alloca
     def_blocks: Dict[int, Set[BasicBlock]] = {id(a.result): set()
                                               for a in allocas}
@@ -74,11 +79,13 @@ def mem2reg(fn: Function) -> int:
     phi_for: Dict[Tuple[int, int], Phi] = {}   # (alloca id, block id) -> phi
     for alloca in allocas:
         key = id(alloca.result)
-        work = list(def_blocks[key])
+        work = sorted(def_blocks[key],
+                      key=lambda b: block_order[id(b)])
         placed: Set[int] = set()
         while work:
             block = work.pop()
-            for frontier in frontiers.get(block, ()):
+            for frontier in sorted(frontiers.get(block, ()),
+                                   key=lambda b: block_order[id(b)]):
                 if id(frontier) in placed:
                     continue
                 placed.add(id(frontier))

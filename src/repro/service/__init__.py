@@ -1,0 +1,43 @@
+"""Batch analysis service: schedulable, cacheable, fault-isolated jobs.
+
+The paper's headline result is *throughput* — checking the whole CUDA
+SDK corpus where the comparator times out. This package is the
+orchestration layer that makes corpus-scale runs a first-class
+operation:
+
+* :mod:`~repro.service.jobs` — the serialisable job model
+  (:class:`JobSpec` in, :class:`JobResult` out);
+* :mod:`~repro.service.scheduler` — a parallel, fault-isolating
+  scheduler (process-per-job, hard timeouts, bounded retries);
+* :mod:`~repro.service.cache` — a content-addressed verdict cache
+  keyed on (canonical IR, config, engine, tool version);
+* :mod:`~repro.service.telemetry` — structured JSONL event traces
+  plus aggregate summaries;
+* :mod:`~repro.service.corpus` — enumeration of the built-in paper
+  suites and user-supplied kernel directories.
+
+Typical use::
+
+    from repro.service import load_corpus, run_batch
+
+    batch = run_batch(load_corpus(["builtin:sdk"]), max_workers=4,
+                      cache_dir=".repro-cache")
+    for job in batch.jobs:
+        print(job.job_id, job.status, job.issue_tags())
+"""
+from .cache import ResultCache, cache_key, canonical_ir
+from .corpus import (
+    SUITES, builtin_jobs, directory_jobs, file_job, load_corpus,
+    spec_from_kernel,
+)
+from .jobs import JobResult, JobSpec, JobStatus
+from .runner import execute_job
+from .scheduler import BatchResult, Scheduler, run_batch
+from .telemetry import Telemetry
+
+__all__ = [
+    "BatchResult", "JobResult", "JobSpec", "JobStatus", "ResultCache",
+    "SUITES", "Scheduler", "Telemetry", "builtin_jobs", "cache_key",
+    "canonical_ir", "directory_jobs", "execute_job", "file_job",
+    "load_corpus", "run_batch", "spec_from_kernel",
+]

@@ -1,0 +1,104 @@
+"""Content-addressed result cache for batch analysis.
+
+A verdict is a pure function of *(canonical IR, launch configuration,
+engine, tool version)* — so that 4-tuple, hashed, is the cache key.
+Hashing the canonical IR (the SSA bytecode after the standard pass
+pipeline) rather than the raw source means whitespace/comment edits
+and other semantics-preserving rewrites still hit the cache, while any
+change that survives into the IR misses.
+
+Entries are one JSON file each under ``cache_dir/ab/abcdef....json``
+(two-level fan-out keeps directories small on big corpora). The stored
+payload is byte-for-byte what the worker produced, so a cache hit
+reproduces the original verdict exactly.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Optional
+
+from .. import __version__ as TOOL_VERSION
+from .jobs import JobSpec
+
+
+def canonical_ir(source: str, kernel_name: Optional[str] = None) -> str:
+    """The post-pipeline SSA bytecode for *source* (cache-key input).
+
+    Falls back to the raw source text when compilation fails — the job
+    will fail identically in the worker, and that failure is just as
+    deterministic a function of the source.
+    """
+    try:
+        from ..frontend import compile_source
+        from ..ir import module_to_str
+        from ..passes import standard_pipeline
+        module = compile_source(source)
+        standard_pipeline().run(module)
+        return module_to_str(module)
+    except Exception:
+        return f"<uncompilable>\n{source}"
+
+
+def cache_key(spec: JobSpec) -> str:
+    """SHA-256 over (canonical IR, config fingerprint, engine, version)."""
+    material = json.dumps({
+        "ir": canonical_ir(spec.source, spec.kernel_name),
+        "config": spec.config_fingerprint(),
+        "tool_version": TOOL_VERSION,
+    }, sort_keys=True)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """JSON-on-disk verdict cache with hit/miss accounting."""
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], key + ".json")
+
+    def key_for(self, spec: JobSpec) -> str:
+        return cache_key(spec)
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored worker payload, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Persist a worker payload (atomic rename; last writer wins)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + f".tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "lookups": self.lookups, "dir": self.cache_dir}

@@ -1,0 +1,225 @@
+"""Job model for the batch analysis service.
+
+A :class:`JobSpec` is a fully serialisable description of one
+``(kernel, LaunchConfig, engine)`` analysis — everything a worker
+process needs to run the check from scratch. A :class:`JobResult` is
+the equally serialisable outcome record: the scheduler guarantees one
+result per submitted job, whatever happened to the worker (success,
+analysis error, crash, or hard timeout).
+
+Keeping both sides plain-data (dicts of str/int/list) is what lets the
+scheduler ship jobs across process boundaries, the cache persist them
+as JSON, and the telemetry trace replay them later.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+Dim3 = Tuple[int, int, int]
+
+
+class JobStatus:
+    """Lifecycle tags for a batch job (plain strings, JSON-friendly)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"          # analysis completed (races found or not)
+    ERROR = "error"        # analysis raised / worker kept crashing
+    TIMEOUT = "timeout"    # hard wall-clock kill by the scheduler
+    CACHED = "cached"      # verdict served from the result cache
+
+    #: statuses that mean "the batch has a verdict for this job"
+    TERMINAL = (DONE, ERROR, TIMEOUT, CACHED)
+
+
+def _dim3(value) -> Dim3:
+    if isinstance(value, int):
+        return (value, 1, 1)
+    t = tuple(int(v) for v in value)
+    while len(t) < 3:
+        t += (1,)
+    return t  # type: ignore[return-value]
+
+
+@dataclass
+class JobSpec:
+    """One schedulable kernel analysis."""
+
+    job_id: str
+    source: str
+    kernel_name: Optional[str] = None
+    engine: str = "sesa"
+    grid_dim: Dim3 = (1, 1, 1)
+    block_dim: Dim3 = (64, 1, 1)
+    warp_size: int = 32
+    warp_lockstep: bool = False
+    check_oob: bool = True
+    symbolic_inputs: Optional[List[str]] = None
+    scalar_values: Dict[str, int] = field(default_factory=dict)
+    array_sizes: Dict[str, int] = field(default_factory=dict)
+    max_loop_splits: Optional[int] = None
+    max_flows: Optional[int] = None
+    max_steps: Optional[int] = None
+    #: soft (in-engine) wall-clock budget; the engine stops gracefully
+    time_budget_seconds: Optional[float] = None
+    #: Table III kernels need the synthetic CSR graph attached
+    needs_concrete_graph: bool = False
+    #: free-form passthrough (suite/table tags, test fixtures, ...)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.grid_dim = _dim3(self.grid_dim)
+        self.block_dim = _dim3(self.block_dim)
+
+    @property
+    def total_threads(self) -> int:
+        gx, gy, gz = self.grid_dim
+        bx, by, bz = self.block_dim
+        return gx * gy * gz * bx * by * bz
+
+    def launch_config(self):
+        """Materialise the :class:`repro.sym.LaunchConfig` (worker side)."""
+        from ..sym import LaunchConfig
+        config = LaunchConfig(
+            grid_dim=self.grid_dim, block_dim=self.block_dim,
+            warp_size=self.warp_size, warp_lockstep=self.warp_lockstep,
+            check_oob=self.check_oob,
+            symbolic_inputs=(set(self.symbolic_inputs)
+                             if self.symbolic_inputs is not None else None),
+            scalar_values=dict(self.scalar_values),
+            array_sizes=dict(self.array_sizes),
+            time_budget_seconds=self.time_budget_seconds)
+        if self.max_loop_splits is not None:
+            config.max_loop_splits = self.max_loop_splits
+        if self.max_flows is not None:
+            config.max_flows = self.max_flows
+        if self.max_steps is not None:
+            config.max_steps = self.max_steps
+        if self.needs_concrete_graph:
+            from ..kernels.lonestar import attach_concrete_graph
+            attach_concrete_graph(config)
+        return config
+
+    def config_fingerprint(self) -> dict:
+        """The configuration facts that determine the verdict — the
+        cache key hashes this dict (canonical: sorted keys, no floats
+        that vary run-to-run, no job identity)."""
+        return {
+            "engine": self.engine,
+            "kernel_name": self.kernel_name,
+            "grid_dim": list(self.grid_dim),
+            "block_dim": list(self.block_dim),
+            "warp_size": self.warp_size,
+            "warp_lockstep": self.warp_lockstep,
+            "check_oob": self.check_oob,
+            "symbolic_inputs": (sorted(self.symbolic_inputs)
+                                if self.symbolic_inputs is not None
+                                else None),
+            "scalar_values": dict(sorted(self.scalar_values.items())),
+            "array_sizes": dict(sorted(self.array_sizes.items())),
+            "max_loop_splits": self.max_loop_splits,
+            "max_flows": self.max_flows,
+            "max_steps": self.max_steps,
+            "needs_concrete_graph": self.needs_concrete_graph,
+            # the budgets can turn a verdict into a T.O. verdict, so
+            # they are part of the key
+            "time_budget_seconds": self.time_budget_seconds,
+        }
+
+    def to_dict(self) -> dict:
+        out = dict(self.config_fingerprint())
+        out.update(job_id=self.job_id, source=self.source,
+                   time_budget_seconds=self.time_budget_seconds,
+                   meta=dict(self.meta))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(
+            job_id=data["job_id"], source=data["source"],
+            kernel_name=data.get("kernel_name"),
+            engine=data.get("engine", "sesa"),
+            grid_dim=_dim3(data.get("grid_dim", (1, 1, 1))),
+            block_dim=_dim3(data.get("block_dim", (64, 1, 1))),
+            warp_size=data.get("warp_size", 32),
+            warp_lockstep=data.get("warp_lockstep", False),
+            check_oob=data.get("check_oob", True),
+            symbolic_inputs=data.get("symbolic_inputs"),
+            scalar_values=dict(data.get("scalar_values") or {}),
+            array_sizes=dict(data.get("array_sizes") or {}),
+            max_loop_splits=data.get("max_loop_splits"),
+            max_flows=data.get("max_flows"),
+            max_steps=data.get("max_steps"),
+            time_budget_seconds=data.get("time_budget_seconds"),
+            needs_concrete_graph=data.get("needs_concrete_graph", False),
+            meta=dict(data.get("meta") or {}))
+
+
+@dataclass
+class JobResult:
+    """The scheduler's per-job outcome record."""
+
+    job_id: str
+    status: str
+    engine: str = "sesa"
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+    cached: bool = False
+    cache_key: Optional[str] = None
+    #: ``AnalysisReport.to_dict()`` of the completed check (DONE/CACHED)
+    verdict: Optional[dict] = None
+    #: solver statistics (``CheckStats`` as a dict) when available
+    check_stats: Optional[dict] = None
+    #: {"symbolic": n, "total": m} input-symbolisation counts
+    inputs: Optional[dict] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (JobStatus.DONE, JobStatus.CACHED)
+
+    @property
+    def has_issues(self) -> bool:
+        if not self.verdict:
+            return False
+        races = [r for r in self.verdict.get("races", ())
+                 if not r.get("benign")]
+        return bool(races or self.verdict.get("oobs")
+                    or self.verdict.get("assertion_failures"))
+
+    def issue_tags(self) -> List[str]:
+        """Paper-table style issue labels ("RW", "WW (Benign)", "OOB")."""
+        tags: List[str] = []
+        for race in (self.verdict or {}).get("races", ()):
+            tag = race.get("kind", "?") + \
+                (" (Benign)" if race.get("benign") else "")
+            if tag not in tags:
+                tags.append(tag)
+        if (self.verdict or {}).get("oobs"):
+            tags.append("OOB")
+        return tags
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id, "status": self.status,
+            "engine": self.engine, "attempts": self.attempts,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cached": self.cached, "cache_key": self.cache_key,
+            "verdict": self.verdict, "check_stats": self.check_stats,
+            "inputs": self.inputs, "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobResult":
+        return cls(
+            job_id=data["job_id"], status=data["status"],
+            engine=data.get("engine", "sesa"),
+            attempts=data.get("attempts", 1),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            cached=data.get("cached", False),
+            cache_key=data.get("cache_key"),
+            verdict=data.get("verdict"),
+            check_stats=data.get("check_stats"),
+            inputs=data.get("inputs"),
+            error=data.get("error"))

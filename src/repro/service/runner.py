@@ -1,0 +1,75 @@
+"""Worker-side job execution.
+
+:func:`execute_job` is the default job runner: it takes a *plain dict*
+(a serialised :class:`~repro.service.jobs.JobSpec`), compiles the
+kernel, runs the selected engine, and returns a plain-dict payload.
+It never raises — an analysis failure comes back as an ``error``
+payload so the scheduler can record it without losing the batch.
+
+The function lives at module top level so worker processes can reach
+it by import, and so tests can swap in their own runner (crashing,
+hanging, flaky) to exercise the scheduler's fault handling.
+"""
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import asdict
+from typing import Dict, Optional
+
+from .jobs import JobSpec, JobStatus
+
+#: engine registry; resolved lazily so a worker only imports what it runs
+ENGINE_NAMES = ("sesa", "gkleep", "gklee")
+
+
+def _engine_class(name: str):
+    from ..core import GKLEE, GKLEEp, SESA
+    try:
+        return {"sesa": SESA, "gkleep": GKLEEp, "gklee": GKLEE}[name]
+    except KeyError:
+        raise ValueError(f"unknown engine {name!r} "
+                         f"(expected one of {ENGINE_NAMES})") from None
+
+
+def execute_job(spec_dict: dict) -> dict:
+    """Run one analysis job; always returns a result payload dict.
+
+    Payload shape::
+
+        {"status": "done"|"error", "verdict": {...}|None,
+         "check_stats": {...}|None, "elapsed_seconds": float,
+         "error": str|None}
+    """
+    start = time.perf_counter()
+    try:
+        spec = JobSpec.from_dict(spec_dict)
+        engine_cls = _engine_class(spec.engine)
+        tool = engine_cls.from_source(spec.source, spec.kernel_name)
+        report = tool.check(spec.launch_config())
+        if hasattr(tool, "inferred_symbolic_inputs"):      # SESA
+            inputs = {"symbolic": len(tool.inferred_symbolic_inputs()),
+                      "total": len(tool.taint.verdicts)}
+        elif hasattr(tool, "default_symbolic_inputs"):     # GKLEE(p)
+            n = len(tool.default_symbolic_inputs())
+            inputs = {"symbolic": n, "total": n}
+        else:
+            inputs = None
+        return {
+            "status": JobStatus.DONE,
+            "verdict": report.to_dict(),
+            "check_stats": (asdict(report.check_stats)
+                            if report.check_stats is not None else None),
+            "inputs": inputs,
+            "elapsed_seconds": time.perf_counter() - start,
+            "error": None,
+        }
+    except Exception:
+        return {
+            "status": JobStatus.ERROR,
+            "verdict": None,
+            "check_stats": None,
+            "inputs": None,
+            "elapsed_seconds": time.perf_counter() - start,
+            "error": traceback.format_exc(limit=8),
+        }

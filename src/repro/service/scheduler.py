@@ -1,0 +1,314 @@
+"""Fault-isolating parallel scheduler for batch analysis jobs.
+
+Design: N dispatcher threads pull jobs from a shared queue; each job
+runs in its *own* worker process (fork + pipe) so that
+
+* a hard wall-clock **timeout** can actually kill the work (terminate),
+* a worker **crash** (segfault, ``os._exit``, OOM kill) is contained —
+  the job is retried with backoff and, failing that, recorded as
+  ``ERROR``; the batch always completes with one record per job,
+* jobs never share interpreter state, so a corrupted analysis cannot
+  poison its successors.
+
+The process-per-job model (rather than a long-lived pool) is what the
+robustness properties above rely on; fork on Linux makes the spawn
+cost a few milliseconds, far below a typical analysis. ``isolate=False``
+degrades to in-thread execution for environments without ``fork``
+(timeouts then rely on the engine's soft budget).
+
+Results come back in **submission order** regardless of completion
+order, so batch output is deterministic modulo timing fields.
+"""
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from .cache import ResultCache
+from .jobs import JobResult, JobSpec, JobStatus
+from .runner import execute_job
+from .telemetry import Telemetry
+
+Runner = Callable[[dict], dict]
+
+
+@dataclass
+class BatchResult:
+    """Everything one batch run produced."""
+
+    jobs: List[JobResult]
+    elapsed_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.status != JobStatus.ERROR for r in self.jobs)
+
+    def by_status(self, status: str) -> List[JobResult]:
+        return [r for r in self.jobs if r.status == status]
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": [r.to_dict() for r in self.jobs],
+            "summary": dict(
+                Telemetry.aggregate(self.jobs),
+                wall_seconds=round(self.elapsed_seconds, 3),
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses),
+        }
+
+
+def _child_entry(conn, runner: Runner, spec_dict: dict) -> None:
+    """Worker-process entry: run the job, ship the payload, exit."""
+    try:
+        payload = runner(spec_dict)
+    except BaseException as exc:   # runner contract says it shouldn't raise
+        payload = {"status": JobStatus.ERROR, "verdict": None,
+                   "check_stats": None, "elapsed_seconds": 0.0,
+                   "error": f"{type(exc).__name__}: {exc}"}
+    try:
+        conn.send(payload)
+    except Exception:
+        pass
+    finally:
+        conn.close()
+
+
+class Scheduler:
+    """Runs a corpus of :class:`JobSpec` to completion."""
+
+    def __init__(self,
+                 max_workers: int = 4,
+                 timeout_seconds: Optional[float] = None,
+                 max_retries: int = 1,
+                 retry_backoff: float = 0.05,
+                 cache: Optional[ResultCache] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 runner: Runner = execute_job,
+                 isolate: bool = True) -> None:
+        self.max_workers = max(1, max_workers)
+        self.timeout_seconds = timeout_seconds
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = retry_backoff
+        self.cache = cache
+        self.telemetry = telemetry or Telemetry()
+        self.runner = runner
+        self.isolate = isolate
+
+    # ------------------------------------------------------------------
+    # single-job execution
+    # ------------------------------------------------------------------
+
+    def _run_isolated(self, spec_dict: dict):
+        """One attempt in a fresh process: ('ok', payload) |
+        ('timeout', None) | ('crash', exitcode)."""
+        parent_conn, child_conn = mp.Pipe(duplex=False)
+        proc = mp.Process(target=_child_entry,
+                          args=(child_conn, self.runner, spec_dict),
+                          daemon=True)
+        proc.start()
+        child_conn.close()
+        payload = None
+        readable = False
+        try:
+            # poll(None) blocks until data or EOF — the no-timeout mode
+            readable = parent_conn.poll(self.timeout_seconds)
+            if readable:
+                payload = parent_conn.recv()
+        except (EOFError, OSError):
+            payload = None   # pipe closed without a payload: child died
+        finally:
+            parent_conn.close()
+        if payload is not None:
+            proc.join(5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+            return "ok", payload
+        if readable:
+            # EOF before any payload — the child is gone (or going);
+            # join *blocking* so we report its exit code, not a stale
+            # is_alive() snapshot from the exit window
+            proc.join()
+            return "crash", proc.exitcode
+        # poll timed out with the worker still running
+        proc.terminate()
+        proc.join()
+        return "timeout", None
+
+    def _run_inline(self, spec_dict: dict):
+        try:
+            return "ok", self.runner(spec_dict)
+        except BaseException as exc:
+            return "ok", {"status": JobStatus.ERROR, "verdict": None,
+                          "check_stats": None, "elapsed_seconds": 0.0,
+                          "error": f"{type(exc).__name__}: {exc}"}
+
+    def _execute(self, spec: JobSpec, key: Optional[str]) -> JobResult:
+        """Run one job to a terminal status (with retries)."""
+        spec_dict = spec.to_dict()
+        start = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            if self.isolate:
+                outcome, payload = self._run_isolated(spec_dict)
+            else:
+                outcome, payload = self._run_inline(spec_dict)
+            elapsed = time.perf_counter() - start
+            if outcome == "ok":
+                result = JobResult(
+                    job_id=spec.job_id,
+                    status=payload.get("status", JobStatus.ERROR),
+                    engine=spec.engine, attempts=attempts,
+                    elapsed_seconds=elapsed, cache_key=key,
+                    verdict=payload.get("verdict"),
+                    check_stats=payload.get("check_stats"),
+                    inputs=payload.get("inputs"),
+                    error=payload.get("error"))
+                if result.status == JobStatus.DONE \
+                        and self.cache is not None and key is not None:
+                    self.cache.put(key, payload)
+                return result
+            if outcome == "timeout":
+                # deterministic: a retry would just burn the budget again
+                return JobResult(
+                    job_id=spec.job_id, status=JobStatus.TIMEOUT,
+                    engine=spec.engine, attempts=attempts,
+                    elapsed_seconds=elapsed, cache_key=key,
+                    error=f"hard timeout after "
+                          f"{self.timeout_seconds}s")
+            # crash — possibly transient (OOM kill, fork bomb next door)
+            if attempts > self.max_retries:
+                return JobResult(
+                    job_id=spec.job_id, status=JobStatus.ERROR,
+                    engine=spec.engine, attempts=attempts,
+                    elapsed_seconds=elapsed, cache_key=key,
+                    error=f"worker crashed (exit code {payload}) "
+                          f"after {attempts} attempt(s)")
+            self.telemetry.emit("job_retry", job_id=spec.job_id,
+                                attempt=attempts, exit_code=payload)
+            time.sleep(self.retry_backoff * attempts)
+
+    def _process_one(self, spec: JobSpec) -> JobResult:
+        key = self.cache.key_for(spec) if self.cache is not None else None
+        if key is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.telemetry.emit("cache_hit", job_id=spec.job_id,
+                                    cache_key=key)
+                self.telemetry.emit("job_started", job_id=spec.job_id,
+                                    engine=spec.engine, cached=True)
+                result = JobResult(
+                    job_id=spec.job_id, status=JobStatus.CACHED,
+                    engine=spec.engine, attempts=0, cached=True,
+                    cache_key=key, elapsed_seconds=0.0,
+                    verdict=payload.get("verdict"),
+                    check_stats=payload.get("check_stats"),
+                    inputs=payload.get("inputs"))
+                self._emit_finished(result)
+                return result
+            self.telemetry.emit("cache_miss", job_id=spec.job_id,
+                                cache_key=key)
+        self.telemetry.emit("job_started", job_id=spec.job_id,
+                            engine=spec.engine, cached=False)
+        result = self._execute(spec, key)
+        self._emit_finished(result)
+        return result
+
+    def _emit_finished(self, result: JobResult) -> None:
+        self.telemetry.emit(
+            "job_finished", job_id=result.job_id, status=result.status,
+            attempts=result.attempts, cached=result.cached,
+            elapsed_seconds=round(result.elapsed_seconds, 6),
+            check_stats=result.check_stats,
+            issues=result.issue_tags() if result.verdict else None)
+
+    # ------------------------------------------------------------------
+    # batch driving
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> BatchResult:
+        """Run all *specs*; one terminal :class:`JobResult` each, in
+        submission order."""
+        start = time.perf_counter()
+        hits0 = self.cache.hits if self.cache else 0
+        misses0 = self.cache.misses if self.cache else 0
+        self.telemetry.emit("batch_started", jobs=len(specs),
+                            workers=self.max_workers,
+                            timeout_seconds=self.timeout_seconds,
+                            cache=bool(self.cache))
+        results: List[Optional[JobResult]] = [None] * len(specs)
+        work: "queue.Queue" = queue.Queue()
+        for i, spec in enumerate(specs):
+            self.telemetry.emit("job_queued", job_id=spec.job_id,
+                                engine=spec.engine)
+            work.put((i, spec))
+
+        def drain() -> None:
+            while True:
+                try:
+                    i, spec = work.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    results[i] = self._process_one(spec)
+                except Exception as exc:  # scheduler bug — still record
+                    results[i] = JobResult(
+                        job_id=spec.job_id, status=JobStatus.ERROR,
+                        engine=spec.engine,
+                        error=f"scheduler: {type(exc).__name__}: {exc}")
+                    self._emit_finished(results[i])
+                finally:
+                    work.task_done()
+
+        n_threads = min(self.max_workers, max(1, len(specs)))
+        threads = [threading.Thread(target=drain, daemon=True)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        batch = BatchResult(
+            jobs=[r for r in results if r is not None],
+            elapsed_seconds=time.perf_counter() - start,
+            cache_hits=(self.cache.hits - hits0) if self.cache else 0,
+            cache_misses=(self.cache.misses - misses0) if self.cache else 0)
+        self.telemetry.emit(
+            "batch_finished",
+            wall_seconds=round(batch.elapsed_seconds, 6),
+            cache_hits=batch.cache_hits, cache_misses=batch.cache_misses,
+            **{"summary": Telemetry.aggregate(batch.jobs)})
+        return batch
+
+
+def run_batch(specs: Sequence[JobSpec], *,
+              max_workers: int = 4,
+              timeout_seconds: Optional[float] = None,
+              max_retries: int = 1,
+              cache_dir: Optional[str] = None,
+              trace_path: Optional[str] = None,
+              engine: Optional[str] = None,
+              isolate: bool = True,
+              runner: Runner = execute_job) -> BatchResult:
+    """One-call convenience wrapper around :class:`Scheduler`."""
+    specs = list(specs)
+    if engine is not None:
+        for spec in specs:
+            spec.engine = engine
+    cache = ResultCache(cache_dir) if cache_dir else None
+    with Telemetry(trace_path) as telemetry:
+        sched = Scheduler(max_workers=max_workers,
+                          timeout_seconds=timeout_seconds,
+                          max_retries=max_retries,
+                          cache=cache, telemetry=telemetry,
+                          runner=runner, isolate=isolate)
+        batch = sched.run(specs)
+    batch.telemetry = telemetry  # type: ignore[attr-defined]
+    return batch

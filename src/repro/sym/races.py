@@ -392,8 +392,14 @@ class RaceChecker:
         solver = Solver(conflict_budget=self.solver_budget,
                         deadline=self._deadline)
         solver.add(formula)
-        if solver.check() == CheckResult.SAT:
+        outcome = solver.check()
+        if outcome == CheckResult.SAT:
             return solver.model()
+        if outcome == CheckResult.UNKNOWN:
+            # the solver budget (conflicts or deadline) ran out mid-query:
+            # the verdict for this pair is unknown, so the overall answer
+            # must carry the same T.O. marker as a wall-clock timeout
+            self.timed_out = True
         return None
 
     def _solve_warp_aware(self, a1: Access, a2: Access,

@@ -1,0 +1,48 @@
+"""benchmarks/common.py can route table runs through the scheduler."""
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                         "benchmarks")
+
+
+@pytest.fixture
+def common():
+    sys.path.insert(0, BENCH_DIR)
+    try:
+        import common as mod
+        yield mod
+    finally:
+        sys.path.remove(BENCH_DIR)
+
+
+def test_run_suite_parallel_matches_sequential_shape(common):
+    from repro.kernels import ALL_KERNELS
+    kernels = [ALL_KERNELS["generic"], ALL_KERNELS["race_example"]]
+
+    parallel = common.run_suite(kernels, engine="sesa", jobs=2)
+    sequential = common.run_suite(kernels, engine="sesa", jobs=1)
+
+    assert set(parallel) == set(sequential) == \
+        {"generic", "race_example"}
+    for name in parallel:
+        p, s = parallel[name], sequential[name]
+        assert p.engine == s.engine == "SESA"
+        assert p.threads == s.threads
+        assert p.flows == s.flows
+        assert sorted(p.issues) == sorted(s.issues)
+        assert p.symbolic_inputs == s.symbolic_inputs
+        assert p.total_inputs == s.total_inputs
+        assert p.resolvable == s.resolvable
+
+
+def test_run_suite_gkleep_budgets_applied(common):
+    from repro.kernels import ALL_KERNELS
+    out = common.run_suite([ALL_KERNELS["generic"]], engine="gkleep",
+                           jobs=2)
+    result = out["generic"]
+    assert result.engine == "GKLEEp"
+    # all inputs symbolic under the comparator's default policy
+    assert result.symbolic_inputs == result.total_inputs > 0

@@ -1,0 +1,107 @@
+"""Result cache: content addressing, hits, misses, persistence."""
+import json
+
+from repro.service import (
+    JobSpec, JobStatus, ResultCache, Scheduler, cache_key,
+)
+
+CLEAN = "__global__ void k(float *a) { a[threadIdx.x] = 1.0f; }"
+CLEAN_RESTYLED = """
+// same program, different spelling
+__global__ void k(float *a) {
+  a[threadIdx.x] = 1.0f;
+}
+"""
+RACY = """
+__shared__ int v[64];
+__global__ void race() {
+  v[threadIdx.x] = v[(threadIdx.x + 1) % blockDim.x];
+}
+"""
+
+
+def _spec(source=CLEAN, **kw):
+    kw.setdefault("job_id", "j")
+    return JobSpec(source=source, **kw)
+
+
+class TestCacheKey:
+    def test_identical_jobs_share_a_key(self):
+        assert cache_key(_spec()) == cache_key(_spec(job_id="other"))
+
+    def test_semantics_preserving_rewrite_shares_a_key(self):
+        # the key hashes canonical IR, not source text
+        assert cache_key(_spec(CLEAN)) == cache_key(_spec(CLEAN_RESTYLED))
+
+    def test_changed_source_changes_the_key(self):
+        assert cache_key(_spec(CLEAN)) != cache_key(_spec(RACY))
+
+    def test_changed_config_changes_the_key(self):
+        assert cache_key(_spec(block_dim=(64, 1, 1))) != \
+            cache_key(_spec(block_dim=(128, 1, 1)))
+        assert cache_key(_spec(engine="sesa")) != \
+            cache_key(_spec(engine="gkleep"))
+        assert cache_key(_spec(check_oob=True)) != \
+            cache_key(_spec(check_oob=False))
+
+    def test_uncompilable_source_still_gets_a_stable_key(self):
+        bad = "__global__ void k( this does not parse"
+        assert cache_key(_spec(bad)) == cache_key(_spec(bad))
+        assert cache_key(_spec(bad)) != cache_key(_spec(CLEAN))
+
+
+class TestCacheStore:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        key = cache.key_for(_spec())
+        assert cache.get(key) is None
+        payload = {"status": "done", "verdict": {"races": []}}
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        key = cache.key_for(_spec())
+        cache.put(key, {"ok": True})
+        path = cache._path(key)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+
+
+class TestSchedulerIntegration:
+    def test_second_run_hits_with_identical_verdict(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        specs = [_spec(RACY, job_id="racy", check_oob=False),
+                 _spec(CLEAN, job_id="clean")]
+        first = Scheduler(max_workers=2, cache=cache).run(specs)
+        assert [r.status for r in first.jobs] == ["done", "done"]
+        assert first.cache_hits == 0 and first.cache_misses == 2
+
+        second = Scheduler(max_workers=2, cache=cache).run(specs)
+        assert [r.status for r in second.jobs] == \
+            [JobStatus.CACHED, JobStatus.CACHED]
+        assert second.cache_hits == 2 and second.cache_misses == 0
+        for a, b in zip(first.jobs, second.jobs):
+            # byte-identical verdicts
+            assert json.dumps(a.verdict, sort_keys=True) == \
+                json.dumps(b.verdict, sort_keys=True)
+            assert b.cached and b.attempts == 0
+
+    def test_changed_config_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        Scheduler(cache=cache).run([_spec(block_dim=(32, 1, 1))])
+        batch = Scheduler(cache=cache).run([_spec(block_dim=(16, 1, 1))])
+        assert batch.jobs[0].status == JobStatus.DONE  # not CACHED
+        assert batch.cache_misses == 1
+
+    def test_errors_are_not_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        bad = _spec("__global__ void k( nope", job_id="bad")
+        first = Scheduler(cache=cache).run([bad])
+        assert first.jobs[0].status == JobStatus.ERROR
+        second = Scheduler(cache=cache).run([bad])
+        assert second.jobs[0].status == JobStatus.ERROR
+        assert second.cache_hits == 0

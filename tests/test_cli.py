@@ -119,3 +119,51 @@ __global__ void k() {
         out = capsys.readouterr().out
         lines = [l for l in out.splitlines() if l.startswith("test[")]
         assert len(lines) >= 2  # distinct trip counts → distinct vectors
+
+
+class TestFileErrors:
+    def test_missing_file_exits_2_with_clean_message(self, capsys):
+        for sub in (["check"], ["taint"], ["ir"], ["tests"]):
+            with pytest.raises(SystemExit) as exc:
+                main(sub + ["/no/such/kernel.cu"])
+            assert exc.value.code == 2
+            err = capsys.readouterr().err
+            assert "cannot read" in err
+            assert "Traceback" not in err
+
+    def test_directory_as_file_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", str(tmp_path)])
+        assert exc.value.code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestTaintJson:
+    def test_json_advisory(self, tmp_path, capsys):
+        f = tmp_path / "s.cu"
+        f.write_text(SCATTER)
+        code = main(["taint", str(f), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "scatter"
+        assert payload["symbolic"] == ["idx"]
+        assert payload["verdicts"]["idx"]["is_pointer"]
+        assert payload["verdicts"]["idx"]["flows_into_address"]
+        assert payload["total_inputs"] == len(payload["verdicts"])
+
+
+class TestTestsJson:
+    def test_json_vectors(self, tmp_path, capsys):
+        f = tmp_path / "t.cu"
+        f.write_text("""
+__shared__ int s[64];
+__global__ void k() {
+  for (unsigned i = 0; i < threadIdx.x; i++) { s[i] = 1; }
+}
+""")
+        code = main(["tests", str(f), "--block", "4", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "k"
+        assert len(payload["vectors"]) >= 2
+        assert all(isinstance(v, dict) for v in payload["vectors"])
