@@ -1,109 +1,145 @@
-"""Ablation — the layered solver (DESIGN.md).
+"""Ablation — incremental solver sessions on the race-check hot path.
 
-Race queries pass through simplifier → interval filter → bitblast+CDCL.
-This bench runs a representative query batch (the §II race kernel plus
-reduction's UNSAT queries) with layers toggled and reports where queries
-were dispatched and the time taken. The claim: the cheap layers absorb a
-large fraction of queries, and disabling them pushes everything into the
-SAT core at a measurable cost.
+The incremental path simplifies and bit-blasts each preamble (bounds +
+distinct-thread + barrier-interval context) once, then discharges every
+candidate pair against that live SAT instance under assumption
+literals, with learned clauses retained and a normalized query memo in
+front. The one-shot path (``incremental_solving=False``) rebuilds the
+full formula and a fresh CDCL instance per query, as the checker did
+before sessions existed.
+
+This bench runs the paper + reductions suites through SESA both ways
+and asserts the contract:
+
+* every kernel's verdicts (races/OOBs/assertions, incl. benign flags)
+  are identical across the two paths;
+* the incremental path constructs at most half the fresh SAT instances
+  (``by_sat``) of the one-shot path — the blast-once claim;
+* the incremental path's total SAT-core work (fresh + assumption
+  checks) does not regress above the recorded baseline in
+  ``BENCH_solver_baseline.json`` (guards against cache keys silently
+  breaking and pushing queries back into the SAT core).
+
+The dispatch table and counters land in ``BENCH_solver.json`` (CI
+uploads it as an artifact).
 """
+import json
+import os
 import time
 
 import pytest
 
 from common import print_table
-from repro.smt import (
-    CheckResult, Solver, mk_add, mk_and, mk_bv, mk_bv_var, mk_eq,
-    mk_lshr, mk_ne, mk_or, mk_shl, mk_ult, mk_urem,
-)
+from repro.core import SESA
+from repro.service.corpus import SUITES, spec_from_kernel
+
+SUITE_NAMES = ("paper", "reductions")
+
+#: regression gate: incremental SAT-core queries (fresh + assumption
+#: checks) may not exceed baseline * SLACK
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_solver_baseline.json")
+SLACK = 1.25
 
 RESULTS = {}
 
 
-def query_batch():
-    """The §II + Fig. 4 query mix: some SAT, some UNSAT, varied shape."""
-    t1, t2 = mk_bv_var("t1"), mk_bv_var("t2")
-    bdim = mk_bv(64, 32)
-    bounds = mk_and(mk_ult(t1, bdim), mk_ult(t2, bdim), mk_ne(t1, t2))
-    queries = []
-    # the intro example's WR race (SAT)
-    queries.append(mk_and(bounds, mk_eq(
-        t1, mk_urem(mk_add(t2, mk_bv(1, 32)), bdim))))
-    # divergent-branch race (SAT)
-    queries.append(mk_and(
-        bounds,
-        mk_eq(mk_urem(t1, mk_bv(2, 32)), mk_bv(0, 32)),
-        mk_ne(mk_urem(t2, mk_bv(2, 32)), mk_bv(0, 32)),
-        mk_eq(t1, mk_lshr(t2, mk_bv(2, 32)))))
-    # reduction's WW/RW queries per stride (UNSAT)
-    for stride in (1, 2, 4, 8, 16, 32):
-        even1 = mk_eq(mk_urem(t1, mk_bv(2 * stride, 32)), mk_bv(0, 32))
-        even2 = mk_eq(mk_urem(t2, mk_bv(2 * stride, 32)), mk_bv(0, 32))
-        queries.append(mk_and(bounds, even1, even2, mk_eq(t1, t2)))
-        queries.append(mk_and(
-            bounds, even1, even2,
-            mk_or(mk_eq(mk_add(t1, mk_bv(stride, 32)), t2),
-                  mk_eq(t1, t2))))
-    # strided disjointness (UNSAT via simplifier/interval)
-    for k in (2, 4, 8):
-        queries.append(mk_and(
-            bounds,
-            mk_eq(mk_shl(t1, mk_bv(k, 32)), mk_add(
-                mk_shl(t2, mk_bv(k, 32)), mk_bv(1, 32)))))
-    return queries
+def _signature(report):
+    races = sorted(
+        (r.kind, r.obj_name, r.access1.loc, r.access2.loc,
+         r.benign, r.unresolvable) for r in report.races)
+    oobs = sorted((o.obj_name, o.access.loc) for o in report.oobs)
+    asserts = sorted(a.loc for a in report.assertion_failures)
+    return (races, oobs, asserts, report.timed_out)
 
 
-VARIANTS = {
-    "full": dict(use_simplifier=True, use_interval=True),
-    "no-interval": dict(use_simplifier=True, use_interval=False),
-    "no-simplify": dict(use_simplifier=False, use_interval=True),
-    "sat-only": dict(use_simplifier=False, use_interval=False),
-}
+def run_suites(incremental):
+    agg = {"queries": 0, "by_memo": 0, "by_affine": 0,
+           "by_simplifier": 0, "by_interval": 0, "by_sat": 0,
+           "by_session": 0, "sat_instances": 0, "preamble_reuse": 0,
+           "sessions_created": 0, "sat_conflicts": 0,
+           "learned_clauses": 0}
+    verdicts = {}
+    start = time.perf_counter()
+    for suite in SUITE_NAMES:
+        for kernel in SUITES[suite]:
+            spec = spec_from_kernel(kernel, suite=suite)
+            spec.incremental_solving = incremental
+            tool = SESA.from_source(spec.source, spec.kernel_name)
+            report = tool.check(spec.launch_config())
+            verdicts[spec.job_id] = _signature(report)
+            cs = report.check_stats
+            if cs is None:
+                continue
+            agg["queries"] += cs.queries
+            agg["by_memo"] += cs.by_memo
+            agg["by_affine"] += cs.by_affine
+            agg["preamble_reuse"] += cs.preamble_reuse
+            agg["sessions_created"] += cs.sessions_created
+            agg["by_simplifier"] += cs.solver.by_simplifier
+            agg["by_interval"] += cs.solver.by_interval
+            agg["by_sat"] += cs.solver.by_sat
+            agg["by_session"] += cs.solver.by_session
+            agg["sat_instances"] += cs.solver.sat_instances
+            agg["sat_conflicts"] += cs.solver.sat_conflicts
+            agg["learned_clauses"] += cs.solver.learned_clauses
+    agg["ms"] = (time.perf_counter() - start) * 1e3
+    return agg, verdicts
 
 
-@pytest.mark.parametrize("variant", list(VARIANTS))
-def test_layer_variant(benchmark, variant):
-    queries = query_batch()
-
+@pytest.mark.parametrize("mode", ["one_shot", "incremental"])
+def test_mode(benchmark, mode):
     def run():
-        solver = Solver(**VARIANTS[variant])
-        start = time.perf_counter()
-        outcomes = []
-        for q in queries:
-            solver.assertions = []
-            solver.add(q)
-            outcomes.append(solver.check())
-        return solver.stats, time.perf_counter() - start, outcomes
-
-    stats, seconds, outcomes = benchmark.pedantic(run, rounds=3,
-                                                  iterations=1)
-    RESULTS[variant] = (stats, seconds, outcomes)
-    assert CheckResult.UNKNOWN not in outcomes
+        return run_suites(incremental=(mode == "incremental"))
+    agg, verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS[mode] = (agg, verdicts)
 
 
 def test_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if len(RESULTS) < len(VARIANTS):
+    if len(RESULTS) < 2:
         pytest.skip("run the full module for the report")
-    # all variants agree on every verdict
-    baselines = RESULTS["full"][2]
-    for variant, (_, _, outcomes) in RESULTS.items():
-        assert outcomes == baselines, f"{variant} changed a verdict!"
-    rows = []
-    for variant, (stats, seconds, _) in RESULTS.items():
-        rows.append([
-            variant, stats.queries, stats.by_simplifier,
-            stats.by_interval, stats.by_sat, f"{seconds * 1e3:.1f}",
-        ])
+    one, inc = RESULTS["one_shot"][0], RESULTS["incremental"][0]
+
+    # the contract: a pure performance layer — verdicts are identical
+    assert RESULTS["incremental"][1] == RESULTS["one_shot"][1], \
+        "incremental sessions changed a verdict!"
+
+    cols = ["queries", "by_memo", "by_affine", "by_simplifier",
+            "by_interval", "by_sat", "by_session", "preamble_reuse",
+            "sat_conflicts"]
+    rows = [[mode] + [RESULTS[mode][0][c] for c in cols]
+            + [f"{RESULTS[mode][0]['ms']:.0f}"]
+            for mode in ("one_shot", "incremental")]
     print_table(
-        "Ablation: layered solving (verdicts identical across variants)",
-        ["variant", "queries", "simplifier", "interval", "SAT", "ms"],
-        rows)
-    # trivially-false conjunctions are folded by the smart constructors
-    # before any layer runs, so the by_* counters agree across variants;
-    # the simplifier's win shows up as SAT-core time (mask/shift circuits
-    # instead of division circuits)
-    full_seconds = RESULTS["full"][1]
-    nosimp_seconds = RESULTS["no-simplify"][1]
-    assert nosimp_seconds > 1.5 * full_seconds, \
-        (full_seconds, nosimp_seconds)
+        "Ablation: incremental solver sessions "
+        "(verdicts identical across modes)",
+        ["mode"] + cols + ["ms"], rows)
+
+    payload = {
+        "suites": list(SUITE_NAMES),
+        "one_shot": one,
+        "incremental": inc,
+        "sat_core_queries": {
+            "one_shot": one["by_sat"] + one["by_session"],
+            "incremental": inc["by_sat"] + inc["by_session"],
+        },
+    }
+    out_path = os.environ.get("BENCH_OUT", "BENCH_solver.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+
+    # blast-once: the incremental path constructs at most half the
+    # fresh SAT instances of the one-shot path
+    assert one["by_sat"] >= 2 * inc["by_sat"], (one["by_sat"],
+                                                inc["by_sat"])
+
+    # regression gate against the recorded baseline
+    with open(BASELINE_PATH, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    budget = baseline["incremental_sat_core_queries"] * SLACK
+    actual = inc["by_sat"] + inc["by_session"]
+    assert actual <= budget, (
+        f"incremental SAT-core queries regressed: {actual} > "
+        f"{baseline['incremental_sat_core_queries']} * {SLACK}")

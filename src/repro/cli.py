@@ -82,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="element count for a pointer param")
     check.add_argument("--time-budget", type=float, default=None,
                        metavar="SECONDS")
+    check.add_argument("--no-incremental", action="store_true",
+                       help="solve every race query from scratch instead "
+                            "of on incremental solver sessions")
     check.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
@@ -134,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default <cache-dir>/trace.jsonl)")
     batch.add_argument("--limit", type=int, default=None, metavar="N",
                        help="only run the first N jobs of the corpus")
+    batch.add_argument("--no-incremental", action="store_true",
+                       help="solve every race query from scratch instead "
+                            "of on incremental solver sessions")
     batch.add_argument("--json", action="store_true",
                        help="machine-readable output")
     return parser
@@ -158,7 +164,8 @@ def _config_from(args) -> LaunchConfig:
         else None,
         scalar_values=_parse_kv(args.set, "--set"),
         array_sizes=_parse_kv(args.array_size, "--array-size"),
-        time_budget_seconds=args.time_budget)
+        time_budget_seconds=args.time_budget,
+        incremental_solving=not args.no_incremental)
 
 
 def cmd_check(args) -> int:
@@ -245,6 +252,9 @@ def cmd_batch(args) -> int:
         return 2
     if args.limit is not None:
         specs = specs[:args.limit]
+    if args.no_incremental:
+        for spec in specs:
+            spec.incremental_solving = False
     cache_dir = None if args.no_cache else args.cache_dir
     trace_path = args.trace
     if trace_path is None:

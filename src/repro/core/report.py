@@ -1,7 +1,7 @@
 """Analysis report: the user-facing result of one SESA run."""
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from ..passes.taint import TaintReport
@@ -48,6 +48,8 @@ class AnalysisReport:
                          if self.execution else []),
             "symbolic_inputs": (sorted(self.taint.symbolic_inputs)
                                 if self.taint else None),
+            "check_stats": (asdict(self.check_stats)
+                            if self.check_stats is not None else None),
             "elapsed_seconds": self.elapsed_seconds,
         }
 
@@ -97,6 +99,13 @@ class AnalysisReport:
                 f"steps {self.execution.steps})"
                 + (" [TIMED OUT]" if self.execution.timed_out else ""))
         lines.append(f"  resolvable: {self.resolvable}")
+        if self.check_stats is not None:
+            cs = self.check_stats
+            lines.append(
+                f"  solver: {cs.queries} queries (affine {cs.by_affine}, "
+                f"memo {cs.by_memo}, sessions {cs.sessions_created}, "
+                f"sat {cs.solver.by_sat} fresh + "
+                f"{cs.solver.by_session} incremental)")
         if self.races:
             for race in self.races:
                 lines.append(f"  RACE: {race.describe()}")

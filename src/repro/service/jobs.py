@@ -63,6 +63,9 @@ class JobSpec:
     max_steps: Optional[int] = None
     #: soft (in-engine) wall-clock budget; the engine stops gracefully
     time_budget_seconds: Optional[float] = None
+    #: solve race queries on incremental solver sessions (the default);
+    #: False forces the one-shot path for differential runs
+    incremental_solving: bool = True
     #: Table III kernels need the synthetic CSR graph attached
     needs_concrete_graph: bool = False
     #: free-form passthrough (suite/table tags, test fixtures, ...)
@@ -89,7 +92,8 @@ class JobSpec:
                              if self.symbolic_inputs is not None else None),
             scalar_values=dict(self.scalar_values),
             array_sizes=dict(self.array_sizes),
-            time_budget_seconds=self.time_budget_seconds)
+            time_budget_seconds=self.time_budget_seconds,
+            incremental_solving=self.incremental_solving)
         if self.max_loop_splits is not None:
             config.max_loop_splits = self.max_loop_splits
         if self.max_flows is not None:
@@ -125,6 +129,10 @@ class JobSpec:
             # the budgets can turn a verdict into a T.O. verdict, so
             # they are part of the key
             "time_budget_seconds": self.time_budget_seconds,
+            # the solving strategy shouldn't change verdicts, but the
+            # point of the escape hatch is to verify exactly that — so
+            # the two paths must not share cache entries
+            "incremental_solving": self.incremental_solving,
         }
 
     def to_dict(self) -> dict:
@@ -152,6 +160,7 @@ class JobSpec:
             max_flows=data.get("max_flows"),
             max_steps=data.get("max_steps"),
             time_budget_seconds=data.get("time_budget_seconds"),
+            incremental_solving=data.get("incremental_solving", True),
             needs_concrete_graph=data.get("needs_concrete_graph", False),
             meta=dict(data.get("meta") or {}))
 

@@ -14,13 +14,14 @@ from .terms import (
     mk_sub, mk_truncate, mk_udiv, mk_uge, mk_ugt, mk_ule, mk_ult, mk_urem,
     mk_var, mk_zext,
 )
-from .subst import EvaluationError, evaluate, substitute
-from .simplify import simplify
+from .subst import EvaluationError, Substitution, evaluate, substitute
+from .simplify import clear_simplify_cache, simplify
 from .interval import Interval, IntervalAnalysis, derive_bounds
 from .affine import (
     affine_decompose, equality_forces_equal_components, injective_on_box,
 )
 from .solver import CheckResult, Model, Solver, SolverStats, get_model, is_sat
+from .session import QueryMemo, SolverSession
 
 __all__ = [
     "BOOL", "BV1", "BV8", "BV16", "BV32", "BV64", "BoolSort", "BVSort",
@@ -32,9 +33,11 @@ __all__ = [
     "mk_sdiv", "mk_sext", "mk_sge", "mk_sgt", "mk_shl", "mk_sle", "mk_slt",
     "mk_srem", "mk_sub", "mk_truncate", "mk_udiv", "mk_uge", "mk_ugt",
     "mk_ule", "mk_ult", "mk_urem", "mk_var", "mk_zext",
-    "EvaluationError", "evaluate", "substitute", "simplify",
+    "EvaluationError", "Substitution", "evaluate", "substitute",
+    "clear_simplify_cache", "simplify",
     "Interval", "IntervalAnalysis", "derive_bounds",
     "affine_decompose", "equality_forces_equal_components",
     "injective_on_box",
     "CheckResult", "Model", "Solver", "SolverStats", "get_model", "is_sat",
+    "QueryMemo", "SolverSession",
 ]

@@ -76,14 +76,24 @@ class BitBlaster:
     # ------------------------------------------------------------------
 
     def _lower(self, roots: List[Term]) -> None:
-        for node in T.iter_dag(roots):
+        # explicit post-order that does NOT descend into already-lowered
+        # subterms — repeated blasts against a long-lived instance (the
+        # incremental session) cost O(new nodes), not O(whole DAG)
+        stack = [(node, False) for node in roots]
+        while stack:
+            node, expanded = stack.pop()
             nid = id(node)
-            if node.sort is BOOL:
-                if nid not in self._bool_map:
-                    self._bool_map[nid] = self._lower_bool(node)
+            mapped = self._bool_map if node.sort is BOOL else self._bv_map
+            if nid in mapped:
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for a in node.args:
+                    stack.append((a, False))
+            elif node.sort is BOOL:
+                self._bool_map[nid] = self._lower_bool(node)
             else:
-                if nid not in self._bv_map:
-                    self._bv_map[nid] = self._lower_bv(node)
+                self._bv_map[nid] = self._lower_bv(node)
 
     # -- bitvector nodes -------------------------------------------------
 

@@ -10,11 +10,25 @@ from typing import Iterable, List, Sequence
 
 
 class CNF:
-    """A growable CNF formula plus fresh-variable allocation."""
+    """A growable CNF formula plus fresh-variable allocation.
+
+    A live :class:`~repro.smt.sat.SatSolver` can be *attached*: every
+    clause added afterwards is forwarded to it, which is how the
+    incremental session keeps blasting new terms into an instance that
+    has already answered queries.
+    """
 
     def __init__(self) -> None:
         self.num_vars: int = 0
         self.clauses: List[List[int]] = []
+        self._listeners: List = []
+
+    def attach(self, solver) -> None:
+        """Forward every future clause to *solver* (incremental mode)."""
+        self._listeners.append(solver)
+
+    def detach(self, solver) -> None:
+        self._listeners.remove(solver)
 
     def new_var(self) -> int:
         self.num_vars += 1
@@ -34,6 +48,8 @@ class CNF:
             if v > self.num_vars:
                 self.num_vars = v
         self.clauses.append(lits)
+        for solver in self._listeners:
+            solver.add_clause(lits)
 
     def add_all(self, clauses: Iterable[Sequence[int]]) -> None:
         for c in clauses:

@@ -7,11 +7,23 @@ phase saving, and Luby restarts. It is deliberately free of exotic
 heuristics — race queries produced by the bitblaster are small-to-medium
 (10^3..10^5 clauses) and this solver dispatches them in milliseconds.
 
+The solver is *incremental*: clauses can be appended between ``solve``
+calls (:meth:`add_clause` / :meth:`ensure_vars`), queries can be posed
+under assumption literals, and learned clauses are retained across
+queries — they are derived by resolution from real clauses only, so
+they stay valid whatever the assumptions. This is what lets the
+:class:`~repro.smt.session.SolverSession` blast a race-check preamble
+once and answer thousands of per-pair queries against the same
+instance.
+
 The solver accepts a conflict budget so callers can bound worst-case work
-and receive ``None`` ("unknown") instead of hanging.
+and receive ``None`` ("unknown") instead of hanging. The budget is
+per-``solve``-call (a delta, not a lifetime total), so a long-lived
+incremental instance gives every query the same allowance.
 """
 from __future__ import annotations
 
+import heapq
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -35,23 +47,33 @@ def _luby(i: int) -> int:
 
 
 class SatSolver:
-    """Solve one CNF instance. Build, call :meth:`solve`, read :attr:`model`."""
+    """Solve a growable CNF instance.
+
+    Build from a :class:`CNF`, call :meth:`solve` (optionally under
+    assumptions), read :attr:`model`. Between calls, append clauses
+    with :meth:`add_clause`; ``cnf.attach(solver)`` forwards later
+    ``cnf.add`` calls automatically.
+    """
 
     def __init__(self, cnf: CNF, conflict_budget: Optional[int] = None,
                  deadline: Optional[float] = None) -> None:
-        self.nvars = cnf.num_vars
+        self.nvars = 0
         self.conflict_budget = conflict_budget
         self.deadline = deadline  # time.monotonic() timestamp
 
-        n = self.nvars + 1
-        self.values: List[int] = [0] * n          # 0 unassigned, +1 true, -1 false
-        self.levels: List[int] = [-1] * n
-        self.reasons: List[Optional[List[int]]] = [None] * n
-        self.activity: List[float] = [0.0] * n
-        self.saved_phase: List[int] = [-1] * n    # default polarity: false
+        self.values: List[int] = [0]          # 0 unassigned, +1 true, -1 false
+        self.levels: List[int] = [-1]
+        self.reasons: List[Optional[List[int]]] = [None]
+        self.activity: List[float] = [0.0]
+        self.saved_phase: List[int] = [-1]    # default polarity: false
         self.trail: List[int] = []
         self.trail_lim: List[int] = []
         self.qhead = 0
+
+        # decision order: a lazy max-heap of (-activity, var). Stale
+        # entries (var already assigned) are skipped at pop time; every
+        # unassigned variable always has at least one fresh entry.
+        self._heap: List[tuple] = []
 
         # watches[lit] = clauses in which lit is one of the two watched literals
         self.watches: Dict[int, List[List[int]]] = {}
@@ -63,16 +85,61 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
         self.model: Dict[int, bool] = {}
 
+        self.ensure_vars(cnf.num_vars)
         for clause in cnf.clauses:
-            if not self._add_clause(list(clause)):
-                self.ok = False
+            self.add_clause(clause)
+            if not self.ok:
                 break
 
     # ------------------------------------------------------------------
     # clause management
     # ------------------------------------------------------------------
+
+    def ensure_vars(self, n: int) -> None:
+        """Grow the variable arrays to cover variables 1..n."""
+        if n <= self.nvars:
+            return
+        for var in range(self.nvars + 1, n + 1):
+            self.values.append(0)
+            self.levels.append(-1)
+            self.reasons.append(None)
+            self.activity.append(0.0)
+            self.saved_phase.append(-1)
+            heapq.heappush(self._heap, (0.0, var))
+        self.nvars = n
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Append one clause to the live instance (incremental API).
+
+        Backtracks to the root level first so the new clause's watches
+        are consistent; literals already decided at level 0 are
+        simplified away.
+        """
+        if not self.ok:
+            return
+        self._backtrack(0)
+        mx = 0
+        for lit in lits:
+            v = abs(lit)
+            if v > mx:
+                mx = v
+        if mx > self.nvars:
+            self.ensure_vars(mx)
+        # drop root-falsified literals; a root-satisfied literal kills
+        # the whole clause (everything assigned now is at level 0)
+        out: List[int] = []
+        for lit in lits:
+            v = self._value(lit)
+            if v == 1:
+                return
+            if v == -1:
+                continue
+            out.append(lit)
+        if not self._add_clause(out):
+            self.ok = False
 
     def _add_clause(self, lits: List[int]) -> bool:
         # normalise: dedupe, detect tautology
@@ -171,6 +238,12 @@ class SatSolver:
             for i in range(1, self.nvars + 1):
                 self.activity[i] *= 1e-100
             self.var_inc *= 1e-100
+            # every heap key is now wrong: rebuild for the unassigned
+            # vars (assigned ones re-enter on backtrack)
+            self._heap = [(-self.activity[v], v)
+                          for v in range(1, self.nvars + 1)
+                          if self.values[v] == 0]
+            heapq.heapify(self._heap)
 
     def _analyze(self, conflict: List[int]) -> tuple[List[int], int]:
         learnt: List[int] = [0]  # placeholder for the asserting literal
@@ -232,12 +305,14 @@ class SatSolver:
         if len(self.trail_lim) <= level:
             return
         limit = self.trail_lim[level]
+        heap = self._heap
         for lit in reversed(self.trail[limit:]):
             var = abs(lit)
             self.saved_phase[var] = self.values[var]
             self.values[var] = 0
             self.reasons[var] = None
             self.levels[var] = -1
+            heapq.heappush(heap, (-self.activity[var], var))
         del self.trail[limit:]
         del self.trail_lim[level:]
         self.qhead = len(self.trail)
@@ -247,25 +322,28 @@ class SatSolver:
     # ------------------------------------------------------------------
 
     def _decide(self) -> int:
-        best_var = 0
-        best_act = -1.0
-        for var in range(1, self.nvars + 1):
-            if self.values[var] == 0 and self.activity[var] > best_act:
-                best_act = self.activity[var]
-                best_var = var
-        if best_var == 0:
-            return 0
-        phase = self.saved_phase[best_var]
-        return best_var if phase == 1 else -best_var
+        # pop until a live entry surfaces. Keys are (-activity, var), so
+        # this picks the highest-activity unassigned variable, lowest
+        # index on ties — the same choice the old linear scan made.
+        heap = self._heap
+        while heap:
+            _, var = heapq.heappop(heap)
+            if self.values[var] == 0:
+                phase = self.saved_phase[var]
+                return var if phase == 1 else -var
+        return 0
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = ()) -> str:
+        self._backtrack(0)
+        self.model = {}
         if not self.ok:
             return SatResult.UNSAT
         if self._propagate() is not None:
+            self.ok = False
             return SatResult.UNSAT
 
         # assumptions as level-1.. decisions
@@ -280,6 +358,11 @@ class SatSolver:
                 return SatResult.UNSAT
         root_level = len(self.trail_lim)
 
+        # the conflict budget is per call: a fresh allowance for every
+        # query on a long-lived incremental instance
+        budget_limit = None if self.conflict_budget is None \
+            else self.conflicts + self.conflict_budget
+
         restart_idx = 1
         restart_budget = 100 * _luby(restart_idx)
         conflicts_since_restart = 0
@@ -289,18 +372,21 @@ class SatSolver:
             if conflict is not None:
                 self.conflicts += 1
                 conflicts_since_restart += 1
-                if self.conflict_budget is not None and \
-                        self.conflicts > self.conflict_budget:
+                if budget_limit is not None and self.conflicts > budget_limit:
                     return SatResult.UNKNOWN
                 if self.deadline is not None and (self.conflicts & 0x3F) == 0 \
                         and time.monotonic() > self.deadline:
                     return SatResult.UNKNOWN
                 if len(self.trail_lim) == root_level:
+                    if root_level == 0:
+                        self.ok = False
                     return SatResult.UNSAT
                 learnt, back = self._analyze(conflict)
                 self._backtrack(max(back, root_level))
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
+                        if len(self.trail_lim) == 0:
+                            self.ok = False
                         return SatResult.UNSAT
                 else:
                     self.learnts.append(learnt)
@@ -313,6 +399,7 @@ class SatSolver:
                     restart_idx += 1
                     restart_budget = 100 * _luby(restart_idx)
                     conflicts_since_restart = 0
+                    self.restarts += 1
                     self._backtrack(root_level)
                     continue
                 lit = self._decide()

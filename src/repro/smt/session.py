@@ -1,0 +1,246 @@
+"""Incremental solver sessions: blast-once preambles, assumption SAT.
+
+The race checker's queries share a large fixed prefix — thread bounds,
+``t1 != t2``, launch assumptions — and differ only in a small per-pair
+goal (guards + address overlap). A :class:`SolverSession` is the
+layered :class:`~repro.smt.solver.Solver` pipeline rebuilt around that
+shape:
+
+* the preamble is simplified and bit-blasted **once** into a live
+  :class:`~repro.smt.sat.SatSolver`;
+* each :meth:`check` blasts only the goal conjuncts (the blaster skips
+  subterms it has lowered before) and solves under their literals as
+  *assumptions* — sound because the Tseitin gates are full
+  equivalences, so a goal literal being true forces exactly the goal;
+* learned clauses are retained across queries — they are resolvents of
+  real clauses only, hence valid whatever the assumptions.
+
+Unbounded growth is the classic failure mode of a pure-Python CDCL
+instance that lives for thousands of queries (clause DB, stale heap
+entries, full-assignment models), so a session *rotates*: after
+``max_live_queries`` checks or ``max_live_clauses`` clauses it drops
+the SAT instance and re-blasts the preamble on the next query.
+
+:class:`QueryMemo` is the cross-query cache above the session: interned
+canonical goal term -> verdict (+ model values), so structurally
+identical pairs — rampant in unrolled kernels — never touch the SAT
+core at all. UNKNOWN is never memoized.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .bitblast import BitBlaster
+from .cnf import CNF
+from .interval import Interval, IntervalAnalysis, derive_bounds
+from .sat import SatResult, SatSolver
+from .simplify import simplify
+from .solver import CheckResult, Model, SolverStats
+from . import terms as T
+from .subst import EvaluationError, evaluate
+from .terms import Term
+
+
+class QueryMemo:
+    """Canonical-query result cache (term identity -> verdict + model).
+
+    Keys are ``(context_key, id(canonical_goal))``: interning makes
+    ``id`` a stable global identity for a term, and the context key
+    distinguishes preambles. SAT entries carry the witness values so a
+    hit reproduces the one-shot answer; UNKNOWN is never stored (a
+    bigger budget might decide it later).
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[tuple, Tuple[str, Optional[Dict[str, int]]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[Tuple[str, Optional[Dict[str, int]]]]:
+        entry = self._table.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: tuple, result: str,
+            values: Optional[Dict[str, int]] = None) -> None:
+        if result == CheckResult.UNKNOWN:
+            return
+        self._table[key] = (result, values)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class SolverSession:
+    """A persistent solving context for one fixed preamble.
+
+    Mirrors the :class:`~repro.smt.solver.Solver` layering (simplify ->
+    trivial -> interval -> SAT) per query, but the SAT layer is a live
+    incremental instance holding the blasted preamble, answered under
+    assumption literals.
+    """
+
+    def __init__(self, preamble: Sequence[Term], *,
+                 conflict_budget: Optional[int] = 200_000,
+                 deadline: Optional[float] = None,
+                 use_simplifier: bool = True,
+                 use_interval: bool = True,
+                 validate_models: bool = True,
+                 stats: Optional[SolverStats] = None,
+                 max_live_queries: int = 256,
+                 max_live_clauses: int = 400_000) -> None:
+        self.conflict_budget = conflict_budget
+        self.deadline = deadline
+        self.use_simplifier = use_simplifier
+        self.use_interval = use_interval
+        self.validate_models = validate_models
+        self.stats = stats if stats is not None else SolverStats()
+        self.max_live_queries = max_live_queries
+        self.max_live_clauses = max_live_clauses
+
+        terms = [simplify(t) for t in preamble] if use_simplifier \
+            else list(preamble)
+        #: the preamble alone is contradictory: every query is UNSAT
+        self._failed = any(t.is_false() for t in terms)
+        self.preamble: List[Term] = [t for t in terms if not t.is_true()]
+        self._preamble_bounds: Dict[str, Interval] = \
+            derive_bounds(self.preamble) if use_interval else {}
+
+        self._cnf: Optional[CNF] = None
+        self._blaster: Optional[BitBlaster] = None
+        self._sat: Optional[SatSolver] = None
+        self._live_queries = 0
+        self._model: Optional[Model] = None
+
+    # ------------------------------------------------------------------
+
+    def check(self, goal: Sequence[Term]) -> str:
+        """Satisfiability of ``preamble AND goal`` (layered)."""
+        self.stats.queries += 1
+        self._model = None
+        if self._failed:
+            self.stats.by_simplifier += 1
+            return CheckResult.UNSAT
+
+        if self.use_simplifier:
+            goal = [simplify(t) for t in goal]
+        else:
+            goal = list(goal)
+        if any(t.is_false() for t in goal):
+            self.stats.by_simplifier += 1
+            return CheckResult.UNSAT
+        goal = [t for t in goal if not t.is_true()]
+        if not goal and not self.preamble:
+            self.stats.by_simplifier += 1
+            self._model = Model({})
+            return CheckResult.SAT
+
+        if self.use_interval:
+            bounds = dict(self._preamble_bounds)
+            for name, iv in derive_bounds(goal).items():
+                cur = bounds.get(name)
+                bounds[name] = iv if cur is None else (cur.meet(iv) or cur)
+            analysis = IntervalAnalysis(bounds)
+            if any(analysis.must_be_false(t)
+                   for t in self.preamble + goal):
+                self.stats.by_interval += 1
+                return CheckResult.UNSAT
+
+        return self._check_sat(goal)
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise RuntimeError("no model available (last check was not SAT)")
+        return self._model
+
+    # ------------------------------------------------------------------
+    # SAT layer
+    # ------------------------------------------------------------------
+
+    def _ensure_sat(self) -> None:
+        if self._sat is not None:
+            return
+        self._cnf = CNF()
+        self._blaster = BitBlaster(self._cnf)
+        for t in self.preamble:
+            self._blaster.assert_term(t)
+        self._sat = SatSolver(self._cnf, conflict_budget=self.conflict_budget,
+                              deadline=self.deadline)
+        self._cnf.attach(self._sat)
+        self._live_queries = 0
+        self.stats.sat_instances += 1
+
+    def _retire(self) -> None:
+        """Drop the live SAT instance; the next query re-blasts."""
+        if self._cnf is not None and self._sat is not None:
+            self._cnf.detach(self._sat)
+        self._cnf = None
+        self._blaster = None
+        self._sat = None
+        self._live_queries = 0
+
+    def _check_sat(self, goal: List[Term]) -> str:
+        self._ensure_sat()
+        blaster, sat = self._blaster, self._sat
+        assert blaster is not None and sat is not None
+        sat.deadline = self.deadline
+        sat.conflict_budget = self.conflict_budget
+
+        assumptions = [blaster.blast_bool(t) for t in goal]
+        sat.ensure_vars(self._cnf.num_vars)
+
+        c0, d0 = sat.conflicts, sat.decisions
+        p0, l0 = sat.propagations, len(sat.learnts)
+        result = sat.solve(assumptions)
+        self.stats.by_session += 1
+        self.stats.sat_conflicts += sat.conflicts - c0
+        self.stats.sat_decisions += sat.decisions - d0
+        self.stats.sat_propagations += sat.propagations - p0
+        self.stats.learned_clauses += len(sat.learnts) - l0
+        self._live_queries += 1
+
+        outcome = CheckResult.UNKNOWN
+        if result == SatResult.UNSAT:
+            outcome = CheckResult.UNSAT
+        elif result == SatResult.SAT:
+            model = self._extract_model(goal, sat.model)
+            if self.validate_models:
+                self._validate(goal, model)
+            self._model = model
+            outcome = CheckResult.SAT
+
+        if self._live_queries >= self.max_live_queries or \
+                len(sat.clauses) + len(sat.learnts) >= self.max_live_clauses:
+            self._retire()
+        return outcome
+
+    def _extract_model(self, goal: List[Term],
+                       sat_model: Dict[int, bool]) -> Model:
+        # restrict to the variables of THIS query: the blaster knows
+        # every variable any query ever mentioned, and values for the
+        # others would leak junk into race witnesses
+        blaster = self._blaster
+        assert blaster is not None
+        values: Dict[str, int] = {}
+        for name in T.free_vars(*self.preamble, *goal):
+            if name in blaster.var_bits:
+                values[name] = blaster.extract_value(name, sat_model)
+            elif name in blaster.bool_vars:
+                values[name] = int(blaster.extract_bool(name, sat_model))
+        return Model(values)
+
+    def _validate(self, goal: List[Term], model: Model) -> None:
+        assignment = dict(model.values)
+        for t in self.preamble + goal:
+            for name in T.free_vars(t):
+                assignment.setdefault(name, 0)
+            try:
+                ok = evaluate(t, assignment)
+            except EvaluationError:
+                continue  # uninterpreted applications: nothing to validate
+            if not ok:
+                raise AssertionError(
+                    f"session produced an invalid model {model} for {t}")

@@ -144,17 +144,40 @@ def _rewrite_once(term: Term) -> Term:
 
 _MAX_LOCAL_STEPS = 8
 
+# Interned terms never move or die (the constructor table holds strong
+# references), so ``id`` is a stable global key and simplification can
+# be memoised across *all* callers. The race checker leans on this: its
+# thousands of per-pair queries share most of their subterm DAG.
+_GLOBAL_CACHE: Dict[int, Term] = {}
+
+
+def clear_simplify_cache() -> None:
+    """Drop the process-wide simplification memo (tests, memory)."""
+    _GLOBAL_CACHE.clear()
+
 
 def simplify(term: Term, cache: Dict[int, Term] | None = None) -> Term:
-    """Bottom-up simplification with memoisation over the DAG."""
+    """Bottom-up simplification with memoisation over the DAG.
+
+    With no explicit *cache* the process-wide memo is used, making
+    repeated calls over shared subterms O(new nodes).
+    """
     if cache is None:
-        cache = {}
-    for node in T.iter_dag([term]):
+        cache = _GLOBAL_CACHE
+    # explicit post-order that skips already-simplified subDAGs
+    stack = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
         nid = id(node)
         if nid in cache:
             continue
         if not node.args:
             cache[nid] = node
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for a in node.args:
+                stack.append((a, False))
             continue
         new_args = tuple(cache[id(a)] for a in node.args)
         current = rebuild(node, new_args)

@@ -59,22 +59,37 @@ class Model:
 
 @dataclass
 class SolverStats:
-    """Where queries were dispatched; drives the solver ablation bench."""
+    """Where queries were dispatched; drives the solver ablation bench.
+
+    ``by_sat`` counts queries that required a *fresh* bitblast + SAT
+    instance (the one-shot path); ``by_session`` counts queries answered
+    by assumption on a live incremental instance. ``sat_instances`` is
+    the number of SAT solver constructions either way — the work the
+    blast-once preamble amortises.
+    """
 
     queries: int = 0
     by_simplifier: int = 0
     by_interval: int = 0
     by_sat: int = 0
+    by_session: int = 0
+    sat_instances: int = 0
     sat_conflicts: int = 0
     sat_decisions: int = 0
+    sat_propagations: int = 0
+    learned_clauses: int = 0
 
     def merge(self, other: "SolverStats") -> None:
         self.queries += other.queries
         self.by_simplifier += other.by_simplifier
         self.by_interval += other.by_interval
         self.by_sat += other.by_sat
+        self.by_session += other.by_session
+        self.sat_instances += other.sat_instances
         self.sat_conflicts += other.sat_conflicts
         self.sat_decisions += other.sat_decisions
+        self.sat_propagations += other.sat_propagations
+        self.learned_clauses += other.learned_clauses
 
 
 class Solver:
@@ -145,6 +160,7 @@ class Solver:
 
     def _check_sat(self, goal: List[Term]) -> str:
         self.stats.by_sat += 1
+        self.stats.sat_instances += 1
         blaster = BitBlaster()
         for t in goal:
             blaster.assert_term(t)
@@ -153,6 +169,8 @@ class Solver:
         result = sat.solve()
         self.stats.sat_conflicts += sat.conflicts
         self.stats.sat_decisions += sat.decisions
+        self.stats.sat_propagations += sat.propagations
+        self.stats.learned_clauses += len(sat.learnts)
         if result == SatResult.UNKNOWN:
             return CheckResult.UNKNOWN
         if result == SatResult.UNSAT:

@@ -70,7 +70,12 @@ def substitute(term: Term, mapping: Mapping[Term, Term],
         cache = {}
     by_id = {id(k): v for k, v in mapping.items()}
 
-    for node in T.iter_dag([term]):
+    # explicit post-order that skips subDAGs already in the cache, so a
+    # persistent cache (see :class:`Substitution`) makes repeated
+    # instantiation O(new nodes)
+    stack = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
         nid = id(node)
         if nid in cache:
             continue
@@ -79,9 +84,30 @@ def substitute(term: Term, mapping: Mapping[Term, Term],
             cache[nid] = hit
         elif not node.args:
             cache[nid] = node
+        elif not expanded:
+            stack.append((node, True))
+            for a in node.args:
+                stack.append((a, False))
         else:
             cache[nid] = rebuild(node, tuple(cache[id(a)] for a in node.args))
     return cache[id(term)]
+
+
+class Substitution:
+    """A reusable parallel substitution with a persistent DAG cache.
+
+    The race checker instantiates every access condition and offset
+    under the same two thread substitutions; keeping the cache alive
+    across calls means shared prefixes (the flow condition of the
+    enclosing barrier interval) are rewritten once, ever.
+    """
+
+    def __init__(self, mapping: Mapping[Term, Term]) -> None:
+        self.mapping: Dict[Term, Term] = dict(mapping)
+        self._cache: Dict[int, Term] = {}
+
+    def __call__(self, term: Term) -> Term:
+        return substitute(term, self.mapping, self._cache)
 
 
 class EvaluationError(Exception):

@@ -60,6 +60,10 @@ class LaunchConfig:
     check_oob: bool = True
     #: SESA flow combining: drop merged values that feed no sink
     flow_combining: bool = True
+    #: solve race queries on incremental sessions (blast-once preambles,
+    #: assumption literals, cross-query memo). The one-shot escape hatch
+    #: (``--no-incremental``) exists for differential testing.
+    incremental_solving: bool = True
 
     def __post_init__(self) -> None:
         self.grid_dim = _dim3(self.grid_dim)

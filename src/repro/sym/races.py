@@ -24,13 +24,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import ir
 from ..smt import (
-    CheckResult, FALSE, Model, Solver, TRUE, Term, mk_and, mk_bv,
+    CheckResult, FALSE, Model, QueryMemo, Solver, SolverSession,
+    SolverStats, Substitution, TRUE, Term, mk_and, mk_bv,
     mk_bv_var, mk_eq, mk_ne, mk_not, mk_or, mk_udiv, mk_ule, mk_ult,
     simplify,
 )
 from ..smt.affine import affine_decompose, equality_forces_equal_components
 from ..smt.interval import Interval
-from ..smt.subst import substitute
 from ..smt.terms import mk_add, mk_mul, mk_uge
 from .access import Access, AccessKind, AccessSet
 from .config import LaunchConfig, SymbolicEnv
@@ -123,6 +123,12 @@ class CheckStats:
     races_found: int = 0
     oob_found: int = 0
     by_affine: int = 0   # pairs discharged by the affine fast path
+    by_memo: int = 0     # queries answered from the cross-query memo
+    preamble_reuse: int = 0   # queries served by an existing session
+    div_cache_hits: int = 0   # cached divergence (guard-pair) checks
+    sessions_created: int = 0
+    #: per-query solver dispatch counters, merged across all queries
+    solver: SolverStats = field(default_factory=SolverStats)
 
 
 class RaceChecker:
@@ -131,13 +137,16 @@ class RaceChecker:
     def __init__(self, result: ExecutionResult,
                  solver_budget: Optional[int] = 200_000,
                  max_reports: int = 16,
-                 extra_assumptions: Optional[List[Term]] = None) -> None:
+                 extra_assumptions: Optional[List[Term]] = None,
+                 incremental: Optional[bool] = None) -> None:
         self.result = result
         self.config = result.config
         self.env = result.env
         self.max_reports = max_reports
         self.solver_budget = solver_budget
         self.extra_assumptions: List[Term] = list(extra_assumptions or ())
+        self.incremental = self.config.incremental_solving \
+            if incremental is None else incremental
         self.stats = CheckStats()
         self.timed_out = False
         self._deadline: Optional[float] = None
@@ -147,6 +156,17 @@ class RaceChecker:
         # two instantiations of the parametric thread
         self._theta1, self._vars1 = self._instantiation("!1")
         self._theta2, self._vars2 = self._instantiation("!2")
+        # persistent substitution caches: shared subterm prefixes (flow
+        # conditions of the enclosing interval) are instantiated once
+        self._subst1 = Substitution(self._theta1[0])
+        self._subst2 = Substitution(self._theta2[0])
+        # incremental machinery: one session per distinct preamble
+        # (keyed on interned term identities, built lazily because
+        # extra_assumptions may be mutated after construction), the
+        # cross-query memo, and the divergence-check cache
+        self._sessions: Dict[Tuple[int, ...], SolverSession] = {}
+        self._memo = QueryMemo()
+        self._div_cache: Dict[int, bool] = {}
 
     # ------------------------------------------------------------------
 
@@ -167,8 +187,8 @@ class RaceChecker:
         return (theta, bounds), new_vars
 
     def _inst(self, term: Term, which: int) -> Term:
-        theta, _ = self._theta1 if which == 1 else self._theta2
-        return substitute(term, theta)
+        subst = self._subst1 if which == 1 else self._subst2
+        return subst(term)
 
     def _var(self, which: int, name: str) -> Term:
         vars_ = self._vars1 if which == 1 else self._vars2
@@ -177,6 +197,22 @@ class RaceChecker:
     def _bounds(self) -> List[Term]:
         return self._theta1[1] + self._theta2[1] + \
             list(self.config.assumptions) + self.extra_assumptions
+
+    # -- query preambles ---------------------------------------------------
+    # Each returns the fixed conjunct prefix shared by a family of
+    # queries; the incremental path blasts it once per distinct prefix.
+
+    def _race_preamble(self, obj: MemoryObject) -> List[Term]:
+        return self._bounds() + [self._different_thread(obj)]
+
+    def _single_preamble(self) -> List[Term]:
+        """Preamble for one-thread queries (assertions, OOB)."""
+        return self._theta1[1] + list(self.config.assumptions) + \
+            self.extra_assumptions
+
+    def _div_preamble(self) -> List[Term]:
+        """Preamble for divergence checks: thread-1 bounds only."""
+        return list(self._theta1[1])
 
     # -- thread-identity predicates ----------------------------------------
 
@@ -237,11 +273,9 @@ class RaceChecker:
             if key in seen:
                 continue
             seen.add(key)
-            formula = mk_and(
-                *self._theta1[1], *self.config.assumptions,
-                *self.extra_assumptions,
-                self._inst(reached, 1), mk_not(self._inst(claim, 1)))
-            model = self._solve(formula)
+            model = self._solve(
+                [self._inst(reached, 1), mk_not(self._inst(claim, 1))],
+                self._single_preamble())
             if model is not None:
                 self.assertion_failures.append(AssertionReport(
                     loc=loc, witness=self._witness(model,
@@ -274,13 +308,12 @@ class RaceChecker:
                         shared.append((a1, a2, True))
                     else:
                         global_.append((a1, a2, True))
-        # cross-interval global pairs (only meaningful across blocks)
+        # cross-interval global pairs (only meaningful across blocks);
+        # compute each interval's per-object map once, not O(n^2) times
         if self.config.num_blocks > 1:
-            sets = self.result.bi_access_sets
-            for i, s1 in enumerate(sets):
-                for s2 in sets[i + 1:]:
-                    by1 = s1.by_object()
-                    by2 = s2.by_object()
+            maps = [s.by_object() for s in self.result.bi_access_sets]
+            for i, by1 in enumerate(maps):
+                for by2 in maps[i + 1:]:
                     for obj in by1:
                         if obj.space != ir.MemSpace.GLOBAL or obj not in by2:
                             continue
@@ -367,61 +400,120 @@ class RaceChecker:
         if self._affine_no_overlap(a1, a2, obj):
             self.stats.by_affine += 1
             return
-        base = mk_and(
-            *self._bounds(),
-            self._different_thread(obj),
+        preamble = self._race_preamble(obj)
+        goal = [
             self._inst(a1.cond, 1),
             self._inst(a2.cond, 2),
             self._overlap(a1, a2),
-        )
+        ]
         if not same_bi:
             # cross-interval global pair: only unordered across blocks
-            base = mk_and(base, mk_not(self._same_block()))
-        if base is FALSE:
+            goal.append(mk_not(self._same_block()))
+        if mk_and(*preamble, *goal) is FALSE:
             return
         if self.config.warp_lockstep and self.config.warp_size > 1:
-            model = self._solve_warp_aware(a1, a2, base)
+            model = self._solve_warp_aware(a1, a2, preamble, goal)
         else:
-            model = self._solve(base)
+            model = self._solve(goal, preamble)
         if model is None:
             return
-        self._report_race(a1, a2, model, base)
+        self._report_race(a1, a2, model, preamble, goal)
 
-    def _solve(self, formula: Term) -> Optional[Model]:
+    def _solve(self, goal: Sequence[Term],
+               preamble: Sequence[Term]) -> Optional[Model]:
+        """SAT model of ``preamble AND goal``, or None (UNSAT/unknown).
+
+        Incremental mode canonicalises the goal, consults the memo,
+        then checks it as assumptions against the session holding the
+        blasted preamble. The one-shot path solves the full conjunction
+        from scratch (``incremental_solving=False``).
+        """
         self.stats.queries += 1
-        solver = Solver(conflict_budget=self.solver_budget,
-                        deadline=self._deadline)
-        solver.add(formula)
-        outcome = solver.check()
+        if not self.incremental:
+            solver = Solver(conflict_budget=self.solver_budget,
+                            deadline=self._deadline)
+            solver.add(mk_and(*preamble, *goal))
+            outcome = solver.check()
+            self.stats.solver.merge(solver.stats)
+            if outcome == CheckResult.SAT:
+                return solver.model()
+            if outcome == CheckResult.UNKNOWN:
+                # the solver budget (conflicts or deadline) ran out
+                # mid-query: the verdict for this pair is unknown, so the
+                # overall answer must carry the same T.O. marker as a
+                # wall-clock timeout
+                self.timed_out = True
+            return None
+
+        canon = simplify(mk_and(*goal)) if goal else TRUE
+        pkey = tuple(id(t) for t in preamble)
+        key = (pkey, id(canon))
+        hit = self._memo.get(key)
+        if hit is not None:
+            self.stats.by_memo += 1
+            result, values = hit
+            return Model(dict(values)) if result == CheckResult.SAT else None
+
+        session = self._session_for(preamble, pkey)
+        outcome = session.check([canon] if canon is not TRUE else [])
         if outcome == CheckResult.SAT:
-            return solver.model()
+            model = session.model()
+            self._memo.put(key, outcome, dict(model.values))
+            return model
         if outcome == CheckResult.UNKNOWN:
-            # the solver budget (conflicts or deadline) ran out mid-query:
-            # the verdict for this pair is unknown, so the overall answer
-            # must carry the same T.O. marker as a wall-clock timeout
             self.timed_out = True
+            return None
+        self._memo.put(key, outcome)
         return None
 
+    def _session_for(self, preamble: Sequence[Term],
+                     pkey: Tuple[int, ...]) -> SolverSession:
+        session = self._sessions.get(pkey)
+        if session is None:
+            session = SolverSession(
+                preamble, conflict_budget=self.solver_budget,
+                deadline=self._deadline, stats=self.stats.solver)
+            self._sessions[pkey] = session
+            self.stats.sessions_created += 1
+        else:
+            self.stats.preamble_reuse += 1
+            session.deadline = self._deadline
+        return session
+
     def _solve_warp_aware(self, a1: Access, a2: Access,
-                          base: Term) -> Optional[Model]:
+                          preamble: List[Term],
+                          goal: List[Term]) -> Optional[Model]:
         # inter-warp pairs always qualify
-        model = self._solve(mk_and(base, mk_not(self._same_warp())))
+        model = self._solve(goal + [mk_not(self._same_warp())], preamble)
         if model is not None:
             return model
         # intra-warp: same-instruction simultaneous writes ...
         if a1.instr_id == a2.instr_id and a1.kind.is_write() \
                 and a2.kind.is_write():
-            return self._solve(mk_and(base, self._same_warp()))
+            return self._solve(goal + [self._same_warp()], preamble)
         # ... or accesses in divergent branches (unordered execution):
         # guards mutually exclusive for one thread
         both = mk_and(a1.cond, a2.cond)
-        if both is FALSE or self._solve(
-                mk_and(*self._theta1[1], self._inst(both, 1))) is None:
-            return self._solve(mk_and(base, self._same_warp()))
+        if both is FALSE or not self._both_reachable(both):
+            return self._solve(goal + [self._same_warp()], preamble)
         return None
 
+    def _both_reachable(self, both: Term) -> bool:
+        """Can a single thread satisfy both guards? Cached on the
+        interned conjunction — the same guard pair repeats across
+        overlapping access pairs."""
+        key = id(both)
+        cached = self._div_cache.get(key)
+        if cached is not None:
+            self.stats.div_cache_hits += 1
+            return cached
+        reachable = self._solve([self._inst(both, 1)],
+                                self._div_preamble()) is not None
+        self._div_cache[key] = reachable
+        return reachable
+
     def _report_race(self, a1: Access, a2: Access, model: Model,
-                     base: Term) -> None:
+                     preamble: List[Term], goal: List[Term]) -> None:
         # canonical kind: WW for write/write, RW for mixed; atomics noted
         if a1.kind.is_write() and a2.kind.is_write():
             kind = "WW"
@@ -436,7 +528,7 @@ class RaceChecker:
                              self._inst(a2.value, 2))
             if contains_havoc(a1.value) or contains_havoc(a2.value):
                 benign = False
-            elif self._solve(mk_and(base, distinct)) is None:
+            elif self._solve(goal + [distinct], preamble) is None:
                 benign = True
         unresolvable = any(contains_havoc(t) for t in
                            (a1.cond, a2.cond, a1.offset, a2.offset))
@@ -470,11 +562,8 @@ class RaceChecker:
             limit = mk_bv(obj.size_bytes - access.size, 32) \
                 if obj.size_bytes >= access.size else mk_bv(0, 32)
             past_end = mk_not(mk_ule(addr, limit))
-            formula = mk_and(
-                *self._theta1[1], *self.config.assumptions,
-                *self.extra_assumptions,
-                self._inst(access.cond, 1), past_end)
-            model = self._solve(formula)
+            model = self._solve([self._inst(access.cond, 1), past_end],
+                                self._single_preamble())
             if model is not None:
                 reported.add((obj.name, access.loc))
                 self.oobs.append(OOBReport(

@@ -1,0 +1,90 @@
+"""Differential check: incremental sessions must not change verdicts.
+
+The incremental solver path (blast-once preambles + assumption-based
+SAT + query memo) is a pure performance layer: for every kernel the
+set of races, OOBs and assertion failures — including kinds, objects,
+source lines and benign flags — must be identical to the one-shot
+path. Witness *values* may legitimately differ (both are valid models
+of the same formula), so they are excluded from the signature.
+"""
+import pytest
+
+from repro.core import SESA
+from repro.service.corpus import SUITES, spec_from_kernel
+
+# a fast cross-section of the corpus: racy, clean, benign-WW, OOB,
+# divergence-heavy and barrier-heavy kernels (each < ~1 s per mode)
+FAST_KERNELS = [
+    ("paper", "race_example"),
+    ("paper", "reduction_racy"),
+    ("paper", "bitonic_fig1"),
+    ("sdk", "histogram64"),
+    ("sdk", "scan_short"),
+    ("reductions", "reduce4"),
+    ("divergent", "stream_compaction"),
+]
+
+
+def _kernel(suite, name):
+    for k in SUITES[suite]:
+        if k.name == name:
+            return k
+    raise KeyError(f"{suite}/{name}")
+
+
+def _run(suite, name, incremental):
+    spec = spec_from_kernel(_kernel(suite, name), suite=suite)
+    spec.incremental_solving = incremental
+    tool = SESA.from_source(spec.source, spec.kernel_name)
+    return tool.check(spec.launch_config())
+
+
+def _signature(report):
+    races = sorted(
+        (r.kind, r.obj_name, r.access1.loc, r.access2.loc,
+         r.benign, r.unresolvable) for r in report.races)
+    oobs = sorted((o.obj_name, o.access.loc) for o in report.oobs)
+    asserts = sorted(a.loc for a in report.assertion_failures)
+    return (races, oobs, asserts, report.timed_out)
+
+
+@pytest.mark.parametrize("suite,name", FAST_KERNELS,
+                         ids=[f"{s}/{n}" for s, n in FAST_KERNELS])
+def test_identical_verdicts(suite, name):
+    one_shot = _run(suite, name, incremental=False)
+    incremental = _run(suite, name, incremental=True)
+    assert _signature(incremental) == _signature(one_shot)
+
+
+def test_incremental_actually_engages():
+    # a racy kernel with several candidate pairs must hit the session
+    # path, reuse preambles across pairs, and never fall back to the
+    # one-shot SAT constructor per query
+    report = _run("paper", "reduction_racy", incremental=True)
+    cs = report.check_stats
+    assert cs is not None
+    assert cs.sessions_created >= 1
+    assert cs.preamble_reuse >= 1
+    assert cs.solver.by_session > 0
+    assert cs.solver.sat_instances <= cs.solver.by_session
+
+
+def test_one_shot_never_uses_sessions():
+    report = _run("paper", "reduction_racy", incremental=False)
+    cs = report.check_stats
+    assert cs is not None
+    assert cs.sessions_created == 0
+    assert cs.by_memo == 0
+    assert cs.solver.by_session == 0
+    # the one-shot path builds one SAT instance per SAT-layer query
+    assert cs.solver.sat_instances == cs.solver.by_sat
+
+
+def test_witnesses_remain_valid_models():
+    # equivalence of *verdicts* is the contract; each path's witnesses
+    # must still satisfy its own reported race condition
+    for incremental in (False, True):
+        report = _run("paper", "race_example", incremental=incremental)
+        assert report.races
+        for race in report.races:
+            assert race.witness is not None
