@@ -85,6 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-incremental", action="store_true",
                        help="solve every race query from scratch instead "
                             "of on incremental solver sessions")
+    check.add_argument("--no-pruning", action="store_true",
+                       help="disable the pre-solver pruning pipeline "
+                            "(summarization, bucketing, pair memo)")
     check.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
@@ -140,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-incremental", action="store_true",
                        help="solve every race query from scratch instead "
                             "of on incremental solver sessions")
+    batch.add_argument("--no-pruning", action="store_true",
+                       help="disable the pre-solver pruning pipeline "
+                            "(summarization, bucketing, pair memo)")
     batch.add_argument("--json", action="store_true",
                        help="machine-readable output")
     return parser
@@ -165,7 +171,8 @@ def _config_from(args) -> LaunchConfig:
         scalar_values=_parse_kv(args.set, "--set"),
         array_sizes=_parse_kv(args.array_size, "--array-size"),
         time_budget_seconds=args.time_budget,
-        incremental_solving=not args.no_incremental)
+        incremental_solving=not args.no_incremental,
+        pair_pruning=not args.no_pruning)
 
 
 def cmd_check(args) -> int:
@@ -255,6 +262,9 @@ def cmd_batch(args) -> int:
     if args.no_incremental:
         for spec in specs:
             spec.incremental_solving = False
+    if args.no_pruning:
+        for spec in specs:
+            spec.pair_pruning = False
     cache_dir = None if args.no_cache else args.cache_dir
     trace_path = args.trace
     if trace_path is None:

@@ -106,6 +106,18 @@ class AnalysisReport:
                 f"memo {cs.by_memo}, sessions {cs.sessions_created}, "
                 f"sat {cs.solver.by_sat} fresh + "
                 f"{cs.solver.by_session} incremental)")
+            pruned = (cs.dedup_skipped + cs.summarized_accesses +
+                      cs.bucketed_out + cs.pair_memo_hits + cs.oob_pruned)
+            if pruned:
+                lines.append(
+                    f"  pruning: dedup {cs.dedup_skipped}, summarized "
+                    f"{cs.summarized_accesses}, bucketed {cs.bucketed_out}, "
+                    f"pair-memo {cs.pair_memo_hits}, "
+                    f"oob-pruned {cs.oob_pruned}")
+            lines.append(
+                f"  phases: execute {cs.execute_seconds * 1e3:.1f} ms, "
+                f"pair-gen {cs.pairgen_seconds * 1e3:.1f} ms, "
+                f"solve {cs.solve_seconds * 1e3:.1f} ms")
         if self.races:
             for race in self.races:
                 lines.append(f"  RACE: {race.describe()}")

@@ -66,6 +66,9 @@ class JobSpec:
     #: solve race queries on incremental solver sessions (the default);
     #: False forces the one-shot path for differential runs
     incremental_solving: bool = True
+    #: pre-solver pruning pipeline (summarization, disjointness buckets,
+    #: pair memo); False forces raw enumeration for differential runs
+    pair_pruning: bool = True
     #: Table III kernels need the synthetic CSR graph attached
     needs_concrete_graph: bool = False
     #: free-form passthrough (suite/table tags, test fixtures, ...)
@@ -93,7 +96,8 @@ class JobSpec:
             scalar_values=dict(self.scalar_values),
             array_sizes=dict(self.array_sizes),
             time_budget_seconds=self.time_budget_seconds,
-            incremental_solving=self.incremental_solving)
+            incremental_solving=self.incremental_solving,
+            pair_pruning=self.pair_pruning)
         if self.max_loop_splits is not None:
             config.max_loop_splits = self.max_loop_splits
         if self.max_flows is not None:
@@ -133,6 +137,7 @@ class JobSpec:
             # point of the escape hatch is to verify exactly that — so
             # the two paths must not share cache entries
             "incremental_solving": self.incremental_solving,
+            "pair_pruning": self.pair_pruning,
         }
 
     def to_dict(self) -> dict:
@@ -161,6 +166,7 @@ class JobSpec:
             max_steps=data.get("max_steps"),
             time_budget_seconds=data.get("time_budget_seconds"),
             incremental_solving=data.get("incremental_solving", True),
+            pair_pruning=data.get("pair_pruning", True),
             needs_concrete_graph=data.get("needs_concrete_graph", False),
             meta=dict(data.get("meta") or {}))
 

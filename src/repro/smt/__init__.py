@@ -16,9 +16,11 @@ from .terms import (
 )
 from .subst import EvaluationError, Substitution, evaluate, substitute
 from .simplify import clear_simplify_cache, simplify
-from .interval import Interval, IntervalAnalysis, derive_bounds
+from .interval import Interval, IntervalAnalysis, byte_footprint, \
+    derive_bounds
 from .affine import (
     affine_decompose, equality_forces_equal_components, injective_on_box,
+    stride_separated,
 )
 from .solver import CheckResult, Model, Solver, SolverStats, get_model, is_sat
 from .session import QueryMemo, SolverSession
@@ -35,9 +37,9 @@ __all__ = [
     "mk_ule", "mk_ult", "mk_urem", "mk_var", "mk_zext",
     "EvaluationError", "Substitution", "evaluate", "substitute",
     "clear_simplify_cache", "simplify",
-    "Interval", "IntervalAnalysis", "derive_bounds",
+    "Interval", "IntervalAnalysis", "byte_footprint", "derive_bounds",
     "affine_decompose", "equality_forces_equal_components",
-    "injective_on_box",
+    "injective_on_box", "stride_separated",
     "CheckResult", "Model", "Solver", "SolverStats", "get_model", "is_sat",
     "QueryMemo", "SolverSession",
 ]

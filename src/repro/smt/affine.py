@@ -19,6 +19,7 @@ it cannot prove falls through to the solver.
 """
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Tuple
 
 from .interval import Interval
@@ -119,6 +120,33 @@ def injective_on_box(coefs: Dict[str, int],
             return False
         total_span += coef * hi
     return total_span < (1 << width)
+
+
+def stride_separated(form1: AffineForm, form2: AffineForm,
+                     width: int) -> bool:
+    """Can ``f1(t1) = f2(t2)`` *never* hold, by residue separation?
+
+    Every variable contribution on either side is a multiple of
+    ``g = gcd(all coefficients, 2**width)``, so ``f1(t1) - f2(t2)`` is
+    congruent to ``c1 - c2`` modulo ``g`` for *any* valuations of the
+    two (independent) variable sets. A nonzero residue therefore rules
+    out address equality outright — no bounds needed, and exact under
+    modular arithmetic because ``g`` divides the modulus.
+
+    Classic instance: two stride-4 accesses with bases 0 and 2 can
+    never touch the same word. Only ever answers "definitely disjoint";
+    False means "cannot tell".
+    """
+    coefs1, c1 = form1
+    coefs2, c2 = form2
+    g = 1 << width
+    for coef in coefs1.values():
+        g = math.gcd(g, coef)
+    for coef in coefs2.values():
+        g = math.gcd(g, coef)
+    if g <= 1:
+        return False
+    return (c1 - c2) % g != 0
 
 
 def equality_forces_equal_components(

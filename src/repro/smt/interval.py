@@ -61,6 +61,17 @@ class Interval:
         return self.lo <= value <= self.hi
 
 
+def byte_footprint(iv: Interval, size: int) -> Optional[Tuple[int, int]]:
+    """Closed byte range ``[lo, hi]`` touched by a ``size``-byte access
+    whose start offset lies in ``iv``, or None when the end could wrap
+    the bit width (a wrapped range is not an interval, so no sound
+    footprint exists)."""
+    hi = iv.hi + size - 1
+    if hi >= (1 << iv.width):
+        return None
+    return (iv.lo, hi)
+
+
 # Boolean abstract values: (can_be_true, can_be_false)
 BoolAbs = Tuple[bool, bool]
 B_TRUE: BoolAbs = (True, False)

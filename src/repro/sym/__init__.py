@@ -1,5 +1,5 @@
 """The parametric symbolic VM: executor, memory model, race checking."""
-from .access import Access, AccessKind, AccessSet
+from .access import Access, AccessKind, AccessSet, SummaryInfo, summarize_access_set
 from .config import LaunchConfig, SymbolicEnv
 from .executor import (
     BudgetExhausted, ExecutionError, ExecutionResult, Executor,
@@ -18,7 +18,8 @@ from .state import FlowState
 from .value import Pointer, SymValue, fit_width, width_of
 
 __all__ = [
-    "Access", "AccessKind", "AccessSet", "LaunchConfig", "SymbolicEnv",
+    "Access", "AccessKind", "AccessSet", "SummaryInfo",
+    "summarize_access_set", "LaunchConfig", "SymbolicEnv",
     "BudgetExhausted", "ExecutionError", "ExecutionResult", "Executor",
     "MemoryObject", "ObjectLog", "WriteRecord", "contains_havoc",
     "is_havoc_term", "make_havoc", "AssertionReport", "CheckStats", "OOBReport", "RaceChecker",

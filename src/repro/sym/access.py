@@ -4,6 +4,20 @@ Every shared/global memory operation executed by the parametric thread
 becomes an :class:`Access`: kind, object, symbolic byte offset, guard.
 At each barrier the scheduler unions the per-flow sets into the barrier
 interval's read/write sets and hands them to the race checker.
+
+Two record-time reductions keep those sets small on loop-unrolled
+kernels:
+
+* **content dedup** — an unrolled iteration whose address, guard and
+  stored value are all loop-invariant produces the *same* record every
+  iteration; only the first copy is kept (``dedup_skipped`` counts the
+  rest);
+* **affine-run summarization** (:func:`summarize_access_set`) — runs of
+  accesses from one instruction under one guard whose byte offsets form
+  an arithmetic progression collapse into a single access over a fresh
+  bounded index variable (``offset = base + k·stride``, ``k < n``),
+  so N unrolled iterations contribute one record to the O(n²) pair
+  enumeration instead of N.
 """
 from __future__ import annotations
 
@@ -12,10 +26,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..smt import TRUE, Term, mk_and
+from ..smt import TRUE, Term, mk_add, mk_and, mk_bv, mk_bv_var, mk_mul, \
+    mk_ult
+from ..smt.affine import affine_decompose
 from .memory import MemoryObject
 
 _access_counter = itertools.count()
+_summary_counter = itertools.count()
 
 
 class AccessKind(Enum):
@@ -26,6 +43,22 @@ class AccessKind(Enum):
 
     def is_write(self) -> bool:
         return self in (AccessKind.WRITE, AccessKind.ATOMIC)
+
+
+@dataclass(frozen=True)
+class SummaryInfo:
+    """Marks an :class:`Access` as the summary of an affine run.
+
+    ``index_var`` is the fresh bounded variable ``k`` in the summary's
+    offset ``base + k·stride`` and guard conjunct ``k < count``.  The
+    race checker instantiates ``k`` per thread side (``k!1``/``k!2``)
+    exactly like the thread-id variables, so one summarized record
+    still covers races *between* distinct unrolled iterations.
+    """
+
+    index_var: Term
+    count: int
+    stride: int
 
 
 @dataclass
@@ -42,6 +75,7 @@ class Access:
     instr_id: int                  # identity of the IR instruction
     loc: Optional[int] = None      # source line
     value: Optional[Term] = None   # stored value (writes)
+    summary: Optional[SummaryInfo] = None
     uid: int = field(default_factory=lambda: next(_access_counter))
 
     def describe(self) -> str:
@@ -50,8 +84,11 @@ class Access:
                 f"[{self.offset!r}] @{where} if {self.cond!r}")
 
     def dedupe_key(self) -> tuple:
+        # terms are interned, so id() is structural identity; the stored
+        # value participates because benign-WW classification depends
+        # on it — two writes of different values are NOT duplicates
         return (self.kind, id(self.obj), id(self.offset), self.size,
-                id(self.cond), self.instr_id)
+                id(self.cond), self.instr_id, id(self.value))
 
 
 class AccessSet:
@@ -60,17 +97,30 @@ class AccessSet:
     def __init__(self) -> None:
         self.accesses: List[Access] = []
         self._seen: set = set()
+        self._seen_content: set = set()
+        #: loop-invariant re-records dropped by content dedup
+        self.dedup_skipped: int = 0
 
     def add(self, access: Access) -> None:
         # dedupe by identity: flow splits hand children the parent's
         # Access objects, which must union back to one copy at the
-        # barrier; distinct loop iterations are distinct accesses
+        # barrier (not counted as a skip)
         if access.uid in self._seen:
             return
         self._seen.add(access.uid)
+        # content dedup: a loop-invariant address/guard/value re-recorded
+        # by every unrolled iteration is one access, not N
+        key = access.dedupe_key()
+        if key in self._seen_content:
+            self.dedup_skipped += 1
+            return
+        self._seen_content.add(key)
         self.accesses.append(access)
 
     def extend(self, other: "AccessSet") -> None:
+        # union of the accesses only — counters stay with their owner
+        # (flows share Access objects across splits; absorbing counters
+        # here would double-count them at the barrier union)
         for access in other.accesses:
             self.add(access)
 
@@ -91,3 +141,95 @@ class AccessSet:
 
     def __iter__(self):
         return iter(self.accesses)
+
+
+def _group_key(access: Access) -> tuple:
+    # everything that must agree for members to collapse into one
+    # summary; value identity is included so benign-WW classification
+    # (which compares stored values) survives summarization
+    return (access.kind, id(access.obj), access.size, id(access.cond),
+            access.instr_id, id(access.value), access.flow_id)
+
+
+def _affine_progression(accesses: List[Access], width: int):
+    """Offsets as ``base + i·stride``? Return (base_access, stride)."""
+    decomps = []
+    for access in accesses:
+        decomp = affine_decompose(access.offset)
+        if decomp is None:
+            return None
+        decomps.append(decomp)
+    coefs0 = decomps[0][0]
+    if any(coefs != coefs0 for coefs, _ in decomps[1:]):
+        return None
+    order = sorted(range(len(accesses)), key=lambda i: decomps[i][1])
+    consts = [decomps[i][1] for i in order]
+    stride = consts[1] - consts[0]
+    if stride <= 0:
+        return None
+    if any(consts[i + 1] - consts[i] != stride
+           for i in range(1, len(consts) - 1)):
+        return None
+    # the progression must not wrap the bit width, or k·stride in the
+    # rebuilt offset would alias iterations mod 2^width
+    if consts[0] + stride * (len(consts) - 1) >= (1 << width):
+        return None
+    return accesses[order[0]], stride
+
+
+def summarize_access_set(access_set: "AccessSet") -> Tuple["AccessSet", int]:
+    """Collapse affine runs of accesses into single summary records.
+
+    Accesses from one instruction under one guard whose byte offsets
+    form an arithmetic progression (identical affine coefficient maps,
+    constants with a uniform positive gap) are replaced by one
+    :class:`Access` over a fresh bounded index variable::
+
+        offset = base_offset + k * stride      (k fresh, k < count)
+
+    with ``k < count`` conjoined into the guard so the race checker's
+    per-thread instantiation also makes ``k`` per-side.  Returns the
+    (possibly new) set and the number of original records collapsed
+    away (0 means the set is returned unchanged).
+    """
+    groups: Dict[tuple, List[Access]] = {}
+    for access in access_set:
+        groups.setdefault(_group_key(access), []).append(access)
+    if all(len(g) < 2 for g in groups.values()):
+        return access_set, 0
+
+    collapsed = 0
+    failed: set = set()
+    out = AccessSet()
+    out.dedup_skipped = access_set.dedup_skipped
+    for access in access_set:
+        key = _group_key(access)
+        group = groups[key]
+        if len(group) < 2:
+            out.add(access)
+            continue
+        # the first member of a group drives the summarization attempt;
+        # later members were either consumed by it or, if the attempt
+        # failed, are kept individually
+        if access is not group[0]:
+            if key in failed:
+                out.add(access)
+            continue
+        width = access.offset.width
+        prog = _affine_progression(group, width)
+        if prog is None:
+            failed.add(key)
+            out.add(access)
+            continue
+        base, stride = prog
+        count = len(group)
+        k = mk_bv_var(f"__sum_k{next(_summary_counter)}", width)
+        offset = mk_add(base.offset, mk_mul(k, mk_bv(stride, width)))
+        cond = mk_and(base.cond, mk_ult(k, mk_bv(count, width)))
+        out.add(Access(
+            kind=base.kind, obj=base.obj, offset=offset, size=base.size,
+            cond=cond, flow_id=base.flow_id, bi_index=base.bi_index,
+            instr_id=base.instr_id, loc=base.loc, value=base.value,
+            summary=SummaryInfo(index_var=k, count=count, stride=stride)))
+        collapsed += count - 1
+    return out, collapsed

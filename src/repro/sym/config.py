@@ -64,6 +64,11 @@ class LaunchConfig:
     #: assumption literals, cross-query memo). The one-shot escape hatch
     #: (``--no-incremental``) exists for differential testing.
     incremental_solving: bool = True
+    #: pre-solver pruning pipeline: record-time access summarization,
+    #: disjointness-bucketed pair generation, canonical pair memoization
+    #: and the interval OOB fast path. The escape hatch
+    #: (``--no-pruning``) exists for differential testing.
+    pair_pruning: bool = True
 
     def __post_init__(self) -> None:
         self.grid_dim = _dim3(self.grid_dim)

@@ -33,7 +33,7 @@ from ..smt import (
 from ..smt.terms import (
     mk_add, mk_mul, mk_sge, mk_sgt, mk_uge, mk_ugt, mk_uf,
 )
-from .access import Access, AccessKind, AccessSet
+from .access import Access, AccessKind, AccessSet, summarize_access_set
 from .config import LaunchConfig, SymbolicEnv
 from .memory import MemoryObject, ObjectLog, WriteRecord, make_havoc
 from .state import FlowState
@@ -64,6 +64,11 @@ class ExecutionResult:
     num_barriers: int = 0
     steps: int = 0
     timed_out: bool = False
+    elapsed_seconds: float = 0.0
+    #: loop-invariant duplicate records dropped at AccessSet.add time
+    dedup_skipped: int = 0
+    #: raw records collapsed away by affine-run summarization
+    summarized_accesses: int = 0
     warnings: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
     final_flow_conds: List[Term] = field(default_factory=list)
@@ -212,6 +217,7 @@ class Executor:
     # ------------------------------------------------------------------
 
     def run(self) -> ExecutionResult:
+        started = time.perf_counter()
         self._deadline = None
         if self.config.time_budget_seconds is not None:
             self._deadline = time.monotonic() + \
@@ -261,12 +267,20 @@ class Executor:
             for w in f.warnings:
                 if w not in self.result.warnings:
                     self.result.warnings.append(w)
+        self.result.elapsed_seconds = time.perf_counter() - started
         return self.result
 
     def _close_barrier_interval(self, flows: List[FlowState]) -> None:
         union = AccessSet()
         for f in flows:
             union.extend(f.bi_accesses)
+            # zero after absorbing: finished flows stay in the list and
+            # are re-visited by later barrier closes
+            self.result.dedup_skipped += f.bi_accesses.dedup_skipped
+            f.bi_accesses.dedup_skipped = 0
+        if self.config.pair_pruning:
+            union, collapsed = summarize_access_set(union)
+            self.result.summarized_accesses += collapsed
         self.result.bi_access_sets.append(union)
         self.result.num_barriers += 1
         at_barrier = [f for f in flows if f.at_barrier]

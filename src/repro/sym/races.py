@@ -29,13 +29,19 @@ from ..smt import (
     mk_bv_var, mk_eq, mk_ne, mk_not, mk_or, mk_udiv, mk_ule, mk_ult,
     simplify,
 )
-from ..smt.affine import affine_decompose, equality_forces_equal_components
-from ..smt.interval import Interval
+from ..smt.affine import (
+    AffineForm, affine_decompose, equality_forces_equal_components,
+    stride_separated,
+)
+from ..smt.interval import Interval, IntervalAnalysis, byte_footprint
 from ..smt.terms import mk_add, mk_mul, mk_uge
 from .access import Access, AccessKind, AccessSet
 from .config import LaunchConfig, SymbolicEnv
 from .executor import ExecutionResult
 from .memory import MemoryObject, contains_havoc
+
+#: cache-miss sentinel (None is a legitimate cached value)
+_MISS = object()
 
 
 @dataclass
@@ -127,6 +133,16 @@ class CheckStats:
     preamble_reuse: int = 0   # queries served by an existing session
     div_cache_hits: int = 0   # cached divergence (guard-pair) checks
     sessions_created: int = 0
+    # -- pre-solver pruning pipeline ----------------------------------
+    dedup_skipped: int = 0        # loop-invariant duplicates dropped
+    summarized_accesses: int = 0  # records collapsed into summaries
+    bucketed_out: int = 0         # pairs pruned by address disjointness
+    pair_memo_hits: int = 0       # isomorphic pairs replayed, not solved
+    oob_pruned: int = 0           # OOB queries skipped: provably in-bounds
+    # -- per-phase wall clock (seconds) -------------------------------
+    execute_seconds: float = 0.0
+    pairgen_seconds: float = 0.0
+    solve_seconds: float = 0.0
     #: per-query solver dispatch counters, merged across all queries
     solver: SolverStats = field(default_factory=SolverStats)
 
@@ -138,7 +154,8 @@ class RaceChecker:
                  solver_budget: Optional[int] = 200_000,
                  max_reports: int = 16,
                  extra_assumptions: Optional[List[Term]] = None,
-                 incremental: Optional[bool] = None) -> None:
+                 incremental: Optional[bool] = None,
+                 pruning: Optional[bool] = None) -> None:
         self.result = result
         self.config = result.config
         self.env = result.env
@@ -147,12 +164,29 @@ class RaceChecker:
         self.extra_assumptions: List[Term] = list(extra_assumptions or ())
         self.incremental = self.config.incremental_solving \
             if incremental is None else incremental
+        self.pruning = self.config.pair_pruning \
+            if pruning is None else pruning
         self.stats = CheckStats()
+        self.stats.dedup_skipped = result.dedup_skipped
+        self.stats.summarized_accesses = result.summarized_accesses
+        self.stats.execute_seconds = result.elapsed_seconds
         self.timed_out = False
         self._deadline: Optional[float] = None
         self.races: List[RaceReport] = []
         self.oobs: List[OOBReport] = []
         self.assertion_failures: List[AssertionReport] = []
+        # summary index variables are instantiated per thread side like
+        # the thread coordinates (their k < count bounds live in the
+        # access guards, so the preambles stay summary-free)
+        self._summary_bounds: Dict[str, Interval] = {}
+        self._summary_vars: Dict[str, Term] = {}
+        for bi_set in result.bi_access_sets:
+            for access in bi_set:
+                if access.summary is not None:
+                    k = access.summary.index_var
+                    self._summary_vars[k.name] = k
+                    self._summary_bounds[k.name] = Interval(
+                        0, access.summary.count - 1, k.width)
         # two instantiations of the parametric thread
         self._theta1, self._vars1 = self._instantiation("!1")
         self._theta2, self._vars2 = self._instantiation("!2")
@@ -167,6 +201,13 @@ class RaceChecker:
         self._sessions: Dict[Tuple[int, ...], SolverSession] = {}
         self._memo = QueryMemo()
         self._div_cache: Dict[int, bool] = {}
+        # pruning machinery: interval analysis over the *uninstantiated*
+        # offsets (both thread sides share the same bounds), per-offset
+        # footprint/affine caches, and the canonical pair memo
+        self._ia = IntervalAnalysis(self._pruning_bounds())
+        self._foot_cache: Dict[Tuple[int, int], Optional[tuple]] = {}
+        self._affine_cache: Dict[int, Optional[AffineForm]] = {}
+        self._pair_memo: Dict[tuple, Optional[tuple]] = {}
 
     # ------------------------------------------------------------------
 
@@ -184,7 +225,26 @@ class RaceChecker:
             extent = self.config.block_dim[i] if name.startswith("tid") \
                 else self.config.grid_dim[i]
             bounds.append(mk_ult(fresh, mk_bv(extent, 32)))
+        # summary index variables get per-side copies too (each thread
+        # may be at a different unrolled iteration); their bounds are
+        # carried by the access guards, not the preamble
+        for name in sorted(self._summary_vars):
+            var = self._summary_vars[name]
+            fresh = mk_bv_var(f"{name}{suffix}", var.width)
+            theta[var] = fresh
+            new_vars[name] = fresh
         return (theta, bounds), new_vars
+
+    def _pruning_bounds(self) -> Dict[str, Interval]:
+        """Variable bounds for the pre-instantiation interval analysis."""
+        bounds: Dict[str, Interval] = dict(self._summary_bounds)
+        for name in self.env.thread_vars():
+            axis = name.split(".")[1]
+            i = {"x": 0, "y": 1, "z": 2}[axis]
+            extent = self.config.block_dim[i] if name.startswith("tid") \
+                else self.config.grid_dim[i]
+            bounds[name] = Interval(0, max(0, extent - 1), 32)
+        return bounds
 
     def _inst(self, term: Term, which: int) -> Term:
         subst = self._subst1 if which == 1 else self._subst2
@@ -258,9 +318,11 @@ class RaceChecker:
             self._deadline = time.monotonic() + \
                 self.config.time_budget_seconds
         self._check_races()
+        t0 = time.perf_counter()
         if self.config.check_oob and not self.timed_out:
             self._check_oob()
         self._check_assertions()
+        self.stats.solve_seconds += time.perf_counter() - t0
         return self
 
     def _check_assertions(self) -> None:
@@ -288,30 +350,39 @@ class RaceChecker:
         return False
 
     def _check_races(self) -> None:
-        shared_pairs, global_pairs = self._candidate_pairs()
-        for a1, a2, same_bi in itertools.chain(shared_pairs, global_pairs):
+        # pair generation is lazy: early exit (reports full / time up)
+        # stops generation itself, not just checking. The two phases'
+        # wall clocks are attributed separately for the ablation bench.
+        pairs = self._iter_candidate_pairs()
+        while True:
+            t0 = time.perf_counter()
+            item = next(pairs, None)
+            self.stats.pairgen_seconds += time.perf_counter() - t0
+            if item is None:
+                return
             if len(self.races) >= self.max_reports or self._out_of_time():
                 return
-            self._check_pair(a1, a2, same_bi)
+            t0 = time.perf_counter()
+            self._check_pair(*item)
+            self.stats.solve_seconds += time.perf_counter() - t0
 
-    def _candidate_pairs(self):
-        """Pairs worth solving. Shared memory: same barrier interval only
-        (barriers order across intervals). Global memory: same interval for
-        same-block pairs, any interval pair for cross-block pairs."""
-        shared: List[Tuple[Access, Access, bool]] = []
-        global_: List[Tuple[Access, Access, bool]] = []
-        for bi_set in self.result.bi_access_sets:
-            by_obj = bi_set.by_object()
+    def _iter_candidate_pairs(self):
+        """Lazily yield (a1, a2, same_bi) pairs worth solving.
+
+        Shared memory: same barrier interval only (barriers order across
+        intervals). Global memory: same interval for same-block pairs,
+        any interval pair for cross-block pairs. With pruning on,
+        same-interval enumeration is bucket-local (accesses partitioned
+        by provably disjoint address footprints) and residue-separated
+        pairs are dropped; both prunes count into ``bucketed_out``.
+        """
+        maps = [s.by_object() for s in self.result.bi_access_sets]
+        for by_obj in maps:
             for obj, accesses in by_obj.items():
-                for a1, a2 in self._write_pairs(accesses):
-                    if obj.space == ir.MemSpace.SHARED:
-                        shared.append((a1, a2, True))
-                    else:
-                        global_.append((a1, a2, True))
-        # cross-interval global pairs (only meaningful across blocks);
-        # compute each interval's per-object map once, not O(n^2) times
+                yield from ((a1, a2, True)
+                            for a1, a2 in self._bucketed_pairs(accesses))
+        # cross-interval global pairs (only meaningful across blocks)
         if self.config.num_blocks > 1:
-            maps = [s.by_object() for s in self.result.bi_access_sets]
             for i, by1 in enumerate(maps):
                 for by2 in maps[i + 1:]:
                     for obj in by1:
@@ -319,9 +390,14 @@ class RaceChecker:
                             continue
                         for a1 in by1[obj]:
                             for a2 in by2[obj]:
-                                if a1.kind.is_write() or a2.kind.is_write():
-                                    global_.append((a1, a2, False))
-        return shared, global_
+                                if not (a1.kind.is_write()
+                                        or a2.kind.is_write()):
+                                    continue
+                                if self.pruning and \
+                                        self._provably_disjoint(a1, a2):
+                                    self.stats.bucketed_out += 1
+                                    continue
+                                yield a1, a2, False
 
     @staticmethod
     def _write_pairs(accesses: Sequence[Access]):
@@ -337,6 +413,99 @@ class RaceChecker:
                 # but CAN for two threads (same instruction, two tids) —
                 # except both-read, filtered above
                 yield a1, a2
+
+    @staticmethod
+    def _eligible_pair_count(accesses: Sequence[Access]) -> int:
+        """How many pairs `_write_pairs` would yield, in O(1)."""
+        n = len(accesses)
+        n_r = sum(1 for a in accesses if a.kind == AccessKind.READ)
+        n_a = sum(1 for a in accesses if a.kind == AccessKind.ATOMIC)
+        return (n * (n + 1) - n_r * (n_r + 1) - n_a * (n_a + 1)) // 2
+
+    def _bucketed_pairs(self, accesses: Sequence[Access]):
+        """Same-interval pairs, restricted to disjointness buckets."""
+        if not self.pruning or len(accesses) < 2:
+            yield from self._write_pairs(accesses)
+            return
+        buckets = self._footprint_buckets(accesses)
+        if len(buckets) > 1:
+            self.stats.bucketed_out += \
+                self._eligible_pair_count(accesses) - \
+                sum(self._eligible_pair_count(b) for b in buckets)
+        for bucket in buckets:
+            for a1, a2 in self._write_pairs(bucket):
+                if a1 is not a2 and self._stride_separated_pair(a1, a2):
+                    self.stats.bucketed_out += 1
+                    continue
+                yield a1, a2
+
+    def _footprint_buckets(self, accesses: Sequence[Access]
+                           ) -> List[List[Access]]:
+        """Partition accesses into maximal groups whose byte footprints
+        are pairwise disjoint *across* groups (classic interval sweep).
+        An access whose footprint is unknown overlaps everything."""
+        mask = (1 << 32) - 1
+        items = sorted(
+            ((self._footprint(a) or (0, mask)), pos, a)
+            for pos, a in enumerate(accesses))
+        buckets: List[List[Tuple[int, Access]]] = []
+        cur: List[Tuple[int, Access]] = []
+        cur_hi = -1
+        for (lo, hi), pos, access in items:
+            if cur and lo > cur_hi:
+                buckets.append(cur)
+                cur = []
+            cur.append((pos, access))
+            cur_hi = max(cur_hi, hi)
+        if cur:
+            buckets.append(cur)
+        # restore recording order inside each bucket so pair enumeration
+        # (and hence report order) is independent of the partitioning
+        return [[a for _, a in sorted(b)] for b in buckets]
+
+    def _footprint(self, access: Access) -> Optional[Tuple[int, int]]:
+        """Sound byte range [lo, hi] the access can touch, or None.
+
+        Computed on the uninstantiated offset: both thread sides share
+        the same variable bounds, so the range covers either side. The
+        summary-variable bounds used here are guaranteed by the k<count
+        conjunct every summary carries in its guard."""
+        key = (id(access.offset), access.size)
+        hit = self._foot_cache.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        foot = byte_footprint(self._ia.interval_of(access.offset),
+                              access.size)
+        self._foot_cache[key] = foot
+        return foot
+
+    def _affine_of(self, offset: Term) -> Optional[AffineForm]:
+        form = self._affine_cache.get(id(offset), _MISS)
+        if form is _MISS:
+            form = affine_decompose(offset)
+            self._affine_cache[id(offset)] = form
+        return form
+
+    def _stride_separated_pair(self, a1: Access, a2: Access) -> bool:
+        """Residue separation: same-size accesses whose affine offsets
+        differ by a non-multiple of the common coefficient gcd can never
+        touch the same address (sound for independent thread sides)."""
+        if a1.size != a2.size:
+            return False
+        d1 = self._affine_of(a1.offset)
+        d2 = self._affine_of(a2.offset)
+        if d1 is None or d2 is None:
+            return False
+        return stride_separated(d1, d2, 32)
+
+    def _provably_disjoint(self, a1: Access, a2: Access) -> bool:
+        """Pairwise disjointness for cross-interval pairs."""
+        f1 = self._footprint(a1)
+        f2 = self._footprint(a2)
+        if f1 is not None and f2 is not None and \
+                (f1[1] < f2[0] or f2[1] < f1[0]):
+            return True
+        return self._stride_separated_pair(a1, a2)
 
     # ------------------------------------------------------------------
 
@@ -380,6 +549,13 @@ class RaceChecker:
             v1 = self._vars1[name].name
             v2 = self._vars2[name].name
             pairing[v1] = v2
+            summary_bound = self._summary_bounds.get(name)
+            if summary_bound is not None:
+                # summary index variable: bounded by the k<count guard
+                # conjunct, which is part of the query conjunction
+                var_bounds[v1] = summary_bound
+                var_bounds[v2] = summary_bound
+                continue
             axis = name.split(".")[1]
             i = {"x": 0, "y": 1, "z": 2}[axis]
             extent = self.config.block_dim[i] if name.startswith("tid")                 else self.config.grid_dim[i]
@@ -394,12 +570,38 @@ class RaceChecker:
         return equality_forces_equal_components(
             addr1, addr2, var_bounds, pairing, width=32)
 
+    def _pair_key(self, a1: Access, a2: Access, same_bi: bool) -> tuple:
+        """Canonical class of a pair: two pairs with the same key pose
+        the *identical* solver problem (offsets, guards and values are
+        interned terms; the preamble depends only on the memory space;
+        warp-aware solving additionally depends on whether both sides
+        are the same instruction). The key is ordered — replaying a
+        model onto a swapped pair is unsound under asymmetric
+        assumptions (GKLEE's thread pins), so no swap lookup."""
+        def cls(a: Access) -> tuple:
+            return (a.kind, id(a.offset), id(a.cond), a.size, id(a.value))
+        return (cls(a1), cls(a2), same_bi, a1.obj.space,
+                a1.instr_id == a2.instr_id)
+
     def _check_pair(self, a1: Access, a2: Access, same_bi: bool) -> None:
         self.stats.pairs_considered += 1
         obj = a1.obj
+        memo_key = None
+        if self.pruning:
+            memo_key = self._pair_key(a1, a2, same_bi)
+            hit = self._pair_memo.get(memo_key, _MISS)
+            if hit is not _MISS:
+                self.stats.pair_memo_hits += 1
+                if hit is not None:
+                    values, benign = hit
+                    self._emit_race(a1, a2, Model(dict(values)), benign)
+                return
         if self._affine_no_overlap(a1, a2, obj):
             self.stats.by_affine += 1
+            if memo_key is not None:
+                self._pair_memo[memo_key] = None
             return
+        was_timed_out = self.timed_out
         preamble = self._race_preamble(obj)
         goal = [
             self._inst(a1.cond, 1),
@@ -410,14 +612,22 @@ class RaceChecker:
             # cross-interval global pair: only unordered across blocks
             goal.append(mk_not(self._same_block()))
         if mk_and(*preamble, *goal) is FALSE:
+            if memo_key is not None:
+                self._pair_memo[memo_key] = None
             return
         if self.config.warp_lockstep and self.config.warp_size > 1:
             model = self._solve_warp_aware(a1, a2, preamble, goal)
         else:
             model = self._solve(goal, preamble)
         if model is None:
+            # a verdict cut short by the budget must not be replayed
+            if memo_key is not None and self.timed_out == was_timed_out:
+                self._pair_memo[memo_key] = None
             return
-        self._report_race(a1, a2, model, preamble, goal)
+        benign = self._classify_benign(a1, a2, preamble, goal)
+        if memo_key is not None and self.timed_out == was_timed_out:
+            self._pair_memo[memo_key] = (dict(model.values), benign)
+        self._emit_race(a1, a2, model, benign)
 
     def _solve(self, goal: Sequence[Term],
                preamble: Sequence[Term]) -> Optional[Model]:
@@ -512,8 +722,21 @@ class RaceChecker:
         self._div_cache[key] = reachable
         return reachable
 
-    def _report_race(self, a1: Access, a2: Access, model: Model,
-                     preamble: List[Term], goal: List[Term]) -> None:
+    def _classify_benign(self, a1: Access, a2: Access,
+                         preamble: List[Term], goal: List[Term]) -> bool:
+        """W/W race where the colliding writes provably store the same
+        value (paper's "W/W (Benign)")."""
+        if not (a1.kind.is_write() and a2.kind.is_write()
+                and a1.value is not None and a2.value is not None):
+            return False
+        if contains_havoc(a1.value) or contains_havoc(a2.value):
+            return False
+        distinct = mk_ne(self._inst(a1.value, 1),
+                         self._inst(a2.value, 2))
+        return self._solve(goal + [distinct], preamble) is None
+
+    def _emit_race(self, a1: Access, a2: Access, model: Model,
+                   benign: bool) -> None:
         # canonical kind: WW for write/write, RW for mixed; atomics noted
         if a1.kind.is_write() and a2.kind.is_write():
             kind = "WW"
@@ -521,15 +744,6 @@ class RaceChecker:
             kind = "RW"
         if AccessKind.ATOMIC in (a1.kind, a2.kind):
             kind = f"Atomic/{kind[0]}" if kind == "WW" else "Atomic/R"
-        benign = False
-        if a1.kind.is_write() and a2.kind.is_write() \
-                and a1.value is not None and a2.value is not None:
-            distinct = mk_ne(self._inst(a1.value, 1),
-                             self._inst(a2.value, 2))
-            if contains_havoc(a1.value) or contains_havoc(a2.value):
-                benign = False
-            elif self._solve(goal + [distinct], preamble) is None:
-                benign = True
         unresolvable = any(contains_havoc(t) for t in
                            (a1.cond, a2.cond, a1.offset, a2.offset))
         report = RaceReport(
@@ -558,6 +772,14 @@ class RaceChecker:
             if key in seen:
                 continue
             seen.add(key)
+            # interval fast path: when the whole footprint provably fits
+            # inside the object (thread bounds from the preamble, summary
+            # bounds from the guard), the query has no model — skip it
+            if self.pruning and obj.size_bytes >= access.size:
+                iv = self._ia.interval_of(access.offset)
+                if iv.hi <= obj.size_bytes - access.size:
+                    self.stats.oob_pruned += 1
+                    continue
             addr = self._inst(access.offset, 1)
             limit = mk_bv(obj.size_bytes - access.size, 32) \
                 if obj.size_bytes >= access.size else mk_bv(0, 32)

@@ -59,6 +59,11 @@ class FlowState:
         """Fork into two flows refining the flow condition (paper Fig. 4)."""
         left = FlowState(mk_and(self.flow_cond, cond_true), parent=self)
         right = FlowState(mk_and(self.flow_cond, cond_false), parent=self)
+        # move (don't copy) the dedup counter to one child so the skips
+        # this lineage accumulated are counted exactly once at the
+        # barrier union
+        left.bi_accesses.dedup_skipped = self.bi_accesses.dedup_skipped
+        self.bi_accesses.dedup_skipped = 0
         left.split_depth = self.split_depth + 1
         right.split_depth = self.split_depth + 1
         left.block = right.block = self.block

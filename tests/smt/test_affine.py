@@ -9,6 +9,7 @@ from repro.smt import (
 )
 from repro.smt.affine import (
     affine_decompose, equality_forces_equal_components, injective_on_box,
+    stride_separated,
 )
 from repro.smt.interval import Interval
 
@@ -67,6 +68,139 @@ class TestDecompose:
         coefs, const = affine_decompose(t)
         assert coefs == {"tid.x!1": 8, "bid.x!1": 4096}
         assert const == 21504 * 8
+
+
+class TestDecomposeEdgeCases:
+    def test_negative_coefficient_is_modular(self):
+        # 100 - 3*tid: the coefficient lands at -3 mod 2^32
+        t = mk_sub(mk_bv(100, 32), mk_mul(tid(), mk_bv(3, 32)))
+        coefs, const = affine_decompose(t)
+        assert const == 100
+        assert coefs["tid.x!1"] == (1 << 32) - 3
+
+    def test_double_negation_cancels(self):
+        t = mk_neg(mk_neg(tid()))
+        coefs, const = affine_decompose(t)
+        assert coefs == {"tid.x!1": 1} and const == 0
+
+    def test_constant_wraparound_at_bit_width(self):
+        # (2^32 - 4) + 8 wraps to 4
+        t = mk_add(mk_bv((1 << 32) - 4, 32), mk_bv(8, 32))
+        form = affine_decompose(t)
+        assert form is not None
+        assert form[1] == 4
+
+    def test_coefficient_wraparound_at_bit_width(self):
+        # tid * 2^31 * 2 == tid * 0 mod 2^32: the coefficient vanishes
+        t = mk_mul(mk_mul(tid(), mk_bv(1 << 31, 32)), mk_bv(2, 32))
+        form = affine_decompose(t)
+        assert form is not None
+        coefs, const = form
+        assert coefs == {} and const == 0
+
+    def test_narrow_width_wraparound(self):
+        # 8-bit arithmetic: 200 + 100 wraps to 44
+        v = mk_bv_var("v", 8)
+        t = mk_add(mk_add(v, mk_bv(200, 8)), mk_bv(100, 8))
+        coefs, const = affine_decompose(t)
+        assert coefs == {"v": 1}
+        assert const == (200 + 100) % 256
+
+    def test_max_nodes_budget_returns_none(self):
+        # a deep affine chain that blows a tiny node budget must fall
+        # back to "not affine" (None), never a wrong decomposition
+        t = tid()
+        for i in range(50):
+            t = mk_add(t, mk_bv_var(f"v{i}", 32))
+        assert affine_decompose(t, max_nodes=10) is None
+        assert affine_decompose(t) is not None
+
+    def test_shl_by_width_or_more_rejected(self):
+        t = mk_shl(tid(), mk_bv(32, 32))
+        assert affine_decompose(t) is None
+
+
+class TestInjectivityBoundaryStrides:
+    def bounds(self, **kw):
+        return {name: Interval(0, hi, 32) for name, hi in kw.items()}
+
+    def test_coefficient_exactly_spanning_is_injective(self):
+        # b's coefficient 512 must EXCEED t's span 511: boundary holds
+        assert injective_on_box(
+            {"t": 1, "b": 512}, self.bounds(t=511, b=7), 32)
+
+    def test_coefficient_equal_to_span_plus_one_not_enough(self):
+        # t spans 0..511 (coef 1), so coef 511 for b collides
+        # (t=511,b=0) with (t=0,b=1)
+        assert not injective_on_box(
+            {"t": 1, "b": 511}, self.bounds(t=511, b=7), 32)
+
+    def test_span_reaching_modulus_boundary(self):
+        # max value exactly 2^32 - 1 is still wrap-free
+        assert injective_on_box(
+            {"t": 1, "b": 1 << 16}, self.bounds(t=(1 << 16) - 1,
+                                                b=(1 << 16) - 1), 32)
+        # one more bumps past the modulus: rejected
+        assert not injective_on_box(
+            {"t": 1, "b": 1 << 16}, self.bounds(t=(1 << 16) - 1,
+                                                b=1 << 16), 32)
+
+    def test_nonzero_lower_bound_rejected(self):
+        assert not injective_on_box(
+            {"t": 4}, {"t": Interval(1, 63, 32)}, 32)
+
+    def test_empty_coefs_rejected(self):
+        assert not injective_on_box({}, {}, 32)
+
+
+class TestStrideSeparation:
+    def test_offset_within_stride_separates(self):
+        # tid*4 vs tid*4 + 2: different words of different parity
+        f1 = affine_decompose(mk_mul(tid(1), mk_bv(4, 32)))
+        f2 = affine_decompose(
+            mk_add(mk_mul(tid(2), mk_bv(4, 32)), mk_bv(2, 32)))
+        assert stride_separated(f1, f2, 32)
+
+    def test_stride_multiple_does_not_separate(self):
+        # tid*4 vs tid*4 + 8 CAN collide (t1 = t2 + 2)
+        f1 = affine_decompose(mk_mul(tid(1), mk_bv(4, 32)))
+        f2 = affine_decompose(
+            mk_add(mk_mul(tid(2), mk_bv(4, 32)), mk_bv(8, 32)))
+        assert not stride_separated(f1, f2, 32)
+
+    def test_mixed_coefficient_gcd(self):
+        # gcd(4, 6, 2^32) = 2: odd difference separates, even does not
+        f1 = affine_decompose(mk_mul(tid(1), mk_bv(4, 32)))
+        f2 = affine_decompose(
+            mk_add(mk_mul(tid(2), mk_bv(6, 32)), mk_bv(3, 32)))
+        assert stride_separated(f1, f2, 32)
+        f3 = affine_decompose(
+            mk_add(mk_mul(tid(2), mk_bv(6, 32)), mk_bv(2, 32)))
+        assert not stride_separated(f1, f3, 32)
+
+    def test_unit_coefficient_never_separates(self):
+        f1 = affine_decompose(tid(1))
+        f2 = affine_decompose(mk_add(tid(2), mk_bv(1, 32)))
+        assert not stride_separated(f1, f2, 32)
+
+    def test_constant_only_forms(self):
+        # pure constants: g = 2^32, separation is plain inequality
+        f1 = affine_decompose(mk_bv(0, 32))
+        f2 = affine_decompose(mk_bv(4, 32))
+        assert stride_separated(f1, f2, 32)
+        assert not stride_separated(f1, f1, 32)
+
+    @settings(max_examples=150, deadline=None)
+    @given(s1=st.sampled_from([1, 2, 4, 8, 12]),
+           s2=st.sampled_from([1, 2, 4, 8, 12]),
+           c1=st.integers(0, 64), c2=st.integers(0, 64),
+           t1=st.integers(0, 1023), t2=st.integers(0, 1023))
+    def test_separation_soundness(self, s1, s2, c1, c2, t1, t2):
+        """A separated pair never collides on concrete thread ids."""
+        f1 = ({"t1": s1}, c1)
+        f2 = ({"t2": s2}, c2)
+        if stride_separated(f1, f2, 32):
+            assert (s1 * t1 + c1) % 2**32 != (s2 * t2 + c2) % 2**32
 
 
 @settings(max_examples=150, deadline=None)

@@ -9,7 +9,7 @@ from repro.smt import (
     mk_bv, mk_bv_var, mk_bvand, mk_eq, mk_lshr, mk_mul, mk_ne, mk_not,
     mk_shl, mk_ult, mk_urem,
 )
-from repro.smt.interval import B_FALSE, B_TOP, B_TRUE
+from repro.smt.interval import B_FALSE, B_TOP, B_TRUE, byte_footprint
 
 
 def var(name="x"):
@@ -130,3 +130,20 @@ def test_bounded_var_soundness(x, bound):
     value = evaluate(t, {"x": x})
     iv = analysis.interval_of(t)
     assert iv.lo <= value <= iv.hi
+
+
+class TestByteFootprint:
+    def test_word_access(self):
+        assert byte_footprint(Interval(0, 1020, 32), 4) == (0, 1023)
+
+    def test_single_byte(self):
+        assert byte_footprint(Interval(8, 8, 32), 1) == (8, 8)
+
+    def test_wrapping_end_has_no_footprint(self):
+        top = Interval.top(32)
+        assert byte_footprint(top, 1) == (0, 2**32 - 1)
+        assert byte_footprint(top, 2) is None
+
+    def test_narrow_width(self):
+        assert byte_footprint(Interval(250, 254, 8), 2) == (250, 255)
+        assert byte_footprint(Interval(250, 254, 8), 3) is None

@@ -2,8 +2,10 @@
 import pytest
 
 from repro import ir
-from repro.smt import TRUE, mk_bv, mk_bv_var
-from repro.sym import Access, AccessKind, AccessSet, MemoryObject
+from repro.smt import TRUE, evaluate, mk_add, mk_bv, mk_bv_var, mk_mul
+from repro.sym import (
+    Access, AccessKind, AccessSet, MemoryObject, summarize_access_set,
+)
 
 
 def obj(name="m"):
@@ -77,3 +79,124 @@ class TestAccessSet:
         assert AccessKind.ATOMIC.is_write()
         assert AccessKind.WRITE.is_write()
         assert not AccessKind.READ.is_write()
+
+
+class TestContentDedup:
+    def test_identical_content_deduped_and_counted(self):
+        # loop-invariant address re-recorded per unrolled iteration:
+        # distinct Access objects, identical content
+        o = obj()
+        s = AccessSet()
+        for _ in range(5):
+            s.add(acc(o, kind=AccessKind.READ, offset=0))
+        assert len(s) == 1
+        assert s.dedup_skipped == 4
+
+    def test_different_value_not_deduped(self):
+        # two writes of different values are NOT duplicates — the
+        # benign-WW classification compares stored values
+        o = obj()
+        s = AccessSet()
+        for v in (mk_bv(1, 32), mk_bv(2, 32)):
+            a = acc(o)
+            a.value = v
+            s.add(a)
+        assert len(s) == 2
+        assert s.dedup_skipped == 0
+
+    def test_uid_dedupe_not_counted_as_skip(self):
+        s = AccessSet()
+        a = acc(obj())
+        s.add(a)
+        s.add(a)
+        assert len(s) == 1
+        assert s.dedup_skipped == 0
+
+    def test_extend_does_not_absorb_counter(self):
+        o = obj()
+        inner = AccessSet()
+        inner.add(acc(o, kind=AccessKind.READ))
+        inner.add(acc(o, kind=AccessKind.READ))
+        assert inner.dedup_skipped == 1
+        outer = AccessSet()
+        outer.extend(inner)
+        assert outer.dedup_skipped == 0  # stays with its owner
+
+
+def strided(o, i, kind=AccessKind.WRITE, stride=4, instr=7, value=None):
+    """Access i of an unrolled loop: offset = tid*4 + i*stride."""
+    tid = mk_bv_var("tid.x", 32)
+    offset = mk_add(mk_mul(tid, mk_bv(4, 32)), mk_bv(i * stride, 32))
+    return Access(kind=kind, obj=o, offset=offset, size=4, cond=TRUE,
+                  flow_id=0, bi_index=0, instr_id=instr, value=value)
+
+
+class TestSummarization:
+    def test_affine_run_collapses(self):
+        o = obj()
+        s = AccessSet()
+        for i in range(8):
+            s.add(strided(o, i, stride=32))
+        out, collapsed = summarize_access_set(s)
+        assert collapsed == 7
+        assert len(out) == 1
+        summary = out.accesses[0].summary
+        assert summary is not None
+        assert summary.count == 8 and summary.stride == 32
+
+    def test_summary_offsets_cover_exactly_the_run(self):
+        o = obj()
+        s = AccessSet()
+        for i in range(4):
+            s.add(strided(o, i, stride=16))
+        out, _ = summarize_access_set(s)
+        a = out.accesses[0]
+        k = a.summary.index_var
+        for tid_val in (0, 3):
+            got = {evaluate(a.offset, {"tid.x": tid_val, k.name: i})
+                   for i in range(a.summary.count)}
+            want = {(tid_val * 4 + i * 16) for i in range(4)}
+            assert got == want
+
+    def test_unrelated_instructions_not_grouped(self):
+        o = obj()
+        s = AccessSet()
+        s.add(strided(o, 0, instr=1))
+        s.add(strided(o, 1, instr=2))
+        out, collapsed = summarize_access_set(s)
+        assert collapsed == 0 and len(out) == 2
+
+    def test_non_uniform_gap_kept_individually(self):
+        o = obj()
+        s = AccessSet()
+        for i in (0, 1, 3):   # gaps 4 and 8: not a progression
+            s.add(strided(o, i))
+        out, collapsed = summarize_access_set(s)
+        assert collapsed == 0
+        assert len(out) == 3
+
+    def test_different_values_not_grouped(self):
+        o = obj()
+        s = AccessSet()
+        s.add(strided(o, 0, value=mk_bv(1, 32)))
+        s.add(strided(o, 1, value=mk_bv(2, 32)))
+        out, collapsed = summarize_access_set(s)
+        assert collapsed == 0 and len(out) == 2
+
+    def test_single_access_untouched(self):
+        o = obj()
+        s = AccessSet()
+        s.add(strided(o, 0))
+        out, collapsed = summarize_access_set(s)
+        assert out is s and collapsed == 0
+
+    def test_dedup_counter_carried_over(self):
+        o = obj()
+        s = AccessSet()
+        s.add(acc(o, kind=AccessKind.READ, offset=0))
+        s.add(acc(o, kind=AccessKind.READ, offset=0))
+        for i in range(3):
+            s.add(strided(o, i))
+        out, collapsed = summarize_access_set(s)
+        assert collapsed == 2
+        assert out.dedup_skipped == s.dedup_skipped == 1
