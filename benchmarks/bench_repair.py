@@ -1,0 +1,167 @@
+"""Repair bench — CEGIS barrier synthesis over the racy built-ins.
+
+Runs the repair engine on every racy kernel of the paper, reductions,
+and divergent suites and records per-kernel iterations, barriers
+inserted, re-check queries, and wall clock (``BENCH_repair.json``; the
+EXPERIMENTS.md repairs table is generated from this payload).
+
+The acceptance gates:
+
+* every repair run terminates within its iteration budget and reports
+  an honest outcome (verified fix, or explicit non-convergence — never
+  a fix that fails re-verification while claiming success);
+* the CEGIS re-checks ride the warm incremental-solver fast path:
+  with shared sessions (the default) the iterations after the baseline
+  check never create a solver session, and preamble/memo reuse is
+  strictly positive — while the same repair with ``share_sessions=False``
+  rebuilds sessions on every re-check.
+"""
+import json
+import os
+import time
+
+import pytest
+
+from common import print_table
+from repro.repair import repair_source
+from repro.service.corpus import SUITES, spec_from_kernel
+
+SUITE_NAMES = ("paper", "reductions", "divergent")
+
+MAX_ITERATIONS = 4
+
+#: the kernel the differential fast-path gate runs on: the paper's
+#: canonical missing-barrier reduction bug (repairs in >= 1 iteration)
+GATED_KERNEL = "reduction_racy"
+
+RESULTS = {}
+
+
+def racy_specs():
+    specs = []
+    for suite in SUITE_NAMES:
+        for kernel in SUITES[suite]:
+            if not kernel.expected_issues:
+                continue
+            spec = spec_from_kernel(kernel, suite=suite)
+            if spec.needs_concrete_graph:
+                continue
+            specs.append(spec)
+    return specs
+
+
+def run_repairs():
+    rows = {}
+    for spec in racy_specs():
+        config = spec.launch_config()
+        config.check_oob = False
+        start = time.perf_counter()
+        result = repair_source(spec.source, config=config,
+                               kernel_name=spec.kernel_name,
+                               max_iterations=MAX_ITERATIONS)
+        rows[spec.job_id] = {
+            "kernel": spec.meta["kernel"],
+            "suite": spec.meta["suite"],
+            "converged": result.converged,
+            "verified": result.verified,
+            "minimal": result.minimal,
+            "iterations": result.iterations,
+            "barriers_inserted": len([e for e in result.edits
+                                      if e.action == "insert"]),
+            "minimized_out": result.minimized_out,
+            "rechecks": result.rechecks,
+            "recheck_queries": result.recheck_queries,
+            "preamble_reuse": result.preamble_reuse,
+            "memo_hits": result.memo_hits,
+            "sessions_created": result.sessions_created,
+            "wall_s": round(time.perf_counter() - start, 3),
+        }
+    return rows
+
+
+def test_repair_suites(benchmark):
+    RESULTS["rows"] = benchmark.pedantic(run_repairs, rounds=1,
+                                         iterations=1)
+
+
+def test_incremental_fast_path(benchmark):
+    """Differential gate: repair re-checks reuse incremental sessions."""
+    spec = next(s for s in racy_specs()
+                if s.meta["kernel"] == GATED_KERNEL)
+    config = spec.launch_config()
+    config.check_oob = False
+
+    def run():
+        shared = repair_source(spec.source, config=config,
+                               kernel_name=spec.kernel_name,
+                               max_iterations=MAX_ITERATIONS)
+        unshared = repair_source(spec.source, config=config,
+                                 kernel_name=spec.kernel_name,
+                                 max_iterations=MAX_ITERATIONS,
+                                 share_sessions=False)
+        return shared, unshared
+
+    shared, unshared = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS["fast_path"] = {
+        "shared_sessions_created": shared.sessions_created,
+        "unshared_sessions_created": unshared.sessions_created,
+        "shared_preamble_reuse": shared.preamble_reuse,
+        "shared_memo_hits": shared.memo_hits,
+    }
+    assert shared.converged and shared.verified
+
+    later = [s for s in shared.iteration_stats if s.iteration >= 1]
+    assert later, "the gated kernel must need at least one iteration"
+    assert sum(s.sessions_created for s in later) == 0, \
+        "a CEGIS re-check rebuilt its solver session (cold path)"
+    assert shared.preamble_reuse > 0, \
+        "no re-check query reused a warm session preamble"
+    assert sum(s.preamble_reuse + s.memo_hits for s in later) > 0, \
+        "iterations after the baseline never hit the warm path"
+    # the ablation: cold mode rebuilds sessions per re-check
+    assert unshared.sessions_created > shared.sessions_created
+
+
+def test_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "rows" not in RESULTS:
+        pytest.skip("run the full module for the report")
+    rows = RESULTS["rows"]
+
+    # honesty gate: a claimed fix always re-verified from source; a
+    # failed repair always says so
+    for job_id, row in rows.items():
+        assert row["iterations"] <= MAX_ITERATIONS, job_id
+        if row["verified"]:
+            assert row["converged"], job_id
+        if row["converged"] and row["barriers_inserted"]:
+            assert row["minimal"], job_id
+
+    # at least the canonical missing-barrier bugs must be repaired
+    repaired = [r for r in rows.values() if r["verified"]]
+    assert any(r["kernel"] == GATED_KERNEL for r in repaired), \
+        f"{GATED_KERNEL} (the paper's reduction bug) must repair"
+
+    table_rows = [
+        [row["suite"], row["kernel"],
+         "yes" if row["verified"] else
+         ("unverified" if row["converged"] else "no"),
+         row["iterations"], row["barriers_inserted"],
+         row["recheck_queries"], row["preamble_reuse"],
+         f"{row['wall_s']:.2f}"]
+        for row in sorted(rows.values(),
+                          key=lambda r: (r["suite"], r["kernel"]))]
+    print_table(
+        "CEGIS barrier repair over the racy built-ins",
+        ["suite", "kernel", "fixed", "iters", "barriers",
+         "re-check queries", "preamble reuse", "wall s"],
+        table_rows)
+
+    payload = {"suites": list(SUITE_NAMES),
+               "max_iterations": MAX_ITERATIONS,
+               "repairs": rows,
+               "fast_path": RESULTS.get("fast_path")}
+    out_path = os.environ.get("BENCH_OUT", "BENCH_repair.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")

@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""The developer loop the paper motivates: find a race, fix it, verify.
+"""The developer loop the paper motivates: find a race, fix it, verify —
+then let the repair engine do the fixing.
 
 The kernel is the classic buggy parallel reduction (barrier hoisted out
 of the loop — a real bug class the paper's reduction example is built
-around). SESA pinpoints the race with a concrete witness; after the fix
-the same configuration verifies race-free, and scaling the block up
-costs nothing extra (parametric execution).
+around). SESA pinpoints the race with a concrete witness; the CEGIS
+repair engine synthesizes the same one-barrier fix a developer would
+write, renders it as a source diff, and re-verifies the patched kernel
+at the same launch configuration.
 
 Run:  python examples/fix_verify.py
 """
-from repro.core import SESA, LaunchConfig
+from repro.core import SESA, LaunchConfig, repair_source
 
 BUGGY = """
 __shared__ float sdata[512];
@@ -26,6 +28,8 @@ __global__ void reduce(float *idata, float *odata) {
 }
 """
 
+# the fix a developer writes by hand, kept for contrast with the
+# synthesized one
 FIXED = BUGGY.replace(
     "    // BUG: missing __syncthreads() here",
     "    __syncthreads();")
@@ -44,6 +48,8 @@ def analyse(tag: str, source: str, block: int = 64):
 
 
 def main() -> None:
+    config = LaunchConfig(block_dim=64, check_oob=False)
+
     print("Step 1: check the kernel as written")
     buggy = analyse("buggy", BUGGY)
     assert buggy.has_races
@@ -51,19 +57,30 @@ def main() -> None:
     race = buggy.races[0]
     print()
     print("Step 2: read the witness — two threads in the same interval,")
-    print(f"        one reading sdata[tid+s] the other updating it:")
+    print("        one reading sdata[tid+s] the other updating it:")
     print(f"        {race.witness}")
     print()
 
-    print("Step 3: add the missing __syncthreads() and re-check")
-    fixed = analyse("fixed", FIXED)
-    assert not fixed.has_races
+    print("Step 3: synthesize the fix (CEGIS barrier repair)")
+    repair = repair_source(BUGGY, config=config)
+    print(repair.summary())
+    assert repair.converged and repair.verified and repair.minimal
+    assert len(repair.edits) == 1, "one missing barrier, one edit"
+    print()
+    print(repair.diff)
+
+    print("Step 4: the synthesized fix verifies race-free at the same")
+    print("        configuration as the hand-written one:")
+    synthesized = analyse("synthesized", repair.patched_source)
+    assert not synthesized.has_races
+    manual = analyse("hand-written", FIXED)
+    assert not manual.has_races
     print()
 
-    print("Step 4: the fix holds at every block size (one parametric run")
-    print("        each — no thread-count blow-up):")
+    print("Step 5: both fixes hold at every block size (one parametric")
+    print("        run each — no thread-count blow-up):")
     for block in (128, 256, 512):
-        report = analyse("fixed", FIXED, block)
+        report = analyse("synthesized", repair.patched_source, block)
         assert not report.has_races
 
 

@@ -3,16 +3,23 @@
 ::
 
     python -m repro check kernel.cu --block 64 --grid 4
+    python -m repro repair kernel.cu --block 64 --diff
     python -m repro taint kernel.cu
     python -m repro ir kernel.cu
     python -m repro tests kernel.cu --block 32
     python -m repro batch examples/ --jobs 4
 
-``check`` analyses a kernel for races/OOB (engine selectable), ``taint``
-prints the §V input advisory, ``ir`` dumps the SSA bytecode after the
-standard pipeline, ``tests`` emits concrete per-flow test vectors, and
-``batch`` fans a whole corpus out over the parallel scheduler with
-result caching and telemetry (:mod:`repro.service`).
+``check`` analyses a kernel for races/OOB (engine selectable),
+``repair`` synthesizes a verified minimal barrier fix for reported
+races, ``taint`` prints the §V input advisory, ``ir`` dumps the SSA
+bytecode after the standard pipeline, ``tests`` emits concrete per-flow
+test vectors, and ``batch`` fans a whole corpus out over the parallel
+scheduler with result caching and telemetry (:mod:`repro.service`).
+
+Exit codes are uniform across subcommands: 0 — analysis ran and found
+nothing (or the repair verified), 1 — races/OOB found or the repair did
+not converge, 2 — usage or input error (unreadable file, parse error,
+unknown kernel, bad flag value).
 """
 from __future__ import annotations
 
@@ -23,6 +30,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from .core import GKLEE, GKLEEp, SESA, LaunchConfig
+from .frontend import LexError, ParseError, SemaError
 
 
 def _read_source(path: str) -> str:
@@ -91,6 +99,45 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
+    rep = sub.add_parser(
+        "repair", help="synthesize a verified, minimal barrier fix")
+    common(rep)
+    rep.add_argument("--grid", type=_dim3, default=(1, 1, 1),
+                     metavar="X[,Y[,Z]]")
+    rep.add_argument("--block", type=_dim3, default=(64, 1, 1),
+                     metavar="X[,Y[,Z]]")
+    rep.add_argument("--warp-size", type=int, default=32)
+    rep.add_argument("--lockstep", action="store_true",
+                     help="assume SIMD lock-step ordering within warps")
+    rep.add_argument("--no-oob", action="store_true",
+                     help="disable out-of-bounds checking in the final "
+                          "verification run")
+    rep.add_argument("--symbolic", action="append", default=None,
+                     metavar="PARAM",
+                     help="force PARAM symbolic (repeatable; default: "
+                          "taint-inferred)")
+    rep.add_argument("--set", action="append", default=[],
+                     metavar="PARAM=VALUE",
+                     help="concrete scalar value (repeatable)")
+    rep.add_argument("--array-size", action="append", default=[],
+                     metavar="PARAM=COUNT",
+                     help="element count for a pointer param")
+    rep.add_argument("--time-budget", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget for the whole repair loop")
+    rep.add_argument("--max-iterations", type=int, default=8, metavar="N",
+                     help="CEGIS iteration budget (default 8)")
+    rep.add_argument("--remove-redundant", action="store_true",
+                     help="also delete pre-existing barriers proven "
+                          "redundant by re-checking")
+    rep.add_argument("--no-incremental", action="store_true",
+                     help="give every re-check its own cold solver "
+                          "sessions instead of the shared warm pool")
+    rep.add_argument("--diff", action="store_true",
+                     help="print only the unified source diff of the fix")
+    rep.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+
     taint = sub.add_parser("taint", help="print the §V input advisory")
     common(taint)
     taint.add_argument("--json", action="store_true",
@@ -146,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-pruning", action="store_true",
                        help="disable the pre-solver pruning pipeline "
                             "(summarization, bucketing, pair memo)")
+    batch.add_argument("--repair", action="store_true",
+                       help="run the barrier-repair loop on every racy "
+                            "sesa job and record the synthesized fix")
     batch.add_argument("--json", action="store_true",
                        help="machine-readable output")
     return parser
@@ -155,9 +205,16 @@ def _parse_kv(pairs: List[str], what: str) -> dict:
     out = {}
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(f"bad {what} {pair!r}: expected PARAM=VALUE")
+            print(f"repro: bad {what} {pair!r}: expected PARAM=VALUE",
+                  file=sys.stderr)
+            raise SystemExit(2)
         key, value = pair.split("=", 1)
-        out[key] = int(value, 0)
+        try:
+            out[key] = int(value, 0)
+        except ValueError:
+            print(f"repro: bad {what} {pair!r}: VALUE must be an integer",
+                  file=sys.stderr)
+            raise SystemExit(2)
     return out
 
 
@@ -186,6 +243,46 @@ def cmd_check(args) -> int:
     else:
         print(report.summary())
     return 1 if (report.has_races or report.has_oob) else 0
+
+
+def cmd_repair(args) -> int:
+    """The ``repair`` subcommand: CEGIS barrier synthesis.
+
+    Exit 0 when the synthesized fix (or the unmodified kernel) verifies
+    race-free; exit 1 when the loop fails to converge or the rendered
+    fix fails re-verification.
+    """
+    from .repair import repair_source
+    source = _read_source(args.file)
+    config = LaunchConfig(
+        grid_dim=args.grid, block_dim=args.block,
+        warp_size=args.warp_size, warp_lockstep=args.lockstep,
+        check_oob=not args.no_oob,
+        symbolic_inputs=set(args.symbolic) if args.symbolic is not None
+        else None,
+        scalar_values=_parse_kv(args.set, "--set"),
+        array_sizes=_parse_kv(args.array_size, "--array-size"))
+    result = repair_source(
+        source, config=config, kernel_name=args.kernel,
+        max_iterations=args.max_iterations,
+        share_sessions=not args.no_incremental,
+        remove_redundant=args.remove_redundant,
+        time_budget_seconds=args.time_budget)
+    ok = result.converged and result.verified
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    elif args.diff:
+        if result.diff:
+            print(result.diff, end="")
+        else:
+            print(f"repro: no fix to print ({result.message or 'no edits'})",
+                  file=sys.stderr)
+    else:
+        print(result.summary())
+        if result.diff:
+            print()
+            print(result.diff, end="")
+    return 0 if ok else 1
 
 
 def cmd_taint(args) -> int:
@@ -265,6 +362,9 @@ def cmd_batch(args) -> int:
     if args.no_pruning:
         for spec in specs:
             spec.pair_pruning = False
+    if args.repair:
+        for spec in specs:
+            spec.repair = True
     cache_dir = None if args.no_cache else args.cache_dir
     trace_path = args.trace
     if trace_path is None:
@@ -288,6 +388,9 @@ def cmd_batch(args) -> int:
                 tags = (job.error or "").strip().splitlines()[-1] \
                     if job.error else "-"
             flag = " [cached]" if job.cached else ""
+            if job.repair:
+                flag += (" [repaired]" if job.repair.get("verified")
+                         else " [repair failed]")
             print(f"{job.status.upper():8s} {job.job_id:{width}s} "
                   f"{job.elapsed_seconds:7.2f}s  {tags}{flag}")
         print()
@@ -301,12 +404,27 @@ def cmd_batch(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Input problems — unreadable files, lex/parse/sema failures, unknown
+    kernel names, malformed flag values — exit 2 uniformly, keeping 1
+    reserved for "the analysis ran and found defects".
+    """
     args = build_parser().parse_args(argv)
-    handler = {"check": cmd_check, "taint": cmd_taint,
-               "ir": cmd_ir, "tests": cmd_tests,
+    handler = {"check": cmd_check, "repair": cmd_repair,
+               "taint": cmd_taint, "ir": cmd_ir, "tests": cmd_tests,
                "batch": cmd_batch}[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except (LexError, ParseError, SemaError) as exc:
+        target = getattr(args, "file", "<input>")
+        print(f"repro: {target}: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        # bad --kernel name, ambiguous kernel, malformed PARAM=VALUE
+        reason = exc.args[0] if exc.args else exc
+        print(f"repro: {reason}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

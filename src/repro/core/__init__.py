@@ -1,8 +1,11 @@
-"""Public API: the SESA tool, launch configuration, and comparators."""
+"""Public API: the SESA tool, launch configuration, comparators, and
+the barrier-repair engine."""
 from ..sym.config import LaunchConfig
 from .report import AnalysisReport
 from .sesa import SESA, check_source
 from .baselines import GKLEE, GKLEEp
+from ..repair import RepairEngine, RepairResult, repair_source
 
 __all__ = ["LaunchConfig", "AnalysisReport", "SESA", "check_source",
-           "GKLEE", "GKLEEp"]
+           "GKLEE", "GKLEEp", "RepairEngine", "RepairResult",
+           "repair_source"]

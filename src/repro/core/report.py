@@ -10,6 +10,13 @@ from ..sym.races import AssertionReport, CheckStats, OOBReport, RaceReport
 from ..sym.resolvable import ResolvabilityReport
 
 
+def _loc_json(loc) -> Optional[List[int]]:
+    """``[line, col]`` for a SourceLoc (or plain line int); None if unknown."""
+    if loc is None:
+        return None
+    return [int(loc), getattr(loc, "col", 0)]
+
+
 @dataclass
 class AnalysisReport:
     """Everything one analysis run produced."""
@@ -24,6 +31,10 @@ class AnalysisReport:
     execution: Optional[ExecutionResult] = None
     check_stats: Optional[CheckStats] = None
     elapsed_seconds: float = 0.0
+    #: result of an automated-repair run, when one was requested
+    #: (duck-typed to avoid a core -> repair import cycle; anything
+    #: with ``to_dict()`` and ``summary()`` works)
+    repair: Optional[object] = None
 
     def to_dict(self) -> dict:
         """JSON-ready summary (used by ``python -m repro check --json``)."""
@@ -34,12 +45,15 @@ class AnalysisReport:
                 {"kind": r.kind, "object": r.obj_name, "benign": r.benign,
                  "unresolvable": r.unresolvable,
                  "lines": [r.access1.loc, r.access2.loc],
+                 "locs": [_loc_json(r.access1.loc), _loc_json(r.access2.loc)],
                  "witness": str(r.witness)} for r in self.races],
             "oobs": [
                 {"object": o.obj_name, "line": o.access.loc,
+                 "loc": _loc_json(o.access.loc),
                  "witness": str(o.witness)} for o in self.oobs],
             "assertion_failures": [
-                {"line": a.loc, "witness": str(a.witness)}
+                {"line": a.loc, "loc": _loc_json(a.loc),
+                 "witness": str(a.witness)}
                 for a in self.assertion_failures],
             "flows": self.max_flows,
             "resolvable": self.resolvable,
@@ -50,6 +64,8 @@ class AnalysisReport:
                                 if self.taint else None),
             "check_stats": (asdict(self.check_stats)
                             if self.check_stats is not None else None),
+            "repair": (self.repair.to_dict()
+                       if self.repair is not None else None),
             "elapsed_seconds": self.elapsed_seconds,
         }
 
@@ -130,4 +146,6 @@ class AnalysisReport:
         if self.execution:
             for err in self.execution.errors:
                 lines.append(f"  ERROR: {err}")
+        if self.repair is not None:
+            lines.append(self.repair.summary())
         return "\n".join(lines)

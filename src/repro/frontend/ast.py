@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 @dataclass
 class Node:
     line: int = 0
+    col: int = 0     # 1-based source column; 0 = unknown
 
 
 # ---------------------------------------------------------------------------

@@ -21,6 +21,11 @@ from . import ast
 from .parser import parse
 from .sema import Scope, SemaError, common_int_type, const_eval, resolve_type
 
+
+def _loc(node: ast.Node) -> ir.SourceLoc:
+    """IR source position for an AST node (line:col, compares as line)."""
+    return ir.SourceLoc(node.line, node.col)
+
 _BOOL = ir.IntType(1, signed=False)
 
 # CUDA built-ins exposed to kernels, all unsigned 32-bit
@@ -79,7 +84,8 @@ class CodeGen:
                             prefix: str) -> ir.GlobalVariable:
         tn = decl.type_name
         elem = resolve_type(
-            ast.TypeName(line=tn.line, base=tn.base, signed=tn.signed),
+            ast.TypeName(line=tn.line, col=tn.col, base=tn.base,
+                         signed=tn.signed),
             ir.MemSpace.SHARED)
         storage: ir.Type = elem
         for dim in reversed(tn.array_dims):
@@ -170,7 +176,7 @@ class FunctionCompiler:
             self.scope = outer
 
     def gen_stmt(self, stmt: ast.Stmt) -> None:
-        self.builder.current_loc = stmt.line
+        self.builder.current_loc = _loc(stmt)
         if isinstance(stmt, ast.Block):
             self.gen_block(stmt)
         elif isinstance(stmt, ast.DeclStmt):
@@ -227,8 +233,8 @@ class FunctionCompiler:
     def gen_decl(self, stmt: ast.DeclStmt) -> None:
         for name, type_name, init in stmt.declarators:
             if stmt.shared:
-                decl = ast.SharedDecl(line=stmt.line, name=name,
-                                      type_name=type_name)
+                decl = ast.SharedDecl(line=stmt.line, col=stmt.col,
+                                      name=name, type_name=type_name)
                 gv = self.cg._emit_shared_global(
                     decl, prefix=f"{self.function.name}.")
                 direct = bool(type_name.array_dims)
@@ -262,7 +268,7 @@ class FunctionCompiler:
         else_bb = merge_bb if stmt.else_body is None \
             else self.function.new_block("if.else")
         br = ir.Br(cond, then_bb, else_bb)
-        br.loc = stmt.line
+        br.loc = _loc(stmt)
         self.builder.block.append(br)
 
         self.builder.position_at(then_bb)
@@ -289,10 +295,10 @@ class FunctionCompiler:
             self.builder.jump(header)
             self.builder.position_at(header)
             if stmt.cond is not None:
-                self.builder.current_loc = stmt.line
+                self.builder.current_loc = _loc(stmt)
                 cond = self._as_bool(self.gen_expr(stmt.cond), stmt.line)
                 br = ir.Br(cond, body, exit_bb)
-                br.loc = stmt.line
+                br.loc = _loc(stmt)
                 br.meta["loop_branch"] = True
                 self.builder.block.append(br)
             else:
@@ -305,7 +311,7 @@ class FunctionCompiler:
                 self.builder.jump(step)
             self.builder.position_at(step)
             if stmt.step is not None:
-                self.builder.current_loc = stmt.line
+                self.builder.current_loc = _loc(stmt)
                 self.gen_expr(stmt.step)
             self.builder.jump(header)
             self.builder.position_at(exit_bb)
@@ -319,10 +325,10 @@ class FunctionCompiler:
         self.builder.jump(body if stmt.is_do_while else header)
 
         self.builder.position_at(header)
-        self.builder.current_loc = stmt.line
+        self.builder.current_loc = _loc(stmt)
         cond = self._as_bool(self.gen_expr(stmt.cond), stmt.line)
         br = ir.Br(cond, body, exit_bb)
-        br.loc = stmt.line
+        br.loc = _loc(stmt)
         br.meta["loop_branch"] = True
         self.builder.block.append(br)
 
@@ -339,7 +345,7 @@ class FunctionCompiler:
     # ------------------------------------------------------------------
 
     def gen_expr(self, expr: ast.Expr) -> ir.Value:
-        self.builder.current_loc = expr.line
+        self.builder.current_loc = _loc(expr)
         if isinstance(expr, ast.IntLit):
             ty = ir.IntType(32, signed=not expr.unsigned)
             if expr.value >= 2**31 and not expr.unsigned:
@@ -539,7 +545,7 @@ class FunctionCompiler:
 
     def gen_lvalue(self, expr: ast.Expr) -> ir.Value:
         """Address of an assignable expression."""
-        self.builder.current_loc = expr.line
+        self.builder.current_loc = _loc(expr)
         if isinstance(expr, ast.Ident):
             binding = self._lookup(expr.name)
             if binding is None:

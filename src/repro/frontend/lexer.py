@@ -25,9 +25,10 @@ class Token:
     kind: str          # 'ident', 'int', 'float', 'punct', 'keyword', 'eof'
     text: str
     line: int
+    col: int = 0       # 1-based column of the first character; 0 = unknown
 
     def __repr__(self) -> str:
-        return f"{self.kind}({self.text!r})@{self.line}"
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
 
 
 KEYWORDS = frozenset({
@@ -90,16 +91,17 @@ def _tokenize_line(text: str, line: int) -> List[Token]:
         m = _TOKEN_RE.match(text, pos)
         if m is None:
             raise LexError(f"unexpected character {ch!r}", line)
+        col = m.start() + 1
         pos = m.end()
         if m.lastgroup == "float":
-            tokens.append(Token("float", m.group(), line))
+            tokens.append(Token("float", m.group(), line, col))
         elif m.lastgroup == "int":
-            tokens.append(Token("int", m.group(), line))
+            tokens.append(Token("int", m.group(), line, col))
         elif m.lastgroup == "ident":
             kind = "keyword" if m.group() in KEYWORDS else "ident"
-            tokens.append(Token(kind, m.group(), line))
+            tokens.append(Token(kind, m.group(), line, col))
         else:
-            tokens.append(Token("punct", m.group(), line))
+            tokens.append(Token("punct", m.group(), line, col))
     return tokens
 
 
@@ -138,10 +140,12 @@ def tokenize(source: str) -> List[Token]:
         # macro expansion (single level, sufficient for constant defines)
         for tok in line_tokens:
             if tok.kind == "ident" and tok.text in macros:
+                # expanded tokens inherit the use site's position
                 for m_tok in macros[tok.text]:
-                    tokens.append(Token(m_tok.kind, m_tok.text, lineno))
+                    tokens.append(Token(m_tok.kind, m_tok.text, lineno,
+                                        tok.col))
             else:
                 tokens.append(tok)
 
-    tokens.append(Token("eof", "", source.count("\n") + 1))
+    tokens.append(Token("eof", "", source.count("\n") + 1, 1))
     return tokens

@@ -73,7 +73,7 @@ class Parser:
     # -- top level ---------------------------------------------------------
 
     def parse_translation_unit(self) -> ast.TranslationUnit:
-        unit = ast.TranslationUnit(line=1)
+        unit = ast.TranslationUnit(line=1, col=1)
         while self.peek().kind != "eof":
             if self.at("__shared__"):
                 unit.shared_decls.append(self.parse_shared_decl())
@@ -82,7 +82,7 @@ class Parser:
         return unit
 
     def parse_shared_decl(self) -> ast.SharedDecl:
-        line = self.expect("__shared__").line
+        kw = self.expect("__shared__")
         type_name = self.parse_type_name()
         name = self.expect_ident()
         while self.at("["):
@@ -90,10 +90,11 @@ class Parser:
             type_name.array_dims.append(self.parse_expr())
             self.expect("]")
         self.expect(";")
-        return ast.SharedDecl(line=line, name=name, type_name=type_name)
+        return ast.SharedDecl(line=kw.line, col=kw.col, name=name,
+                              type_name=type_name)
 
     def parse_function(self) -> ast.FunctionDef:
-        line = self.peek().line
+        start = self.peek()
         qualifier = ""
         while self.peek().text in ("__global__", "__device__", "__host__"):
             qual = self.advance().text
@@ -105,7 +106,7 @@ class Parser:
         params: List[ast.Param] = []
         if not self.at(")"):
             while True:
-                p_line = self.peek().line
+                p_start = self.peek()
                 p_type = self.parse_type_name()
                 p_name = self.expect_ident()
                 while self.at("["):      # array param decays to pointer
@@ -114,14 +115,15 @@ class Parser:
                         self.parse_expr()
                     self.expect("]")
                     p_type.pointer_depth += 1
-                params.append(ast.Param(line=p_line, name=p_name,
-                                        type_name=p_type))
+                params.append(ast.Param(line=p_start.line, col=p_start.col,
+                                        name=p_name, type_name=p_type))
                 if not self.accept(","):
                     break
         self.expect(")")
         body = self.parse_block()
-        return ast.FunctionDef(line=line, name=name, qualifier=qualifier,
-                               ret_type=ret_type, params=params, body=body)
+        return ast.FunctionDef(line=start.line, col=start.col, name=name,
+                               qualifier=qualifier, ret_type=ret_type,
+                               params=params, body=body)
 
     def expect_ident(self) -> str:
         tok = self.peek()
@@ -137,7 +139,7 @@ class Parser:
             _TYPE_KEYWORDS | {"const", "volatile", "__shared__"})
 
     def parse_type_name(self) -> ast.TypeName:
-        line = self.peek().line
+        start = self.peek()
         signed = True
         base: Optional[str] = None
         saw_specifier = False
@@ -192,14 +194,14 @@ class Parser:
             while self.peek().text in ("const", "volatile"):
                 self.advance()
             depth += 1
-        return ast.TypeName(line=line, base=base, signed=signed,
-                            pointer_depth=depth)
+        return ast.TypeName(line=start.line, col=start.col, base=base,
+                            signed=signed, pointer_depth=depth)
 
     # -- statements -----------------------------------------------------------
 
     def parse_block(self) -> ast.Block:
-        line = self.expect("{").line
-        block = ast.Block(line=line)
+        brace = self.expect("{")
+        block = ast.Block(line=brace.line, col=brace.col)
         while not self.at("}"):
             block.stmts.append(self.parse_statement())
         self.expect("}")
@@ -220,36 +222,37 @@ class Parser:
         if tok.text == "break":
             self.advance()
             self.expect(";")
-            return ast.BreakStmt(line=tok.line)
+            return ast.BreakStmt(line=tok.line, col=tok.col)
         if tok.text == "continue":
             self.advance()
             self.expect(";")
-            return ast.ContinueStmt(line=tok.line)
+            return ast.ContinueStmt(line=tok.line, col=tok.col)
         if tok.text == "return":
             self.advance()
             value = None if self.at(";") else self.parse_expr()
             self.expect(";")
-            return ast.ReturnStmt(line=tok.line, value=value)
+            return ast.ReturnStmt(line=tok.line, col=tok.col, value=value)
         if tok.text == ";":
             self.advance()
-            return ast.Block(line=tok.line)
+            return ast.Block(line=tok.line, col=tok.col)
         if tok.text == "__syncthreads":
             self.advance()
             self.expect("(")
             self.expect(")")
             self.expect(";")
-            return ast.SyncStmt(line=tok.line)
+            return ast.SyncStmt(line=tok.line, col=tok.col)
         if tok.text == "__shared__" or self.looks_like_type():
             return self.parse_declaration()
         expr = self.parse_expr()
         self.expect(";")
-        return ast.ExprStmt(line=tok.line, expr=expr)
+        return ast.ExprStmt(line=tok.line, col=tok.col, expr=expr)
 
     def parse_declaration(self) -> ast.DeclStmt:
-        line = self.peek().line
+        start = self.peek()
         shared = bool(self.accept("__shared__"))
         base_type = self.parse_type_name()
-        decl = ast.DeclStmt(line=line, type_name=base_type, shared=shared)
+        decl = ast.DeclStmt(line=start.line, col=start.col,
+                            type_name=base_type, shared=shared)
         while True:
             # per-declarator pointer depth: 'int *p, x;'
             extra_depth = 0
@@ -258,7 +261,7 @@ class Parser:
                 extra_depth += 1
             name = self.expect_ident()
             this_type = ast.TypeName(
-                line=base_type.line, base=base_type.base,
+                line=base_type.line, col=base_type.col, base=base_type.base,
                 signed=base_type.signed,
                 pointer_depth=base_type.pointer_depth + extra_depth)
             while self.at("["):
@@ -275,7 +278,7 @@ class Parser:
         return decl
 
     def parse_if(self) -> ast.IfStmt:
-        line = self.expect("if").line
+        kw = self.expect("if")
         self.expect("(")
         cond = self.parse_expr()
         self.expect(")")
@@ -283,11 +286,11 @@ class Parser:
         else_body = None
         if self.accept("else"):
             else_body = self.as_block(self.parse_statement())
-        return ast.IfStmt(line=line, cond=cond, then_body=then_body,
-                          else_body=else_body)
+        return ast.IfStmt(line=kw.line, col=kw.col, cond=cond,
+                          then_body=then_body, else_body=else_body)
 
     def parse_for(self) -> ast.ForStmt:
-        line = self.expect("for").line
+        kw = self.expect("for")
         self.expect("(")
         init: Optional[ast.Stmt] = None
         if not self.at(";"):
@@ -296,7 +299,7 @@ class Parser:
             else:
                 expr = self.parse_expr()
                 self.expect(";")
-                init = ast.ExprStmt(line=line, expr=expr)
+                init = ast.ExprStmt(line=expr.line, col=expr.col, expr=expr)
         else:
             self.expect(";")
         cond = None if self.at(";") else self.parse_expr()
@@ -304,33 +307,33 @@ class Parser:
         step = None if self.at(")") else self.parse_expr()
         self.expect(")")
         body = self.as_block(self.parse_statement())
-        return ast.ForStmt(line=line, init=init, cond=cond, step=step,
-                           body=body)
+        return ast.ForStmt(line=kw.line, col=kw.col, init=init, cond=cond,
+                           step=step, body=body)
 
     def parse_while(self) -> ast.WhileStmt:
-        line = self.expect("while").line
+        kw = self.expect("while")
         self.expect("(")
         cond = self.parse_expr()
         self.expect(")")
         body = self.as_block(self.parse_statement())
-        return ast.WhileStmt(line=line, cond=cond, body=body)
+        return ast.WhileStmt(line=kw.line, col=kw.col, cond=cond, body=body)
 
     def parse_do_while(self) -> ast.WhileStmt:
-        line = self.expect("do").line
+        kw = self.expect("do")
         body = self.as_block(self.parse_statement())
         self.expect("while")
         self.expect("(")
         cond = self.parse_expr()
         self.expect(")")
         self.expect(";")
-        return ast.WhileStmt(line=line, cond=cond, body=body,
+        return ast.WhileStmt(line=kw.line, col=kw.col, cond=cond, body=body,
                              is_do_while=True)
 
     @staticmethod
     def as_block(stmt: ast.Stmt) -> ast.Block:
         if isinstance(stmt, ast.Block):
             return stmt
-        return ast.Block(line=stmt.line, stmts=[stmt])
+        return ast.Block(line=stmt.line, col=stmt.col, stmts=[stmt])
 
     # -- expressions -----------------------------------------------------------
 
@@ -338,7 +341,8 @@ class Parser:
         expr = self.parse_assignment()
         while self.accept(","):
             rhs = self.parse_assignment()
-            expr = ast.Binary(line=rhs.line, op=",", lhs=expr, rhs=rhs)
+            expr = ast.Binary(line=rhs.line, col=rhs.col, op=",", lhs=expr,
+                              rhs=rhs)
         return expr
 
     def parse_assignment(self) -> ast.Expr:
@@ -347,7 +351,7 @@ class Parser:
         if tok.kind == "punct" and tok.text in _ASSIGN_OPS:
             self.advance()
             rhs = self.parse_assignment()  # right-assoc
-            return ast.Assign(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+            return ast.Assign(line=tok.line, col=tok.col, op=tok.text, lhs=lhs, rhs=rhs)
         return lhs
 
     def parse_ternary(self) -> ast.Expr:
@@ -356,8 +360,8 @@ class Parser:
             then = self.parse_assignment()
             self.expect(":")
             otherwise = self.parse_assignment()
-            return ast.Ternary(line=cond.line, cond=cond, then=then,
-                               otherwise=otherwise)
+            return ast.Ternary(line=cond.line, col=cond.col, cond=cond,
+                               then=then, otherwise=otherwise)
         return cond
 
     def parse_binary(self, min_prec: int) -> ast.Expr:
@@ -369,7 +373,7 @@ class Parser:
                 return lhs
             self.advance()
             rhs = self.parse_binary(prec + 1)
-            lhs = ast.Binary(line=tok.line, op=tok.text, lhs=lhs, rhs=rhs)
+            lhs = ast.Binary(line=tok.line, col=tok.col, op=tok.text, lhs=lhs, rhs=rhs)
 
     def parse_unary(self) -> ast.Expr:
         tok = self.peek()
@@ -378,11 +382,11 @@ class Parser:
             operand = self.parse_unary()
             if tok.text == "+":
                 return operand
-            return ast.Unary(line=tok.line, op=tok.text, operand=operand)
+            return ast.Unary(line=tok.line, col=tok.col, op=tok.text, operand=operand)
         if tok.text in ("++", "--"):
             self.advance()
             operand = self.parse_unary()
-            return ast.Unary(line=tok.line, op=tok.text + "pre",
+            return ast.Unary(line=tok.line, col=tok.col, op=tok.text + "pre",
                              operand=operand)
         # cast: '(' type ')' unary
         if tok.text == "(" and self.looks_like_type(1):
@@ -390,7 +394,7 @@ class Parser:
             to_type = self.parse_type_name()
             self.expect(")")
             operand = self.parse_unary()
-            return ast.CastExpr(line=tok.line, to_type=to_type,
+            return ast.CastExpr(line=tok.line, col=tok.col, to_type=to_type,
                                 operand=operand)
         return self.parse_postfix()
 
@@ -402,10 +406,10 @@ class Parser:
                 self.advance()
                 index = self.parse_expr()
                 self.expect("]")
-                expr = ast.Index(line=tok.line, base=expr, index=index)
+                expr = ast.Index(line=tok.line, col=tok.col, base=expr, index=index)
             elif tok.text in ("++", "--"):
                 self.advance()
-                expr = ast.PostIncDec(line=tok.line, op=tok.text,
+                expr = ast.PostIncDec(line=tok.line, col=tok.col, op=tok.text,
                                       operand=expr)
             elif tok.text == ".":
                 # only CUDA builtins have members in MiniCUDA
@@ -418,7 +422,7 @@ class Parser:
                 axis = self.expect_ident()
                 if axis not in ("x", "y", "z"):
                     raise ParseError(f"unknown axis .{axis}", tok)
-                expr = ast.BuiltinRef(line=tok.line, base=expr.name,
+                expr = ast.BuiltinRef(line=tok.line, col=tok.col, base=expr.name,
                                       axis=axis)
             else:
                 return expr
@@ -430,10 +434,10 @@ class Parser:
             text = tok.text.rstrip("uUlL")
             unsigned = any(c in "uU" for c in tok.text)
             value = int(text, 0)
-            return ast.IntLit(line=tok.line, value=value, unsigned=unsigned)
+            return ast.IntLit(line=tok.line, col=tok.col, value=value, unsigned=unsigned)
         if tok.kind == "float":
             self.advance()
-            return ast.FloatLit(line=tok.line,
+            return ast.FloatLit(line=tok.line, col=tok.col,
                                 value=float(tok.text.rstrip("fF")))
         if tok.text == "(":
             self.advance()
@@ -451,11 +455,11 @@ class Parser:
                         if not self.accept(","):
                             break
                 self.expect(")")
-                return ast.CallExpr(line=tok.line, name=tok.text, args=args)
+                return ast.CallExpr(line=tok.line, col=tok.col, name=tok.text, args=args)
             if tok.text == "warpSize":
-                return ast.BuiltinRef(line=tok.line, base="warpSize",
+                return ast.BuiltinRef(line=tok.line, col=tok.col, base="warpSize",
                                       axis="x")
-            return ast.Ident(line=tok.line, name=tok.text)
+            return ast.Ident(line=tok.line, col=tok.col, name=tok.text)
         raise ParseError("expected expression", tok)
 
 

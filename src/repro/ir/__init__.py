@@ -12,6 +12,7 @@ from .instrs import (
     INT_BINOPS, Alloca, AtomicCAS, AtomicRMW, BinOp, Br, Call, Cast, FCmp,
     ICmp, Instruction, Jump, Load, Phi, Ret, Select, Store, Sync,
 )
+from .loc import SourceLoc
 from .module import BasicBlock, Function, Module
 from .builder import IRBuilder
 from .cfg import CFG, Loop
@@ -26,7 +27,8 @@ __all__ = [
     "Value", "ATOMIC_OPS", "CAST_KINDS", "FCMP_PREDS", "FLOAT_BINOPS",
     "GEP", "ICMP_PREDS", "INT_BINOPS", "Alloca", "AtomicCAS", "AtomicRMW",
     "BinOp", "Br", "Call", "Cast", "FCmp", "ICmp", "Instruction", "Jump",
-    "Load", "Phi", "Ret", "Select", "Store", "Sync", "BasicBlock",
+    "Load", "Phi", "Ret", "Select", "Store", "Sync", "SourceLoc",
+    "BasicBlock",
     "Function", "Module", "IRBuilder", "CFG", "Loop", "function_to_str",
     "module_to_str", "IRParseError", "parse_module", "parse_type",
 ]

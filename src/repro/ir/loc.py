@@ -1,0 +1,37 @@
+"""Source locations for IR instructions.
+
+``Instruction.loc`` started life as a bare line number, and everything
+downstream leans on that: reports compare ``loc == 7``, JSON serialises
+it as an int, bench signatures sort tuples containing it.  To carry the
+column as well without breaking any of that, :class:`SourceLoc` *is* an
+``int`` (the line) with the column riding along as an attribute.
+
+Note: ``int`` subclasses cannot declare nonempty ``__slots__``, so the
+column lives in the instance ``__dict__``.
+"""
+from __future__ import annotations
+
+
+class SourceLoc(int):
+    """A source position that compares, hashes, and serialises as its line.
+
+    ``SourceLoc(8, 13) == 8`` is true; ``str(SourceLoc(8, 13))`` is
+    ``"8:13"``.  Arithmetic decays to a plain ``int`` (the line).
+    """
+
+    def __new__(cls, line: int, col: int = 0) -> "SourceLoc":
+        self = super().__new__(cls, int(line))
+        self.col = int(col)
+        return self
+
+    @property
+    def line(self) -> int:
+        return int(self)
+
+    def __str__(self) -> str:
+        if self.col > 0:
+            return f"{int(self)}:{self.col}"
+        return int.__repr__(self)
+
+    def __repr__(self) -> str:
+        return f"SourceLoc({int(self)}, {self.col})"

@@ -10,6 +10,7 @@ from .taint import (
     ControlDependence, InputVerdict, TaintAnalysis, TaintReport,
     analyze_taint,
 )
+from .uniform import UniformityAnalysis, check_barrier_uniformity
 from .annotate import annotate_flow_merging
 
 __all__ = [
@@ -17,5 +18,6 @@ __all__ = [
     "mem2reg", "UseDef", "Liveness", "address_space", "gep_chain",
     "index_values", "is_shared_or_global", "root_object",
     "ControlDependence", "InputVerdict", "TaintAnalysis", "TaintReport",
-    "analyze_taint", "annotate_flow_merging",
+    "analyze_taint", "annotate_flow_merging", "UniformityAnalysis",
+    "check_barrier_uniformity",
 ]

@@ -1,0 +1,150 @@
+"""Thread-id uniformity: which values/branches are the same for every
+thread in a block?
+
+``__syncthreads()`` is only well-defined when every thread of the block
+reaches it (or none does), so a barrier may only sit at a program point
+whose guarding branches are *tid-uniform* — their conditions cannot
+differ between threads.  The repair candidate generator uses this to
+refuse insertion points that would trade a data race for barrier
+divergence, and :func:`check_barrier_uniformity` audits existing
+barriers the same way.
+
+The analysis is a forward fixpoint over SSA values, conservative in the
+usual direction (unknown ⇒ tid-dependent):
+
+* seeds: ``threadIdx.*`` builtins, loads from thread-shared memory
+  (another thread may have written a tid-dependent value there), and
+  atomic results (the returned old value depends on interleaving);
+* propagation: any instruction with a tid-dependent operand produces a
+  tid-dependent result; a phi is additionally tid-dependent when the
+  branch that selects between its incoming values is;
+* private memory (allocas that survived mem2reg) carries taint through
+  store→load: a slot written with a tid-dependent value — or written
+  under a tid-dependent guard — makes subsequent loads tid-dependent.
+
+``blockIdx``/``blockDim``/``gridDim``/``warpSize`` and kernel arguments
+are uniform across a block, which is the scope that matters for
+``__syncthreads``.
+"""
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..ir import (
+    Alloca, AtomicCAS, AtomicRMW, BasicBlock, Br, BuiltinValue, CFG,
+    Call, Constant, Function, Instruction, Load, Phi, Store, Sync, Value,
+)
+from .alias import index_values, is_shared_or_global, root_object
+from .taint import ControlDependence
+
+
+class UniformityAnalysis:
+    """Per-function tid-dependence facts with block/branch queries."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.cfg = CFG(fn)
+        self.cd = ControlDependence(self.cfg)
+        #: ids of values that may differ between threads of one block
+        self.tid_value_ids: Set[int] = set()
+        #: ids of private objects whose contents may differ
+        self._tainted_objects: Set[int] = set()
+        self._fixpoint()
+
+    # ------------------------------------------------------------------
+
+    def is_tid_dependent(self, value: Value) -> bool:
+        if isinstance(value, BuiltinValue):
+            # codegen names these tid.x/tid.y/tid.z; bid/ntid/nbid and
+            # warpSize are block-uniform
+            return value.name.startswith("tid")
+        if isinstance(value, Constant):
+            return False
+        return id(value) in self.tid_value_ids
+
+    def branch_is_uniform(self, br: Br) -> bool:
+        return not self.is_tid_dependent(br.cond)
+
+    def block_is_uniform(self, block: BasicBlock) -> bool:
+        """Every thread of the block reaches this block the same number
+        of times — all (transitive) guarding branches are uniform."""
+        return all(self.branch_is_uniform(br) for br in self.cd.of(block))
+
+    def nonuniform_guards(self, block: BasicBlock) -> List[Br]:
+        return [br for br in self.cd.of(block)
+                if not self.branch_is_uniform(br)]
+
+    # ------------------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for instr in self.fn.instructions():
+                if isinstance(instr, Store):
+                    changed |= self._visit_store(instr)
+                elif instr.result is not None:
+                    if id(instr.result) in self.tid_value_ids:
+                        continue
+                    if self._result_is_tid_dependent(instr):
+                        self.tid_value_ids.add(id(instr.result))
+                        changed = True
+
+    def _visit_store(self, instr: Store) -> bool:
+        root = root_object(instr.pointer)
+        if not isinstance(root, Alloca) or id(root) in self._tainted_objects:
+            return False
+        tainted = (self.is_tid_dependent(instr.value)
+                   or any(self.is_tid_dependent(ix)
+                          for ix in index_values(instr.pointer)))
+        if not tainted and instr.parent is not None:
+            # a conditional store under a tid guard: whether the slot was
+            # written at all differs between threads
+            tainted = bool(self.nonuniform_guards(instr.parent))
+        if tainted:
+            self._tainted_objects.add(id(root))
+            return True
+        return False
+
+    def _result_is_tid_dependent(self, instr: Instruction) -> bool:
+        if isinstance(instr, (AtomicRMW, AtomicCAS)):
+            return True
+        if isinstance(instr, Load):
+            if is_shared_or_global(instr.pointer):
+                return True
+            root = root_object(instr.pointer)
+            if root is None or id(root) in self._tainted_objects:
+                return True
+            return any(self.is_tid_dependent(ix)
+                       for ix in index_values(instr.pointer))
+        if isinstance(instr, Phi):
+            for pred, incoming in instr.incoming:
+                if self.is_tid_dependent(incoming):
+                    return True
+                term = pred.terminator
+                if isinstance(term, Br) and self.is_tid_dependent(term.cond):
+                    return True
+            return False
+        if isinstance(instr, Call):
+            return any(self.is_tid_dependent(op) for op in instr.operands())
+        return any(self.is_tid_dependent(op) for op in instr.operands())
+
+
+def check_barrier_uniformity(fn: Function) -> List[str]:
+    """Warnings for barriers reachable under a tid-dependent guard.
+
+    Empty list ⇔ no statically-detected barrier-divergence hazard.
+    """
+    ua = UniformityAnalysis(fn)
+    warnings: List[str] = []
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if not isinstance(instr, Sync):
+                continue
+            for br in ua.nonuniform_guards(block):
+                where = f"line {instr.loc}" if instr.loc else "unknown line"
+                guard = f"line {br.loc}" if br.loc else "unknown line"
+                warnings.append(
+                    f"barrier at {where} is guarded by a thread-dependent "
+                    f"branch at {guard}: possible barrier divergence")
+    return warnings

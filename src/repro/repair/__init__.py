@@ -1,0 +1,28 @@
+"""Counterexample-guided kernel repair: barrier synthesis.
+
+Takes a kernel with reported races and synthesizes a verified, minimal
+set of ``__syncthreads()`` edits:
+
+* :mod:`candidates` — legal insertion points between the conflicting
+  accesses of each race (loop-latch and block-boundary placements,
+  restricted to tid-uniform program points), plus removals of provably
+  redundant barriers;
+* :mod:`rewriter` — splices barrier instructions into basic blocks,
+  splitting critical edges where needed;
+* :mod:`diff` — renders accepted edits as a unified source-level diff
+  using the source locations threaded through the frontend;
+* :mod:`cegis` — the propose → re-check → refine loop (re-checks reuse
+  the warm incremental solver sessions), followed by delta-debugging
+  minimization and a from-source verification of the rendered fix.
+"""
+from .candidates import CandidateGenerator, InsertionPoint, barrier_removals
+from .cegis import RepairEdit, RepairEngine, RepairResult, repair_source
+from .diff import BARRIER_STMT, SourceEdit, apply_edits, render_diff
+from .rewriter import IRRewriter, RemovedSync, RewriteError
+
+__all__ = [
+    "CandidateGenerator", "InsertionPoint", "barrier_removals",
+    "RepairEdit", "RepairEngine", "RepairResult", "repair_source",
+    "BARRIER_STMT", "SourceEdit", "apply_edits", "render_diff",
+    "IRRewriter", "RemovedSync", "RewriteError",
+]

@@ -1,0 +1,229 @@
+"""Barrier placement candidates derived from race reports.
+
+For each reported race the generator walks from the two conflicting
+access instructions to the program points where a ``__syncthreads()``
+could order them:
+
+* **loop-latch placements** — when both accesses sit in one loop, a
+  barrier at the latch separates iteration *i*'s accesses from
+  iteration *i+1*'s (the classic parallel-reduction fix);
+* **access-local placements** — immediately after the first access /
+  immediately before the second, splitting the barrier interval between
+  them;
+* **block boundaries** — the start of each access's block.
+
+Every candidate is filtered through :class:`UniformityAnalysis`: a
+barrier may only go where *all* guarding branches are tid-uniform, so
+no proposed fix can introduce barrier divergence.  Candidates carry the
+source line after which the textual ``__syncthreads();`` goes, so the
+accepted fix can be rendered as a source diff.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir import (
+    BasicBlock, Br, CFG, Function, Instruction, Jump, Loop, Phi, Sync,
+)
+from ..passes.uniform import UniformityAnalysis
+
+
+@dataclass
+class InsertionPoint:
+    """One legal place for a new barrier.
+
+    ``edge`` set: the barrier goes on that CFG edge (the rewriter splits
+    it); otherwise it goes immediately before ``anchor`` in ``block``.
+    ``source_line`` is the 1-based line *after which* the textual
+    ``__syncthreads();`` is inserted when rendering the fix.
+    """
+
+    block: BasicBlock
+    anchor: Optional[Instruction]
+    source_line: int
+    note: str = ""
+    edge: Optional[Tuple[BasicBlock, BasicBlock]] = None
+
+    def key(self) -> tuple:
+        if self.edge is not None:
+            return ("edge", id(self.edge[0]), id(self.edge[1]))
+        return ("at", id(self.block), id(self.anchor))
+
+    def describe(self) -> str:
+        return f"after line {self.source_line} ({self.note})"
+
+
+def barrier_removals(fn: Function) -> List[Sync]:
+    """Existing barriers, as removal candidates (redundancy is proved by
+    re-checking without them, not statically)."""
+    return [i for b in fn.blocks for i in b.instrs if isinstance(i, Sync)]
+
+
+class CandidateGenerator:
+    """Enumerates insertion points for the current shape of a kernel.
+
+    Build a fresh generator after every IR mutation — it snapshots the
+    CFG, the loop forest, the uniformity facts, and the instruction
+    identity map that race reports' ``instr_id`` fields key into.
+    """
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.cfg = CFG(fn)
+        self.ua = UniformityAnalysis(fn)
+        self.loops = self.cfg.natural_loops()
+        self._where: Dict[int, Tuple[BasicBlock, Instruction]] = {
+            id(i): (b, i) for b in fn.blocks for i in b.instrs}
+        #: deterministic program order (block position, instr position)
+        self._pos: Dict[int, Tuple[int, int]] = {
+            id(i): (bi, ii)
+            for bi, b in enumerate(fn.blocks)
+            for ii, i in enumerate(b.instrs)}
+
+    # ------------------------------------------------------------------
+
+    def for_races(self, races: Sequence) -> List[InsertionPoint]:
+        """Deduplicated, deterministically-ordered candidates for a batch
+        of :class:`RaceReport`-like objects (need ``access1``/``access2``
+        with ``instr_id``)."""
+        out: List[InsertionPoint] = []
+        seen: Set[tuple] = set()
+
+        def push(point: Optional[InsertionPoint]) -> None:
+            if point is None or point.source_line < 1:
+                return
+            if point.key() in seen:
+                return
+            seen.add(point.key())
+            out.append(point)
+
+        pairs = []
+        for race in races:
+            w1 = self._where.get(race.access1.instr_id)
+            w2 = self._where.get(race.access2.instr_id)
+            if w1 is None or w2 is None:
+                continue
+            pairs.append((w1, w2))
+
+        # family 1: loop latches (strongest fix for unrolled-loop races)
+        for (b1, i1), (b2, i2) in pairs:
+            for point in self._latch_points(b1, b2):
+                push(point)
+        # family 2: between the two accesses
+        for (b1, i1), (b2, i2) in pairs:
+            for point in self._access_points((b1, i1), (b2, i2)):
+                push(point)
+        # family 3: block boundaries
+        for (b1, i1), (b2, i2) in pairs:
+            push(self._block_start(b1))
+            push(self._block_start(b2))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _innermost_loop(self, b1: BasicBlock,
+                        b2: BasicBlock) -> Optional[Loop]:
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if b1 in loop.blocks and b2 in loop.blocks:
+                if best is None or len(loop.blocks) < len(best.blocks):
+                    best = loop
+        return best
+
+    def _loop_body_line(self, loop: Loop) -> int:
+        """The last source line of the loop body — where an end-of-body
+        barrier lands textually.  Lines holding a loop-*exit* branch
+        (the ``for``/``while`` header, a do-while's trailing
+        ``while (cond)``) are excluded: inserting after them would put
+        the barrier outside the loop."""
+        exit_lines = set()
+        for block in loop.blocks:
+            term = block.terminator
+            if isinstance(term, Br) and \
+                    any(s not in loop.blocks for s in term.successors()):
+                # the whole block computes the exit condition (a for/
+                # while header or a do-while's trailing ``while (cond)``)
+                exit_lines.update(int(i.loc) for i in block.instrs
+                                  if i.loc is not None)
+        lines = [int(i.loc) for b in loop.blocks for i in b.instrs
+                 if i.loc is not None and int(i.loc) not in exit_lines]
+        if lines:
+            return max(lines)
+        return max(exit_lines) - 1 if exit_lines else 0
+
+    def _latch_points(self, b1: BasicBlock,
+                      b2: BasicBlock) -> List[InsertionPoint]:
+        loop = self._innermost_loop(b1, b2)
+        if loop is None:
+            return []
+        body_line = self._loop_body_line(loop)
+        points: List[InsertionPoint] = []
+        for tail, header in self.cfg.back_edges():
+            if header is not loop.header or tail not in loop.blocks:
+                continue
+            if not self.ua.block_is_uniform(tail):
+                continue
+            term = tail.terminator
+            if isinstance(term, Jump):
+                points.append(InsertionPoint(
+                    block=tail, anchor=term, source_line=body_line,
+                    note=f"loop latch, line {int(term.loc)}"
+                         if term.loc else "loop latch"))
+            elif isinstance(term, Br):
+                if not self.ua.branch_is_uniform(term):
+                    continue
+                points.append(InsertionPoint(
+                    block=tail, anchor=None, source_line=body_line,
+                    note="loop back-edge", edge=(tail, header)))
+        return points
+
+    def _access_points(self, w1: Tuple[BasicBlock, Instruction],
+                       w2: Tuple[BasicBlock, Instruction]
+                       ) -> List[InsertionPoint]:
+        (b1, i1), (b2, i2) = w1, w2
+        # order by source position (program order breaks line ties) so
+        # "after the first / before the second" is meaningful
+        if (int(i2.loc or 0), self._pos[id(i2)]) < \
+                (int(i1.loc or 0), self._pos[id(i1)]):
+            (b1, i1), (b2, i2) = (b2, i2), (b1, i1)
+        if i1.loc is not None and i2.loc is not None \
+                and int(i1.loc) == int(i2.loc) and i1 is not i2:
+            # both accesses share one source line (one statement): a
+            # barrier between them exists in the IR but cannot be
+            # rendered as a textual edit, so don't propose one the
+            # final from-source verification is guaranteed to reject
+            return []
+        points: List[InsertionPoint] = []
+        if self.ua.block_is_uniform(b2) and i2.loc is not None:
+            points.append(InsertionPoint(
+                block=b2, anchor=i2, source_line=int(i2.loc) - 1,
+                note=f"before access at line {int(i2.loc)}"))
+        if self.ua.block_is_uniform(b1) and i1.loc is not None:
+            nxt = self._next_instr(b1, i1)
+            if nxt is not None:
+                points.append(InsertionPoint(
+                    block=b1, anchor=nxt, source_line=int(i1.loc),
+                    note=f"after access at line {int(i1.loc)}"))
+        return points
+
+    def _block_start(self, block: BasicBlock) -> Optional[InsertionPoint]:
+        if not self.ua.block_is_uniform(block):
+            return None
+        anchor = next((i for i in block.instrs if not isinstance(i, Phi)),
+                      None)
+        if anchor is None or anchor.loc is None:
+            return None
+        return InsertionPoint(
+            block=block, anchor=anchor, source_line=int(anchor.loc) - 1,
+            note=f"start of block {block.name}")
+
+    @staticmethod
+    def _next_instr(block: BasicBlock,
+                    instr: Instruction) -> Optional[Instruction]:
+        for pos, cur in enumerate(block.instrs):
+            if cur is instr:
+                if pos + 1 < len(block.instrs):
+                    return block.instrs[pos + 1]
+                return None
+        return None

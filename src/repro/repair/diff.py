@@ -1,0 +1,91 @@
+"""Source-level rendering of barrier edits.
+
+The IR carries :class:`~repro.ir.SourceLoc` positions threaded from the
+frontend, so an accepted IR edit maps back to a textual one: *insert a
+``__syncthreads();`` line after line N* (indented like its anchor) or
+*remove the barrier statement on line N*.  Whether the textual fix means
+what the IR fix meant is not assumed — the repair engine recompiles the
+patched source and re-verifies it from scratch.
+"""
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass
+from typing import Iterable, List
+
+BARRIER_STMT = "__syncthreads();"
+
+
+class RenderError(Exception):
+    """An edit does not map cleanly onto the source text."""
+
+
+@dataclass(frozen=True)
+class SourceEdit:
+    """One textual edit. ``insert_after``: add a barrier line after the
+    1-based ``line``; ``remove_line``: delete the barrier statement on
+    ``line``."""
+
+    action: str    # "insert_after" | "remove_line"
+    line: int
+
+    def describe(self) -> str:
+        if self.action == "insert_after":
+            return f"insert {BARRIER_STMT} after line {self.line}"
+        return f"remove {BARRIER_STMT} at line {self.line}"
+
+
+def _indent_of(line: str) -> str:
+    return line[:len(line) - len(line.lstrip())]
+
+
+_UNBRACED_HEADER = re.compile(r"^(if|for|while)\b.*[^{]\s*$|^else\s*$")
+
+
+def _insert_indent(lines: List[str], line: int) -> str:
+    """Indent for a barrier inserted after 1-based ``line``.
+
+    A statement inserted after the body of an unbraced ``if``/``else``/
+    loop header sits *outside* that header; indenting it like the body
+    would mislead the reader, so use the header's own indent instead.
+    """
+    indent = _indent_of(lines[line - 1])
+    if line >= 2:
+        prev = lines[line - 2]
+        if _UNBRACED_HEADER.match(prev.strip()):
+            return _indent_of(prev)
+    return indent
+
+
+def apply_edits(source: str, edits: Iterable[SourceEdit]) -> str:
+    """Apply textual edits bottom-up so earlier line numbers stay valid."""
+    lines = source.split("\n")
+    ordered = sorted(edits, key=lambda e: (-e.line, e.action))
+    for edit in ordered:
+        if edit.action == "insert_after":
+            if not 1 <= edit.line <= len(lines):
+                raise RenderError(
+                    f"insertion line {edit.line} outside source "
+                    f"(1..{len(lines)})")
+            indent = _insert_indent(lines, edit.line)
+            lines.insert(edit.line, indent + BARRIER_STMT)
+        elif edit.action == "remove_line":
+            if not 1 <= edit.line <= len(lines) \
+                    or lines[edit.line - 1].strip() != BARRIER_STMT:
+                raise RenderError(
+                    f"line {edit.line} is not a bare {BARRIER_STMT} "
+                    f"statement")
+            del lines[edit.line - 1]
+        else:
+            raise RenderError(f"unknown edit action {edit.action!r}")
+    return "\n".join(lines)
+
+
+def render_diff(original: str, patched: str,
+                name: str = "kernel.cu") -> str:
+    """Unified diff between the original and the repaired source."""
+    return "".join(difflib.unified_diff(
+        original.splitlines(keepends=True),
+        patched.splitlines(keepends=True),
+        fromfile=f"a/{name}", tofile=f"b/{name}"))

@@ -1,0 +1,126 @@
+"""IR rewriting for barrier repair.
+
+Splices :class:`Sync` instructions into basic blocks at the points the
+candidate generator proposes.  Placements on a CFG edge (a loop
+back-edge ending in a conditional branch) are realised by *splitting*
+the edge: a fresh block holding the barrier and a jump is interposed,
+the predecessor's terminator is retargeted, and phi incoming edges in
+the successor are rewritten.  Split blocks are cached per edge and kept
+once created — an empty pass-through block is semantically inert, so
+reverting a rejected candidate only removes its ``Sync``.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir import (
+    BasicBlock, Br, Function, Instruction, Jump, SourceLoc, Sync,
+)
+from .candidates import InsertionPoint
+
+
+class RewriteError(Exception):
+    """An edit could not be applied to the IR."""
+
+
+class RemovedSync:
+    """Undo record for a barrier removal: reinsert exactly where it was."""
+
+    def __init__(self, sync: Sync, block: BasicBlock,
+                 anchor: Optional[Instruction]) -> None:
+        self.sync = sync
+        self.block = block
+        self.anchor = anchor   # reinsert before this instruction
+
+    def restore(self) -> None:
+        idx = len(self.block.instrs)
+        if self.anchor is not None:
+            idx = _index_of(self.block, self.anchor)
+        self.block.instrs.insert(idx, self.sync)
+        self.sync.parent = self.block
+
+
+def _index_of(block: BasicBlock, instr: Instruction) -> int:
+    for pos, cur in enumerate(block.instrs):
+        if cur is instr:
+            return pos
+    raise RewriteError(
+        f"instruction {instr!r} not found in block {block.name}")
+
+
+class IRRewriter:
+    """Applies and reverts barrier edits on one function."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self._edge_blocks: Dict[Tuple[int, int], BasicBlock] = {}
+
+    # ------------------------------------------------------------------
+
+    def insert_sync(self, point: InsertionPoint) -> Sync:
+        """Place a barrier at an insertion point; returns the new Sync
+        (remove it with :meth:`remove_sync` to revert)."""
+        if point.edge is not None:
+            pred, succ = point.edge
+            block = self._edge_blocks.get((id(pred), id(succ)))
+            if block is None:
+                block = self.split_edge(pred, succ)
+            anchor: Optional[Instruction] = block.terminator
+        else:
+            block, anchor = point.block, point.anchor
+        sync = Sync()
+        sync.loc = SourceLoc(point.source_line)
+        idx = len(block.instrs) if anchor is None \
+            else _index_of(block, anchor)
+        block.instrs.insert(idx, sync)
+        sync.parent = block
+        self.fn.verify()
+        return sync
+
+    def remove_sync(self, sync: Sync) -> RemovedSync:
+        """Take a barrier out (restorable via the returned record)."""
+        block = sync.parent
+        if block is None:
+            raise RewriteError("sync has no parent block")
+        idx = _index_of(block, sync)
+        del block.instrs[idx]
+        sync.parent = None
+        anchor = block.instrs[idx] if idx < len(block.instrs) else None
+        return RemovedSync(sync, block, anchor)
+
+    # ------------------------------------------------------------------
+
+    def split_edge(self, pred: BasicBlock, succ: BasicBlock) -> BasicBlock:
+        """Interpose a fresh block on the edge pred→succ."""
+        term = pred.terminator
+        if term is None:
+            raise RewriteError(f"block {pred.name} has no terminator")
+        new = self.fn.new_block(f"{pred.name}.sync")
+        if isinstance(term, Jump):
+            if term.target is not succ:
+                raise RewriteError(
+                    f"no edge {pred.name} -> {succ.name}")
+            term.target = new
+        elif isinstance(term, Br):
+            hit = False
+            if term.then_block is succ:
+                term.then_block = new
+                hit = True
+            if term.else_block is succ:
+                term.else_block = new
+                hit = True
+            if not hit:
+                raise RewriteError(
+                    f"no edge {pred.name} -> {succ.name}")
+        else:
+            raise RewriteError(
+                f"cannot split edge out of terminator {term!r}")
+        jump = Jump(succ)
+        jump.parent = new
+        new.instrs.append(jump)
+        for phi in succ.phis():
+            phi.incoming = [(new if p is pred else p, v)
+                            for p, v in phi.incoming]
+        self._edge_blocks[(id(pred), id(succ))] = new
+        self.fn.verify()
+        return new

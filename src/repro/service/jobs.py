@@ -69,6 +69,8 @@ class JobSpec:
     #: pre-solver pruning pipeline (summarization, disjointness buckets,
     #: pair memo); False forces raw enumeration for differential runs
     pair_pruning: bool = True
+    #: also run the CEGIS barrier-repair loop and attach its outcome
+    repair: bool = False
     #: Table III kernels need the synthetic CSR graph attached
     needs_concrete_graph: bool = False
     #: free-form passthrough (suite/table tags, test fixtures, ...)
@@ -138,6 +140,9 @@ class JobSpec:
             # the two paths must not share cache entries
             "incremental_solving": self.incremental_solving,
             "pair_pruning": self.pair_pruning,
+            # a repair run produces strictly more output than a plain
+            # check, so the two must not share cache entries
+            "repair": self.repair,
         }
 
     def to_dict(self) -> dict:
@@ -167,6 +172,7 @@ class JobSpec:
             time_budget_seconds=data.get("time_budget_seconds"),
             incremental_solving=data.get("incremental_solving", True),
             pair_pruning=data.get("pair_pruning", True),
+            repair=data.get("repair", False),
             needs_concrete_graph=data.get("needs_concrete_graph", False),
             meta=dict(data.get("meta") or {}))
 
@@ -188,6 +194,8 @@ class JobResult:
     check_stats: Optional[dict] = None
     #: {"symbolic": n, "total": m} input-symbolisation counts
     inputs: Optional[dict] = None
+    #: ``RepairResult.to_dict()`` when the job ran with ``repair=True``
+    repair: Optional[dict] = None
     error: Optional[str] = None
 
     @property
@@ -222,7 +230,8 @@ class JobResult:
             "elapsed_seconds": self.elapsed_seconds,
             "cached": self.cached, "cache_key": self.cache_key,
             "verdict": self.verdict, "check_stats": self.check_stats,
-            "inputs": self.inputs, "error": self.error,
+            "inputs": self.inputs, "repair": self.repair,
+            "error": self.error,
         }
 
     @classmethod
@@ -237,4 +246,5 @@ class JobResult:
             verdict=data.get("verdict"),
             check_stats=data.get("check_stats"),
             inputs=data.get("inputs"),
+            repair=data.get("repair"),
             error=data.get("error"))

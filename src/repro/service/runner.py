@@ -55,12 +55,21 @@ def execute_job(spec_dict: dict) -> dict:
             inputs = {"symbolic": n, "total": n}
         else:
             inputs = None
+        repair = None
+        if spec.repair and spec.engine == "sesa" and report.has_races:
+            from ..repair import repair_source
+            outcome = repair_source(
+                spec.source, config=spec.launch_config(),
+                kernel_name=spec.kernel_name,
+                time_budget_seconds=spec.time_budget_seconds)
+            repair = outcome.to_dict()
         return {
             "status": JobStatus.DONE,
             "verdict": report.to_dict(),
             "check_stats": (asdict(report.check_stats)
                             if report.check_stats is not None else None),
             "inputs": inputs,
+            "repair": repair,
             "elapsed_seconds": time.perf_counter() - start,
             "error": None,
         }
@@ -70,6 +79,7 @@ def execute_job(spec_dict: dict) -> dict:
             "verdict": None,
             "check_stats": None,
             "inputs": None,
+            "repair": None,
             "elapsed_seconds": time.perf_counter() - start,
             "error": traceback.format_exc(limit=8),
         }

@@ -153,6 +153,9 @@ class Scheduler:
         """Run one job to a terminal status (with retries)."""
         spec_dict = spec.to_dict()
         start = time.perf_counter()
+        if spec.repair:
+            self.telemetry.emit("repair_started", job_id=spec.job_id,
+                                engine=spec.engine)
         attempts = 0
         while True:
             attempts += 1
@@ -170,7 +173,18 @@ class Scheduler:
                     verdict=payload.get("verdict"),
                     check_stats=payload.get("check_stats"),
                     inputs=payload.get("inputs"),
+                    repair=payload.get("repair"),
                     error=payload.get("error"))
+                if result.repair is not None:
+                    self.telemetry.emit(
+                        "repair_finished", job_id=spec.job_id,
+                        converged=result.repair.get("converged"),
+                        verified=result.repair.get("verified"),
+                        edits=len(result.repair.get("edits") or ()),
+                        iterations=result.repair.get("iterations"),
+                        recheck_queries=result.repair.get(
+                            "recheck_queries"),
+                        preamble_reuse=result.repair.get("preamble_reuse"))
                 if result.status == JobStatus.DONE \
                         and self.cache is not None and key is not None:
                     self.cache.put(key, payload)
@@ -210,7 +224,8 @@ class Scheduler:
                     cache_key=key, elapsed_seconds=0.0,
                     verdict=payload.get("verdict"),
                     check_stats=payload.get("check_stats"),
-                    inputs=payload.get("inputs"))
+                    inputs=payload.get("inputs"),
+                    repair=payload.get("repair"))
                 self._emit_finished(result)
                 return result
             self.telemetry.emit("cache_miss", job_id=spec.job_id,

@@ -155,7 +155,10 @@ class RaceChecker:
                  max_reports: int = 16,
                  extra_assumptions: Optional[List[Term]] = None,
                  incremental: Optional[bool] = None,
-                 pruning: Optional[bool] = None) -> None:
+                 pruning: Optional[bool] = None,
+                 sessions: Optional[Dict[Tuple[int, ...],
+                                         SolverSession]] = None,
+                 memo: Optional[QueryMemo] = None) -> None:
         self.result = result
         self.config = result.config
         self.env = result.env
@@ -198,8 +201,13 @@ class RaceChecker:
         # (keyed on interned term identities, built lazily because
         # extra_assumptions may be mutated after construction), the
         # cross-query memo, and the divergence-check cache
-        self._sessions: Dict[Tuple[int, ...], SolverSession] = {}
-        self._memo = QueryMemo()
+        # callers running the checker repeatedly over near-identical
+        # programs (the CEGIS repair loop) pass shared containers here so
+        # warm sessions / memoized verdicts carry across re-checks —
+        # preambles are interned terms, so the keys are stable between
+        # checker instances
+        self._sessions = sessions if sessions is not None else {}
+        self._memo = memo if memo is not None else QueryMemo()
         self._div_cache: Dict[int, bool] = {}
         # pruning machinery: interval analysis over the *uninstantiated*
         # offsets (both thread sides share the same bounds), per-offset

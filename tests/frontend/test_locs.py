@@ -1,0 +1,78 @@
+"""Source line/column threading: lexer -> parser -> AST -> IR."""
+from repro import ir
+from repro.frontend.codegen import compile_source
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse
+from repro.ir import SourceLoc
+
+KERNEL = """\
+__global__ void k(int *v) {
+    int x = v[threadIdx.x];
+    if (threadIdx.x < 4)
+        v[threadIdx.x] = x + 1;
+}
+"""
+
+
+class TestSourceLoc:
+    def test_compares_and_hashes_as_line(self):
+        loc = SourceLoc(8, 13)
+        assert loc == 8
+        assert hash(loc) == hash(8)
+        assert loc.line == 8 and loc.col == 13
+        assert {loc: "x"}[8] == "x"
+
+    def test_str_carries_column(self):
+        assert str(SourceLoc(8, 13)) == "8:13"
+        assert str(SourceLoc(8)) == "8"
+
+    def test_json_serialises_as_int(self):
+        import json
+        assert json.dumps([SourceLoc(8, 13)]) == "[8]"
+
+    def test_sorts_with_plain_ints(self):
+        assert sorted([SourceLoc(9, 1), 3, SourceLoc(2, 7)]) == [2, 3, 9]
+
+
+class TestLexerColumns:
+    def test_token_columns_are_one_based(self):
+        toks = tokenize("int  x = 1;")
+        cols = {t.text: t.col for t in toks if t.kind != "eof"}
+        assert cols["int"] == 1
+        assert cols["x"] == 6
+        assert cols["="] == 8
+        assert cols["1"] == 10
+
+    def test_macro_expansion_uses_use_site_column(self):
+        toks = tokenize("#define N 256\nint x = N;")
+        n_tok = [t for t in toks if t.text == "256"][0]
+        assert n_tok.line == 2
+        assert n_tok.col == 9  # column of the 'N' use, not the define
+
+
+class TestAstColumns:
+    def test_statement_columns(self):
+        unit = parse(KERNEL)
+        body = unit.functions[0].body
+        decl, if_stmt = body.stmts
+        assert (decl.line, decl.col) == (2, 5)
+        assert (if_stmt.line, if_stmt.col) == (3, 5)
+
+
+class TestIrLocs:
+    def test_instruction_locs_are_source_locs(self):
+        mod = compile_source(KERNEL, "k")
+        fn = mod.get_kernel("k")
+        locs = [i.loc for b in fn.blocks for i in b.instrs
+                if i.loc is not None]
+        assert locs, "no locs threaded into the IR"
+        assert all(isinstance(l, SourceLoc) for l in locs)
+        assert all(l.col > 0 for l in locs)
+
+    def test_store_loc_still_matches_line(self):
+        # the pre-existing contract: loc == line as an int
+        mod = compile_source(KERNEL, "k")
+        fn = mod.get_kernel("k")
+        stores = [i for b in fn.blocks for i in b.instrs
+                  if isinstance(i, ir.Store) and i.loc is not None]
+        assert any(s.loc == 4 for s in stores)

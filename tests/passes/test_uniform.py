@@ -1,0 +1,112 @@
+"""Tid-uniformity analysis and the barrier-divergence audit."""
+from repro import ir
+from repro.frontend.codegen import compile_source
+from repro.passes import (
+    UniformityAnalysis, check_barrier_uniformity, standard_pipeline,
+)
+
+
+def build(source, name):
+    mod = compile_source(source, name)
+    standard_pipeline().run(mod)
+    return mod.get_kernel(name)
+
+
+def branch_conds(fn):
+    return [i for b in fn.blocks for i in b.instrs if isinstance(i, ir.Br)]
+
+
+class TestUniformity:
+    def test_tid_branch_is_nonuniform(self):
+        fn = build("""
+        __global__ void k(int *v) {
+            if (threadIdx.x < 4)
+                v[threadIdx.x] = 1;
+        }
+        """, "k")
+        ua = UniformityAnalysis(fn)
+        (br,) = branch_conds(fn)
+        assert not ua.branch_is_uniform(br)
+        guarded = [b for b in fn.blocks if ua.nonuniform_guards(b)]
+        assert guarded, "the then-block must be flagged non-uniform"
+
+    def test_uniform_loop_bound_is_uniform(self):
+        fn = build("""
+        __global__ void k(int *v) {
+            for (unsigned int s = 1; s < blockDim.x; s *= 2)
+                v[threadIdx.x] = v[threadIdx.x] + 1;
+        }
+        """, "k")
+        ua = UniformityAnalysis(fn)
+        loop_brs = [br for br in branch_conds(fn)
+                    if br.meta.get("loop_branch")]
+        assert loop_brs
+        assert all(ua.branch_is_uniform(br) for br in loop_brs)
+        # the loop body is a legal barrier insertion point
+        body = [b for b in fn.blocks if "for.body" in b.name]
+        assert body and all(ua.block_is_uniform(b) for b in body)
+
+    def test_shared_load_feeds_nonuniform_branch(self):
+        fn = build("""
+        __shared__ int flag[32];
+        __global__ void k(int *v) {
+            if (flag[0] > 3)
+                v[threadIdx.x] = 1;
+        }
+        """, "k")
+        ua = UniformityAnalysis(fn)
+        (br,) = branch_conds(fn)
+        # conservative: another thread may have written flag[0]
+        assert not ua.branch_is_uniform(br)
+
+    def test_argument_guard_is_uniform(self):
+        fn = build("""
+        __global__ void k(int *v, int n) {
+            if (n > 3)
+                v[threadIdx.x] = 1;
+        }
+        """, "k")
+        ua = UniformityAnalysis(fn)
+        (br,) = branch_conds(fn)
+        assert ua.branch_is_uniform(br)
+
+
+class TestBarrierAudit:
+    def test_clean_kernel_has_no_warnings(self):
+        fn = build("""
+        __shared__ int s[64];
+        __global__ void k(int *v) {
+            s[threadIdx.x] = v[threadIdx.x];
+            __syncthreads();
+            v[threadIdx.x] = s[0];
+        }
+        """, "k")
+        assert check_barrier_uniformity(fn) == []
+
+    def test_tid_guarded_barrier_is_flagged(self):
+        fn = build("""
+        __shared__ int s[64];
+        __global__ void k(int *v) {
+            if (threadIdx.x < 16) {
+                s[threadIdx.x] = v[threadIdx.x];
+                __syncthreads();
+            }
+            v[threadIdx.x] = s[0];
+        }
+        """, "k")
+        warnings = check_barrier_uniformity(fn)
+        assert warnings
+        assert "barrier divergence" in warnings[0]
+
+    def test_uniformly_guarded_barrier_is_clean(self):
+        fn = build("""
+        __shared__ int s[64];
+        __global__ void k(int *v, int n) {
+            if (n > 0) {
+                s[threadIdx.x] = v[threadIdx.x];
+                __syncthreads();
+            }
+            v[threadIdx.x] = s[0];
+        }
+        """, "k")
+        assert check_barrier_uniformity(fn) == []

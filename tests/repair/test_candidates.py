@@ -1,0 +1,86 @@
+"""Candidate generation: legal, uniform, deduplicated insertion points."""
+import pytest
+
+from repro.core import SESA, LaunchConfig
+from repro.repair import CandidateGenerator, barrier_removals
+
+REDUCTION = """
+__shared__ float sdata[512];
+__global__ void reduce(float *idata, float *odata) {
+  sdata[threadIdx.x] = idata[threadIdx.x];
+  __syncthreads();
+  for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+    if (threadIdx.x % (2*s) == 0)
+      sdata[threadIdx.x] += sdata[threadIdx.x + s];
+  }
+  __syncthreads();
+  odata[threadIdx.x] = sdata[threadIdx.x];
+}
+"""
+
+STRAIGHT = """
+__shared__ int buf[64];
+__global__ void neigh(int *out) {
+  buf[threadIdx.x] = threadIdx.x;
+  out[threadIdx.x] = buf[(threadIdx.x + 1) % 64];
+}
+"""
+
+
+def races_for(source, block=64):
+    tool = SESA.from_source(source)
+    report = tool.check(LaunchConfig(block_dim=block, check_oob=False))
+    assert report.has_races
+    return tool.kernel, [r for r in report.races if not r.benign]
+
+
+class TestReductionCandidates:
+    def test_latch_candidate_exists(self):
+        kernel, races = races_for(REDUCTION)
+        points = CandidateGenerator(kernel).for_races(races)
+        assert points, "racy kernel must yield candidates"
+        latch = [p for p in points if "loop" in p.note]
+        assert latch, "reduction race must propose a loop-latch barrier"
+        # the end of the loop body: after the accumulation statement
+        assert latch[0].source_line == 8
+
+    def test_candidates_are_deduplicated(self):
+        kernel, races = races_for(REDUCTION)
+        points = CandidateGenerator(kernel).for_races(races)
+        keys = [p.key() for p in points]
+        assert len(keys) == len(set(keys))
+
+    def test_candidates_only_at_uniform_points(self):
+        kernel, races = races_for(REDUCTION)
+        gen = CandidateGenerator(kernel)
+        for point in gen.for_races(races):
+            block = point.edge[0] if point.edge else point.block
+            assert gen.ua.block_is_uniform(block), \
+                f"candidate {point.describe()} sits under a tid branch"
+
+    def test_source_lines_are_positive(self):
+        kernel, races = races_for(REDUCTION)
+        for point in CandidateGenerator(kernel).for_races(races):
+            assert point.source_line >= 1
+
+
+class TestStraightLineCandidates:
+    def test_between_access_candidates(self):
+        kernel, races = races_for(STRAIGHT)
+        points = CandidateGenerator(kernel).for_races(races)
+        notes = " ".join(p.note for p in points)
+        assert "access" in notes or "block" in notes
+
+    def test_generator_is_deterministic(self):
+        kernel, races = races_for(STRAIGHT)
+        a = [p.key() for p in CandidateGenerator(kernel).for_races(races)]
+        b = [p.key() for p in CandidateGenerator(kernel).for_races(races)]
+        assert a == b
+
+
+class TestRemovals:
+    def test_existing_barriers_enumerated(self):
+        tool = SESA.from_source(REDUCTION)
+        syncs = barrier_removals(tool.kernel)
+        assert len(syncs) == 2
+        assert sorted(int(s.loc) for s in syncs) == [5, 10]

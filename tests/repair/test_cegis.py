@@ -1,0 +1,210 @@
+"""The repair loop end-to-end: convergence, minimality, honesty."""
+import json
+
+import pytest
+
+from repro.core import SESA, LaunchConfig, check_source, repair_source
+from repro.core.report import AnalysisReport
+from repro.passes import check_barrier_uniformity
+from repro.frontend import compile_source
+from repro.passes import standard_pipeline
+
+REDUCTION = """
+__shared__ float sdata[512];
+__global__ void reduce(float *idata, float *odata) {
+  sdata[threadIdx.x] = idata[threadIdx.x];
+  __syncthreads();
+  for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+    if (threadIdx.x % (2*s) == 0)
+      sdata[threadIdx.x] += sdata[threadIdx.x + s];
+  }
+  __syncthreads();
+  odata[threadIdx.x] = sdata[threadIdx.x];
+}
+"""
+
+NEIGHBOUR = """
+__shared__ int buf[64];
+__global__ void neigh(int *out) {
+  buf[threadIdx.x] = threadIdx.x;
+  out[threadIdx.x] = buf[(threadIdx.x + 1) % 64];
+}
+"""
+
+# a true data race: no barrier can order two threads' writes to the
+# same cell issued by one instruction
+UNREPAIRABLE = """
+__global__ void clash(int *v) {
+  v[0] = threadIdx.x;
+}
+"""
+
+CLEAN = """
+__global__ void k(float *a) { a[threadIdx.x] = 1.0f; }
+"""
+
+CFG = dict(block_dim=64, check_oob=False)
+
+
+class TestReductionRepair:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return repair_source(REDUCTION, config=LaunchConfig(**CFG))
+
+    def test_converges_verified_minimal(self, result):
+        assert result.converged
+        assert result.verified
+        assert result.minimal
+
+    def test_exactly_one_barrier(self, result):
+        # the buggy reduction misses exactly one barrier; minimization
+        # must not leave extras behind
+        assert len(result.edits) == 1
+        edit = result.edits[0]
+        assert edit.action == "insert"
+        assert edit.line == 8
+
+    def test_patched_source_verifies_racefree(self, result):
+        report = check_source(result.patched_source,
+                              config=LaunchConfig(**CFG))
+        assert not report.has_races
+
+    def test_patched_source_passes_divergence_check(self, result):
+        module = compile_source(result.patched_source)
+        standard_pipeline().run(module)
+        assert check_barrier_uniformity(module.get_kernel(None)) == []
+
+    def test_no_barrier_is_removable(self, result):
+        # strip the synthesized barrier back out: the race must return,
+        # i.e. the fix is tight, not just sufficient
+        lines = result.patched_source.split("\n")
+        stripped = [ln for i, ln in enumerate(lines, 1)
+                    if i != result.edits[0].line + 1]
+        report = check_source("\n".join(stripped),
+                              config=LaunchConfig(**CFG))
+        assert report.has_races
+
+    def test_diff_renders(self, result):
+        assert result.diff.startswith("--- a/reduce.cu")
+        assert "+    __syncthreads();" in result.diff
+
+    def test_result_is_json_safe(self, result):
+        json.dumps(result.to_dict())
+
+
+class TestStraightLineRepair:
+    def test_neighbour_exchange_repairs(self):
+        result = repair_source(NEIGHBOUR, config=LaunchConfig(**CFG))
+        assert result.converged and result.verified
+        assert all(e.action == "insert" for e in result.edits)
+        report = check_source(result.patched_source,
+                              config=LaunchConfig(**CFG))
+        assert not report.has_races
+
+
+class TestDoWhileRepair:
+    # latch fix requires splitting the conditional back edge, and the
+    # read→write exchange needs a second mid-body barrier
+    DOWHILE = """
+__shared__ int buf[64];
+__global__ void shift(int *out) {
+  int i = 0;
+  int x = 0;
+  do {
+    x = buf[(threadIdx.x + 1) % 64];
+    buf[threadIdx.x] = x;
+    i = i + 1;
+  } while (i < 4);
+  out[threadIdx.x] = buf[threadIdx.x] + x;
+}
+"""
+
+    def test_two_barrier_fix_inside_the_loop(self):
+        result = repair_source(self.DOWHILE, config=LaunchConfig(**CFG))
+        assert result.converged and result.verified and result.minimal
+        assert len(result.edits) == 2
+        # both barriers land inside the do-while body (lines 7..9),
+        # never after the ``} while`` line
+        assert all(7 <= e.line <= 9 for e in result.edits)
+        report = check_source(result.patched_source,
+                              config=LaunchConfig(**CFG))
+        assert not report.has_races
+
+
+class TestHonestFailure:
+    def test_true_race_reports_nonconvergence(self):
+        result = repair_source(UNREPAIRABLE, config=LaunchConfig(
+            block_dim=32, check_oob=False), max_iterations=4)
+        assert not result.converged
+        assert not result.verified
+        assert result.residual_races >= 1
+        assert result.iterations <= 4
+        assert "race" in result.message
+
+    def test_same_line_exchange_is_not_source_fixable(self):
+        # load and store share one statement; the only separating
+        # barrier lives between two instructions of the same source
+        # line, which no textual edit expresses — the engine must not
+        # claim a fix
+        src = """
+__shared__ int buf[64];
+__global__ void dw(int *out) {
+  int i = 0;
+  do {
+    buf[threadIdx.x] = buf[(threadIdx.x + 1) % 64] + i;
+    i = i + 1;
+  } while (i < 4);
+  out[threadIdx.x] = buf[threadIdx.x];
+}
+"""
+        result = repair_source(src, config=LaunchConfig(**CFG),
+                               max_iterations=4)
+        assert not (result.converged and result.verified)
+
+    def test_clean_kernel_needs_no_edits(self):
+        result = repair_source(CLEAN, config=LaunchConfig(**CFG))
+        assert result.converged and result.verified
+        assert result.edits == []
+        assert result.initial_races == 0
+
+
+class TestIncrementalReuse:
+    """CEGIS re-checks must ride the warm incremental-solver path."""
+
+    def test_shared_sessions_reused_across_iterations(self):
+        shared = repair_source(REDUCTION, config=LaunchConfig(**CFG))
+        later = [s for s in shared.iteration_stats if s.iteration >= 1]
+        assert later, "repair must run at least one CEGIS iteration"
+        # iterations after the baseline check never rebuild a session:
+        # every query lands on a warm session or the shared memo
+        assert sum(s.sessions_created for s in later) == 0
+        assert sum(s.preamble_reuse + s.memo_hits for s in later) > 0
+        assert shared.preamble_reuse > 0
+
+    def test_unshared_sessions_rebuild_every_recheck(self):
+        shared = repair_source(REDUCTION, config=LaunchConfig(**CFG))
+        unshared = repair_source(REDUCTION, config=LaunchConfig(**CFG),
+                                 share_sessions=False)
+        assert unshared.sessions_created > shared.sessions_created
+        assert unshared.memo_hits == 0
+
+
+class TestReportIntegration:
+    def test_repair_attaches_to_report(self):
+        tool = SESA.from_source(REDUCTION)
+        report = tool.check(LaunchConfig(**CFG))
+        repair = repair_source(REDUCTION, config=LaunchConfig(**CFG))
+        report.repair = repair
+        payload = report.to_dict()
+        assert payload["repair"]["converged"] is True
+        assert "repair:" in report.summary()
+        json.dumps(payload)
+
+    def test_races_carry_line_and_col(self):
+        report = check_source(REDUCTION, config=LaunchConfig(**CFG))
+        assert report.has_races
+        payload = report.to_dict()
+        locs = payload["races"][0]["locs"]
+        assert locs[0] is not None and locs[0][0] >= 1
+        # column threading: the frontend records where on the line
+        assert locs[0][1] >= 1

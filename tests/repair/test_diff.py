@@ -1,0 +1,64 @@
+"""Source-level rendering of barrier edits."""
+import pytest
+
+from repro.repair import (
+    BARRIER_STMT, SourceEdit, apply_edits, render_diff,
+)
+from repro.repair.diff import RenderError
+
+SOURCE = """\
+__global__ void k(int *a) {
+  for (int i = 0; i < 4; i = i + 1) {
+    a[threadIdx.x] = i;
+  }
+  __syncthreads();
+}"""
+
+
+class TestApplyEdits:
+    def test_insert_after_copies_indent(self):
+        out = apply_edits(SOURCE, [SourceEdit("insert_after", 3)])
+        lines = out.split("\n")
+        assert lines[3] == "    " + BARRIER_STMT
+        assert lines[2] == "    a[threadIdx.x] = i;"
+
+    def test_insert_after_unbraced_if_uses_header_indent(self):
+        src = ("__global__ void k(int *a) {\n"
+               "  if (threadIdx.x % 2 == 0)\n"
+               "    a[0] = 1;\n"
+               "}")
+        out = apply_edits(src, [SourceEdit("insert_after", 3)])
+        # the barrier sits outside the unbraced if — indent like the
+        # header, not like its body
+        assert out.split("\n")[3] == "  " + BARRIER_STMT
+
+    def test_remove_line(self):
+        out = apply_edits(SOURCE, [SourceEdit("remove_line", 5)])
+        assert BARRIER_STMT not in out
+
+    def test_remove_non_barrier_line_raises(self):
+        with pytest.raises(RenderError):
+            apply_edits(SOURCE, [SourceEdit("remove_line", 3)])
+
+    def test_edits_apply_bottom_up(self):
+        out = apply_edits(SOURCE, [SourceEdit("insert_after", 1),
+                                   SourceEdit("insert_after", 3)])
+        lines = out.split("\n")
+        assert lines[1].strip() == BARRIER_STMT
+        assert lines[4].strip() == BARRIER_STMT
+
+    def test_insert_outside_source_raises(self):
+        with pytest.raises(RenderError):
+            apply_edits(SOURCE, [SourceEdit("insert_after", 99)])
+
+
+class TestRenderDiff:
+    def test_unified_diff_shape(self):
+        patched = apply_edits(SOURCE, [SourceEdit("insert_after", 3)])
+        diff = render_diff(SOURCE, patched, name="k.cu")
+        assert diff.startswith("--- a/k.cu")
+        assert "+++ b/k.cu" in diff
+        assert f"+    {BARRIER_STMT}" in diff
+
+    def test_identity_diff_is_empty(self):
+        assert render_diff(SOURCE, SOURCE) == ""

@@ -1,0 +1,142 @@
+"""IR rewriting: barrier splicing, edge splitting, clean reverts."""
+import pytest
+
+from repro.core import SESA, LaunchConfig
+from repro.ir import Jump, Sync
+from repro.repair import (
+    CandidateGenerator, IRRewriter, InsertionPoint, RewriteError,
+)
+
+REDUCTION = """
+__shared__ float sdata[512];
+__global__ void reduce(float *idata, float *odata) {
+  sdata[threadIdx.x] = idata[threadIdx.x];
+  __syncthreads();
+  for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+    if (threadIdx.x % (2*s) == 0)
+      sdata[threadIdx.x] += sdata[threadIdx.x + s];
+  }
+  __syncthreads();
+  odata[threadIdx.x] = sdata[threadIdx.x];
+}
+"""
+
+
+# do-while: the back-edge tail ends in a conditional Br, so the latch
+# candidate is an edge placement the rewriter must realise by splitting
+DOWHILE = """
+__shared__ int buf[64];
+__global__ void shift(int *out) {
+  int i = 0;
+  int x = 0;
+  do {
+    x = buf[(threadIdx.x + 1) % 64];
+    buf[threadIdx.x] = x;
+    i = i + 1;
+  } while (i < 4);
+  out[threadIdx.x] = buf[threadIdx.x] + x;
+}
+"""
+
+
+def setup(source=REDUCTION):
+    tool = SESA.from_source(source)
+    report = tool.check(LaunchConfig(block_dim=64, check_oob=False))
+    races = [r for r in report.races if not r.benign]
+    return tool.kernel, CandidateGenerator(tool.kernel).for_races(races)
+
+
+def count_syncs(fn):
+    return sum(isinstance(i, Sync) for b in fn.blocks for i in b.instrs)
+
+
+class TestInsertRemove:
+    def test_insert_adds_exactly_one_sync(self):
+        kernel, points = setup()
+        before = count_syncs(kernel)
+        rewriter = IRRewriter(kernel)
+        sync = rewriter.insert_sync(points[0])
+        assert count_syncs(kernel) == before + 1
+        assert sync.parent is not None
+        kernel.verify()
+
+    def test_remove_restores_shape(self):
+        kernel, points = setup()
+        before = count_syncs(kernel)
+        rewriter = IRRewriter(kernel)
+        sync = rewriter.insert_sync(points[0])
+        rewriter.remove_sync(sync)
+        assert count_syncs(kernel) == before
+        assert sync.parent is None
+        kernel.verify()
+
+    def test_removed_sync_restore_roundtrip(self):
+        kernel, points = setup()
+        rewriter = IRRewriter(kernel)
+        sync = rewriter.insert_sync(points[0])
+        block = sync.parent
+        idx = next(i for i, ins in enumerate(block.instrs) if ins is sync)
+        record = rewriter.remove_sync(sync)
+        record.restore()
+        assert block.instrs[idx] is sync
+        kernel.verify()
+
+    def test_sync_carries_source_line(self):
+        kernel, points = setup()
+        sync = IRRewriter(kernel).insert_sync(points[0])
+        assert int(sync.loc) == points[0].source_line
+
+
+class TestEdgeSplitting:
+    def test_split_edge_interposes_block(self):
+        kernel, points = setup(DOWHILE)
+        edge_points = [p for p in points if p.edge is not None]
+        assert edge_points, "do-while latch must be an edge candidate"
+        point = edge_points[0]
+        rewriter = IRRewriter(kernel)
+        sync = rewriter.insert_sync(point)
+        new_block = sync.parent
+        pred, succ = point.edge
+        assert new_block is not pred and new_block is not succ
+        assert isinstance(new_block.terminator, Jump)
+        assert new_block.terminator.target is succ
+        kernel.verify()
+
+    def test_split_edge_cached_per_edge(self):
+        kernel, points = setup(DOWHILE)
+        edge_points = [p for p in points if p.edge is not None]
+        assert edge_points
+        rewriter = IRRewriter(kernel)
+        s1 = rewriter.insert_sync(edge_points[0])
+        rewriter.remove_sync(s1)
+        s2 = rewriter.insert_sync(edge_points[0])
+        assert s1.parent is None and s2.parent is not None
+        # second insertion reuses the split block instead of stacking
+        # another pass-through block on the same edge
+        assert ".sync" in s2.parent.name
+        assert sum(".sync" in b.name for b in kernel.blocks) == 1
+        kernel.verify()
+
+    def test_split_unrelated_blocks_raises(self):
+        kernel, _ = setup()
+        blocks = list(kernel.blocks)
+        rewriter = IRRewriter(kernel)
+        with pytest.raises(RewriteError):
+            rewriter.split_edge(blocks[-1], blocks[0])
+
+
+class TestSemanticsPreserved:
+    def test_rewritten_kernel_still_executes(self):
+        tool = SESA.from_source(REDUCTION)
+        races = [r for r in tool.check(
+            LaunchConfig(block_dim=64, check_oob=False)).races
+            if not r.benign]
+        candidates = CandidateGenerator(tool.kernel).for_races(races)
+        rewriter = IRRewriter(tool.kernel)
+        latch = [p for p in candidates if "loop" in p.note]
+        assert latch
+        rewriter.insert_sync(latch[0])
+        report = tool.check(LaunchConfig(block_dim=64, check_oob=False))
+        assert not report.has_races
+        assert not any("barrier divergence" in e
+                       for e in report.execution.errors)

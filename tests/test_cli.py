@@ -167,3 +167,112 @@ __global__ void k() {
         assert payload["kernel"] == "k"
         assert len(payload["vectors"]) >= 2
         assert all(isinstance(v, dict) for v in payload["vectors"])
+
+
+BUGGY_REDUCTION = """
+__shared__ float sdata[512];
+__global__ void reduce(float *idata, float *odata) {
+  sdata[threadIdx.x] = idata[threadIdx.x];
+  __syncthreads();
+  for (unsigned int s = 1; s < blockDim.x; s *= 2) {
+    if (threadIdx.x % (2*s) == 0)
+      sdata[threadIdx.x] += sdata[threadIdx.x + s];
+  }
+  __syncthreads();
+  odata[threadIdx.x] = sdata[threadIdx.x];
+}
+"""
+
+TRUE_RACE = """
+__global__ void clash(int *v) {
+  v[0] = threadIdx.x;
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    f = tmp_path / "reduce.cu"
+    f.write_text(BUGGY_REDUCTION)
+    return str(f)
+
+
+class TestRepair:
+    def test_repair_synthesizes_verified_fix(self, buggy_file, capsys):
+        code = main(["repair", buggy_file, "--block", "64", "--no-oob"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified race-free" in out
+        assert "+    __syncthreads();" in out
+
+    def test_diff_only_output(self, buggy_file, capsys):
+        code = main(["repair", buggy_file, "--block", "64", "--no-oob",
+                     "--diff"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("--- a/reduce.cu")
+        assert "+    __syncthreads();" in out
+
+    def test_json_output(self, buggy_file, capsys):
+        code = main(["repair", buggy_file, "--block", "64", "--no-oob",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"] and payload["verified"]
+        assert payload["minimal"]
+        assert [e["line"] for e in payload["edits"]] == [8]
+        assert payload["preamble_reuse"] > 0
+
+    def test_unrepairable_kernel_exits_1(self, tmp_path, capsys):
+        f = tmp_path / "clash.cu"
+        f.write_text(TRUE_RACE)
+        code = main(["repair", str(f), "--block", "32", "--no-oob",
+                     "--max-iterations", "3"])
+        assert code == 1
+        assert "FAILED to converge" in capsys.readouterr().out
+
+    def test_clean_kernel_exits_0(self, clean_file, capsys):
+        code = main(["repair", clean_file, "--block", "64"])
+        assert code == 0
+        assert "already race-free" in capsys.readouterr().out
+
+
+class TestExitCodeAudit:
+    """0 = clean, 1 = defects found (or repair failed), 2 = bad input —
+    uniformly across subcommands."""
+
+    @pytest.mark.parametrize("argv,expected", [
+        (["check", "{clean}", "--block", "64"], 0),
+        (["check", "{racy}", "--block", "64", "--no-oob"], 1),
+        (["repair", "{buggy}", "--block", "64", "--no-oob"], 0),
+        (["taint", "{racy}"], 0),
+        (["ir", "{racy}"], 0),
+        (["tests", "{clean}", "--block", "4"], 0),
+        (["check", "{bad}"], 2),
+        (["repair", "{bad}"], 2),
+        (["taint", "{bad}"], 2),
+        (["ir", "{bad}"], 2),
+        (["tests", "{bad}"], 2),
+        (["check", "{racy}", "--kernel", "nosuch"], 2),
+        (["repair", "{racy}", "--kernel", "nosuch"], 2),
+        (["check", "{racy}", "--set", "oops"], 2),
+        (["check", "{racy}", "--set", "n=abc"], 2),
+    ])
+    def test_exit_codes(self, tmp_path, capsys, argv, expected):
+        files = {}
+        for tag, source in (("clean", CLEAN), ("racy", RACY),
+                            ("buggy", BUGGY_REDUCTION),
+                            ("bad", "__global__ void f( {")):
+            f = tmp_path / f"{tag}.cu"
+            f.write_text(source)
+            files[tag] = str(f)
+        argv = [a.format(**files) for a in argv]
+        try:
+            code = main(argv)
+        except SystemExit as exc:
+            code = exc.code
+        assert code == expected
+        err = capsys.readouterr().err
+        if expected == 2:
+            assert err.startswith("repro:")
+            assert "Traceback" not in err
