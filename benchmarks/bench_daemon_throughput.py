@@ -1,0 +1,132 @@
+"""Daemon throughput bench — jobs/sec of the leased worker fleet.
+
+Runs the paper suite through the in-process :class:`Daemon` (durable
+SQLite queue + N leased workers, no HTTP in the hot path) at several
+fleet sizes and records end-to-end throughput; a final warm-cache run
+measures the queue's fixed overhead when every verdict is a cache hit.
+The EXPERIMENTS.md "service throughput" table is generated from the
+``BENCH_daemon_throughput.json`` payload.
+
+Acceptance gates:
+
+* every submitted job ends ``done`` at every fleet size (no verdict is
+  lost to lease churn under full parallel load);
+* verdicts are identical across fleet sizes (scheduling never changes
+  the analysis);
+* the warm-cache pass does zero solver work (``cached`` on every job)
+  and is not slower than the coldest configured run.
+"""
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.service.corpus import builtin_jobs
+from repro.service.daemon import Daemon
+from repro.service.jobs import JobState
+
+from common import print_table
+
+WORKER_COUNTS = (1, 2, 4)
+SUITE = "paper"
+
+RESULTS = {}
+
+
+def run_fleet(workers, cache_dir=None, label=None):
+    """One cold (or warm, with a shared *cache_dir*) daemon run of the
+    suite; returns {label, workers, jobs, wall_s, jobs_per_sec,
+    verdicts, cached}."""
+    specs = builtin_jobs(SUITE)
+    tmp = tempfile.mkdtemp(prefix="bench-daemon-")
+    daemon = Daemon(db_path=os.path.join(tmp, "queue.sqlite3"),
+                    cache_dir=cache_dir or os.path.join(tmp, "cache"),
+                    workers=workers, lease_ttl=60.0,
+                    poll_interval=0.01, sample_interval=3600.0)
+    daemon.start(serve_http=False)
+    try:
+        start = time.perf_counter()
+        submitted = {spec.job_id: daemon.submit_spec(spec)["job_id"]
+                     for spec in specs}
+        assert daemon.wait_idle(timeout=600.0), \
+            f"queue did not drain with {workers} worker(s)"
+        wall = time.perf_counter() - start
+        rows = {name: daemon.store.get(job_id)
+                for name, job_id in submitted.items()}
+        assert all(r.state == JobState.DONE for r in rows.values()), \
+            {n: (r.state, r.error) for n, r in rows.items()
+             if r.state != JobState.DONE}
+        return {
+            "label": label or f"{workers}w",
+            "workers": workers,
+            "jobs": len(rows),
+            "wall_s": round(wall, 3),
+            "jobs_per_sec": round(len(rows) / wall, 3),
+            "cached": sum(1 for r in rows.values()
+                          if r.result.get("cached")),
+            "verdicts": {n: _strip_timing(r.result["verdict"])
+                         for n, r in rows.items()},
+        }
+    finally:
+        daemon.stop()
+        if cache_dir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _strip_timing(value):
+    if isinstance(value, dict):
+        return {k: _strip_timing(v) for k, v in value.items()
+                if not k.endswith("seconds")}
+    if isinstance(value, list):
+        return [_strip_timing(v) for v in value]
+    return value
+
+
+def test_throughput_scaling(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    runs = [run_fleet(n) for n in WORKER_COUNTS]
+
+    # scheduling must never change the analysis
+    baseline = runs[0]["verdicts"]
+    for run in runs[1:]:
+        assert run["verdicts"] == baseline, \
+            f"verdicts changed at {run['workers']} workers"
+
+    # warm-cache pass: same suite against a pre-populated cache —
+    # the queue's fixed overhead, zero solver work
+    warm_tmp = tempfile.mkdtemp(prefix="bench-daemon-warm-")
+    try:
+        cache_dir = os.path.join(warm_tmp, "cache")
+        cold = run_fleet(2, cache_dir=cache_dir, label="2w cold")
+        warm = run_fleet(2, cache_dir=cache_dir, label="2w warm cache")
+    finally:
+        shutil.rmtree(warm_tmp, ignore_errors=True)
+    assert warm["cached"] == warm["jobs"], \
+        "warm run did solver work despite a populated cache"
+    assert warm["verdicts"] == cold["verdicts"]
+    assert warm["wall_s"] <= max(r["wall_s"] for r in runs), \
+        "cache-hit pass slower than the slowest cold run"
+
+    RESULTS["runs"] = [dict(r, verdicts=None) for r in runs + [warm]]
+
+
+def test_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "runs" not in RESULTS:
+        import pytest
+        pytest.skip("run the full module for the report")
+    runs = RESULTS["runs"]
+    print_table(
+        f"daemon throughput over builtin:{SUITE} "
+        f"({runs[0]['jobs']} jobs)",
+        ["config", "workers", "jobs", "wall s", "jobs/s", "cached"],
+        [[r["label"], r["workers"], r["jobs"], f"{r['wall_s']:.2f}",
+          f"{r['jobs_per_sec']:.2f}", r["cached"]] for r in runs])
+    payload = {"suite": SUITE, "worker_counts": list(WORKER_COUNTS),
+               "runs": runs}
+    out_path = os.environ.get("BENCH_OUT",
+                              "BENCH_daemon_throughput.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")

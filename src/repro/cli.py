@@ -8,6 +8,9 @@
     python -m repro ir kernel.cu
     python -m repro tests kernel.cu --block 32
     python -m repro batch examples/ --jobs 4
+    python -m repro serve --port 8642 --workers 4
+    python -m repro submit builtin:paper --wait
+    python -m repro cache stats
 
 ``check`` analyses a kernel for races/OOB (engine selectable),
 ``repair`` synthesizes a verified minimal barrier fix for reported
@@ -16,10 +19,17 @@ bytecode after the standard pipeline, ``tests`` emits concrete per-flow
 test vectors, and ``batch`` fans a whole corpus out over the parallel
 scheduler with result caching and telemetry (:mod:`repro.service`).
 
+The service family (:mod:`repro.service.daemon`): ``serve`` runs the
+persistent daemon (HTTP/JSON API + durable SQLite queue + N leased
+workers in one process group), ``submit``/``status``/``result``/
+``queue`` are its HTTP clients, and ``cache`` inspects/prunes the
+shared content-addressed verdict cache.
+
 Exit codes are uniform across subcommands: 0 — analysis ran and found
-nothing (or the repair verified), 1 — races/OOB found or the repair did
-not converge, 2 — usage or input error (unreadable file, parse error,
-unknown kernel, bad flag value).
+nothing (or the repair verified), 1 — races/OOB found, the repair did
+not converge, or submitted jobs ended failed/dead, 2 — usage or input
+error (unreadable file, parse error, unknown kernel, bad flag value,
+malformed job spec, unreachable daemon).
 """
 from __future__ import annotations
 
@@ -198,6 +208,113 @@ def build_parser() -> argparse.ArgumentParser:
                             "sesa job and record the synthesized fix")
     batch.add_argument("--json", action="store_true",
                        help="machine-readable output")
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent race-check daemon "
+                      "(HTTP API + durable queue + worker fleet)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="API port (default 8642; 0 picks a free "
+                            "port)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker daemons in this process (default 2)")
+    serve.add_argument("--db", default=".repro-daemon/queue.sqlite3",
+                       metavar="PATH",
+                       help="durable job queue database "
+                            "(default .repro-daemon/queue.sqlite3)")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       metavar="DIR",
+                       help="shared verdict cache (default .repro-cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache (every duplicate "
+                            "submission re-runs the solver)")
+    serve.add_argument("--lease-ttl", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="worker lease time-to-live (default 30); "
+                            "a crashed worker's job is reclaimed "
+                            "within ~1.5 TTL")
+    serve.add_argument("--poll-interval", type=float, default=0.2,
+                       metavar="SECONDS",
+                       help="idle worker claim poll (default 0.2)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="hard per-job wall-clock limit")
+    serve.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="retries for crashed/expired jobs "
+                            "(default 1)")
+    serve.add_argument("--sample-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="queue_sample telemetry period (default 5)")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="JSONL telemetry trace, appended across "
+                            "restarts (default <db dir>/trace.jsonl)")
+
+    def client_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default="http://127.0.0.1:8642",
+                       metavar="URL", help="daemon API base URL")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    submit = sub.add_parser(
+        "submit", help="submit kernels to a running daemon")
+    submit.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="'builtin', 'builtin:<suite>', a directory of .cu files, "
+             "or a single file; default: the full built-in corpus")
+    submit.add_argument("--engine", choices=["sesa", "gkleep", "gklee"],
+                        default="sesa")
+    submit.add_argument("--grid", type=_dim3, default=(1, 1, 1),
+                        metavar="X[,Y[,Z]]",
+                        help="launch grid for file/directory targets")
+    submit.add_argument("--block", type=_dim3, default=(64, 1, 1),
+                        metavar="X[,Y[,Z]]",
+                        help="launch block for file/directory targets")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until every submitted job is "
+                             "terminal and print its verdict")
+    submit.add_argument("--wait-timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="--wait polling budget (default 600)")
+    client_common(submit)
+
+    status = sub.add_parser(
+        "status", help="query job state on a running daemon")
+    status.add_argument("job_ids", nargs="+", metavar="JOB_ID")
+    client_common(status)
+
+    result = sub.add_parser(
+        "result", help="fetch terminal job results from a daemon")
+    result.add_argument("job_ids", nargs="+", metavar="JOB_ID")
+    client_common(result)
+
+    queue_cmd = sub.add_parser(
+        "queue", help="queue depth, lease and worker health")
+    client_common(queue_cmd)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or prune the verdict cache")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command",
+                                         required=True)
+    cstats = cache_sub.add_parser(
+        "stats", help="entries, bytes, and telemetry hit-rate")
+    cstats.add_argument("--cache-dir", default=".repro-cache",
+                        metavar="DIR")
+    cstats.add_argument("--trace", default=None, metavar="PATH",
+                        help="JSONL trace to compute the lifetime "
+                             "hit-rate from")
+    cstats.add_argument("--json", action="store_true")
+    cprune = cache_sub.add_parser(
+        "prune", help="evict old entries / bound total size")
+    cprune.add_argument("--cache-dir", default=".repro-cache",
+                        metavar="DIR")
+    cprune.add_argument("--max-age", type=float, default=None,
+                        metavar="SECONDS",
+                        help="evict entries older than this")
+    cprune.add_argument("--max-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="evict oldest entries until the cache "
+                             "fits in this many bytes")
+    cprune.add_argument("--json", action="store_true")
     return parser
 
 
@@ -365,6 +482,15 @@ def cmd_batch(args) -> int:
     if args.repair:
         for spec in specs:
             spec.repair = True
+    # malformed corpus entries are usage errors (exit 2), not worker
+    # tracebacks: reject them before any process is forked
+    from .service import JobValidationError
+    try:
+        for spec in specs:
+            spec.validate()
+    except JobValidationError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     cache_dir = None if args.no_cache else args.cache_dir
     trace_path = args.trace
     if trace_path is None:
@@ -403,6 +529,260 @@ def cmd_batch(args) -> int:
     return 0 if batch.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """The ``serve`` subcommand: run the persistent daemon until
+    SIGINT/SIGTERM, then drain in-flight jobs and exit 0."""
+    import signal
+    import threading
+    from .service.daemon import Daemon
+    cache_dir = None if args.no_cache else args.cache_dir
+    trace = args.trace
+    if trace is None:
+        db_dir = os.path.dirname(os.path.abspath(args.db))
+        os.makedirs(db_dir, exist_ok=True)
+        trace = os.path.join(db_dir, "trace.jsonl")
+    daemon = Daemon(
+        db_path=args.db, cache_dir=cache_dir, trace_path=trace,
+        workers=args.workers, lease_ttl=args.lease_ttl,
+        poll_interval=args.poll_interval,
+        timeout_seconds=args.timeout,
+        sample_interval=args.sample_interval,
+        max_attempts=args.retries + 1,
+        host=args.host, port=args.port)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+    try:
+        daemon.start()
+    except OSError as exc:
+        print(f"repro: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"repro daemon listening on {daemon.url}  "
+          f"[workers={args.workers} db={args.db} "
+          f"cache={'off' if cache_dir is None else cache_dir} "
+          f"lease-ttl={args.lease_ttl:g}s trace={trace}]", flush=True)
+    stop.wait()
+    print("repro daemon: draining in-flight jobs ...", flush=True)
+    daemon.stop(drain=True)
+    print("repro daemon: stopped cleanly", flush=True)
+    return 0
+
+
+def _client(args):
+    from .service.daemon import DaemonClient
+    return DaemonClient(args.url)
+
+
+def _client_errors():
+    from .service.daemon import DaemonError, DaemonUnavailable
+    return DaemonError, DaemonUnavailable
+
+
+def cmd_submit(args) -> int:
+    """The ``submit`` subcommand: enqueue a corpus over HTTP."""
+    from .service import JobValidationError, load_corpus
+    DaemonError, DaemonUnavailable = _client_errors()
+    try:
+        specs = load_corpus(args.targets, engine=args.engine,
+                            grid_dim=args.grid, block_dim=args.block)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("repro: corpus is empty (no kernel sources found)",
+              file=sys.stderr)
+        return 2
+    client = _client(args)
+    submitted = []
+    try:
+        for spec in specs:
+            body = spec.to_dict()
+            body["label"] = body.pop("job_id")
+            submitted.append(client.submit(body)[0])
+    except (DaemonError, DaemonUnavailable, JobValidationError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    if not args.wait:
+        if args.json:
+            print(json.dumps({"jobs": submitted}, indent=2))
+        else:
+            for job in submitted:
+                dedup = "  [deduped]" if job["deduped"] else ""
+                print(f"{job['job_id']}  {job['label']}{dedup}")
+        return 0
+    # --wait: poll every submitted job to a terminal state
+    job_ids = [job["job_id"] for job in submitted]
+    try:
+        results = client.wait(job_ids, timeout=args.wait_timeout)
+    except (DaemonError, DaemonUnavailable) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(
+            {"jobs": [results.get(job_id, {"job_id": job_id,
+                                           "terminal": False})
+                      for job_id in job_ids]}, indent=2))
+    else:
+        from .service.daemon import format_result_line
+        width = max((len(r.get("label") or r["job_id"])
+                     for r in results.values()), default=0)
+        for job_id in job_ids:
+            payload = results.get(job_id)
+            if payload is None:
+                print(f"PENDING  {job_id} (still running after "
+                      f"{args.wait_timeout:g}s)")
+            else:
+                print(format_result_line(payload, width))
+    from .service import JobState
+    ok = len(results) == len(job_ids) and all(
+        r.get("state") == JobState.DONE for r in results.values())
+    return 0 if ok else 1
+
+
+def cmd_status(args) -> int:
+    """The ``status`` subcommand: job states over HTTP."""
+    DaemonError, DaemonUnavailable = _client_errors()
+    client = _client(args)
+    payloads = []
+    try:
+        for job_id in args.job_ids:
+            payloads.append(client.status(job_id))
+    except (DaemonError, DaemonUnavailable) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"jobs": payloads}, indent=2))
+    else:
+        for p in payloads:
+            lease = p.get("lease")
+            extra = (f"  lease={lease['owner']} "
+                     f"({lease['deadline_in_seconds']:+.1f}s)"
+                     if lease else "")
+            err = f"  {p['error']}" if p.get("error") else ""
+            print(f"{p['state'].upper():8s} {p['job_id']}  "
+                  f"{p.get('label') or ''}  "
+                  f"attempts={p['attempts']}/{p['max_attempts']}"
+                  f"{extra}{err}")
+    return 0
+
+
+def cmd_result(args) -> int:
+    """The ``result`` subcommand: terminal verdicts over HTTP.
+
+    Exit 0 when every job is terminal and ``done``; 1 when any job
+    is still running, failed, or dead.
+    """
+    from .service import JobState
+    from .service.daemon import format_result_line
+    DaemonError, DaemonUnavailable = _client_errors()
+    client = _client(args)
+    payloads = []
+    try:
+        for job_id in args.job_ids:
+            payloads.append(client.result(job_id))
+    except (DaemonError, DaemonUnavailable) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"jobs": payloads}, indent=2))
+    else:
+        width = max(len(p.get("label") or p["job_id"])
+                    for p in payloads)
+        for p in payloads:
+            if p.get("terminal"):
+                print(format_result_line(p, width))
+            else:
+                print(f"{p['state'].upper():8s} "
+                      f"{p.get('label') or p['job_id']:{width}s} "
+                      f"   --.--s  not terminal yet")
+    ok = all(p.get("terminal") and p.get("state") == JobState.DONE
+             for p in payloads)
+    return 0 if ok else 1
+
+
+def cmd_queue(args) -> int:
+    """The ``queue`` subcommand: daemon health snapshot."""
+    DaemonError, DaemonUnavailable = _client_errors()
+    try:
+        stats = _client(args).queue()
+    except (DaemonError, DaemonUnavailable) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    stats.pop("__code__", None)
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    by_state = ", ".join(f"{k} {v}" for k, v in
+                         sorted(stats["by_state"].items())) or "empty"
+    age = stats.get("oldest_age_seconds")
+    print(f"queue: depth {stats['depth']}, leased {stats['leased']} "
+          f"({by_state})")
+    print(f"oldest waiting job: "
+          f"{'-' if age is None else f'{age:.1f}s'}")
+    for wid, w in sorted(stats.get("workers", {}).items()):
+        mark = "up" if w.get("alive") else "DOWN"
+        print(f"worker {wid}: {mark}, {w['jobs']} jobs, "
+              f"{w['jobs_per_sec']:.2f} jobs/s")
+    reaper = stats.get("reaper", {})
+    print(f"reaper: {reaper.get('reclaimed', 0)} reclaimed, "
+          f"{reaper.get('dead', 0)} dead")
+    if "cache" in stats:
+        c = stats["cache"]
+        print(f"cache: {c['hits']} hits, {c['misses']} misses "
+              f"({c['dir']})")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """The ``cache`` subcommand: stats and pruning for the verdict
+    cache a long-running daemon shares with batch runs."""
+    from .service import ResultCache, trace_hit_rate
+    if not os.path.isdir(args.cache_dir):
+        print(f"repro: no cache at {args.cache_dir!r}",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        trace = args.trace or os.path.join(args.cache_dir,
+                                           "trace.jsonl")
+        rate = trace_hit_rate(trace)
+        if rate is not None:
+            stats["telemetry"] = rate
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(f"cache {stats['dir']}: {stats['entries']} entries, "
+                  f"{stats['bytes']} bytes")
+            if stats["oldest_age_seconds"] is not None:
+                print(f"age span: {stats['newest_age_seconds']:.0f}s "
+                      f"- {stats['oldest_age_seconds']:.0f}s")
+            if rate is not None and rate["lookups"]:
+                print(f"hit-rate: {rate['hit_rate']:.1%} "
+                      f"({rate['hits']} hits / {rate['lookups']} "
+                      f"lookups, from {rate['trace']})")
+        return 0
+    # prune
+    if args.max_age is None and args.max_bytes is None:
+        print("repro: cache prune needs --max-age and/or --max-bytes",
+              file=sys.stderr)
+        return 2
+    outcome = cache.prune(max_age_seconds=args.max_age,
+                          max_bytes=args.max_bytes)
+    if args.json:
+        print(json.dumps(outcome, indent=2))
+    else:
+        print(f"pruned {outcome['removed']} entries "
+              f"({outcome['freed_bytes']} bytes) from "
+              f"{outcome['dir']}; {outcome['kept']} kept")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -413,7 +793,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"check": cmd_check, "repair": cmd_repair,
                "taint": cmd_taint, "ir": cmd_ir, "tests": cmd_tests,
-               "batch": cmd_batch}[args.command]
+               "batch": cmd_batch, "serve": cmd_serve,
+               "submit": cmd_submit, "status": cmd_status,
+               "result": cmd_result, "queue": cmd_queue,
+               "cache": cmd_cache}[args.command]
     try:
         return handler(args)
     except (LexError, ParseError, SemaError) as exc:

@@ -14,7 +14,10 @@ operation:
 * :mod:`~repro.service.telemetry` — structured JSONL event traces
   plus aggregate summaries;
 * :mod:`~repro.service.corpus` — enumeration of the built-in paper
-  suites and user-supplied kernel directories.
+  suites and user-supplied kernel directories;
+* :mod:`~repro.service.daemon` — the persistent service: durable
+  SQLite job queue, lease-based worker fleet, and HTTP/JSON API
+  (`repro serve` / `repro submit`).
 
 Typical use::
 
@@ -25,19 +28,23 @@ Typical use::
     for job in batch.jobs:
         print(job.job_id, job.status, job.issue_tags())
 """
-from .cache import ResultCache, cache_key, canonical_ir
+from .cache import ResultCache, cache_key, canonical_ir, trace_hit_rate
 from .corpus import (
     SUITES, builtin_jobs, directory_jobs, file_job, load_corpus,
     spec_from_kernel,
 )
-from .jobs import JobResult, JobSpec, JobStatus
-from .runner import execute_job
+from .jobs import (
+    JobResult, JobSpec, JobState, JobStatus, JobValidationError,
+)
+from .runner import execute_job, run_job_inline, run_job_isolated
 from .scheduler import BatchResult, Scheduler, run_batch
 from .telemetry import Telemetry
 
 __all__ = [
-    "BatchResult", "JobResult", "JobSpec", "JobStatus", "ResultCache",
-    "SUITES", "Scheduler", "Telemetry", "builtin_jobs", "cache_key",
-    "canonical_ir", "directory_jobs", "execute_job", "file_job",
-    "load_corpus", "run_batch", "spec_from_kernel",
+    "BatchResult", "JobResult", "JobSpec", "JobState", "JobStatus",
+    "JobValidationError", "ResultCache", "SUITES", "Scheduler",
+    "Telemetry", "builtin_jobs", "cache_key", "canonical_ir",
+    "directory_jobs", "execute_job", "file_job", "load_corpus",
+    "run_batch", "run_job_inline", "run_job_isolated",
+    "spec_from_kernel", "trace_hit_rate",
 ]

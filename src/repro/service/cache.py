@@ -18,6 +18,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 from typing import Optional
 
 from .. import __version__ as TOOL_VERSION
@@ -102,3 +103,108 @@ class ResultCache:
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "lookups": self.lookups, "dir": self.cache_dir}
+
+    # ------------------------------------------------------------------
+    # operational maintenance (``repro cache`` / long-running daemons)
+    # ------------------------------------------------------------------
+
+    def _iter_entries(self):
+        """(path, size_bytes, mtime) for every entry on disk."""
+        for fanout in sorted(os.listdir(self.cache_dir)):
+            subdir = os.path.join(self.cache_dir, fanout)
+            if len(fanout) != 2 or not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(subdir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue   # pruned concurrently
+                yield path, st.st_size, st.st_mtime
+
+    def disk_stats(self) -> dict:
+        """What is actually on disk (entry count, bytes, age span)."""
+        entries = bytes_total = 0
+        oldest = newest = None
+        now = time.time()
+        for _path, size, mtime in self._iter_entries():
+            entries += 1
+            bytes_total += size
+            age = now - mtime
+            oldest = age if oldest is None else max(oldest, age)
+            newest = age if newest is None else min(newest, age)
+        return {"dir": self.cache_dir, "entries": entries,
+                "bytes": bytes_total,
+                "oldest_age_seconds": (round(oldest, 3)
+                                       if oldest is not None else None),
+                "newest_age_seconds": (round(newest, 3)
+                                       if newest is not None else None)}
+
+    def prune(self, max_age_seconds: Optional[float] = None,
+              max_bytes: Optional[int] = None) -> dict:
+        """Bound the cache directory for long-running daemons.
+
+        Two independent policies, applied in order: entries older than
+        *max_age_seconds* are always evicted; then, if the survivors
+        still exceed *max_bytes*, the oldest are evicted until the
+        total fits (classic LRU-by-mtime — ``get`` does not bump
+        mtimes, so this is strictly eviction by write age).
+        """
+        now = time.time()
+        survivors = []
+        removed = freed = 0
+        for path, size, mtime in self._iter_entries():
+            if max_age_seconds is not None \
+                    and now - mtime > max_age_seconds:
+                removed += 1
+                freed += size
+                self._remove(path)
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            survivors.sort()   # oldest first
+            total = sum(size for _mtime, size, _path in survivors)
+            while survivors and total > max_bytes:
+                _mtime, size, path = survivors.pop(0)
+                removed += 1
+                freed += size
+                total -= size
+                self._remove(path)
+        return {"removed": removed, "freed_bytes": freed,
+                "kept": len(survivors), "dir": self.cache_dir}
+
+    @staticmethod
+    def _remove(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass   # already gone — eviction is idempotent
+
+
+def trace_hit_rate(trace_path: str) -> Optional[dict]:
+    """Lifetime hit-rate from a JSONL telemetry trace.
+
+    The cache itself only counts hits/misses for the current process;
+    the daemon's append-mode trace is the durable record. Returns
+    ``None`` when the trace is missing/unreadable.
+    """
+    hits = misses = 0
+    try:
+        with open(trace_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue   # torn write at the tail of a live trace
+                if event.get("event") == "cache_hit":
+                    hits += 1
+                elif event.get("event") == "cache_miss":
+                    misses += 1
+    except OSError:
+        return None
+    lookups = hits + misses
+    return {"hits": hits, "misses": misses, "lookups": lookups,
+            "hit_rate": round(hits / lookups, 4) if lookups else None,
+            "trace": trace_path}

@@ -1,0 +1,42 @@
+"""Persistent race-check daemon: durable queue, leased workers, HTTP API.
+
+This package promotes the one-shot batch service into a long-running
+multi-tenant service (the ROADMAP's "persistent analysis daemon"):
+
+* :mod:`~repro.service.daemon.store` — SQLite-backed durable
+  :class:`JobStore` (``queued → leased → done/failed/dead``),
+  idempotent submits keyed on the content-addressed cache fingerprint;
+* :mod:`~repro.service.daemon.lease` — time-bounded lease protocol:
+  :class:`Heartbeat` renewal and the expiry :class:`Reaper` that
+  requeues crashed workers' jobs;
+* :mod:`~repro.service.daemon.worker` — :class:`WorkerDaemon` claim
+  loops running checks in fault-isolated child processes, plus the
+  :class:`QueueSampler` health emitter;
+* :mod:`~repro.service.daemon.api` — the HTTP/JSON API
+  (``/submit /status /result /queue /stream``) and the one-process
+  :class:`Daemon` supervisor behind `repro serve`;
+* :mod:`~repro.service.daemon.client` — stdlib :class:`DaemonClient`
+  used by `repro submit/status/result/queue`.
+
+Minimal in-process use (tests, benchmarks)::
+
+    daemon = Daemon(db_path="q.sqlite3", cache_dir=".repro-cache",
+                    workers=4).start(serve_http=False)
+    job = daemon.submit_spec(spec)
+    daemon.wait_idle()
+    print(daemon.store.get(job["job_id"]).result)
+    daemon.stop()
+"""
+from .api import Daemon
+from .client import (
+    DaemonClient, DaemonError, DaemonUnavailable, format_result_line,
+)
+from .lease import DEFAULT_LEASE_TTL, Heartbeat, Reaper
+from .store import JobRow, JobStore
+from .worker import QueueSampler, WorkerDaemon
+
+__all__ = [
+    "Daemon", "DaemonClient", "DaemonError", "DaemonUnavailable",
+    "DEFAULT_LEASE_TTL", "Heartbeat", "JobRow", "JobStore",
+    "QueueSampler", "Reaper", "WorkerDaemon", "format_result_line",
+]

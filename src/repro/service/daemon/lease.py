@@ -1,0 +1,133 @@
+"""Lease upkeep: heartbeat renewal and the expiry reaper.
+
+A worker holds a job under a *time-bounded lease* — liveness is proven
+by renewing the deadline, not by the worker process existing. Two small
+background threads implement the protocol:
+
+* :class:`Heartbeat` — owned by a worker while a job runs; renews the
+  lease every ``interval`` seconds and flips :attr:`lost` if the store
+  refuses a renewal (meaning the reaper already reclaimed the job —
+  the worker's result would be a duplicate and must be dropped).
+* :class:`Reaper` — owned by the daemon; periodically sweeps leases
+  whose deadline passed (crashed/hung/SIGKILLed workers renew nothing)
+  and either requeues the job for another attempt or marks it ``dead``
+  when the budget is spent.
+
+The TTL arithmetic: a worker renews every ``ttl / 3`` seconds, so a
+healthy worker has two renewal opportunities of slack before the
+reaper may touch its job; the reaper sweeps at ``ttl / 2``, so a dead
+worker's job is back in the queue at most ``1.5 * ttl`` after its last
+renewal.
+"""
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from ..jobs import JobState
+from ..telemetry import Telemetry
+from .store import JobStore
+
+#: default lease time-to-live (seconds); CLI-tunable via --lease-ttl
+DEFAULT_LEASE_TTL = 30.0
+
+
+def heartbeat_interval(lease_ttl: float) -> float:
+    return max(0.05, lease_ttl / 3.0)
+
+
+def reap_interval(lease_ttl: float) -> float:
+    return max(0.05, lease_ttl / 2.0)
+
+
+class Heartbeat:
+    """Renews one worker's lease on one job until stopped."""
+
+    def __init__(self, store: JobStore, job_id: str, owner: str,
+                 lease_ttl: float,
+                 interval: Optional[float] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        self.store = store
+        self.job_id = job_id
+        self.owner = owner
+        self.lease_ttl = lease_ttl
+        self.interval = (heartbeat_interval(lease_ttl)
+                         if interval is None else interval)
+        self.telemetry = telemetry
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"heartbeat-{job_id}")
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            ok = self.store.heartbeat(self.job_id, self.owner,
+                                      self.lease_ttl)
+            if self.telemetry is not None and ok:
+                self.telemetry.emit("lease_renewed",
+                                    job_id=self.job_id,
+                                    worker=self.owner)
+            if not ok:
+                # the reaper took the job from us — stop renewing and
+                # let the worker discover `lost` when it finishes
+                self.lost = True
+                return
+
+    def __enter__(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class Reaper:
+    """Periodic sweep of expired leases for the whole queue."""
+
+    def __init__(self, store: JobStore, lease_ttl: float,
+                 interval: Optional[float] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 on_reclaim: Optional[Callable[[str, str], None]] = None,
+                 ) -> None:
+        self.store = store
+        self.interval = (reap_interval(lease_ttl)
+                         if interval is None else interval)
+        self.telemetry = telemetry
+        self.on_reclaim = on_reclaim
+        self.reclaimed = 0
+        self.killed = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="lease-reaper")
+
+    def sweep(self) -> int:
+        """One pass; returns how many leases were reclaimed."""
+        transitions = self.store.reap_expired()
+        for job_id, new_state in transitions:
+            if new_state == JobState.QUEUED:
+                self.reclaimed += 1
+            else:
+                self.killed += 1
+            if self.telemetry is not None:
+                self.telemetry.emit("lease_expired", job_id=job_id,
+                                    requeued=new_state == JobState.QUEUED)
+                if new_state == JobState.QUEUED:
+                    self.telemetry.emit("job_requeued", job_id=job_id,
+                                        reason="lease_expired")
+            if self.on_reclaim is not None:
+                self.on_reclaim(job_id, new_state)
+        return len(transitions)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sweep()
+
+    def start(self) -> "Reaper":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)

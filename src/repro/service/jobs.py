@@ -33,6 +33,37 @@ class JobStatus:
     TERMINAL = (DONE, ERROR, TIMEOUT, CACHED)
 
 
+class JobState:
+    """Durable queue states for daemon jobs (:mod:`repro.service.daemon`).
+
+    ``queued → leased → done|failed`` is the happy path; a crashed or
+    vanished worker's lease expires and the job goes back to ``queued``
+    until the retry budget is spent, after which it is ``dead``.
+    """
+
+    QUEUED = "queued"      # waiting for a worker lease
+    LEASED = "leased"      # claimed by a worker under a live lease
+    DONE = "done"          # verdict recorded (including cache hits)
+    FAILED = "failed"      # deterministic analysis/validation failure
+    DEAD = "dead"          # retry budget exhausted (crashes, expiries)
+
+    #: states from which the job will never run again
+    TERMINAL = (DONE, FAILED, DEAD)
+    #: states under which a duplicate submit can piggyback on the job
+    SHARABLE = (QUEUED, LEASED, DONE)
+
+
+class JobValidationError(ValueError):
+    """A job spec that can never run: bad engine, empty source,
+    non-positive dims, malformed value maps. Raised by
+    :meth:`JobSpec.validate`; runners normalise it into a structured
+    failed result instead of a traceback."""
+
+
+#: engines a worker knows how to run (also re-exported by the runner)
+ENGINE_NAMES = ("sesa", "gkleep", "gklee")
+
+
 def _dim3(value) -> Dim3:
     if isinstance(value, int):
         return (value, 1, 1)
@@ -79,6 +110,53 @@ class JobSpec:
     def __post_init__(self) -> None:
         self.grid_dim = _dim3(self.grid_dim)
         self.block_dim = _dim3(self.block_dim)
+
+    def validate(self) -> None:
+        """Reject specs that can never run (:class:`JobValidationError`).
+
+        Catches the malformed-input class of failures *before* a worker
+        process is spent on them: unknown engines, empty sources,
+        degenerate launch geometry, non-integer value maps, negative
+        budgets. Anything that passes here can still fail analysis, but
+        it fails as a real analysis error, not an input error.
+        """
+        def bad(reason: str) -> None:
+            raise JobValidationError(
+                f"invalid job spec {self.job_id!r}: {reason}")
+
+        if not self.job_id or not isinstance(self.job_id, str):
+            raise JobValidationError(
+                "invalid job spec: job_id must be a non-empty string")
+        if self.engine not in ENGINE_NAMES:
+            bad(f"unknown engine {self.engine!r} "
+                f"(expected one of {', '.join(ENGINE_NAMES)})")
+        if not isinstance(self.source, str) or not self.source.strip():
+            bad("source is empty")
+        for name, dim in (("grid_dim", self.grid_dim),
+                          ("block_dim", self.block_dim)):
+            if any(not isinstance(v, int) or v < 1 for v in dim):
+                bad(f"{name} {dim!r} must be positive integers")
+        if not isinstance(self.warp_size, int) or self.warp_size < 1:
+            bad(f"warp_size {self.warp_size!r} must be a positive integer")
+        for what, mapping in (("scalar_values", self.scalar_values),
+                              ("array_sizes", self.array_sizes)):
+            for key, value in mapping.items():
+                if not isinstance(key, str) \
+                        or not isinstance(value, int) \
+                        or isinstance(value, bool):
+                    bad(f"{what}[{key!r}] = {value!r} must map a "
+                        f"parameter name to an integer")
+        for what, value in (("max_loop_splits", self.max_loop_splits),
+                            ("max_flows", self.max_flows),
+                            ("max_steps", self.max_steps)):
+            if value is not None \
+                    and (not isinstance(value, int) or value < 1):
+                bad(f"{what} {value!r} must be a positive integer")
+        if self.time_budget_seconds is not None \
+                and (not isinstance(self.time_budget_seconds, (int, float))
+                     or self.time_budget_seconds <= 0):
+            bad(f"time_budget_seconds {self.time_budget_seconds!r} "
+                f"must be positive")
 
     @property
     def total_threads(self) -> int:
@@ -154,6 +232,26 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise JobValidationError(
+                f"invalid job spec: expected an object, got "
+                f"{type(data).__name__}")
+        missing = [k for k in ("job_id", "source") if k not in data]
+        if missing:
+            raise JobValidationError(
+                f"invalid job spec: missing field(s) "
+                f"{', '.join(missing)}")
+        try:
+            return cls._from_dict(data)
+        except JobValidationError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise JobValidationError(
+                f"invalid job spec {data.get('job_id')!r}: {exc}") \
+                from None
+
+    @classmethod
+    def _from_dict(cls, data: dict) -> "JobSpec":
         return cls(
             job_id=data["job_id"], source=data["source"],
             kernel_name=data.get("kernel_name"),

@@ -12,15 +12,15 @@ hanging, flaky) to exercise the scheduler's fault handling.
 """
 from __future__ import annotations
 
+import multiprocessing as mp
 import time
 import traceback
 from dataclasses import asdict
-from typing import Dict, Optional
+from typing import Callable, Optional, Tuple
 
-from .jobs import JobSpec, JobStatus
+from .jobs import ENGINE_NAMES, JobSpec, JobStatus, JobValidationError
 
-#: engine registry; resolved lazily so a worker only imports what it runs
-ENGINE_NAMES = ("sesa", "gkleep", "gklee")
+Runner = Callable[[dict], dict]
 
 
 def _engine_class(name: str):
@@ -44,6 +44,7 @@ def execute_job(spec_dict: dict) -> dict:
     start = time.perf_counter()
     try:
         spec = JobSpec.from_dict(spec_dict)
+        spec.validate()
         engine_cls = _engine_class(spec.engine)
         tool = engine_cls.from_source(spec.source, spec.kernel_name)
         report = tool.check(spec.launch_config())
@@ -73,6 +74,21 @@ def execute_job(spec_dict: dict) -> dict:
             "elapsed_seconds": time.perf_counter() - start,
             "error": None,
         }
+    except JobValidationError as exc:
+        # malformed input, not an analysis failure: a clean one-line
+        # error (no traceback — there is nothing to debug in the tool)
+        # that the daemon records as a non-retryable ``failed`` job and
+        # the CLI maps to exit code 2
+        return {
+            "status": JobStatus.ERROR,
+            "verdict": None,
+            "check_stats": None,
+            "inputs": None,
+            "repair": None,
+            "elapsed_seconds": time.perf_counter() - start,
+            "error": str(exc),
+            "validation_error": True,
+        }
     except Exception:
         return {
             "status": JobStatus.ERROR,
@@ -83,3 +99,84 @@ def execute_job(spec_dict: dict) -> dict:
             "elapsed_seconds": time.perf_counter() - start,
             "error": traceback.format_exc(limit=8),
         }
+
+
+# ----------------------------------------------------------------------
+# process isolation (shared by the batch scheduler and daemon workers)
+# ----------------------------------------------------------------------
+
+def _child_entry(conn, runner: Runner, spec_dict: dict) -> None:
+    """Worker-process entry: run the job, ship the payload, exit."""
+    try:
+        payload = runner(spec_dict)
+    except BaseException as exc:   # runner contract says it shouldn't raise
+        payload = {"status": JobStatus.ERROR, "verdict": None,
+                   "check_stats": None, "elapsed_seconds": 0.0,
+                   "error": f"{type(exc).__name__}: {exc}"}
+    try:
+        conn.send(payload)
+    except Exception:
+        pass
+    finally:
+        conn.close()
+
+
+def run_job_isolated(spec_dict: dict,
+                     runner: Runner = execute_job,
+                     timeout_seconds: Optional[float] = None,
+                     ) -> Tuple[str, object]:
+    """One job attempt in a fresh forked process.
+
+    Returns ``('ok', payload_dict)``, ``('timeout', None)`` after a
+    hard wall-clock kill, or ``('crash', exitcode)`` when the child
+    died without delivering a payload. Both the batch
+    :class:`~repro.service.scheduler.Scheduler` and the daemon
+    :class:`~repro.service.daemon.worker.WorkerDaemon` build their
+    fault handling on this single primitive.
+    """
+    parent_conn, child_conn = mp.Pipe(duplex=False)
+    proc = mp.Process(target=_child_entry,
+                      args=(child_conn, runner, spec_dict),
+                      daemon=True)
+    proc.start()
+    child_conn.close()
+    payload = None
+    readable = False
+    try:
+        # poll(None) blocks until data or EOF — the no-timeout mode
+        readable = parent_conn.poll(timeout_seconds)
+        if readable:
+            payload = parent_conn.recv()
+    except (EOFError, OSError):
+        payload = None   # pipe closed without a payload: child died
+    finally:
+        parent_conn.close()
+    if payload is not None:
+        proc.join(5.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join()
+        return "ok", payload
+    if readable:
+        # EOF before any payload — the child is gone (or going); join
+        # *blocking* so we report its exit code, not a stale
+        # is_alive() snapshot from the exit window
+        proc.join()
+        return "crash", proc.exitcode
+    # poll timed out with the worker still running
+    proc.terminate()
+    proc.join()
+    return "timeout", None
+
+
+def run_job_inline(spec_dict: dict,
+                   runner: Runner = execute_job) -> Tuple[str, object]:
+    """In-thread fallback for environments without ``fork``: crashes
+    are not contained and hard timeouts degrade to the engine's soft
+    budget, but the (outcome, payload) contract is identical."""
+    try:
+        return "ok", runner(spec_dict)
+    except BaseException as exc:
+        return "ok", {"status": JobStatus.ERROR, "verdict": None,
+                      "check_stats": None, "elapsed_seconds": 0.0,
+                      "error": f"{type(exc).__name__}: {exc}"}

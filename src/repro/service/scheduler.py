@@ -21,16 +21,15 @@ order, so batch output is deterministic modulo timing fields.
 """
 from __future__ import annotations
 
-import multiprocessing as mp
 import queue
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .cache import ResultCache
 from .jobs import JobResult, JobSpec, JobStatus
-from .runner import execute_job
+from .runner import execute_job, run_job_inline, run_job_isolated
 from .telemetry import Telemetry
 
 Runner = Callable[[dict], dict]
@@ -63,22 +62,6 @@ class BatchResult:
         }
 
 
-def _child_entry(conn, runner: Runner, spec_dict: dict) -> None:
-    """Worker-process entry: run the job, ship the payload, exit."""
-    try:
-        payload = runner(spec_dict)
-    except BaseException as exc:   # runner contract says it shouldn't raise
-        payload = {"status": JobStatus.ERROR, "verdict": None,
-                   "check_stats": None, "elapsed_seconds": 0.0,
-                   "error": f"{type(exc).__name__}: {exc}"}
-    try:
-        conn.send(payload)
-    except Exception:
-        pass
-    finally:
-        conn.close()
-
-
 class Scheduler:
     """Runs a corpus of :class:`JobSpec` to completion."""
 
@@ -107,47 +90,11 @@ class Scheduler:
     def _run_isolated(self, spec_dict: dict):
         """One attempt in a fresh process: ('ok', payload) |
         ('timeout', None) | ('crash', exitcode)."""
-        parent_conn, child_conn = mp.Pipe(duplex=False)
-        proc = mp.Process(target=_child_entry,
-                          args=(child_conn, self.runner, spec_dict),
-                          daemon=True)
-        proc.start()
-        child_conn.close()
-        payload = None
-        readable = False
-        try:
-            # poll(None) blocks until data or EOF — the no-timeout mode
-            readable = parent_conn.poll(self.timeout_seconds)
-            if readable:
-                payload = parent_conn.recv()
-        except (EOFError, OSError):
-            payload = None   # pipe closed without a payload: child died
-        finally:
-            parent_conn.close()
-        if payload is not None:
-            proc.join(5.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
-            return "ok", payload
-        if readable:
-            # EOF before any payload — the child is gone (or going);
-            # join *blocking* so we report its exit code, not a stale
-            # is_alive() snapshot from the exit window
-            proc.join()
-            return "crash", proc.exitcode
-        # poll timed out with the worker still running
-        proc.terminate()
-        proc.join()
-        return "timeout", None
+        return run_job_isolated(spec_dict, self.runner,
+                                self.timeout_seconds)
 
     def _run_inline(self, spec_dict: dict):
-        try:
-            return "ok", self.runner(spec_dict)
-        except BaseException as exc:
-            return "ok", {"status": JobStatus.ERROR, "verdict": None,
-                          "check_stats": None, "elapsed_seconds": 0.0,
-                          "error": f"{type(exc).__name__}: {exc}"}
+        return run_job_inline(spec_dict, self.runner)
 
     def _execute(self, spec: JobSpec, key: Optional[str]) -> JobResult:
         """Run one job to a terminal status (with retries)."""
@@ -264,8 +211,10 @@ class Scheduler:
             self.telemetry.emit("job_queued", job_id=spec.job_id,
                                 engine=spec.engine)
             work.put((i, spec))
+        jobs_by_worker: Dict[str, int] = {}
 
-        def drain() -> None:
+        def drain(worker_id: str) -> None:
+            jobs_by_worker[worker_id] = 0
             while True:
                 try:
                     i, spec = work.get_nowait()
@@ -280,11 +229,13 @@ class Scheduler:
                         error=f"scheduler: {type(exc).__name__}: {exc}")
                     self._emit_finished(results[i])
                 finally:
+                    jobs_by_worker[worker_id] += 1
                     work.task_done()
 
         n_threads = min(self.max_workers, max(1, len(specs)))
-        threads = [threading.Thread(target=drain, daemon=True)
-                   for _ in range(n_threads)]
+        threads = [threading.Thread(target=drain, args=(f"batch-w{i}",),
+                                    daemon=True)
+                   for i in range(n_threads)]
         for t in threads:
             t.start()
         for t in threads:
@@ -295,6 +246,14 @@ class Scheduler:
             elapsed_seconds=time.perf_counter() - start,
             cache_hits=(self.cache.hits - hits0) if self.cache else 0,
             cache_misses=(self.cache.misses - misses0) if self.cache else 0)
+        # final state snapshot in the daemon's queue_sample schema, so
+        # one trace consumer understands both batch and daemon runs
+        wall = max(batch.elapsed_seconds, 1e-9)
+        self.telemetry.queue_sample(
+            depth=0, leased=0, oldest_age_seconds=None,
+            workers={wid: {"jobs": n,
+                           "jobs_per_sec": round(n / wall, 3)}
+                     for wid, n in sorted(jobs_by_worker.items())})
         self.telemetry.emit(
             "batch_finished",
             wall_seconds=round(batch.elapsed_seconds, 6),

@@ -9,6 +9,15 @@ between, cache hits as ``cache_hit``.
 
 Timestamps are wall-clock seconds relative to telemetry creation, so
 traces from different hosts line up without clock agreement.
+
+The daemon (:mod:`repro.service.daemon`) extends the vocabulary with
+queue/lease lifecycle events — ``job_submitted`` / ``job_deduped`` /
+``lease_claimed`` / ``lease_renewed`` / ``lease_expired`` /
+``job_requeued`` — and periodic :meth:`queue_sample` snapshots; the
+batch scheduler emits one final ``queue_sample`` in the same schema so
+a single trace consumer understands both run modes. A long-running
+daemon opens its trace in append mode (``mode="a"``) so restarts
+extend the operational log instead of truncating it.
 """
 from __future__ import annotations
 
@@ -23,12 +32,13 @@ from .jobs import JobResult, JobStatus
 class Telemetry:
     """Thread-safe JSONL event emitter + aggregate summariser."""
 
-    def __init__(self, trace_path: Optional[str] = None) -> None:
+    def __init__(self, trace_path: Optional[str] = None,
+                 mode: str = "w") -> None:
         self.trace_path = trace_path
         self.events: List[dict] = []
         self._lock = threading.Lock()
         self._epoch = time.monotonic()
-        self._fh = open(trace_path, "w", encoding="utf-8") \
+        self._fh = open(trace_path, mode, encoding="utf-8") \
             if trace_path else None
 
     # ------------------------------------------------------------------
@@ -55,6 +65,25 @@ class Telemetry:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def queue_sample(self, *, depth: int, leased: int,
+                     oldest_age_seconds: Optional[float],
+                     workers: Dict[str, dict], **extra) -> dict:
+        """One ``queue_sample`` event — THE schema for queue health.
+
+        ``depth`` runnable jobs waiting, ``leased`` jobs under a live
+        lease, ``oldest_age_seconds`` age of the oldest waiting job
+        (``None`` for an empty queue), ``workers`` per-worker
+        ``{"jobs": n, "jobs_per_sec": r}`` throughput. Emitted
+        periodically by the daemon and once, as the final summary, by
+        the batch scheduler.
+        """
+        return self.emit(
+            "queue_sample", depth=depth, leased=leased,
+            oldest_age_seconds=(round(oldest_age_seconds, 3)
+                                if oldest_age_seconds is not None
+                                else None),
+            workers=workers, **extra)
 
     # ------------------------------------------------------------------
 

@@ -1,8 +1,13 @@
-"""Result cache: content addressing, hits, misses, persistence."""
+"""Result cache: content addressing, hits, misses, persistence,
+and the operational maintenance surface (`repro cache stats/prune`)."""
 import json
+import os
+import time
 
+from repro.cli import main
 from repro.service import (
     JobSpec, JobStatus, ResultCache, Scheduler, cache_key,
+    trace_hit_rate,
 )
 
 CLEAN = "__global__ void k(float *a) { a[threadIdx.x] = 1.0f; }"
@@ -105,3 +110,89 @@ class TestSchedulerIntegration:
         second = Scheduler(cache=cache).run([bad])
         assert second.jobs[0].status == JobStatus.ERROR
         assert second.cache_hits == 0
+
+
+def _fill(cache, n, age_seconds=0.0, start=0):
+    """Write *n* entries, optionally backdating their mtimes."""
+    keys = []
+    for i in range(start, start + n):
+        key = f"{i:02d}" + "ab" * 31    # distinct two-char fanouts
+        cache.put(key, {"i": i, "pad": "x" * 64})
+        if age_seconds:
+            then = time.time() - age_seconds
+            os.utime(cache._path(key), (then, then))
+        keys.append(key)
+    return keys
+
+
+class TestMaintenance:
+    def test_disk_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.disk_stats()["entries"] == 0
+        _fill(cache, 3)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["oldest_age_seconds"] >= stats["newest_age_seconds"]
+
+    def test_prune_by_age_keeps_fresh_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        old = _fill(cache, 2, age_seconds=3600.0)
+        fresh = _fill(cache, 1, start=2)
+        outcome = cache.prune(max_age_seconds=60.0)
+        assert outcome["removed"] == 2 and outcome["kept"] == 1
+        assert all(cache.get(k) is None for k in old)
+        assert cache.get(fresh[0]) is not None
+
+    def test_prune_by_bytes_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        oldest = _fill(cache, 1, age_seconds=3600.0)[0]
+        newest = _fill(cache, 1, start=1)[0]
+        entry_size = os.path.getsize(cache._path(newest))
+        outcome = cache.prune(max_bytes=entry_size)
+        assert outcome["removed"] == 1
+        assert cache.get(oldest) is None
+        assert cache.get(newest) is not None
+
+    def test_trace_hit_rate(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        events = [{"event": "cache_hit"}] * 3 + \
+                 [{"event": "cache_miss"}] + \
+                 [{"event": "job_finished"}]
+        trace.write_text("\n".join(json.dumps(e) for e in events)
+                         + "\n{torn line")
+        rate = trace_hit_rate(str(trace))
+        assert rate["hits"] == 3 and rate["misses"] == 1
+        assert rate["hit_rate"] == 0.75
+        assert trace_hit_rate(str(tmp_path / "missing.jsonl")) is None
+
+
+class TestCacheCli:
+    def test_stats_and_prune(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir)
+        _fill(cache, 2, age_seconds=3600.0)
+        (tmp_path / "cache" / "trace.jsonl").write_text(
+            json.dumps({"event": "cache_hit"}) + "\n")
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2
+        assert stats["telemetry"]["hits"] == 1
+
+        assert main(["cache", "prune", "--cache-dir", cache_dir,
+                     "--max-age", "60", "--json"]) == 0
+        outcome = json.loads(capsys.readouterr().out)
+        assert outcome["removed"] == 2 and outcome["kept"] == 0
+
+    def test_prune_without_bounds_exits_2(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        ResultCache(cache_dir)
+        assert main(["cache", "prune", "--cache-dir", cache_dir]) == 2
+        assert "needs --max-age" in capsys.readouterr().err
+
+    def test_missing_cache_dir_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["cache", "stats", "--cache-dir", missing]) == 2
+        assert "no cache" in capsys.readouterr().err

@@ -1,0 +1,229 @@
+"""HTTP/JSON API, client, CLI clients, and batch-parity guarantees.
+
+One module-scoped daemon (stub runner, port 0) backs the protocol
+tests; the parity test runs the real engine over ``examples/kernels``
+through both the daemon and ``run_batch`` and requires byte-identical
+verdicts — the acceptance bar for serving batch traffic from the
+persistent service.
+"""
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.service import JobState, JobStatus, run_batch
+from repro.service.corpus import directory_jobs
+from repro.service.daemon import Daemon, DaemonClient, DaemonError
+
+from .test_daemon import _spec, ok_runner  # noqa: F401 (shared stubs)
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "examples", "kernels")
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    d = Daemon(db_path=str(tmp_path / "q.sqlite3"),
+               cache_dir=str(tmp_path / "cache"),
+               workers=2, lease_ttl=5.0, poll_interval=0.02,
+               sample_interval=30.0, runner=ok_runner, port=0)
+    d.start(serve_http=True)
+    yield d
+    d.stop()
+
+
+@pytest.fixture()
+def client(daemon):
+    return DaemonClient(daemon.url)
+
+
+class TestHttpApi:
+    def test_healthz(self, client):
+        assert client.healthz()
+
+    def test_submit_status_result_roundtrip(self, client):
+        job = client.submit_source("__global__ void k() {}",
+                                   label="api-test")
+        assert job["job_id"].startswith("job-")
+        assert job["label"] == "api-test"
+        results = client.wait([job["job_id"]], timeout=30.0)
+        payload = results[job["job_id"]]
+        assert payload["state"] == JobState.DONE
+        assert payload["terminal"] is True
+        assert payload["result"]["status"] == JobStatus.DONE
+        # status endpoint agrees and never carries the result body
+        status = client.status(job["job_id"])
+        assert status["state"] == JobState.DONE
+        assert "result" not in status
+
+    def test_result_is_202_until_terminal(self, daemon, client):
+        # submit directly against a daemon whose workers are stopped,
+        # so the job stays queued
+        for worker in daemon.workers:
+            worker._stop.set()
+        time.sleep(0.1)
+        job = client.submit_source("__global__ void k2() {}",
+                                   label="pending")
+        payload = client.result(job["job_id"])
+        assert payload["__code__"] == 202
+        assert payload["terminal"] is False
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(DaemonError) as err:
+            client.status("job-doesnotexist")
+        assert err.value.code == 404
+        with pytest.raises(DaemonError) as err:
+            client.result("job-doesnotexist")
+        assert err.value.code == 404
+
+    def test_malformed_submit_is_400(self, client):
+        for body in ({}, {"suite": "no-such-suite"},
+                     {"source": ""},
+                     {"source": "x", "engine": "no-such-engine"}):
+            with pytest.raises(DaemonError) as err:
+                client.submit(body)
+            assert err.value.code == 400, body
+
+    def test_duplicate_submit_dedups_over_http(self, client):
+        first = client.submit_source("__global__ void dup() {}",
+                                     label="dup-a")
+        second = client.submit_source("__global__ void dup() {}",
+                                      label="dup-b")
+        assert not first["deduped"]
+        assert second["deduped"]
+        assert second["job_id"] == first["job_id"]
+
+    def test_suite_submit_expands_server_side(self, client):
+        jobs = client.submit_suite("paper")
+        assert len(jobs) >= 4
+        labels = {j["label"] for j in jobs}
+        assert any("reduction" in label for label in labels)
+
+    def test_queue_reports_workers_and_leases(self, client):
+        stats = client.queue()
+        assert {"depth", "leased", "by_state", "workers",
+                "reaper"} <= set(stats)
+        assert all(w["alive"] for w in stats["workers"].values())
+
+    def test_stream_tails_ndjson_telemetry(self, client):
+        job = client.submit_source("__global__ void s() {}",
+                                   label="streamed")
+        client.wait([job["job_id"]], timeout=30.0)
+        events = list(client.stream(since=0))
+        kinds = [e["event"] for e in events]
+        assert "job_submitted" in kinds or "job_deduped" in kinds
+        assert "lease_claimed" in kinds
+        # indices are contiguous so clients can resume with ?since=
+        assert [e["i"] for e in events] == list(range(len(events)))
+        tail = list(client.stream(since=len(events) - 2))
+        assert [e["i"] for e in tail][:2] == [len(events) - 2,
+                                              len(events) - 1]
+
+
+class TestCliClients:
+    def test_submit_status_result_queue_cli(self, daemon, tmp_path,
+                                            capsys):
+        kernel = tmp_path / "k.cu"
+        kernel.write_text("__global__ void cli(int *a) "
+                          "{ a[threadIdx.x] = 1; }")
+        code = main(["submit", str(kernel), "--url", daemon.url,
+                     "--json"])
+        assert code == 0
+        submitted = json.loads(capsys.readouterr().out)["jobs"]
+        job_id = submitted[0]["job_id"]
+
+        assert main(["submit", str(kernel), "--url", daemon.url,
+                     "--wait", "--json"]) == 0
+        waited = json.loads(capsys.readouterr().out)["jobs"]
+        assert waited[0]["job_id"] == job_id      # deduped, same job
+        assert waited[0]["state"] == JobState.DONE
+
+        assert main(["status", job_id, "--url", daemon.url,
+                     "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)["jobs"][0]
+        assert status["state"] == JobState.DONE
+
+        assert main(["result", job_id, "--url", daemon.url,
+                     "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)["jobs"][0]
+        assert result["result"]["status"] == JobStatus.DONE
+
+        assert main(["queue", "--url", daemon.url, "--json"]) == 0
+        queue = json.loads(capsys.readouterr().out)
+        assert queue["by_state"].get("done", 0) >= 1
+
+    def test_client_commands_exit_2_without_daemon(self, capsys):
+        code = main(["queue", "--url", "http://127.0.0.1:1"])
+        assert code == 2
+        assert "no daemon" in capsys.readouterr().err
+
+    def test_unknown_job_exits_2(self, daemon, capsys):
+        code = main(["status", "job-nope", "--url", daemon.url])
+        assert code == 2
+        assert "unknown job" in capsys.readouterr().err
+
+
+def _strip_timing(value):
+    """Drop wall-clock fields (``*seconds``) so verdicts compare on
+    semantics: races, OOBs, witnesses, counts — not solver timing."""
+    if isinstance(value, dict):
+        return {k: _strip_timing(v) for k, v in value.items()
+                if not k.endswith("seconds")}
+    if isinstance(value, list):
+        return [_strip_timing(v) for v in value]
+    return value
+
+
+class TestBatchParity:
+    """Acceptance: daemon verdicts == batch verdicts, byte for byte
+    (modulo wall-clock timing fields)."""
+
+    def test_daemon_matches_batch_on_examples(self, tmp_path):
+        specs = directory_jobs(EXAMPLES)
+        assert len(specs) >= 3
+        batch = run_batch(specs, max_workers=2)
+        batch_verdicts = {r.job_id: r.verdict for r in batch.jobs}
+
+        daemon = Daemon(db_path=str(tmp_path / "q.sqlite3"),
+                        cache_dir=str(tmp_path / "cache"),
+                        workers=2, lease_ttl=30.0, poll_interval=0.02)
+        daemon.start(serve_http=False)
+        try:
+            submitted = {spec.job_id:
+                         daemon.submit_spec(spec)["job_id"]
+                         for spec in directory_jobs(EXAMPLES)}
+            assert daemon.wait_idle(timeout=300.0)
+            for label, job_id in submitted.items():
+                job = daemon.store.get(job_id)
+                assert job.state == JobState.DONE, (label, job.error)
+                assert json.dumps(_strip_timing(job.result["verdict"]),
+                                  sort_keys=True) == \
+                    json.dumps(_strip_timing(batch_verdicts[label]),
+                               sort_keys=True), \
+                    f"daemon and batch disagree on {label}"
+        finally:
+            daemon.stop()
+
+
+class TestBatchValidationExit2:
+    def test_bad_flag_value_exits_2(self, tmp_path, capsys):
+        kernel = tmp_path / "k.cu"
+        kernel.write_text("__global__ void ok(int *a) "
+                          "{ a[threadIdx.x] = 1; }")
+        with pytest.raises(SystemExit) as exc:
+            main(["batch", str(kernel), "--engine", "sesa",
+                  "--block", "0"])
+        assert exc.value.code == 2
+        assert "bad dim3" in capsys.readouterr().err
+
+    def test_empty_source_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.cu"
+        empty.write_text("   \n")
+        code = main(["batch", str(empty), "--no-cache"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invalid job spec" in captured.err
+        assert "source is empty" in captured.err
+        assert "Traceback" not in captured.err
