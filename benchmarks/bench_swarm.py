@@ -1,0 +1,162 @@
+"""Swarm verification — shard-count scaling on the hardest kernels.
+
+Swarm mode splits one kernel's race check into independently solvable
+partitions (contiguous ranges of the canonical pair enumeration) and
+runs them as parallel jobs. This bench measures wall-clock at shard
+counts 1/2/4 against the monolithic checker on the two slowest gated
+kernels and asserts the contract:
+
+* at every shard count the merged verdict signature is identical to
+  the monolithic verdict (races/OOBs/assertions incl. benign flags)
+  and no shard is left unresolved;
+* on hosts with >= 2 usable cores, 4-way sharding is at least
+  ``speedup_gate`` x faster than the monolithic run on the gated
+  kernel (recorded in ``BENCH_swarm_baseline.json``);
+* on single-core hosts a parallelism gate would be meaningless —
+  sharding there is pure overhead — so the gate degrades to a bound on
+  that overhead: the 4-shard run may cost at most
+  ``max_serial_overhead`` x the monolithic wall-clock.
+
+The per-mode wall-clocks, core count, and which gate applied land in
+``BENCH_swarm.json`` (CI uploads it as an artifact).
+"""
+import json
+import os
+import time
+
+import pytest
+
+from common import print_table
+from repro.service import execute_job, run_swarm_check, spec_from_kernel
+from repro.service.corpus import SUITES
+
+KERNELS = [("divergent", "bitonic4.3"), ("paper", "bitonic_fig1")]
+MODES = ("mono", "swarm2", "swarm4")
+
+#: the slowest kernel in the gated suites carries the speedup gate
+GATED_KERNEL = "bitonic4.3"
+GATE_MODE = "swarm4"
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_swarm_baseline.json")
+
+RESULTS = {}
+
+
+def _cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:       # non-Linux
+        return os.cpu_count() or 1
+
+
+def _kernel(suite, name):
+    for k in SUITES[suite]:
+        if k.name == name:
+            return k
+    raise KeyError(f"{suite}/{name}")
+
+
+def _signature(verdict):
+    verdict = json.loads(json.dumps(verdict))
+    races = sorted(set(
+        (r["kind"], r["object"], json.dumps(r["locs"]),
+         bool(r["benign"]), bool(r["unresolvable"]))
+        for r in verdict.get("races", [])))
+    oobs = sorted(set((o["object"], json.dumps(o["loc"]))
+                      for o in verdict.get("oobs", [])))
+    asserts = sorted(set(json.dumps(a["loc"])
+                         for a in verdict.get("assertion_failures", [])))
+    return (races, oobs, asserts, bool(verdict.get("timed_out")))
+
+
+def _run(suite, name, mode):
+    spec = spec_from_kernel(_kernel(suite, name), suite=suite)
+    start = time.perf_counter()
+    if mode == "mono":
+        payload = execute_job(spec.to_dict())
+        seconds = time.perf_counter() - start
+        assert payload["status"] == "done", payload.get("error")
+        return {"seconds": seconds, "verdict": payload["verdict"],
+                "shards": 1}
+    shards = int(mode.replace("swarm", ""))
+    result = run_swarm_check(spec, shards, max_workers=shards)
+    seconds = time.perf_counter() - start
+    assert result.status == "done", result.error
+    swarm = result.verdict["swarm"]
+    assert swarm["unresolved"] == [], swarm
+    return {"seconds": seconds, "verdict": result.verdict,
+            "shards": swarm["shards"]}
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("suite,name", KERNELS,
+                         ids=[f"{s}/{n}" for s, n in KERNELS])
+def test_mode(benchmark, suite, name, mode):
+    out = benchmark.pedantic(lambda: _run(suite, name, mode),
+                             rounds=1, iterations=1)
+    RESULTS[(name, mode)] = out
+
+
+def test_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(RESULTS) < len(KERNELS) * len(MODES):
+        pytest.skip("run the full module for the report")
+    with open(BASELINE_PATH, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    cores = _cores()
+
+    # the contract: sharding is a pure execution strategy — verdicts
+    # are identical to the monolithic checker at every shard count
+    for _suite, name in KERNELS:
+        mono = _signature(RESULTS[(name, "mono")]["verdict"])
+        for mode in MODES[1:]:
+            assert _signature(RESULTS[(name, mode)]["verdict"]) == mono, \
+                f"swarm verdict diverged on {name} ({mode})"
+
+    rows = []
+    for _suite, name in KERNELS:
+        mono_s = RESULTS[(name, "mono")]["seconds"]
+        for mode in MODES:
+            r = RESULTS[(name, mode)]
+            rows.append([name, mode, r["shards"],
+                         f"{r['seconds'] * 1e3:.0f}",
+                         f"{mono_s / r['seconds']:.2f}x",
+                         "=="])
+    print_table(
+        f"Swarm scaling on {cores} core(s) "
+        "(verdicts identical across all shard counts)",
+        ["kernel", "mode", "shards", "ms", "vs mono", "verdict"], rows)
+
+    mono_s = RESULTS[(GATED_KERNEL, "mono")]["seconds"]
+    gated_s = RESULTS[(GATED_KERNEL, GATE_MODE)]["seconds"]
+    multi_core = cores >= 2
+    payload = {
+        "cores": cores,
+        "gate_applied": ("speedup" if multi_core
+                         else "serial_overhead"),
+        "gated_kernel": GATED_KERNEL,
+        "gate_mode": GATE_MODE,
+        "results": {
+            f"{name}/{mode}": {
+                "seconds": RESULTS[(name, mode)]["seconds"],
+                "shards": RESULTS[(name, mode)]["shards"],
+            } for _suite, name in KERNELS for mode in MODES},
+    }
+    out_path = os.environ.get("BENCH_OUT", "BENCH_swarm.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+
+    if multi_core:
+        gate = baseline["speedup_gate"]
+        assert gated_s * gate <= mono_s, (
+            f"{GATE_MODE} on {GATED_KERNEL}: {mono_s / gated_s:.2f}x "
+            f"< required {gate}x speedup on {cores} cores")
+    else:
+        # 1 core: parallel shards serialize; bound the overhead instead
+        cap = baseline["max_serial_overhead"]
+        assert gated_s <= mono_s * cap, (
+            f"{GATE_MODE} on {GATED_KERNEL} cost "
+            f"{gated_s / mono_s:.2f}x monolithic on a single core "
+            f"(cap {cap}x)")

@@ -106,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-pruning", action="store_true",
                        help="disable the pre-solver pruning pipeline "
                             "(summarization, bucketing, pair memo)")
+    check.add_argument("--swarm", type=int, default=None, metavar="N",
+                       help="split the race check into N shard jobs "
+                            "run in parallel worker processes and "
+                            "merge their verdicts (sesa only)")
+    check.add_argument("--portfolio", action="store_true",
+                       help="race every shard under several solver "
+                            "configs; first definitive answer wins "
+                            "(requires --swarm)")
     check.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
@@ -206,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--repair", action="store_true",
                        help="run the barrier-repair loop on every racy "
                             "sesa job and record the synthesized fix")
+    batch.add_argument("--swarm", type=int, default=None, metavar="N",
+                       help="swarm mode: shard every kernel's check "
+                            "into N partitions and merge per kernel "
+                            "(non-sesa jobs fall back to monolithic)")
+    batch.add_argument("--portfolio", action="store_true",
+                       help="race every shard under several solver "
+                            "configs (requires --swarm)")
     batch.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
@@ -269,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--block", type=_dim3, default=(64, 1, 1),
                         metavar="X[,Y[,Z]]",
                         help="launch block for file/directory targets")
+    submit.add_argument("--swarm", type=int, default=None, metavar="N",
+                        help="ask the daemon to expand each kernel "
+                             "into N shard jobs server-side and merge "
+                             "the verdicts")
     submit.add_argument("--wait", action="store_true",
                         help="poll until every submitted job is "
                              "terminal and print its verdict")
@@ -349,9 +368,79 @@ def _config_from(args) -> LaunchConfig:
         pair_pruning=not args.no_pruning)
 
 
+def _render_swarm_result(result) -> None:
+    """Human-readable rendering of a merged swarm JobResult."""
+    verdict = result.verdict or {}
+    swarm = verdict.get("swarm") or {}
+    races = verdict.get("races", [])
+    oobs = verdict.get("oobs", [])
+    print(f"kernel {verdict.get('kernel', result.job_id)} "
+          f"[{verdict.get('engine', 'sesa')}, swarm "
+          f"{swarm.get('shards', '?')} shards, "
+          f"{swarm.get('total_pairs', '?')} pairs]")
+    print(f"  swarm verdict: {swarm.get('verdict', '?')}"
+          + (f" (unresolved: {', '.join(swarm['unresolved'])})"
+             if swarm.get("unresolved") else ""))
+    for race in races:
+        benign = " (Benign)" if race.get("benign") else ""
+        lines = "-".join(str(l) for l in race.get("lines", []))
+        print(f"  RACE: {race.get('kind')}{benign} on "
+              f"{race.get('object')} (lines {lines})")
+    for oob in oobs:
+        print(f"  OOB: {oob.get('object')} at line {oob.get('line')}")
+    if not races and not oobs:
+        print("  no races found")
+    for warning in verdict.get("warnings", []):
+        if warning.startswith("swarm:"):
+            print(f"  WARNING: {warning}")
+
+
 def cmd_check(args) -> int:
     """The ``check`` subcommand: analyse and report races/OOB."""
     source = _read_source(args.file)
+    if args.portfolio and not args.swarm:
+        print("repro: --portfolio requires --swarm", file=sys.stderr)
+        return 2
+    if args.swarm is not None:
+        if args.swarm < 1:
+            print("repro: --swarm must be >= 1", file=sys.stderr)
+            return 2
+        from .service import JobSpec, JobValidationError, \
+            run_swarm_check
+        spec = JobSpec(
+            job_id=os.path.basename(args.file), source=source,
+            kernel_name=args.kernel, engine=args.engine,
+            grid_dim=args.grid, block_dim=args.block,
+            warp_size=args.warp_size, warp_lockstep=args.lockstep,
+            check_oob=not args.no_oob,
+            symbolic_inputs=(list(args.symbolic)
+                             if args.symbolic is not None else None),
+            scalar_values=_parse_kv(args.set, "--set"),
+            array_sizes=_parse_kv(args.array_size, "--array-size"),
+            time_budget_seconds=args.time_budget,
+            incremental_solving=not args.no_incremental,
+            pair_pruning=not args.no_pruning)
+        try:
+            spec.validate()
+        except JobValidationError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+        result = run_swarm_check(spec, args.swarm,
+                                 portfolio=args.portfolio)
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        elif result.status in ("done", "cached"):
+            _render_swarm_result(result)
+        if result.status not in ("done", "cached"):
+            if not args.json:
+                print(f"repro: swarm check failed: {result.error}",
+                      file=sys.stderr)
+            return 2
+        verdict = result.verdict or {}
+        found = any(not r.get("benign")
+                    for r in verdict.get("races", [])) \
+            or bool(verdict.get("oobs"))
+        return 1 if found else 0
     engine_cls = {"sesa": SESA, "gkleep": GKLEEp, "gklee": GKLEE}[args.engine]
     tool = engine_cls.from_source(source, args.kernel)
     report = tool.check(_config_from(args))
@@ -471,7 +560,19 @@ def cmd_batch(args) -> int:
         print("repro: corpus is empty (no kernel sources found)",
               file=sys.stderr)
         return 2
+    if args.portfolio and not args.swarm:
+        print("repro: --portfolio requires --swarm", file=sys.stderr)
+        return 2
+    if args.swarm is not None and args.swarm < 1:
+        print("repro: --swarm must be >= 1", file=sys.stderr)
+        return 2
     if args.limit is not None:
+        # --limit 0 legitimately runs zero jobs (a dry-run of corpus
+        # loading); a negative limit is a usage error, not a slice
+        # from the end
+        if args.limit < 0:
+            print("repro: --limit must be >= 0", file=sys.stderr)
+            return 2
         specs = specs[:args.limit]
     if args.no_incremental:
         for spec in specs:
@@ -497,17 +598,27 @@ def cmd_batch(args) -> int:
         trace_dir = cache_dir or ".repro-cache"
         os.makedirs(trace_dir, exist_ok=True)
         trace_path = os.path.join(trace_dir, "trace.jsonl")
-    batch = run_batch(specs, max_workers=args.jobs,
-                      timeout_seconds=args.timeout,
-                      max_retries=args.retries,
-                      cache_dir=cache_dir, trace_path=trace_path)
+    if args.swarm is not None:
+        from .service import ResultCache, Telemetry, run_swarm_batch
+        cache = ResultCache(cache_dir) if cache_dir else None
+        with Telemetry(trace_path) as telemetry:
+            batch = run_swarm_batch(
+                specs, args.swarm, max_workers=args.jobs,
+                timeout_seconds=args.timeout,
+                max_retries=args.retries, cache=cache,
+                telemetry=telemetry, portfolio=args.portfolio)
+    else:
+        batch = run_batch(specs, max_workers=args.jobs,
+                          timeout_seconds=args.timeout,
+                          max_retries=args.retries,
+                          cache_dir=cache_dir, trace_path=trace_path)
     if args.json:
         payload = batch.to_dict()
         payload["trace"] = trace_path
         print(json.dumps(payload, indent=2))
     else:
         from .service import Telemetry
-        width = max(len(j.job_id) for j in batch.jobs)
+        width = max((len(j.job_id) for j in batch.jobs), default=0)
         for job in batch.jobs:
             tags = ", ".join(job.issue_tags()) or "clean"
             if job.status in ("error", "timeout"):
@@ -597,12 +708,17 @@ def cmd_submit(args) -> int:
         print("repro: corpus is empty (no kernel sources found)",
               file=sys.stderr)
         return 2
+    if args.swarm is not None and args.swarm < 1:
+        print("repro: --swarm must be >= 1", file=sys.stderr)
+        return 2
     client = _client(args)
     submitted = []
     try:
         for spec in specs:
             body = spec.to_dict()
             body["label"] = body.pop("job_id")
+            if args.swarm is not None:
+                body["swarm"] = args.swarm
             submitted.append(client.submit(body)[0])
     except (DaemonError, DaemonUnavailable, JobValidationError) as exc:
         print(f"repro: {exc}", file=sys.stderr)

@@ -17,6 +17,21 @@ def _loc_json(loc) -> Optional[List[int]]:
     return [int(loc), getattr(loc, "col", 0)]
 
 
+def _witness_json(witness) -> Optional[dict]:
+    """Structured witness coordinates (machine-replayable, unlike the
+    human-readable ``witness`` string)."""
+    if witness is None:
+        return None
+    return {
+        "thread1": list(witness.thread1), "block1": list(witness.block1),
+        "thread2": (list(witness.thread2)
+                    if witness.thread2 is not None else None),
+        "block2": (list(witness.block2)
+                   if witness.block2 is not None else None),
+        "inputs": dict(witness.inputs),
+    }
+
+
 @dataclass
 class AnalysisReport:
     """Everything one analysis run produced."""
@@ -46,7 +61,10 @@ class AnalysisReport:
                  "unresolvable": r.unresolvable,
                  "lines": [r.access1.loc, r.access2.loc],
                  "locs": [_loc_json(r.access1.loc), _loc_json(r.access2.loc)],
-                 "witness": str(r.witness)} for r in self.races],
+                 "ordinal": r.ordinal,
+                 "witness": str(r.witness),
+                 "witness_data": _witness_json(r.witness)}
+                for r in self.races],
             "oobs": [
                 {"object": o.obj_name, "line": o.access.loc,
                  "loc": _loc_json(o.access.loc),

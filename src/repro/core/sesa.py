@@ -90,11 +90,16 @@ class SESA:
             self.module, self.kernel, config, mode="sesa",
             sink_value_ids=self.taint.sink_value_ids)
         result = executor.run()
+        if config.solver_conflict_budget is not None:
+            solver_budget = config.solver_conflict_budget
         checker = RaceChecker(result, solver_budget=solver_budget,
                               max_reports=max_reports).check()
         if checker.timed_out:
             result.timed_out = True
-            result.warnings.append("race checking hit the wall-clock budget")
+            result.warnings.append(
+                "race checking diverged from the shard plan"
+                if checker.plan_mismatch else
+                "race checking hit the wall-clock budget")
         report = AnalysisReport(
             kernel=self.kernel.name, mode="sesa",
             races=checker.races, oobs=checker.oobs,
@@ -105,6 +110,24 @@ class SESA:
             elapsed_seconds=time.perf_counter() - start)
         return report
 
+
+    def plan_check_groups(self, config: Optional[LaunchConfig] = None):
+        """Enumerate the canonical pair groups without any solving.
+
+        This is the swarm planner's front half: run the executor, walk
+        the candidate-pair enumeration, and return
+        ``(group_key, size)`` tuples in enumeration order (see
+        :meth:`RaceChecker.plan_groups`). Costs execution +
+        pair generation only — no SAT queries.
+        """
+        config = config or LaunchConfig()
+        if config.symbolic_inputs is None:
+            config.symbolic_inputs = self.inferred_symbolic_inputs()
+        executor = Executor(
+            self.module, self.kernel, config, mode="sesa",
+            sink_value_ids=self.taint.sink_value_ids)
+        result = executor.run()
+        return RaceChecker(result).plan_groups()
 
     def generate_tests(self, config: Optional[LaunchConfig] = None
                        ) -> List[Dict[str, int]]:

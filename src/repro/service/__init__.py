@@ -38,6 +38,10 @@ from .jobs import (
 )
 from .runner import execute_job, run_job_inline, run_job_isolated
 from .scheduler import BatchResult, Scheduler, run_batch
+from .swarm import (
+    SwarmPlanError, plan_shard_specs, run_portfolio, run_swarm_batch,
+    run_swarm_check, swarm_cache_key,
+)
 from .telemetry import Telemetry
 
 __all__ = [
@@ -47,4 +51,6 @@ __all__ = [
     "directory_jobs", "execute_job", "file_job", "load_corpus",
     "run_batch", "run_job_inline", "run_job_isolated",
     "spec_from_kernel", "trace_hit_rate",
+    "SwarmPlanError", "plan_shard_specs", "run_portfolio",
+    "run_swarm_batch", "run_swarm_check", "swarm_cache_key",
 ]

@@ -27,7 +27,7 @@ Minimal in-process use (tests, benchmarks)::
     print(daemon.store.get(job["job_id"]).result)
     daemon.stop()
 """
-from .api import Daemon
+from .api import Daemon, SwarmMerger
 from .client import (
     DaemonClient, DaemonError, DaemonUnavailable, format_result_line,
 )
@@ -38,5 +38,6 @@ from .worker import QueueSampler, WorkerDaemon
 __all__ = [
     "Daemon", "DaemonClient", "DaemonError", "DaemonUnavailable",
     "DEFAULT_LEASE_TTL", "Heartbeat", "JobRow", "JobStore",
-    "QueueSampler", "Reaper", "WorkerDaemon", "format_result_line",
+    "QueueSampler", "Reaper", "SwarmMerger", "WorkerDaemon",
+    "format_result_line",
 ]

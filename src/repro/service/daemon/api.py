@@ -28,14 +28,148 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple
 
+from ...sym.swarm import ShardOutcome, ShardSelector
 from ..cache import ResultCache, cache_key
 from ..corpus import SUITES, builtin_jobs
-from ..jobs import JobSpec, JobState, JobValidationError
+from ..jobs import JobResult, JobSpec, JobState, JobStatus, \
+    JobValidationError
 from ..runner import Runner, execute_job
+from ..swarm import (
+    SwarmPlanError, merged_job_result, plan_shard_specs,
+    swarm_cache_key,
+)
 from ..telemetry import Telemetry
 from .lease import DEFAULT_LEASE_TTL, Reaper
-from .store import JobStore
+from .store import JobRow, JobStore
 from .worker import DEFAULT_POLL_INTERVAL, QueueSampler, WorkerDaemon
+
+
+class SwarmMerger:
+    """Background loop that finishes ``waiting`` swarm parents.
+
+    A parent job never runs on a worker: it carries the shard plan in
+    its spec meta (``meta["swarm"]``) and sits in ``waiting`` until
+    every shard job it references is terminal. The merger then builds
+    the shard outcomes from the stored results, merges them with the
+    same :func:`~repro.service.swarm.merged_job_result` the batch path
+    uses, and records the verdict — so HTTP pollers of the parent see
+    202 until the merged answer exists, exactly like a plain job.
+    """
+
+    def __init__(self, store: JobStore,
+                 cache: Optional[ResultCache] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 interval: float = DEFAULT_POLL_INTERVAL) -> None:
+        self.store = store
+        self.cache = cache
+        self.telemetry = telemetry or Telemetry()
+        self.interval = interval
+        self.merged = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- one parent ----------------------------------------------------
+
+    def _shard_outcome(self, selector: ShardSelector,
+                       row: Optional[JobRow]) -> ShardOutcome:
+        if row is None:
+            return ShardOutcome(shard=selector, status="lost",
+                                error="shard job row missing")
+        result = row.result or {}
+        status = result.get("status") or row.state
+        # failed/dead shard: whatever partial payload exists must not
+        # be read as a clean verdict
+        if row.state != JobState.DONE and status in ("done", "cached"):
+            status = row.state
+        return ShardOutcome(
+            shard=selector, status=status,
+            verdict=result.get("verdict"), job_id=row.job_id,
+            error=row.error or result.get("error"),
+            elapsed_seconds=result.get("elapsed_seconds") or 0.0)
+
+    def _try_merge(self, parent: JobRow) -> bool:
+        """Merge one waiting parent if its shards are all terminal;
+        returns True when the parent reached a terminal state."""
+        info = (parent.spec.get("meta") or {}).get("swarm") or {}
+        shards = info.get("shards") or []
+        if not shards:
+            self.store.finish_waiting(
+                parent.job_id,
+                JobResult(job_id=parent.spec.get("job_id", "?"),
+                          status=JobStatus.ERROR,
+                          error="waiting parent has no shard plan"
+                          ).to_dict(),
+                state=JobState.FAILED,
+                error="waiting parent has no shard plan")
+            return True
+        rows = [self.store.get(s["job_id"]) for s in shards]
+        if any(row is not None and not row.terminal for row in rows):
+            return False
+        selectors = [ShardSelector.from_dict(s["selector"])
+                     for s in shards]
+        outcomes = [self._shard_outcome(sel, row)
+                    for sel, row in zip(selectors, rows)]
+        spec = JobSpec.from_dict(parent.spec)
+        result = merged_job_result(
+            spec, outcomes, cache_key_used=parent.fingerprint,
+            elapsed_seconds=sum(o.elapsed_seconds for o in outcomes))
+        state = JobState.DONE if result.status == JobStatus.DONE \
+            else JobState.FAILED
+        wrote = self.store.finish_waiting(
+            parent.job_id, result.to_dict(), state=state,
+            error=result.error)
+        if not wrote:
+            return True   # another merger instance won the race
+        self.merged += 1
+        verdict = result.verdict or {}
+        if state == JobState.DONE and self.cache is not None \
+                and not verdict.get("timed_out"):
+            self.cache.put(parent.fingerprint, {
+                "status": JobStatus.DONE, "verdict": result.verdict,
+                "check_stats": result.check_stats, "inputs": None,
+                "repair": None,
+                "elapsed_seconds": result.elapsed_seconds,
+                "error": None})
+        self.telemetry.emit(
+            "swarm_merged", job_id=parent.job_id,
+            label=spec.job_id,
+            verdict=verdict.get("swarm", {}).get("verdict"),
+            shards=len(outcomes),
+            unresolved=verdict.get("swarm", {}).get("unresolved"),
+            state=state)
+        return True
+
+    # -- the loop ------------------------------------------------------
+
+    def sweep(self) -> int:
+        merged = 0
+        for parent in self.store.list_jobs(state=JobState.WAITING,
+                                           limit=1000):
+            try:
+                if self._try_merge(parent):
+                    merged += 1
+            except Exception as exc:   # keep the loop alive
+                self.telemetry.emit("swarm_merge_error",
+                                    job_id=parent.job_id,
+                                    error=f"{type(exc).__name__}: "
+                                          f"{exc}")
+        return merged
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sweep()
+
+    def start(self) -> "SwarmMerger":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="swarm-merger")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.sweep()   # catch parents whose shards finished at drain
 
 
 class Daemon:
@@ -71,6 +205,9 @@ class Daemon:
             for i in range(max(1, workers))]
         self.reaper = Reaper(self.store, lease_ttl,
                              telemetry=self.telemetry)
+        self.merger = SwarmMerger(self.store, cache=self.cache,
+                                  telemetry=self.telemetry,
+                                  interval=poll_interval)
         self.sampler = QueueSampler(self.store, self.telemetry,
                                     self.workers,
                                     interval=sample_interval)
@@ -93,27 +230,88 @@ class Daemon:
         return {"job_id": job_id, "label": spec.job_id,
                 "deduped": deduped}
 
+    def submit_swarm(self, spec: JobSpec, num_shards: int) -> dict:
+        """Server-side shard expansion: enqueue *spec* as shard jobs
+        plus one ``waiting`` parent the merger will finish.
+
+        A cached merged verdict short-circuits to a ``done`` parent
+        with zero shard work; a kernel that cannot be planned (wrong
+        engine, compile failure) falls back to one monolithic job —
+        the caller always gets exactly one parent job back.
+        """
+        spec.validate()
+        parent_key = swarm_cache_key(spec, num_shards)
+        if self.cache is not None:
+            payload = self.cache.get(parent_key)
+            if payload is not None:
+                cached = JobResult(
+                    job_id=spec.job_id, status=JobStatus.CACHED,
+                    engine=spec.engine, cached=True,
+                    cache_key=parent_key,
+                    verdict=payload.get("verdict"),
+                    check_stats=payload.get("check_stats"))
+                job_id, deduped = self.store.submit(
+                    spec, parent_key, state=JobState.DONE,
+                    result=cached.to_dict())
+                self.telemetry.emit("cache_hit", job_id=job_id,
+                                    cache_key=parent_key)
+                return {"job_id": job_id, "label": spec.job_id,
+                        "deduped": deduped, "swarm": num_shards,
+                        "shards": []}
+        try:
+            shard_specs, selectors, info = plan_shard_specs(
+                spec, num_shards)
+        except SwarmPlanError as exc:
+            self.telemetry.emit("swarm_fallback", job_id=spec.job_id,
+                                reason=str(exc))
+            return self.submit_spec(spec)
+        shard_jobs = [self.submit_spec(s) for s in shard_specs]
+        spec.meta = dict(spec.meta, swarm={
+            "num_shards": num_shards,
+            "total_pairs": info["total_pairs"],
+            "shards": [{"job_id": job["job_id"],
+                        "selector": sel.to_dict()}
+                       for job, sel in zip(shard_jobs, selectors)],
+        })
+        job_id, deduped = self.store.submit(spec, parent_key,
+                                            state=JobState.WAITING)
+        self.telemetry.emit(
+            "swarm_planned", job_id=job_id, label=spec.job_id,
+            shards=info["shards"], total_pairs=info["total_pairs"],
+            groups=info["groups"], deduped=deduped)
+        return {"job_id": job_id, "label": spec.job_id,
+                "deduped": deduped, "swarm": num_shards,
+                "shards": [j["job_id"] for j in shard_jobs]}
+
     def submit_request(self, body: dict) -> List[dict]:
         """One ``POST /submit`` body → one or more enqueued jobs."""
         if not isinstance(body, dict):
             raise JobValidationError(
                 "invalid submit body: expected a JSON object")
-        if "suite" in body:
-            suite = body["suite"]
+        data = dict(body)
+        swarm = data.pop("swarm", None)
+        if swarm is not None and (isinstance(swarm, bool)
+                                  or not isinstance(swarm, int)
+                                  or swarm < 1):
+            raise JobValidationError(
+                "'swarm' must be a positive integer shard count")
+        submit = ((lambda spec: self.submit_swarm(spec, swarm))
+                  if swarm else self.submit_spec)
+        if "suite" in data:
+            suite = data["suite"]
             if suite not in SUITES:
                 raise JobValidationError(
                     f"unknown suite {suite!r} (expected one of "
                     f"{', '.join(sorted(SUITES))})")
-            engine = body.get("engine", "sesa")
-            return [self.submit_spec(spec)
+            engine = data.get("engine", "sesa")
+            return [submit(spec)
                     for spec in builtin_jobs(suite, engine)]
-        if "source" not in body:
+        if "source" not in data:
             raise JobValidationError(
                 "invalid submit body: needs 'source' or 'suite'")
-        data = dict(body)
         data.setdefault("job_id", data.get("label") or "adhoc")
         data.pop("label", None)
-        return [self.submit_spec(JobSpec.from_dict(data))]
+        return [submit(JobSpec.from_dict(data))]
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -127,6 +325,7 @@ class Daemon:
         for worker in self.workers:
             worker.start()
         self.reaper.start()
+        self.merger.start()
         self.sampler.start()
         if serve_http:
             handler = _make_handler(self)
@@ -156,6 +355,7 @@ class Daemon:
             for worker in self.workers:
                 worker.stop()      # …then wait for in-flight jobs
         self.sampler.stop()
+        self.merger.stop()
         self.reaper.stop()
         if self.server is not None:
             self.server.shutdown()
@@ -175,7 +375,8 @@ class Daemon:
         while time.monotonic() < deadline:
             counts = self.store.counts()
             if not counts.get(JobState.QUEUED) \
-                    and not counts.get(JobState.LEASED):
+                    and not counts.get(JobState.LEASED) \
+                    and not counts.get(JobState.WAITING):
                 return True
             time.sleep(poll)
         return False
@@ -277,6 +478,13 @@ def _make_handler(daemon: Daemon):
                 return
             status = job.status_dict()
             status["label"] = job.spec.get("job_id")
+            swarm = (job.spec.get("meta") or {}).get("swarm")
+            if swarm:
+                status["swarm"] = {
+                    "num_shards": swarm.get("num_shards"),
+                    "shards": [s["job_id"]
+                               for s in swarm.get("shards", [])],
+                }
             if not want_result:
                 self._json(200, status)
             elif not job.terminal:
@@ -293,6 +501,7 @@ def _make_handler(daemon: Daemon):
                 for w in daemon.workers}
             stats["reaper"] = {"reclaimed": daemon.reaper.reclaimed,
                                "dead": daemon.reaper.killed}
+            stats["merger"] = {"merged": daemon.merger.merged}
             if daemon.cache is not None:
                 stats["cache"] = daemon.cache.stats()
             self._json(200, stats)

@@ -93,9 +93,12 @@ class DaemonClient:
         body = dict(config, source=source, label=label)
         return self.submit(body)[0]
 
-    def submit_suite(self, suite: str,
-                     engine: str = "sesa") -> List[dict]:
-        return self.submit({"suite": suite, "engine": engine})
+    def submit_suite(self, suite: str, engine: str = "sesa",
+                     swarm: Optional[int] = None) -> List[dict]:
+        body = {"suite": suite, "engine": engine}
+        if swarm:
+            body["swarm"] = swarm
+        return self.submit(body)
 
     def status(self, job_id: str) -> dict:
         return self._request(f"/status/{job_id}")

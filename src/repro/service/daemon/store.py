@@ -166,31 +166,39 @@ class JobStore:
 
     def submit(self, spec: JobSpec, fingerprint: str,
                max_attempts: Optional[int] = None,
+               state: str = JobState.QUEUED,
+               result: Optional[dict] = None,
                ) -> Tuple[str, bool]:
         """Enqueue *spec*; returns ``(job_id, deduped)``.
 
         Idempotent on *fingerprint*: if an equivalent job is already
-        queued, leased, or done, its id is returned and nothing is
-        inserted. Jobs that ended ``failed``/``dead`` do NOT block a
-        resubmit — the caller may have fixed the environment.
+        queued, leased, waiting, or done, its id is returned and
+        nothing is inserted. Jobs that ended ``failed``/``dead`` do NOT
+        block a resubmit — the caller may have fixed the environment.
+
+        *state* defaults to ``queued``; swarm parents are inserted
+        ``waiting`` (no worker ever claims them — the merger finishes
+        them once their shard jobs are terminal), and a cached merged
+        verdict can be inserted directly ``done`` with *result*.
         """
         now = time.time()
         job_id = "job-" + uuid.uuid4().hex[:12]
         with self._tx() as cur:
             cur.execute(
                 "SELECT job_id FROM jobs WHERE fingerprint = ? AND "
-                "state IN (?, ?, ?) ORDER BY submitted_at LIMIT 1",
+                "state IN (?, ?, ?, ?) ORDER BY submitted_at LIMIT 1",
                 (fingerprint,) + JobState.SHARABLE)
             row = cur.fetchone()
             if row is not None:
                 return row["job_id"], True
             cur.execute(
                 "INSERT INTO jobs (job_id, fingerprint, spec, state, "
-                "attempts, max_attempts, submitted_at, updated_at) "
-                "VALUES (?, ?, ?, ?, 0, ?, ?, ?)",
+                "attempts, max_attempts, submitted_at, updated_at, "
+                "result) VALUES (?, ?, ?, ?, 0, ?, ?, ?, ?)",
                 (job_id, fingerprint, json.dumps(spec.to_dict()),
-                 JobState.QUEUED,
-                 max_attempts or self.default_max_attempts, now, now))
+                 state, max_attempts or self.default_max_attempts,
+                 now, now,
+                 json.dumps(result) if result is not None else None))
         return job_id, False
 
     def get(self, job_id: str) -> Optional[JobRow]:
@@ -266,6 +274,23 @@ class JobStore:
                 "WHERE job_id = ? AND state = ? AND lease_owner = ?",
                 (state, json.dumps(result), error, now,
                  job_id, JobState.LEASED, owner))
+            return cur.rowcount == 1
+
+    def finish_waiting(self, job_id: str, result: dict,
+                       state: str = JobState.DONE,
+                       error: Optional[str] = None) -> bool:
+        """Resolve a ``waiting`` swarm parent to a terminal state.
+
+        Parents are never leased — no worker runs them — so the usual
+        owner check in :meth:`complete` does not apply; the guard here
+        is the state itself (only one merger transition can win)."""
+        now = time.time()
+        with self._tx() as cur:
+            cur.execute(
+                "UPDATE jobs SET state = ?, result = ?, error = ?, "
+                "updated_at = ? WHERE job_id = ? AND state = ?",
+                (state, json.dumps(result), error, now,
+                 job_id, JobState.WAITING))
             return cur.rowcount == 1
 
     def release(self, job_id: str, owner: str,
@@ -351,6 +376,7 @@ class JobStore:
         return {
             "depth": counts.get(JobState.QUEUED, 0),
             "leased": counts.get(JobState.LEASED, 0),
+            "waiting": counts.get(JobState.WAITING, 0),
             "by_state": counts,
             "oldest_age_seconds": (round(now - oldest, 3)
                                    if oldest is not None else None),

@@ -43,6 +43,7 @@ class JobState:
 
     QUEUED = "queued"      # waiting for a worker lease
     LEASED = "leased"      # claimed by a worker under a live lease
+    WAITING = "waiting"    # swarm parent: blocked on its shard jobs
     DONE = "done"          # verdict recorded (including cache hits)
     FAILED = "failed"      # deterministic analysis/validation failure
     DEAD = "dead"          # retry budget exhausted (crashes, expiries)
@@ -50,7 +51,7 @@ class JobState:
     #: states from which the job will never run again
     TERMINAL = (DONE, FAILED, DEAD)
     #: states under which a duplicate submit can piggyback on the job
-    SHARABLE = (QUEUED, LEASED, DONE)
+    SHARABLE = (QUEUED, LEASED, WAITING, DONE)
 
 
 class JobValidationError(ValueError):
@@ -104,6 +105,13 @@ class JobSpec:
     repair: bool = False
     #: Table III kernels need the synthetic CSR graph attached
     needs_concrete_graph: bool = False
+    #: swarm shard descriptor (serialised ShardSelector): restrict the
+    #: race check to one partition of the candidate-pair space. Part
+    #: of the cache fingerprint — a shard verdict must never collide
+    #: with the monolithic verdict of the same kernel.
+    shard: Optional[dict] = None
+    #: per-query SAT conflict budget override (portfolio variants)
+    solver_conflict_budget: Optional[int] = None
     #: free-form passthrough (suite/table tags, test fixtures, ...)
     meta: Dict[str, object] = field(default_factory=dict)
 
@@ -157,6 +165,19 @@ class JobSpec:
                      or self.time_budget_seconds <= 0):
             bad(f"time_budget_seconds {self.time_budget_seconds!r} "
                 f"must be positive")
+        if self.shard is not None:
+            from ..sym.swarm import ShardSelector
+            try:
+                ShardSelector.from_dict(self.shard)
+            except ValueError as exc:
+                bad(str(exc))
+        if self.solver_conflict_budget is not None \
+                and (not isinstance(self.solver_conflict_budget, int)
+                     or isinstance(self.solver_conflict_budget, bool)
+                     or self.solver_conflict_budget < 0):
+            bad(f"solver_conflict_budget "
+                f"{self.solver_conflict_budget!r} must be a "
+                f"non-negative integer")
 
     @property
     def total_threads(self) -> int:
@@ -177,7 +198,9 @@ class JobSpec:
             array_sizes=dict(self.array_sizes),
             time_budget_seconds=self.time_budget_seconds,
             incremental_solving=self.incremental_solving,
-            pair_pruning=self.pair_pruning)
+            pair_pruning=self.pair_pruning,
+            shard=(dict(self.shard) if self.shard is not None else None),
+            solver_conflict_budget=self.solver_conflict_budget)
         if self.max_loop_splits is not None:
             config.max_loop_splits = self.max_loop_splits
         if self.max_flows is not None:
@@ -221,6 +244,11 @@ class JobSpec:
             # a repair run produces strictly more output than a plain
             # check, so the two must not share cache entries
             "repair": self.repair,
+            # a shard's verdict covers one partition only — it must
+            # never be served as (or from) the whole kernel's verdict
+            "shard": (dict(self.shard)
+                      if self.shard is not None else None),
+            "solver_conflict_budget": self.solver_conflict_budget,
         }
 
     def to_dict(self) -> dict:
@@ -272,6 +300,8 @@ class JobSpec:
             pair_pruning=data.get("pair_pruning", True),
             repair=data.get("repair", False),
             needs_concrete_graph=data.get("needs_concrete_graph", False),
+            shard=data.get("shard"),
+            solver_conflict_budget=data.get("solver_conflict_budget"),
             meta=dict(data.get("meta") or {}))
 
 

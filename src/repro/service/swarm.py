@@ -1,0 +1,422 @@
+"""Swarm orchestration: run one kernel's race check as shard jobs.
+
+The planner (:func:`plan_shard_specs`) compiles and symbolically
+executes the kernel **once** on the coordinator side — no SAT solving
+— to enumerate the canonical pair groups, partitions them with
+:func:`repro.sym.swarm.plan_partitions`, and emits one ordinary
+:class:`JobSpec` per shard. Shards run through the existing
+process-isolated :class:`~repro.service.scheduler.Scheduler` (or the
+daemon queue — see :mod:`repro.service.daemon.api`) exactly like any
+other job: the shard descriptor is part of the cache fingerprint, so
+the cache/dedup layers work unchanged and a shard verdict can never be
+confused with a monolithic one.
+
+Portfolio mode races the *same* shard under several solver configs
+(conflict budgets, pruning on/off) in parallel worker processes and
+takes the first definitive answer, killing the rest — useful when one
+config is pathologically slow on a particular shard.
+
+The merged verdict is :func:`repro.sym.swarm.merge_shard_outcomes`:
+racy if any shard is racy, safe only when every shard completed
+cleanly safe, unknown otherwise (with the unresolved shards listed).
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing as mp
+from multiprocessing import connection as mp_connection
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import __version__ as TOOL_VERSION
+from ..sym.swarm import (
+    RACY, SAFE, UNKNOWN, ShardOutcome, ShardSelector,
+    merge_shard_outcomes, plan_partitions, validate_partition,
+)
+from .cache import ResultCache, cache_key
+from .jobs import JobResult, JobSpec, JobStatus
+from .runner import Runner, _child_entry, execute_job
+from .scheduler import BatchResult, Scheduler
+from .telemetry import Telemetry
+
+
+class SwarmPlanError(RuntimeError):
+    """The kernel cannot be swarm-planned (non-SESA engine, compile
+    failure, ...). Callers fall back to the monolithic path."""
+
+
+#: default portfolio: the standard config, a low-conflict-budget
+#: sprint (wins when the queries are easy; gives up early when not),
+#: and the unpruned path (wins when pruning's pre-analysis is the
+#: bottleneck). All three produce sound verdicts; only "definitive"
+#: outcomes (completed, not timed out) may win the race.
+DEFAULT_PORTFOLIO: Tuple[Tuple[str, dict], ...] = (
+    ("default", {}),
+    ("low-budget", {"solver_conflict_budget": 20_000}),
+    ("no-pruning", {"pair_pruning": False}),
+)
+
+
+def swarm_cache_key(spec: JobSpec, num_shards: int) -> str:
+    """Cache key for the *merged* parent verdict. Derived from the
+    monolithic key plus the shard count — merged results never share
+    entries with monolithic verdicts (witnesses may differ)."""
+    material = json.dumps({
+        "parent": cache_key(spec), "swarm": num_shards,
+        "tool_version": TOOL_VERSION,
+    }, sort_keys=True)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def plan_shard_specs(spec: JobSpec, num_shards: int,
+                     max_pairs_per_shard: Optional[int] = None,
+                     ) -> Tuple[List[JobSpec], List[ShardSelector], dict]:
+    """Split *spec* into shard job specs.
+
+    Returns ``(shard_specs, selectors, plan_info)``. Raises
+    :class:`SwarmPlanError` when the kernel cannot be planned.
+    """
+    if num_shards < 1:
+        raise SwarmPlanError("num_shards must be >= 1")
+    if spec.engine != "sesa":
+        raise SwarmPlanError(
+            f"swarm checking supports the sesa engine only "
+            f"(got {spec.engine!r})")
+    if spec.shard is not None:
+        raise SwarmPlanError("cannot re-shard an existing shard job")
+    if spec.repair:
+        raise SwarmPlanError("repair jobs cannot be sharded")
+    try:
+        from ..core import SESA
+        tool = SESA.from_source(spec.source, spec.kernel_name)
+        groups = tool.plan_check_groups(spec.launch_config())
+    except SwarmPlanError:
+        raise
+    except Exception as exc:
+        raise SwarmPlanError(
+            f"swarm planning failed for {spec.job_id!r}: "
+            f"{type(exc).__name__}: {exc}") from None
+    selectors = plan_partitions([size for _key, size in groups],
+                                num_shards, max_pairs_per_shard)
+    validate_partition(selectors)
+    base = spec.to_dict()
+    shard_specs = []
+    for sel in selectors:
+        data = dict(base)
+        data["job_id"] = f"{spec.job_id}#{sel.label()}"
+        data["shard"] = sel.to_dict()
+        data["meta"] = dict(spec.meta,
+                            swarm_parent=spec.job_id,
+                            swarm_parent_key=cache_key(spec),
+                            shard=sel.label())
+        shard_specs.append(JobSpec.from_dict(data))
+    plan_info = {
+        "total_pairs": sum(size for _key, size in groups),
+        "groups": len(groups),
+        "shards": len(selectors),
+        "requested_shards": num_shards,
+    }
+    return shard_specs, selectors, plan_info
+
+
+def outcomes_from_results(selectors: Sequence[ShardSelector],
+                          results: Sequence[Optional[JobResult]],
+                          ) -> List[ShardOutcome]:
+    """Pair up planner selectors with scheduler results. A missing or
+    failed result still produces an outcome — classified UNKNOWN."""
+    outcomes = []
+    for sel, result in zip(selectors, results):
+        if result is None:
+            outcomes.append(ShardOutcome(
+                shard=sel, status="lost", error="no result recorded"))
+            continue
+        outcomes.append(ShardOutcome(
+            shard=sel, status=result.status, verdict=result.verdict,
+            job_id=result.job_id, error=result.error,
+            elapsed_seconds=result.elapsed_seconds))
+    return outcomes
+
+
+def merged_job_result(spec: JobSpec, outcomes: Sequence[ShardOutcome],
+                      cache_key_used: Optional[str] = None,
+                      elapsed_seconds: float = 0.0) -> JobResult:
+    """The parent-level :class:`JobResult` for a merged swarm check.
+
+    The parent is DONE with a merged verdict whenever *any* shard
+    produced one (an unresolved shard surfaces as ``timed_out`` +
+    warnings — unknown, never safe); it is ERROR only when every
+    shard failed outright.
+    """
+    if not any(o.verdict for o in outcomes):
+        failures = "; ".join(
+            f"{o.shard.label()}: {o.status}"
+            + (f" ({o.error})" if o.error else "")
+            for o in outcomes)
+        return JobResult(
+            job_id=spec.job_id, status=JobStatus.ERROR,
+            engine=spec.engine,
+            attempts=sum(1 for _ in outcomes),
+            elapsed_seconds=elapsed_seconds, cache_key=cache_key_used,
+            error=f"all {len(outcomes)} shard(s) failed: {failures}")
+    merged = merge_shard_outcomes(outcomes)
+    return JobResult(
+        job_id=spec.job_id, status=JobStatus.DONE, engine=spec.engine,
+        attempts=len(outcomes), elapsed_seconds=elapsed_seconds,
+        cache_key=cache_key_used, verdict=merged,
+        check_stats=merged.get("check_stats"))
+
+
+# ----------------------------------------------------------------------
+# portfolio mode
+# ----------------------------------------------------------------------
+
+def _definitive(payload: Optional[dict]) -> bool:
+    """A payload that settles the shard: completed, not timed out."""
+    return bool(payload) and payload.get("status") == JobStatus.DONE \
+        and not (payload.get("verdict") or {}).get("timed_out")
+
+
+def run_portfolio(spec_dict: dict,
+                  variants: Sequence[Tuple[str, dict]] = DEFAULT_PORTFOLIO,
+                  timeout_seconds: Optional[float] = None,
+                  runner: Runner = execute_job) -> dict:
+    """Race *spec_dict* under several configs; first definitive answer
+    wins and the remaining workers are killed (terminate + join, so no
+    leaked processes). Falls back to the best non-definitive payload
+    (a completed-but-unknown verdict beats an error) when nobody wins.
+    """
+    start = time.perf_counter()
+    procs: Dict[object, Tuple[str, mp.Process]] = {}
+    for name, overrides in variants:
+        variant = dict(spec_dict)
+        variant.update(overrides)
+        parent_conn, child_conn = mp.Pipe(duplex=False)
+        proc = mp.Process(target=_child_entry,
+                          args=(child_conn, runner, variant),
+                          daemon=True)
+        proc.start()
+        child_conn.close()
+        procs[parent_conn] = (name, proc)
+
+    deadline = None if timeout_seconds is None \
+        else time.monotonic() + timeout_seconds
+    winner_name = None
+    winner_payload = None
+    fallback: Tuple[int, Optional[str], Optional[dict]] = (99, None, None)
+    pending = dict(procs)
+    try:
+        while pending and winner_payload is None:
+            wait_for = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            ready = mp_connection.wait(list(pending), timeout=wait_for)
+            if not ready:
+                break   # portfolio-level timeout
+            for conn in ready:
+                name, proc = pending.pop(conn)
+                try:
+                    payload = conn.recv()
+                except (EOFError, OSError):
+                    payload = None   # variant crashed
+                if _definitive(payload):
+                    winner_name, winner_payload = name, payload
+                    break
+                rank = 1 if payload and payload.get("verdict") else 2
+                if payload is not None and rank < fallback[0]:
+                    fallback = (rank, name, payload)
+    finally:
+        # cancel everything still running — winners, losers and
+        # timeouts alike leave no processes behind
+        for conn, (name, proc) in procs.items():
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+
+    if winner_payload is None:
+        _rank, winner_name, winner_payload = fallback
+    if winner_payload is None:
+        winner_payload = {
+            "status": JobStatus.ERROR, "verdict": None,
+            "check_stats": None, "inputs": None, "repair": None,
+            "elapsed_seconds": time.perf_counter() - start,
+            "error": "portfolio: no variant delivered a payload",
+        }
+    winner_payload = dict(winner_payload)
+    winner_payload["portfolio"] = {
+        "winner": winner_name,
+        "variants": [name for name, _ in variants],
+        "elapsed_seconds": round(time.perf_counter() - start, 6),
+    }
+    return winner_payload
+
+
+def portfolio_runner(variants: Sequence[Tuple[str, dict]]
+                     = DEFAULT_PORTFOLIO,
+                     timeout_seconds: Optional[float] = None) -> Runner:
+    """A scheduler-compatible runner that races each job through the
+    portfolio (the scheduler's own fork adds one extra process layer;
+    the variants are grandchildren, cleaned up by run_portfolio)."""
+    def run(spec_dict: dict) -> dict:
+        return run_portfolio(spec_dict, variants, timeout_seconds)
+    return run
+
+
+# ----------------------------------------------------------------------
+# batch driving
+# ----------------------------------------------------------------------
+
+def run_swarm_batch(specs: Sequence[JobSpec], num_shards: int, *,
+                    max_workers: int = 4,
+                    timeout_seconds: Optional[float] = None,
+                    max_retries: int = 1,
+                    cache: Optional[ResultCache] = None,
+                    telemetry: Optional[Telemetry] = None,
+                    portfolio: bool = False,
+                    max_pairs_per_shard: Optional[int] = None,
+                    isolate: bool = True) -> BatchResult:
+    """Check every spec swarm-style: plan shards, run them all through
+    one scheduler pass, merge per parent. Parents that cannot be
+    planned (non-SESA engine, compile failure at plan time) fall back
+    to ordinary monolithic jobs in the same scheduler run, so a swarm
+    batch always yields one result per submitted spec, in submission
+    order — exactly like ``Scheduler.run``.
+    """
+    telemetry = telemetry or Telemetry()
+    start = time.perf_counter()
+    hits0 = cache.hits if cache else 0
+    misses0 = cache.misses if cache else 0
+
+    # -- plan --------------------------------------------------------
+    plans: List[dict] = []          # one entry per submitted spec
+    work: List[JobSpec] = []        # shard + fallback specs to run
+    for spec in specs:
+        parent_key = swarm_cache_key(spec, num_shards) if cache else None
+        if parent_key is not None:
+            payload = cache.get(parent_key)
+            if payload is not None:
+                telemetry.emit("cache_hit", job_id=spec.job_id,
+                               cache_key=parent_key)
+                plans.append({"spec": spec, "cached": payload,
+                              "parent_key": parent_key})
+                continue
+            telemetry.emit("cache_miss", job_id=spec.job_id,
+                           cache_key=parent_key)
+        try:
+            shard_specs, selectors, info = plan_shard_specs(
+                spec, num_shards, max_pairs_per_shard)
+        except SwarmPlanError as exc:
+            telemetry.emit("swarm_fallback", job_id=spec.job_id,
+                           reason=str(exc))
+            plans.append({"spec": spec, "fallback": len(work),
+                          "parent_key": parent_key})
+            work.append(spec)
+            continue
+        telemetry.emit("swarm_planned", job_id=spec.job_id,
+                       shards=info["shards"],
+                       total_pairs=info["total_pairs"],
+                       groups=info["groups"])
+        plans.append({"spec": spec, "selectors": selectors,
+                      "first": len(work), "count": len(shard_specs),
+                      "parent_key": parent_key, "info": info})
+        work.extend(shard_specs)
+
+    # -- run every shard (and fallback) through one scheduler pass ---
+    runner = portfolio_runner(timeout_seconds=timeout_seconds) \
+        if portfolio else execute_job
+    results: List[Optional[JobResult]] = []
+    if work:
+        # portfolio mode supplies its own process isolation (one child
+        # per variant); the scheduler must then run the runner in its
+        # dispatcher threads — a daemonic scheduler child could not
+        # fork the variant processes
+        sched = Scheduler(max_workers=max_workers,
+                          timeout_seconds=timeout_seconds,
+                          max_retries=max_retries, cache=cache,
+                          telemetry=telemetry, runner=runner,
+                          isolate=isolate and not portfolio)
+        results = list(sched.run(work).jobs)
+        results.extend([None] * (len(work) - len(results)))
+
+    # -- merge per parent --------------------------------------------
+    merged_results: List[JobResult] = []
+    for plan in plans:
+        spec = plan["spec"]
+        if "cached" in plan:
+            payload = plan["cached"]
+            merged_results.append(JobResult(
+                job_id=spec.job_id, status=JobStatus.CACHED,
+                engine=spec.engine, attempts=0, cached=True,
+                cache_key=plan["parent_key"],
+                verdict=payload.get("verdict"),
+                check_stats=payload.get("check_stats")))
+            continue
+        if "fallback" in plan:
+            result = results[plan["fallback"]]
+            merged_results.append(result if result is not None
+                                  else JobResult(
+                                      job_id=spec.job_id,
+                                      status=JobStatus.ERROR,
+                                      engine=spec.engine,
+                                      error="no result recorded"))
+            continue
+        window = results[plan["first"]:plan["first"] + plan["count"]]
+        outcomes = outcomes_from_results(plan["selectors"], window)
+        for outcome in outcomes:
+            telemetry.emit(
+                "shard_finished", job_id=spec.job_id,
+                shard=outcome.shard.label(), status=outcome.status,
+                outcome=outcome.classify(),
+                pairs=outcome.shard.num_pairs)
+        elapsed = sum(o.elapsed_seconds for o in outcomes)
+        parent = merged_job_result(spec, outcomes,
+                                   cache_key_used=plan["parent_key"],
+                                   elapsed_seconds=elapsed)
+        telemetry.emit(
+            "swarm_merged", job_id=spec.job_id,
+            verdict=(parent.verdict or {}).get("swarm", {}).get("verdict"),
+            shards=len(outcomes),
+            unresolved=(parent.verdict or {}).get(
+                "swarm", {}).get("unresolved"),
+            status=parent.status)
+        if parent.status == JobStatus.DONE and cache is not None \
+                and plan["parent_key"] is not None \
+                and not (parent.verdict or {}).get("timed_out"):
+            cache.put(plan["parent_key"], {
+                "status": JobStatus.DONE, "verdict": parent.verdict,
+                "check_stats": parent.check_stats, "inputs": None,
+                "repair": None, "elapsed_seconds": parent.elapsed_seconds,
+                "error": None})
+        merged_results.append(parent)
+
+    return BatchResult(
+        jobs=merged_results,
+        elapsed_seconds=time.perf_counter() - start,
+        cache_hits=(cache.hits - hits0) if cache else 0,
+        cache_misses=(cache.misses - misses0) if cache else 0)
+
+
+def run_swarm_check(spec: JobSpec, num_shards: int, *,
+                    max_workers: Optional[int] = None,
+                    timeout_seconds: Optional[float] = None,
+                    cache: Optional[ResultCache] = None,
+                    telemetry: Optional[Telemetry] = None,
+                    portfolio: bool = False,
+                    max_pairs_per_shard: Optional[int] = None,
+                    isolate: bool = True) -> JobResult:
+    """Swarm-check a single kernel (the ``repro check --swarm N``
+    path): plan, run shards in parallel, merge."""
+    batch = run_swarm_batch(
+        [spec], num_shards,
+        max_workers=max_workers if max_workers is not None
+        else max(1, num_shards),
+        timeout_seconds=timeout_seconds, cache=cache,
+        telemetry=telemetry, portfolio=portfolio,
+        max_pairs_per_shard=max_pairs_per_shard, isolate=isolate)
+    return batch.jobs[0]

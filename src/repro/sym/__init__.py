@@ -14,6 +14,10 @@ from .races import (
 )
 from .flowtree import render_flow_tree
 from .resolvable import ResolvabilityReport, analyze_resolvability
+from .swarm import (
+    ShardOutcome, ShardSelector, merge_shard_outcomes, plan_partitions,
+    validate_partition,
+)
 from .state import FlowState
 from .value import Pointer, SymValue, fit_width, width_of
 
@@ -26,4 +30,6 @@ __all__ = [
     "RaceReport", "RaceWitness", "ResolvabilityReport",
     "analyze_resolvability", "render_flow_tree", "FlowState", "Pointer", "SymValue",
     "fit_width", "width_of",
+    "ShardOutcome", "ShardSelector", "merge_shard_outcomes",
+    "plan_partitions", "validate_partition",
 ]

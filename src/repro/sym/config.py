@@ -69,6 +69,14 @@ class LaunchConfig:
     #: and the interval OOB fast path. The escape hatch
     #: (``--no-pruning``) exists for differential testing.
     pair_pruning: bool = True
+    #: swarm mode: a serialised :class:`repro.sym.swarm.ShardSelector`
+    #: (or the selector itself) restricting the race check to one
+    #: shard's ordinal ranges. ``None`` checks the whole pair space.
+    shard: Optional[object] = None
+    #: per-query SAT conflict budget override (portfolio variants run
+    #: the same shard under different budgets). ``None``: caller's
+    #: default (200k conflicts).
+    solver_conflict_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.grid_dim = _dim3(self.grid_dim)

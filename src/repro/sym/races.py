@@ -39,6 +39,7 @@ from .access import Access, AccessKind, AccessSet
 from .config import LaunchConfig, SymbolicEnv
 from .executor import ExecutionResult
 from .memory import MemoryObject, contains_havoc
+from .swarm import ShardSelector
 
 #: cache-miss sentinel (None is a legitimate cached value)
 _MISS = object()
@@ -78,6 +79,9 @@ class RaceReport:
     intra_warp: bool = False
     witness: Optional[RaceWitness] = None
     unresolvable: bool = False   # guards/addresses contain havocked values
+    #: position of the pair in the canonical enumeration — lets a swarm
+    #: merge reconstruct the sequential checker's report order exactly
+    ordinal: Optional[int] = None
 
     def describe(self) -> str:
         flavour = " (benign)" if self.benign else ""
@@ -158,12 +162,21 @@ class RaceChecker:
                  pruning: Optional[bool] = None,
                  sessions: Optional[Dict[Tuple[int, ...],
                                          SolverSession]] = None,
-                 memo: Optional[QueryMemo] = None) -> None:
+                 memo: Optional[QueryMemo] = None,
+                 shard: Optional[ShardSelector] = None) -> None:
         self.result = result
         self.config = result.config
         self.env = result.env
         self.max_reports = max_reports
         self.solver_budget = solver_budget
+        # swarm mode: restrict the pair walk to this shard's ordinal
+        # ranges (None: the whole enumeration, the sequential default)
+        self.shard = shard if shard is not None \
+            else getattr(self.config, "shard", None)
+        if isinstance(self.shard, dict):
+            self.shard = ShardSelector.from_dict(self.shard)
+        self.plan_mismatch = False
+        self._current_ordinal: Optional[int] = None
         self.extra_assumptions: List[Term] = list(extra_assumptions or ())
         self.incremental = self.config.incremental_solving \
             if incremental is None else incremental
@@ -327,9 +340,13 @@ class RaceChecker:
                 self.config.time_budget_seconds
         self._check_races()
         t0 = time.perf_counter()
-        if self.config.check_oob and not self.timed_out:
+        # a shard runs the single-thread checks only when it is the
+        # designated aux owner, so the swarm covers them exactly once
+        run_aux = self.shard is None or self.shard.check_aux
+        if self.config.check_oob and not self.timed_out and run_aux:
             self._check_oob()
-        self._check_assertions()
+        if run_aux:
+            self._check_assertions()
         self.stats.solve_seconds += time.perf_counter() - t0
         return self
 
@@ -374,8 +391,14 @@ class RaceChecker:
             self._check_pair(*item)
             self.stats.solve_seconds += time.perf_counter() - t0
 
-    def _iter_candidate_pairs(self):
-        """Lazily yield (a1, a2, same_bi) pairs worth solving.
+    def iter_grouped_pairs(self):
+        """The canonical pair enumeration: deterministic, group-tagged.
+
+        Yields ``(group_key, a1, a2, same_bi)`` where consecutive pairs
+        sharing a *group_key* form one contiguous enumeration group —
+        the natural split points for swarm partitioning. Same-interval
+        groups are ``("bi", interval, object, bucket)``; cross-interval
+        global groups are ``("x", interval1, interval2, object)``.
 
         Shared memory: same barrier interval only (barriers order across
         intervals). Global memory: same interval for same-block pairs,
@@ -383,16 +406,20 @@ class RaceChecker:
         same-interval enumeration is bucket-local (accesses partitioned
         by provably disjoint address footprints) and residue-separated
         pairs are dropped; both prunes count into ``bucketed_out``.
+        The order (and hence every pair's *ordinal*) depends only on
+        the deterministic execution record and the pruning flag, so a
+        shard re-derives the identical ordinals in its own process.
         """
         maps = [s.by_object() for s in self.result.bi_access_sets]
-        for by_obj in maps:
+        for bi_idx, by_obj in enumerate(maps):
             for obj, accesses in by_obj.items():
-                yield from ((a1, a2, True)
-                            for a1, a2 in self._bucketed_pairs(accesses))
+                for bucket, a1, a2 in self._bucketed_pairs(accesses):
+                    yield ("bi", bi_idx, obj.name, bucket), a1, a2, True
         # cross-interval global pairs (only meaningful across blocks)
         if self.config.num_blocks > 1:
             for i, by1 in enumerate(maps):
-                for by2 in maps[i + 1:]:
+                for j in range(i + 1, len(maps)):
+                    by2 = maps[j]
                     for obj in by1:
                         if obj.space != ir.MemSpace.GLOBAL or obj not in by2:
                             continue
@@ -405,7 +432,48 @@ class RaceChecker:
                                         self._provably_disjoint(a1, a2):
                                     self.stats.bucketed_out += 1
                                     continue
-                                yield a1, a2, False
+                                yield (("x", i, j, obj.name),
+                                       a1, a2, False)
+
+    def plan_groups(self) -> List[Tuple[tuple, int]]:
+        """``(group_key, size)`` in enumeration order, without solving.
+
+        This is the swarm planner's input: group sizes define the
+        contiguous ordinal spans that :func:`plan_partitions` packs
+        into shards. Pair generation only (no SAT queries), so
+        planning costs milliseconds even on the slow kernels.
+        """
+        groups: List[List] = []
+        for key, _a1, _a2, _same_bi in self.iter_grouped_pairs():
+            if groups and groups[-1][0] == key:
+                groups[-1][1] += 1
+            else:
+                groups.append([key, 1])
+        return [(key, size) for key, size in groups]
+
+    def _iter_candidate_pairs(self):
+        """Lazily yield (a1, a2, same_bi) pairs worth solving, applying
+        the shard's ordinal filter when one is set.
+
+        Safety net: after a *complete* walk, a shard whose enumeration
+        length disagrees with the planned ``total_pairs`` marks the
+        verdict unknown (``plan_mismatch`` + ``timed_out``) — a
+        diverged plan must never let the merge claim SAFE. An early
+        exit skips the count check, but early exits already mean racy
+        (reports full) or unknown (budget), never safe.
+        """
+        shard = self.shard
+        enumerated = 0
+        for _key, a1, a2, same_bi in self.iter_grouped_pairs():
+            ordinal = enumerated
+            enumerated += 1
+            if shard is not None and not shard.contains(ordinal):
+                continue
+            self._current_ordinal = ordinal
+            yield a1, a2, same_bi
+        if shard is not None and enumerated != shard.total_pairs:
+            self.plan_mismatch = True
+            self.timed_out = True
 
     @staticmethod
     def _write_pairs(accesses: Sequence[Access]):
@@ -431,21 +499,23 @@ class RaceChecker:
         return (n * (n + 1) - n_r * (n_r + 1) - n_a * (n_a + 1)) // 2
 
     def _bucketed_pairs(self, accesses: Sequence[Access]):
-        """Same-interval pairs, restricted to disjointness buckets."""
+        """Same-interval ``(bucket_index, a1, a2)`` triples, restricted
+        to disjointness buckets (bucket 0 when pruning is off)."""
         if not self.pruning or len(accesses) < 2:
-            yield from self._write_pairs(accesses)
+            for a1, a2 in self._write_pairs(accesses):
+                yield 0, a1, a2
             return
         buckets = self._footprint_buckets(accesses)
         if len(buckets) > 1:
             self.stats.bucketed_out += \
                 self._eligible_pair_count(accesses) - \
                 sum(self._eligible_pair_count(b) for b in buckets)
-        for bucket in buckets:
+        for index, bucket in enumerate(buckets):
             for a1, a2 in self._write_pairs(bucket):
                 if a1 is not a2 and self._stride_separated_pair(a1, a2):
                     self.stats.bucketed_out += 1
                     continue
-                yield a1, a2
+                yield index, a1, a2
 
     def _footprint_buckets(self, accesses: Sequence[Access]
                            ) -> List[List[Access]]:
@@ -757,7 +827,7 @@ class RaceChecker:
         report = RaceReport(
             kind=kind, obj_name=a1.obj.name, access1=a1, access2=a2,
             benign=benign, witness=self._witness(model, two_threads=True),
-            unresolvable=unresolvable)
+            unresolvable=unresolvable, ordinal=self._current_ordinal)
         self.races.append(report)
         self.stats.races_found += 1
 

@@ -79,6 +79,29 @@ class TestBatchCli:
         payload = json.loads(capsys.readouterr().out)
         assert [j["status"] for j in payload["jobs"]] == ["done", "done"]
 
+    def test_limit_zero_runs_no_jobs(self, tmp_path, capsys):
+        # regression: used to crash with "max() arg is an empty
+        # sequence" while rendering an empty batch
+        code = main(["batch", "builtin:paper", "--limit", "0",
+                     "--no-cache",
+                     "--trace", str(tmp_path / "t.jsonl"), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] == []
+
+    def test_limit_zero_human_output(self, tmp_path, capsys):
+        code = main(["batch", "builtin:paper", "--limit", "0",
+                     "--no-cache",
+                     "--trace", str(tmp_path / "t.jsonl")])
+        assert code == 0
+        assert "jobs: 0" in capsys.readouterr().out
+
+    def test_negative_limit_exits_2(self, capsys):
+        # regression: a negative --limit used to silently slice jobs
+        # from the *end* of the corpus instead of being rejected
+        assert main(["batch", "builtin:paper", "--limit", "-1"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
     def test_bad_target_exits_2(self, capsys):
         assert main(["batch", "/no/such/dir"]) == 2
         assert "corpus target" in capsys.readouterr().err
