@@ -95,9 +95,37 @@ def test_mode(benchmark, mode):
     RESULTS[mode] = (agg, verdicts)
 
 
+def test_stack_differential(benchmark):
+    """Relative gate: the fast solver stack (arena CDCL core, constant
+    folding in the Tseitin gates, template lowering, plain-guard
+    assumptions) must finish the suites at least 2x faster than the
+    ``legacy`` stack — a faithful reconstruction of the pre-arena
+    pipeline — at identical verdicts. Same-process, same suites, so
+    the ratio is robust to runner speed."""
+    from repro.smt import set_solver_stack
+    prev = set_solver_stack("legacy")
+    try:
+        legacy, legacy_verdicts = run_suites(incremental=True)
+    finally:
+        set_solver_stack(prev)
+    fast, fast_verdicts = benchmark.pedantic(
+        lambda: run_suites(incremental=True), rounds=1, iterations=1)
+    assert fast_verdicts == legacy_verdicts, \
+        "fast and legacy solver stacks disagree on a verdict!"
+    ratio = legacy["ms"] / fast["ms"]
+    RESULTS["stack"] = {"legacy_ms": round(legacy["ms"], 1),
+                        "fast_ms": round(fast["ms"], 1),
+                        "speedup": round(ratio, 2)}
+    print(f"\nstack differential: legacy {legacy['ms']:.0f} ms, "
+          f"fast {fast['ms']:.0f} ms -> {ratio:.2f}x "
+          "(verdicts identical)")
+    assert ratio >= 2.0, (
+        f"fast-stack speedup {ratio:.2f}x fell below the 2x gate")
+
+
 def test_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if len(RESULTS) < 2:
+    if "one_shot" not in RESULTS or "incremental" not in RESULTS:
         pytest.skip("run the full module for the report")
     one, inc = RESULTS["one_shot"][0], RESULTS["incremental"][0]
 
@@ -125,6 +153,8 @@ def test_report(benchmark):
             "incremental": inc["by_sat"] + inc["by_session"],
         },
     }
+    if "stack" in RESULTS:
+        payload["stack"] = RESULTS["stack"]
     out_path = os.environ.get("BENCH_OUT", "BENCH_solver.json")
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

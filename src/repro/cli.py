@@ -114,8 +114,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="race every shard under several solver "
                             "configs; first definitive answer wins "
                             "(requires --swarm)")
+    check.add_argument("--solver-cache", default=None, metavar="DIR",
+                       help="warm-start solver artifact cache: adopt "
+                            "persisted CNF snapshots / learned clauses "
+                            "/ verdict memos from DIR and refresh them "
+                            "after the run (a pure accelerator — never "
+                            "changes a verdict)")
+    check.add_argument("--solver-stack",
+                       choices=["fast", "legacy"], default=None,
+                       help="pin the solver stack: 'legacy' reproduces "
+                            "the pre-arena pipeline (differential "
+                            "baseline), default is the fast stack")
+    check.add_argument("--profile", action="store_true",
+                       help="append a per-phase wall-clock and solver "
+                            "dispatch breakdown to the report")
     check.add_argument("--json", action="store_true",
                        help="machine-readable output")
+
+    prof = sub.add_parser(
+        "profile", help="profile one analysis run by pipeline layer")
+    common(prof)
+    prof.add_argument("--grid", type=_dim3, default=(1, 1, 1),
+                      metavar="X[,Y[,Z]]")
+    prof.add_argument("--block", type=_dim3, default=(64, 1, 1),
+                      metavar="X[,Y[,Z]]")
+    prof.add_argument("--engine", choices=["sesa", "gkleep", "gklee"],
+                      default="sesa")
+    prof.add_argument("--warp-size", type=int, default=32)
+    prof.add_argument("--lockstep", action="store_true",
+                      help="assume SIMD lock-step ordering within warps")
+    prof.add_argument("--no-oob", action="store_true",
+                      help="disable out-of-bounds checking")
+    prof.add_argument("--symbolic", action="append", default=None,
+                      metavar="PARAM")
+    prof.add_argument("--set", action="append", default=[],
+                      metavar="PARAM=VALUE")
+    prof.add_argument("--array-size", action="append", default=[],
+                      metavar="PARAM=COUNT")
+    prof.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS")
+    prof.add_argument("--no-incremental", action="store_true")
+    prof.add_argument("--no-pruning", action="store_true")
+    prof.add_argument("--solver-cache", default=None, metavar="DIR",
+                      help="profile with a warm-start artifact cache")
+    prof.add_argument("--solver-stack",
+                      choices=["fast", "legacy"], default=None,
+                      help="profile the chosen stack (for fast-vs-"
+                           "legacy comparisons)")
+    prof.add_argument("--top", type=int, default=10, metavar="N",
+                      help="also list the N most expensive functions "
+                           "(default 10)")
+    prof.add_argument("--json", action="store_true",
+                      help="machine-readable output")
 
     rep = sub.add_parser(
         "repair", help="synthesize a verified, minimal barrier fix")
@@ -365,7 +415,8 @@ def _config_from(args) -> LaunchConfig:
         array_sizes=_parse_kv(args.array_size, "--array-size"),
         time_budget_seconds=args.time_budget,
         incremental_solving=not args.no_incremental,
-        pair_pruning=not args.no_pruning)
+        pair_pruning=not args.no_pruning,
+        solver_cache_dir=getattr(args, "solver_cache", None))
 
 
 def _render_swarm_result(result) -> None:
@@ -398,6 +449,9 @@ def _render_swarm_result(result) -> None:
 def cmd_check(args) -> int:
     """The ``check`` subcommand: analyse and report races/OOB."""
     source = _read_source(args.file)
+    if getattr(args, "solver_stack", None):
+        from .smt import set_solver_stack
+        set_solver_stack(args.solver_stack)
     if args.portfolio and not args.swarm:
         print("repro: --portfolio requires --swarm", file=sys.stderr)
         return 2
@@ -419,7 +473,8 @@ def cmd_check(args) -> int:
             array_sizes=_parse_kv(args.array_size, "--array-size"),
             time_budget_seconds=args.time_budget,
             incremental_solving=not args.no_incremental,
-            pair_pruning=not args.no_pruning)
+            pair_pruning=not args.no_pruning,
+            solver_cache_dir=args.solver_cache)
         try:
             spec.validate()
         except JobValidationError as exc:
@@ -445,10 +500,159 @@ def cmd_check(args) -> int:
     tool = engine_cls.from_source(source, args.kernel)
     report = tool.check(_config_from(args))
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        payload = report.to_dict()
+        if args.profile:
+            payload["profile"] = _phase_breakdown(report.check_stats)
+        print(json.dumps(payload, indent=2))
     else:
         print(report.summary())
+        if args.profile:
+            _print_phase_breakdown(report.check_stats)
     return 1 if (report.has_races or report.has_oob) else 0
+
+
+def _phase_breakdown(cs) -> dict:
+    """Per-phase wall clock and solver dispatch from a CheckStats."""
+    if cs is None:
+        return {}
+    total = cs.execute_seconds + cs.pairgen_seconds + cs.solve_seconds
+    return {
+        "phases": {
+            "execute_seconds": round(cs.execute_seconds, 6),
+            "pairgen_seconds": round(cs.pairgen_seconds, 6),
+            "solve_seconds": round(cs.solve_seconds, 6),
+            "total_seconds": round(total, 6),
+        },
+        "dispatch": {
+            "pairs_considered": cs.pairs_considered,
+            "queries": cs.queries,
+            "by_affine": cs.by_affine,
+            "by_memo": cs.by_memo,
+            "pair_memo_hits": cs.pair_memo_hits,
+            "by_simplifier": cs.solver.by_simplifier,
+            "by_interval": cs.solver.by_interval,
+            "by_session": cs.solver.by_session,
+            "by_sat": cs.solver.by_sat,
+            "sat_conflicts": cs.solver.sat_conflicts,
+            "warm_starts": cs.warm_starts,
+            "warm_memo_hits": cs.warm_memo_hits,
+            "warm_pair_hits": cs.warm_pair_hits,
+        },
+    }
+
+
+def _print_phase_breakdown(cs) -> None:
+    data = _phase_breakdown(cs)
+    if not data:
+        return
+    phases = data["phases"]
+    total = max(phases["total_seconds"], 1e-9)
+    print("profile (per-phase wall clock):")
+    for name in ("execute_seconds", "pairgen_seconds", "solve_seconds"):
+        label = name.replace("_seconds", "")
+        print(f"  {label:<10} {phases[name]:8.4f}s "
+              f"({phases[name] / total:5.1%})")
+    print(f"  {'total':<10} {phases['total_seconds']:8.4f}s")
+    disp = data["dispatch"]
+    print("dispatch: "
+          f"{disp['pairs_considered']} pairs, {disp['queries']} queries "
+          f"(affine {disp['by_affine']}, memo {disp['by_memo']}, "
+          f"pair-memo {disp['pair_memo_hits']}, "
+          f"simplifier {disp['by_simplifier']}, "
+          f"interval {disp['by_interval']}, "
+          f"session {disp['by_session']}, sat {disp['by_sat']}; "
+          f"{disp['sat_conflicts']} conflicts)")
+    if disp["warm_starts"] or disp["warm_memo_hits"] \
+            or disp["warm_pair_hits"]:
+        print(f"warm start: {disp['warm_starts']} sessions adopted, "
+              f"{disp['warm_memo_hits']} memo replays, "
+              f"{disp['warm_pair_hits']} pair replays")
+
+
+#: pipeline layer of a profiled function, from its source path — the
+#: buckets the README's "solver stack" section talks about
+_PROFILE_BUCKETS = (
+    ("/smt/sat", "sat-core"),
+    ("/smt/cnf", "lowering"),
+    ("/smt/bitblast", "lowering"),
+    ("/smt/simplify", "simplify"),
+    ("/smt/subst", "simplify"),
+    ("/smt/", "smt-other"),
+    ("/sym/races", "race-check"),
+    ("/sym/", "symbolic-exec"),
+    ("/frontend/", "frontend"),
+    ("/ir", "frontend"),
+)
+
+
+def _profile_bucket(path: str) -> str:
+    path = path.replace("\\", "/")
+    for needle, bucket in _PROFILE_BUCKETS:
+        if needle in path:
+            return bucket
+    return "other"
+
+
+def cmd_profile(args) -> int:
+    """The ``profile`` subcommand: one analysis run under cProfile,
+    self-time bucketed by pipeline layer (frontend / symbolic exec /
+    race check / simplify / lowering / SAT core) plus the per-phase
+    wall clock — the measurement loop that drives solver work like the
+    arena CDCL core and the batched lowering."""
+    import cProfile
+    source = _read_source(args.file)
+    if args.solver_stack:
+        from .smt import set_solver_stack
+        set_solver_stack(args.solver_stack)
+    engine_cls = {"sesa": SESA, "gkleep": GKLEEp, "gklee": GKLEE}[args.engine]
+    tool = engine_cls.from_source(source, args.kernel)
+    config = _config_from(args)
+    prof = cProfile.Profile()
+    prof.enable()
+    report = tool.check(config)
+    prof.disable()
+    prof.create_stats()
+
+    buckets: dict = {}
+    rows = []
+    for (path, _line, func), (cc, nc, tt, ct, _callers) \
+            in prof.stats.items():  # type: ignore[attr-defined]
+        bucket = _profile_bucket(path) if path else "other"
+        buckets[bucket] = buckets.get(bucket, 0.0) + tt
+        rows.append((tt, nc, f"{os.path.basename(path)}:{func}"
+                     if path else func))
+    total = sum(buckets.values()) or 1e-9
+    rows.sort(reverse=True)
+
+    payload = {
+        "kernel": args.kernel or os.path.basename(args.file),
+        "engine": args.engine,
+        "solver_stack": args.solver_stack or "fast",
+        "buckets": {k: round(v, 6) for k, v in sorted(
+            buckets.items(), key=lambda kv: -kv[1])},
+        "hotspots": [{"self_seconds": round(tt, 6), "calls": nc,
+                      "where": where}
+                     for tt, nc, where in rows[:max(args.top, 0)]],
+        "races": len(report.races),
+        "oobs": len(report.oobs),
+    }
+    payload.update(_phase_breakdown(report.check_stats))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"profile of {payload['kernel']} "
+          f"[{args.engine}, {payload['solver_stack']} stack]: "
+          f"{len(report.races)} race(s), {len(report.oobs)} OOB")
+    print("self-time by pipeline layer:")
+    for bucket, seconds in payload["buckets"].items():
+        print(f"  {bucket:<14} {seconds:8.4f}s ({seconds / total:5.1%})")
+    _print_phase_breakdown(report.check_stats)
+    if payload["hotspots"]:
+        print(f"top {len(payload['hotspots'])} functions by self time:")
+        for spot in payload["hotspots"]:
+            print(f"  {spot['self_seconds']:8.4f}s "
+                  f"x{spot['calls']:<6} {spot['where']}")
+    return 0
 
 
 def cmd_repair(args) -> int:
@@ -856,15 +1060,20 @@ def cmd_queue(args) -> int:
 
 def cmd_cache(args) -> int:
     """The ``cache`` subcommand: stats and pruning for the verdict
-    cache a long-running daemon shares with batch runs."""
+    cache a long-running daemon shares with batch runs, and for the
+    solver warm-start artifacts living beside it (``solver/``) —
+    reported separately, evicted under the same policy."""
     from .service import ResultCache, trace_hit_rate
+    from .smt import SolverArtifactStore
     if not os.path.isdir(args.cache_dir):
         print(f"repro: no cache at {args.cache_dir!r}",
               file=sys.stderr)
         return 2
     cache = ResultCache(args.cache_dir)
+    solver_store = SolverArtifactStore(args.cache_dir)
     if args.cache_command == "stats":
         stats = cache.disk_stats()
+        stats["solver"] = solver_store.disk_stats()
         trace = args.trace or os.path.join(args.cache_dir,
                                            "trace.jsonl")
         rate = trace_hit_rate(trace)
@@ -875,6 +1084,10 @@ def cmd_cache(args) -> int:
         else:
             print(f"cache {stats['dir']}: {stats['entries']} entries, "
                   f"{stats['bytes']} bytes")
+            solver = stats["solver"]
+            print(f"solver artifacts {solver['dir']}: "
+                  f"{solver['entries']} entries, "
+                  f"{solver['bytes']} bytes")
             if stats["oldest_age_seconds"] is not None:
                 print(f"age span: {stats['newest_age_seconds']:.0f}s "
                       f"- {stats['oldest_age_seconds']:.0f}s")
@@ -890,12 +1103,18 @@ def cmd_cache(args) -> int:
         return 2
     outcome = cache.prune(max_age_seconds=args.max_age,
                           max_bytes=args.max_bytes)
+    outcome["solver"] = solver_store.prune(
+        max_age_seconds=args.max_age, max_bytes=args.max_bytes)
     if args.json:
         print(json.dumps(outcome, indent=2))
     else:
         print(f"pruned {outcome['removed']} entries "
               f"({outcome['freed_bytes']} bytes) from "
               f"{outcome['dir']}; {outcome['kept']} kept")
+        solver = outcome["solver"]
+        print(f"pruned {solver['removed']} solver artifacts "
+              f"({solver['freed_bytes']} bytes) from "
+              f"{solver['dir']}; {solver['kept']} kept")
     return 0
 
 
@@ -907,7 +1126,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     reserved for "the analysis ran and found defects".
     """
     args = build_parser().parse_args(argv)
-    handler = {"check": cmd_check, "repair": cmd_repair,
+    handler = {"check": cmd_check, "profile": cmd_profile,
+               "repair": cmd_repair,
                "taint": cmd_taint, "ir": cmd_ir, "tests": cmd_tests,
                "batch": cmd_batch, "serve": cmd_serve,
                "submit": cmd_submit, "status": cmd_status,

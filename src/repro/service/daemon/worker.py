@@ -118,6 +118,12 @@ class WorkerDaemon:
                             lease_ttl=self.lease_ttl)
         spec_dict = job.spec
         engine = spec_dict.get("engine", "sesa")
+        if self.cache is not None \
+                and spec_dict.get("solver_cache_dir") is None:
+            # share the daemon's cache tree for solver warm-start
+            # artifacts (a pure accelerator: not in the fingerprint)
+            spec_dict = dict(spec_dict,
+                             solver_cache_dir=self.cache.cache_dir)
 
         # dedup fast path: an identical submission already paid for
         # this verdict (possibly in a previous daemon's lifetime)

@@ -112,6 +112,11 @@ class JobSpec:
     shard: Optional[dict] = None
     #: per-query SAT conflict budget override (portfolio variants)
     solver_conflict_budget: Optional[int] = None
+    #: directory for cross-run solver warm-start artifacts (see
+    #: :mod:`repro.smt.persist`). Deliberately NOT part of
+    #: :meth:`config_fingerprint`: warm starts are a pure accelerator
+    #: and must never influence which cache entry a verdict lands in.
+    solver_cache_dir: Optional[str] = None
     #: free-form passthrough (suite/table tags, test fixtures, ...)
     meta: Dict[str, object] = field(default_factory=dict)
 
@@ -200,7 +205,8 @@ class JobSpec:
             incremental_solving=self.incremental_solving,
             pair_pruning=self.pair_pruning,
             shard=(dict(self.shard) if self.shard is not None else None),
-            solver_conflict_budget=self.solver_conflict_budget)
+            solver_conflict_budget=self.solver_conflict_budget,
+            solver_cache_dir=self.solver_cache_dir)
         if self.max_loop_splits is not None:
             config.max_loop_splits = self.max_loop_splits
         if self.max_flows is not None:
@@ -255,6 +261,7 @@ class JobSpec:
         out = dict(self.config_fingerprint())
         out.update(job_id=self.job_id, source=self.source,
                    time_budget_seconds=self.time_budget_seconds,
+                   solver_cache_dir=self.solver_cache_dir,
                    meta=dict(self.meta))
         return out
 
@@ -302,6 +309,7 @@ class JobSpec:
             needs_concrete_graph=data.get("needs_concrete_graph", False),
             shard=data.get("shard"),
             solver_conflict_budget=data.get("solver_conflict_budget"),
+            solver_cache_dir=data.get("solver_cache_dir"),
             meta=dict(data.get("meta") or {}))
 
 

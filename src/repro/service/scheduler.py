@@ -276,6 +276,13 @@ def run_batch(specs: Sequence[JobSpec], *,
     if engine is not None:
         for spec in specs:
             spec.engine = engine
+    if cache_dir:
+        # solver warm-start artifacts live beside the verdict cache;
+        # explicit per-spec dirs win (and None stays None when the
+        # batch has no cache at all)
+        for spec in specs:
+            if spec.solver_cache_dir is None:
+                spec.solver_cache_dir = cache_dir
     cache = ResultCache(cache_dir) if cache_dir else None
     with Telemetry(trace_path) as telemetry:
         sched = Scheduler(max_workers=max_workers,

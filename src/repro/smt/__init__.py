@@ -22,8 +22,13 @@ from .affine import (
     affine_decompose, equality_forces_equal_components, injective_on_box,
     stride_separated,
 )
+from .cnf import get_solver_stack, set_solver_stack
+from .sat import make_solver, set_solver_impl
 from .solver import CheckResult, Model, Solver, SolverStats, get_model, is_sat
-from .session import QueryMemo, SolverSession
+from .session import QueryMemo, SolverSession, TemplateCache
+from .persist import (
+    SolverArtifactStore, canonical_term, preamble_fingerprint,
+)
 
 __all__ = [
     "BOOL", "BV1", "BV8", "BV16", "BV32", "BV64", "BoolSort", "BVSort",
@@ -41,5 +46,8 @@ __all__ = [
     "affine_decompose", "equality_forces_equal_components",
     "injective_on_box", "stride_separated",
     "CheckResult", "Model", "Solver", "SolverStats", "get_model", "is_sat",
-    "QueryMemo", "SolverSession",
+    "QueryMemo", "SolverSession", "TemplateCache",
+    "get_solver_stack", "set_solver_stack", "make_solver",
+    "set_solver_impl",
+    "SolverArtifactStore", "canonical_term", "preamble_fingerprint",
 ]

@@ -6,7 +6,29 @@ SAT solver consumes.
 """
 from __future__ import annotations
 
+import os
 from typing import Iterable, List, Sequence
+
+#: "fast" (default) or "legacy": selects the whole solver stack — the
+#: arena vs. reference SAT core, constant folding in the Tseitin gates,
+#: template instantiation and polarity-aware goal lowering in the
+#: session. The legacy stack reproduces the pre-arena pipeline and is
+#: the oracle for differential tests and relative benchmark gates.
+_STACK = os.environ.get("REPRO_SOLVER_STACK", "fast")
+
+
+def set_solver_stack(name: str) -> str:
+    """Select "fast" or "legacy"; returns the previous selection."""
+    global _STACK
+    if name not in ("fast", "legacy"):
+        raise ValueError(f"unknown solver stack: {name!r}")
+    prev = _STACK
+    _STACK = name
+    return prev
+
+
+def get_solver_stack() -> str:
+    return _STACK
 
 
 class CNF:
@@ -22,6 +44,17 @@ class CNF:
         self.num_vars: int = 0
         self.clauses: List[List[int]] = []
         self._listeners: List = []
+        #: when False, ``add`` stops recording clauses in :attr:`clauses`
+        #: and only forwards them to attached solvers. The session flips
+        #: this off once the preamble snapshot is taken — goal clauses
+        #: are transient (they die with the solver at rotation), so
+        #: recording them would only burn memory.
+        self.record: bool = True
+        #: fold gates whose inputs are the constant true/false literal.
+        #: Constant-heavy circuits (multiply/add by a literal constant —
+        #: the common shape of address expressions) collapse to a few
+        #: clauses instead of a full word-width netlist.
+        self.fold: bool = _STACK == "fast"
 
     def attach(self, solver) -> None:
         """Forward every future clause to *solver* (incremental mode)."""
@@ -47,13 +80,34 @@ class CNF:
                 raise ValueError("literal 0 is not allowed")
             if v > self.num_vars:
                 self.num_vars = v
-        self.clauses.append(lits)
+        if self.record:
+            self.clauses.append(lits)
         for solver in self._listeners:
             solver.add_clause(lits)
 
     def add_all(self, clauses: Iterable[Sequence[int]]) -> None:
         for c in clauses:
             self.add(c)
+
+    def add_batch(self, clauses: Sequence[Sequence[int]]) -> None:
+        """Append many clauses, forwarding them in ONE solver call.
+
+        The template instantiator and the learned-clause re-import go
+        through here: attached solvers receive the whole batch via
+        ``add_clauses`` (a single backtrack-to-root) instead of one
+        ``add_clause`` call per clause.
+        """
+        num_vars = self.num_vars
+        for lits in clauses:
+            for lit in lits:
+                v = lit if lit > 0 else -lit
+                if v > num_vars:
+                    num_vars = v
+        self.num_vars = num_vars
+        if self.record:
+            self.clauses.extend(list(c) for c in clauses)
+        for solver in self._listeners:
+            solver.add_clauses(clauses)
 
     # -- Tseitin gates --------------------------------------------------
     # Each returns the output literal.
@@ -63,6 +117,14 @@ class CNF:
             return a
         if a == -b:
             return self.const_false()
+        if self.fold and self._true_lit is not None:
+            t = self._true_lit
+            if a == t:
+                return b
+            if b == t:
+                return a
+            if a == -t or b == -t:
+                return -t
         out = self.new_var()
         self.add([-out, a])
         self.add([-out, b])
@@ -73,6 +135,20 @@ class CNF:
         return -self.gate_and(-a, -b)
 
     def gate_xor(self, a: int, b: int) -> int:
+        if a == b:
+            return self.const_false()
+        if a == -b:
+            return self.const_true()
+        if self.fold and self._true_lit is not None:
+            t = self._true_lit
+            if a == t:
+                return -b
+            if b == t:
+                return -a
+            if a == -t:
+                return b
+            if b == -t:
+                return a
         out = self.new_var()
         self.add([-out, a, b])
         self.add([-out, -a, -b])
@@ -95,6 +171,36 @@ class CNF:
         """``sel ? then_lit : else_lit``."""
         if then_lit == else_lit:
             return then_lit
+        if sel == then_lit:
+            # sel ? sel : e  ==  sel | e
+            return self.gate_or(sel, else_lit)
+        if sel == else_lit:
+            # sel ? t : sel  ==  sel & t
+            return self.gate_and(sel, then_lit)
+        if sel == -then_lit:
+            # sel ? !sel : e  ==  !sel & e
+            return self.gate_and(-sel, else_lit)
+        if sel == -else_lit:
+            # sel ? t : !sel  ==  !sel | t
+            return self.gate_or(-sel, then_lit)
+        if self.fold and self._true_lit is not None:
+            t = self._true_lit
+            if sel == t:
+                return then_lit
+            if sel == -t:
+                return else_lit
+            if then_lit == t and else_lit == -t:
+                return sel
+            if then_lit == -t and else_lit == t:
+                return -sel
+            if then_lit == t:
+                return self.gate_or(sel, else_lit)
+            if then_lit == -t:
+                return self.gate_and(-sel, else_lit)
+            if else_lit == t:
+                return self.gate_or(-sel, then_lit)
+            if else_lit == -t:
+                return self.gate_and(sel, then_lit)
         out = self.new_var()
         self.add([-out, -sel, then_lit])
         self.add([-out, sel, else_lit])

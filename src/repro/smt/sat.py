@@ -1,31 +1,47 @@
-"""CDCL SAT solver.
+"""CDCL SAT solver on a flat clause arena.
 
 A from-scratch conflict-driven clause-learning solver with the standard
-modern ingredients: two-watched-literal propagation, 1UIP conflict
-analysis with learned-clause minimisation, VSIDS-style activity decay,
-phase saving, and Luby restarts. It is deliberately free of exotic
-heuristics — race queries produced by the bitblaster are small-to-medium
-(10^3..10^5 clauses) and this solver dispatches them in milliseconds.
+modern ingredients: two-watched-literal propagation with blocker
+literals, 1UIP conflict analysis with learned-clause minimisation,
+VSIDS-style activity decay, phase saving, and Luby restarts.
+
+The hot-path data layout is flat integers rather than Python objects:
+
+* every clause lives in one shared ``array('i')`` arena as
+  ``[size, lit0, lit1, ...]`` and is referred to by its index (a
+  *cref*), so there is no per-clause list object and no pointer chase;
+* literals are encoded as ``2*var + sign`` so a literal's value is one
+  list index (``lit_val[el]``) — no ``abs()`` in the inner loop;
+* watcher lists are flat ``[cref, blocker, cref, blocker, ...]`` lists
+  indexed by encoded literal; a clause whose blocker literal is already
+  true is skipped without touching the arena at all.
 
 The solver is *incremental*: clauses can be appended between ``solve``
-calls (:meth:`add_clause` / :meth:`ensure_vars`), queries can be posed
-under assumption literals, and learned clauses are retained across
-queries — they are derived by resolution from real clauses only, so
-they stay valid whatever the assumptions. This is what lets the
+calls (:meth:`add_clause` for one, :meth:`add_clauses` for a batch that
+backtracks to the root only once), queries can be posed under
+assumption literals, and learned clauses are retained across queries —
+they are derived by resolution from real clauses only, so they stay
+valid whatever the assumptions. This is what lets the
 :class:`~repro.smt.session.SolverSession` blast a race-check preamble
 once and answer thousands of per-pair queries against the same
 instance.
 
-The solver accepts a conflict budget so callers can bound worst-case work
-and receive ``None`` ("unknown") instead of hanging. The budget is
+The solver accepts a conflict budget so callers can bound worst-case
+work and receive ``"unknown"`` instead of hanging. The budget is
 per-``solve``-call (a delta, not a lifetime total), so a long-lived
 incremental instance gives every query the same allowance.
+
+The previous list-of-lists implementation survives verbatim in
+:mod:`repro.smt.sat_legacy` as the differential oracle; select it with
+``REPRO_SAT_IMPL=legacy`` or :func:`set_solver_impl`.
 """
 from __future__ import annotations
 
 import heapq
+import os
 import time
-from typing import Dict, List, Optional, Sequence
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .cnf import CNF
 
@@ -51,8 +67,11 @@ class SatSolver:
 
     Build from a :class:`CNF`, call :meth:`solve` (optionally under
     assumptions), read :attr:`model`. Between calls, append clauses
-    with :meth:`add_clause`; ``cnf.attach(solver)`` forwards later
-    ``cnf.add`` calls automatically.
+    with :meth:`add_clause` / :meth:`add_clauses`; ``cnf.attach(solver)``
+    forwards later ``cnf.add`` calls automatically.
+
+    :attr:`clauses` and :attr:`learnts` hold arena indices (crefs), not
+    literal lists — use :meth:`clause_lits` to decode one.
     """
 
     def __init__(self, cnf: CNF, conflict_budget: Optional[int] = None,
@@ -61,12 +80,17 @@ class SatSolver:
         self.conflict_budget = conflict_budget
         self.deadline = deadline  # time.monotonic() timestamp
 
-        self.values: List[int] = [0]          # 0 unassigned, +1 true, -1 false
+        # indexed by encoded literal 2*var + (1 if negative)
+        self.lit_val: List[int] = [0, 0]   # +1 true, -1 false, 0 unassigned
+        self.watches: List[List[int]] = [[], []]  # flat [cref, blocker, ...]
+        # indexed by var
         self.levels: List[int] = [-1]
-        self.reasons: List[Optional[List[int]]] = [None]
+        self.reasons: List[int] = [-1]     # cref, or -1 (decision/unit)
         self.activity: List[float] = [0.0]
-        self.saved_phase: List[int] = [-1]    # default polarity: false
-        self.trail: List[int] = []
+        self.saved_lit: List[int] = [1]    # preferred decision literal (encoded)
+
+        self.arena = array("i")
+        self.trail: List[int] = []         # encoded literals
         self.trail_lim: List[int] = []
         self.qhead = 0
 
@@ -75,10 +99,8 @@ class SatSolver:
         # unassigned variable always has at least one fresh entry.
         self._heap: List[tuple] = []
 
-        # watches[lit] = clauses in which lit is one of the two watched literals
-        self.watches: Dict[int, List[List[int]]] = {}
-        self.clauses: List[List[int]] = []
-        self.learnts: List[List[int]] = []
+        self.clauses: List[int] = []       # crefs of problem clauses
+        self.learnts: List[int] = []       # crefs of learned clauses
         self.ok = True
         self.var_inc = 1.0
         self.var_decay = 0.95
@@ -86,11 +108,12 @@ class SatSolver:
         self.decisions = 0
         self.propagations = 0
         self.restarts = 0
+        self.backtracks = 0
         self.model: Dict[int, bool] = {}
 
         self.ensure_vars(cnf.num_vars)
         for clause in cnf.clauses:
-            self.add_clause(clause)
+            self._add_root(clause)
             if not self.ok:
                 break
 
@@ -102,13 +125,17 @@ class SatSolver:
         """Grow the variable arrays to cover variables 1..n."""
         if n <= self.nvars:
             return
+        grow = n - self.nvars
+        self.lit_val.extend([0] * (2 * grow))
+        self.levels.extend([-1] * grow)
+        self.reasons.extend([-1] * grow)
+        self.activity.extend([0.0] * grow)
+        heap = self._heap
         for var in range(self.nvars + 1, n + 1):
-            self.values.append(0)
-            self.levels.append(-1)
-            self.reasons.append(None)
-            self.activity.append(0.0)
-            self.saved_phase.append(-1)
-            heapq.heappush(self._heap, (0.0, var))
+            self.watches.append([])
+            self.watches.append([])
+            self.saved_lit.append((var << 1) | 1)  # default polarity: false
+            heapq.heappush(heap, (0.0, var))
         self.nvars = n
 
     def add_clause(self, lits: Sequence[int]) -> None:
@@ -120,113 +147,204 @@ class SatSolver:
         """
         if not self.ok:
             return
-        self._backtrack(0)
-        mx = 0
-        for lit in lits:
-            v = abs(lit)
-            if v > mx:
-                mx = v
-        if mx > self.nvars:
-            self.ensure_vars(mx)
-        # drop root-falsified literals; a root-satisfied literal kills
-        # the whole clause (everything assigned now is at level 0)
-        out: List[int] = []
-        for lit in lits:
-            v = self._value(lit)
-            if v == 1:
+        if self.trail_lim:
+            self._backtrack(0)
+        self._add_root(lits)
+
+    def add_clauses(self, clause_list: Iterable[Sequence[int]]) -> None:
+        """Batched import: one backtrack, then append every clause.
+
+        Equivalent to ``add_clause`` per element but pays the
+        backtrack-to-root cost once for the whole batch — the fast path
+        for learned-clause re-import and template instantiation.
+        """
+        if not self.ok:
+            return
+        if self.trail_lim:
+            self._backtrack(0)
+        add = self._add_root
+        for lits in clause_list:
+            add(lits)
+            if not self.ok:
                 return
-            if v == -1:
-                continue
-            out.append(lit)
-        if not self._add_clause(out):
-            self.ok = False
 
-    def _add_clause(self, lits: List[int]) -> bool:
-        # normalise: dedupe, detect tautology
-        seen = set()
-        out = []
+    def _add_root(self, lits: Sequence[int]) -> None:
+        """Append one clause; the solver must be at the root level."""
+        lit_val = self.lit_val
+        nv = self.nvars
+        enc: List[int] = []
         for lit in lits:
-            if -lit in seen:
-                return True  # tautology: always satisfied
-            if lit not in seen:
-                seen.add(lit)
-                out.append(lit)
-        lits = out
-        if not lits:
-            return False
-        if len(lits) == 1:
-            return self._enqueue(lits[0], None)
-        self.clauses.append(lits)
-        self._watch(lits)
-        return True
+            if lit > 0:
+                v = lit
+                el = lit << 1
+            else:
+                v = -lit
+                el = (v << 1) | 1
+            if v > nv:
+                self.ensure_vars(v)
+                lit_val = self.lit_val
+                nv = self.nvars
+            val = lit_val[el]
+            if val == 1:
+                return  # root-satisfied: drop the clause
+            if val == -1:
+                continue  # root-falsified literal: drop the literal
+            # dedupe / tautology check (clauses are tiny: linear scan)
+            if el in enc:
+                continue
+            if el ^ 1 in enc:
+                return  # tautology: always satisfied
+            enc.append(el)
+        if not enc:
+            self.ok = False
+            return
+        if len(enc) == 1:
+            el = enc[0]
+            lit_val[el] = 1
+            lit_val[el ^ 1] = -1
+            v = el >> 1
+            self.levels[v] = 0
+            self.reasons[v] = -1
+            self.trail.append(el)
+            return
+        cref = self._alloc(enc)
+        self.clauses.append(cref)
 
-    def _watch(self, clause: List[int]) -> None:
-        self.watches.setdefault(clause[0], []).append(clause)
-        self.watches.setdefault(clause[1], []).append(clause)
+    def _alloc(self, enc: List[int]) -> int:
+        """Store an encoded clause in the arena and watch lits 0 and 1."""
+        arena = self.arena
+        cref = len(arena)
+        arena.append(len(enc))
+        arena.extend(enc)
+        w0 = self.watches[enc[0]]
+        w0.append(cref)
+        w0.append(enc[1])
+        w1 = self.watches[enc[1]]
+        w1.append(cref)
+        w1.append(enc[0])
+        return cref
+
+    def clause_lits(self, cref: int) -> List[int]:
+        """Decode one arena clause back to external (signed) literals."""
+        arena = self.arena
+        size = arena[cref]
+        out = []
+        for i in range(cref + 1, cref + 1 + size):
+            el = arena[i]
+            v = el >> 1
+            out.append(-v if el & 1 else v)
+        return out
 
     # ------------------------------------------------------------------
     # assignment / propagation
     # ------------------------------------------------------------------
 
     def _value(self, lit: int) -> int:
-        v = self.values[abs(lit)]
-        return v if lit > 0 else -v
+        """External-literal value (kept for tests and slow paths)."""
+        el = (lit << 1) if lit > 0 else (((-lit) << 1) | 1)
+        return self.lit_val[el]
 
-    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
-        val = self._value(lit)
+    def _enqueue_root(self, el: int) -> bool:
+        """Assign an encoded literal at the current level, no reason."""
+        val = self.lit_val[el]
         if val == 1:
             return True
         if val == -1:
             return False
-        var = abs(lit)
-        self.values[var] = 1 if lit > 0 else -1
-        self.levels[var] = len(self.trail_lim)
-        self.reasons[var] = reason
-        self.trail.append(lit)
+        self.lit_val[el] = 1
+        self.lit_val[el ^ 1] = -1
+        v = el >> 1
+        self.levels[v] = len(self.trail_lim)
+        self.reasons[v] = -1
+        self.trail.append(el)
         return True
 
-    def _propagate(self) -> Optional[List[int]]:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self.qhead < len(self.trail):
-            lit = self.trail[self.qhead]
-            self.qhead += 1
-            self.propagations += 1
-            neg = -lit
-            watchers = self.watches.get(neg)
-            if not watchers:
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting cref or -1."""
+        trail = self.trail
+        lit_val = self.lit_val
+        arena = self.arena
+        watches = self.watches
+        levels = self.levels
+        reasons = self.reasons
+        lvl = len(self.trail_lim)
+        qhead = self.qhead
+        props = 0
+        conflict = -1
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
+            props += 1
+            neg = p ^ 1  # the literal falsified by this assignment
+            ws = watches[neg]
+            if not ws:
                 continue
-            new_watchers: List[List[int]] = []
-            i = 0
-            n = len(watchers)
+            i = j = 0
+            n = len(ws)
             while i < n:
-                clause = watchers[i]
-                i += 1
-                # ensure clause[1] is the falsified watcher
-                if clause[0] == neg:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self._value(first) == 1:
-                    new_watchers.append(clause)
+                cref = ws[i]
+                blocker = ws[i + 1]
+                i += 2
+                if lit_val[blocker] == 1:
+                    ws[j] = cref
+                    ws[j + 1] = blocker
+                    j += 2
                     continue
-                # search replacement watch
+                base = cref + 1
+                l0 = arena[base]
+                if l0 == neg:
+                    first = arena[base + 1]
+                    arena[base] = first
+                    arena[base + 1] = neg
+                else:
+                    first = l0
+                fv = lit_val[first]
+                if fv == 1:
+                    ws[j] = cref
+                    ws[j + 1] = first
+                    j += 2
+                    continue
+                # search a replacement watch among the tail literals
+                end = base + arena[cref]
                 found = False
-                for k in range(2, len(clause)):
-                    if self._value(clause[k]) != -1:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self.watches.setdefault(clause[1], []).append(clause)
+                for k in range(base + 2, end):
+                    lk = arena[k]
+                    if lit_val[lk] != -1:
+                        arena[base + 1] = lk
+                        arena[k] = neg
+                        wk = watches[lk]
+                        wk.append(cref)
+                        wk.append(first)
                         found = True
                         break
                 if found:
                     continue
                 # clause is unit or conflicting
-                new_watchers.append(clause)
-                if not self._enqueue(first, clause):
+                ws[j] = cref
+                ws[j + 1] = first
+                j += 2
+                if fv == -1:
                     # conflict: keep remaining watchers
-                    new_watchers.extend(watchers[i:])
-                    self.watches[neg] = new_watchers
-                    return clause
-            self.watches[neg] = new_watchers
-        return None
+                    while i < n:
+                        ws[j] = ws[i]
+                        ws[j + 1] = ws[i + 1]
+                        j += 2
+                        i += 2
+                    conflict = cref
+                    break
+                # enqueue the implied literal with this clause as reason
+                lit_val[first] = 1
+                lit_val[first ^ 1] = -1
+                v = first >> 1
+                levels[v] = lvl
+                reasons[v] = cref
+                trail.append(first)
+            del ws[j:]
+            if conflict >= 0:
+                break
+        self.qhead = qhead
+        self.propagations += props
+        return conflict
 
     # ------------------------------------------------------------------
     # conflict analysis (first UIP)
@@ -242,80 +360,108 @@ class SatSolver:
             # vars (assigned ones re-enter on backtrack)
             self._heap = [(-self.activity[v], v)
                           for v in range(1, self.nvars + 1)
-                          if self.values[v] == 0]
+                          if self.lit_val[v << 1] == 0]
             heapq.heapify(self._heap)
 
-    def _analyze(self, conflict: List[int]) -> tuple[List[int], int]:
+    def _analyze(self, conflict: int) -> tuple[List[int], int]:
+        """Derive the 1UIP clause (encoded literals) from a conflict."""
+        arena = self.arena
+        levels = self.levels
+        reasons = self.reasons
+        trail = self.trail
         learnt: List[int] = [0]  # placeholder for the asserting literal
-        seen = [False] * (self.nvars + 1)
+        seen = bytearray(self.nvars + 1)
         counter = 0
-        lit = 0
-        reason: Optional[List[int]] = conflict
-        index = len(self.trail) - 1
+        lit = -1  # sentinel: no literal is skipped on the first pass
+        reason = conflict
+        index = len(trail) - 1
         cur_level = len(self.trail_lim)
 
         while True:
-            assert reason is not None
-            for q in reason:
+            for k in range(reason + 1, reason + 1 + arena[reason]):
+                q = arena[k]
                 if q == lit:
                     continue
-                var = abs(q)
-                if not seen[var] and self.levels[var] > 0:
-                    seen[var] = True
+                var = q >> 1
+                if not seen[var] and levels[var] > 0:
+                    seen[var] = 1
                     self._bump(var)
-                    if self.levels[var] >= cur_level:
+                    if levels[var] >= cur_level:
                         counter += 1
                     else:
                         learnt.append(q)
             # pick next literal from trail
-            while not seen[abs(self.trail[index])]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            lit = self.trail[index]
+            lit = trail[index]
             index -= 1
-            var = abs(lit)
-            seen[var] = False
+            var = lit >> 1
+            seen[var] = 0
             counter -= 1
             if counter == 0:
-                learnt[0] = -lit
+                learnt[0] = lit ^ 1
                 break
-            reason = self.reasons[var]
+            reason = reasons[var]
 
         # clause minimisation: drop literals implied by the rest
-        marked = set(abs(l) for l in learnt)
+        marked = set(q >> 1 for q in learnt)
         minimized = [learnt[0]]
         for q in learnt[1:]:
-            r = self.reasons[abs(q)]
-            if r is None:
+            r = reasons[q >> 1]
+            if r < 0:
                 minimized.append(q)
                 continue
-            if all(abs(p) in marked or self.levels[abs(p)] == 0
-                   for p in r if p != -q):
-                continue  # q is redundant
-            minimized.append(q)
+            redundant = True
+            for k in range(r + 1, r + 1 + arena[r]):
+                p = arena[k]
+                if p == q ^ 1:
+                    continue
+                if (p >> 1) not in marked and levels[p >> 1] != 0:
+                    redundant = False
+                    break
+            if not redundant:
+                minimized.append(q)
         learnt = minimized
 
-        # backtrack level = max level among learnt[1:]
+        # backtrack level = max level among learnt[1:]; put one literal
+        # of that level in the second watch position
         if len(learnt) == 1:
             back = 0
         else:
-            back = max(self.levels[abs(q)] for q in learnt[1:])
+            mi = 1
+            back = levels[learnt[1] >> 1]
+            for idx in range(2, len(learnt)):
+                l = levels[learnt[idx] >> 1]
+                if l > back:
+                    back = l
+                    mi = idx
+            learnt[1], learnt[mi] = learnt[mi], learnt[1]
         return learnt, back
 
     def _backtrack(self, level: int) -> None:
         if len(self.trail_lim) <= level:
             return
+        self.backtracks += 1
         limit = self.trail_lim[level]
         heap = self._heap
-        for lit in reversed(self.trail[limit:]):
-            var = abs(lit)
-            self.saved_phase[var] = self.values[var]
-            self.values[var] = 0
-            self.reasons[var] = None
-            self.levels[var] = -1
-            heapq.heappush(heap, (-self.activity[var], var))
-        del self.trail[limit:]
+        lit_val = self.lit_val
+        levels = self.levels
+        reasons = self.reasons
+        saved_lit = self.saved_lit
+        activity = self.activity
+        trail = self.trail
+        for idx in range(len(trail) - 1, limit - 1, -1):
+            el = trail[idx]
+            var = el >> 1
+            saved_lit[var] = el
+            lit_val[el] = 0
+            lit_val[el ^ 1] = 0
+            reasons[var] = -1
+            levels[var] = -1
+            heapq.heappush(heap, (-activity[var], var))
+        del trail[limit:]
         del self.trail_lim[level:]
-        self.qhead = len(self.trail)
+        self.qhead = limit
 
     # ------------------------------------------------------------------
     # decision
@@ -324,37 +470,45 @@ class SatSolver:
     def _decide(self) -> int:
         # pop until a live entry surfaces. Keys are (-activity, var), so
         # this picks the highest-activity unassigned variable, lowest
-        # index on ties — the same choice the old linear scan made.
+        # index on ties. Returns the saved-phase encoded literal, or -1
+        # when every variable is assigned.
         heap = self._heap
+        lit_val = self.lit_val
         while heap:
             _, var = heapq.heappop(heap)
-            if self.values[var] == 0:
-                phase = self.saved_phase[var]
-                return var if phase == 1 else -var
-        return 0
+            if lit_val[var << 1] == 0:
+                return self.saved_lit[var]
+        return -1
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = ()) -> str:
-        self._backtrack(0)
+        if self.trail_lim:
+            self._backtrack(0)
         self.model = {}
         if not self.ok:
             return SatResult.UNSAT
-        if self._propagate() is not None:
+        if self._propagate() >= 0:
             self.ok = False
             return SatResult.UNSAT
 
         # assumptions as level-1.. decisions
+        lit_val = self.lit_val
         for lit in assumptions:
-            if self._value(lit) == 1:
+            el = (lit << 1) if lit > 0 else (((-lit) << 1) | 1)
+            if el >> 1 > self.nvars:
+                self.ensure_vars(el >> 1)
+                lit_val = self.lit_val
+            val = lit_val[el]
+            if val == 1:
                 continue
-            if self._value(lit) == -1:
+            if val == -1:
                 return SatResult.UNSAT
             self.trail_lim.append(len(self.trail))
-            self._enqueue(lit, None)
-            if self._propagate() is not None:
+            self._enqueue_root(el)
+            if self._propagate() >= 0:
                 return SatResult.UNSAT
         root_level = len(self.trail_lim)
 
@@ -369,7 +523,7 @@ class SatSolver:
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict >= 0:
                 self.conflicts += 1
                 conflicts_since_restart += 1
                 if budget_limit is not None and self.conflicts > budget_limit:
@@ -384,14 +538,20 @@ class SatSolver:
                 learnt, back = self._analyze(conflict)
                 self._backtrack(max(back, root_level))
                 if len(learnt) == 1:
-                    if not self._enqueue(learnt[0], None):
+                    if not self._enqueue_root(learnt[0]):
                         if len(self.trail_lim) == 0:
                             self.ok = False
                         return SatResult.UNSAT
                 else:
-                    self.learnts.append(learnt)
-                    self._watch(learnt)
-                    self._enqueue(learnt[0], learnt)
+                    cref = self._alloc(learnt)
+                    self.learnts.append(cref)
+                    el = learnt[0]
+                    self.lit_val[el] = 1
+                    self.lit_val[el ^ 1] = -1
+                    v = el >> 1
+                    self.levels[v] = len(self.trail_lim)
+                    self.reasons[v] = cref
+                    self.trail.append(el)
                 self.var_inc /= self.var_decay
             else:
                 if conflicts_since_restart >= restart_budget and \
@@ -402,19 +562,62 @@ class SatSolver:
                     self.restarts += 1
                     self._backtrack(root_level)
                     continue
-                lit = self._decide()
-                if lit == 0:
-                    self.model = {v: self.values[v] == 1
+                el = self._decide()
+                if el < 0:
+                    lit_val = self.lit_val
+                    self.model = {v: lit_val[v << 1] == 1
                                   for v in range(1, self.nvars + 1)}
                     return SatResult.SAT
                 self.decisions += 1
                 self.trail_lim.append(len(self.trail))
-                self._enqueue(lit, None)
+                self._enqueue_root(el)
+
+
+# ----------------------------------------------------------------------
+# implementation selection (arena vs. legacy differential oracle)
+# ----------------------------------------------------------------------
+
+_IMPL = os.environ.get("REPRO_SAT_IMPL", "arena")
+
+
+def set_solver_impl(name: str) -> str:
+    """Select the SAT core: ``"arena"`` (default) or ``"legacy"``.
+
+    Returns the previous selection so callers can restore it. The
+    legacy solver is the pre-arena reference implementation; benches
+    use this switch for same-process relative speedup gates.
+    """
+    global _IMPL
+    if name not in ("arena", "legacy"):
+        raise ValueError(f"unknown SAT implementation: {name!r}")
+    prev = _IMPL
+    _IMPL = name
+    return prev
+
+
+def get_solver_impl() -> str:
+    return _IMPL
+
+
+def make_solver(cnf: CNF, conflict_budget: Optional[int] = None,
+                deadline: Optional[float] = None):
+    """Construct a solver honouring the active implementation switch.
+
+    Both the fine-grained ``set_solver_impl`` knob and the stack-wide
+    ``repro.smt.cnf.set_solver_stack("legacy")`` select the reference
+    core.
+    """
+    from .cnf import get_solver_stack
+    if _IMPL == "legacy" or get_solver_stack() == "legacy":
+        from .sat_legacy import LegacySatSolver
+        return LegacySatSolver(cnf, conflict_budget=conflict_budget,
+                               deadline=deadline)
+    return SatSolver(cnf, conflict_budget=conflict_budget, deadline=deadline)
 
 
 def solve_cnf(cnf: CNF, assumptions: Sequence[int] = (),
               conflict_budget: Optional[int] = None) -> tuple[str, Dict[int, bool]]:
     """Convenience wrapper: returns (result, model)."""
-    solver = SatSolver(cnf, conflict_budget=conflict_budget)
+    solver = make_solver(cnf, conflict_budget=conflict_budget)
     result = solver.solve(assumptions)
     return result, solver.model

@@ -1,0 +1,423 @@
+"""Legacy CDCL SAT solver (reference implementation).
+
+The original list-of-lists solver, kept verbatim as the differential
+oracle for the arena solver in :mod:`repro.smt.sat`: same algorithm
+(two-watched-literal propagation, 1UIP analysis with minimisation,
+VSIDS activity, phase saving, Luby restarts), same incremental API,
+but clauses are Python lists and watcher lists are a dict — easy to
+audit, slow at the metal. Select it at runtime with
+``REPRO_SAT_IMPL=legacy`` or :func:`repro.smt.sat.set_solver_impl`;
+the hypothesis differential suite and the arena-vs-legacy benchmark
+gate both drive it.
+"""
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .cnf import CNF
+
+
+class SatResult:
+    """Result tags for the SAT core."""
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (1-indexed)."""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class LegacySatSolver:
+    """Solve a growable CNF instance.
+
+    Build from a :class:`CNF`, call :meth:`solve` (optionally under
+    assumptions), read :attr:`model`. Between calls, append clauses
+    with :meth:`add_clause`; ``cnf.attach(solver)`` forwards later
+    ``cnf.add`` calls automatically.
+    """
+
+    def __init__(self, cnf: CNF, conflict_budget: Optional[int] = None,
+                 deadline: Optional[float] = None) -> None:
+        self.nvars = 0
+        self.conflict_budget = conflict_budget
+        self.deadline = deadline  # time.monotonic() timestamp
+
+        self.values: List[int] = [0]          # 0 unassigned, +1 true, -1 false
+        self.levels: List[int] = [-1]
+        self.reasons: List[Optional[List[int]]] = [None]
+        self.activity: List[float] = [0.0]
+        self.saved_phase: List[int] = [-1]    # default polarity: false
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+
+        # decision order: a lazy max-heap of (-activity, var). Stale
+        # entries (var already assigned) are skipped at pop time; every
+        # unassigned variable always has at least one fresh entry.
+        self._heap: List[tuple] = []
+
+        # watches[lit] = clauses in which lit is one of the two watched literals
+        self.watches: Dict[int, List[List[int]]] = {}
+        self.clauses: List[List[int]] = []
+        self.learnts: List[List[int]] = []
+        self.ok = True
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.model: Dict[int, bool] = {}
+
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+            if not self.ok:
+                break
+
+    # ------------------------------------------------------------------
+    # clause management
+    # ------------------------------------------------------------------
+
+    def ensure_vars(self, n: int) -> None:
+        """Grow the variable arrays to cover variables 1..n."""
+        if n <= self.nvars:
+            return
+        for var in range(self.nvars + 1, n + 1):
+            self.values.append(0)
+            self.levels.append(-1)
+            self.reasons.append(None)
+            self.activity.append(0.0)
+            self.saved_phase.append(-1)
+            heapq.heappush(self._heap, (0.0, var))
+        self.nvars = n
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Append one clause to the live instance (incremental API).
+
+        Backtracks to the root level first so the new clause's watches
+        are consistent; literals already decided at level 0 are
+        simplified away.
+        """
+        if not self.ok:
+            return
+        self._backtrack(0)
+        self._add_root(lits)
+
+    def add_clauses(self, clause_list: Sequence[Sequence[int]]) -> None:
+        """Batched import: one backtrack, then append every clause."""
+        if not self.ok:
+            return
+        self._backtrack(0)
+        for lits in clause_list:
+            if not self.ok:
+                return
+            self._add_root(lits)
+
+    def _add_root(self, lits: Sequence[int]) -> None:
+        mx = 0
+        for lit in lits:
+            v = abs(lit)
+            if v > mx:
+                mx = v
+        if mx > self.nvars:
+            self.ensure_vars(mx)
+        # drop root-falsified literals; a root-satisfied literal kills
+        # the whole clause (everything assigned now is at level 0)
+        out: List[int] = []
+        for lit in lits:
+            v = self._value(lit)
+            if v == 1:
+                return
+            if v == -1:
+                continue
+            out.append(lit)
+        if not self._add_clause(out):
+            self.ok = False
+
+    def _add_clause(self, lits: List[int]) -> bool:
+        # normalise: dedupe, detect tautology
+        seen = set()
+        out = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology: always satisfied
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        lits = out
+        if not lits:
+            return False
+        if len(lits) == 1:
+            return self._enqueue(lits[0], None)
+        self.clauses.append(lits)
+        self._watch(lits)
+        return True
+
+    def _watch(self, clause: List[int]) -> None:
+        self.watches.setdefault(clause[0], []).append(clause)
+        self.watches.setdefault(clause[1], []).append(clause)
+
+    # ------------------------------------------------------------------
+    # assignment / propagation
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self.values[abs(lit)]
+        return v if lit > 0 else -v
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        val = self._value(lit)
+        if val == 1:
+            return True
+        if val == -1:
+            return False
+        var = abs(lit)
+        self.values[var] = 1 if lit > 0 else -1
+        self.levels[var] = len(self.trail_lim)
+        self.reasons[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.propagations += 1
+            neg = -lit
+            watchers = self.watches.get(neg)
+            if not watchers:
+                continue
+            new_watchers: List[List[int]] = []
+            i = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                # ensure clause[1] is the falsified watcher
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_watchers.append(clause)
+                    continue
+                # search replacement watch
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # clause is unit or conflicting
+                new_watchers.append(clause)
+                if not self._enqueue(first, clause):
+                    # conflict: keep remaining watchers
+                    new_watchers.extend(watchers[i:])
+                    self.watches[neg] = new_watchers
+                    return clause
+            self.watches[neg] = new_watchers
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for i in range(1, self.nvars + 1):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+            # every heap key is now wrong: rebuild for the unassigned
+            # vars (assigned ones re-enter on backtrack)
+            self._heap = [(-self.activity[v], v)
+                          for v in range(1, self.nvars + 1)
+                          if self.values[v] == 0]
+            heapq.heapify(self._heap)
+
+    def _analyze(self, conflict: List[int]) -> tuple[List[int], int]:
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.nvars + 1)
+        counter = 0
+        lit = 0
+        reason: Optional[List[int]] = conflict
+        index = len(self.trail) - 1
+        cur_level = len(self.trail_lim)
+
+        while True:
+            assert reason is not None
+            for q in reason:
+                if q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self.levels[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.levels[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # pick next literal from trail
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learnt[0] = -lit
+                break
+            reason = self.reasons[var]
+
+        # clause minimisation: drop literals implied by the rest
+        marked = set(abs(l) for l in learnt)
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            r = self.reasons[abs(q)]
+            if r is None:
+                minimized.append(q)
+                continue
+            if all(abs(p) in marked or self.levels[abs(p)] == 0
+                   for p in r if p != -q):
+                continue  # q is redundant
+            minimized.append(q)
+        learnt = minimized
+
+        # backtrack level = max level among learnt[1:]
+        if len(learnt) == 1:
+            back = 0
+        else:
+            back = max(self.levels[abs(q)] for q in learnt[1:])
+        return learnt, back
+
+    def _backtrack(self, level: int) -> None:
+        if len(self.trail_lim) <= level:
+            return
+        limit = self.trail_lim[level]
+        heap = self._heap
+        for lit in reversed(self.trail[limit:]):
+            var = abs(lit)
+            self.saved_phase[var] = self.values[var]
+            self.values[var] = 0
+            self.reasons[var] = None
+            self.levels[var] = -1
+            heapq.heappush(heap, (-self.activity[var], var))
+        del self.trail[limit:]
+        del self.trail_lim[level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # decision
+    # ------------------------------------------------------------------
+
+    def _decide(self) -> int:
+        # pop until a live entry surfaces. Keys are (-activity, var), so
+        # this picks the highest-activity unassigned variable, lowest
+        # index on ties — the same choice the old linear scan made.
+        heap = self._heap
+        while heap:
+            _, var = heapq.heappop(heap)
+            if self.values[var] == 0:
+                phase = self.saved_phase[var]
+                return var if phase == 1 else -var
+        return 0
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> str:
+        self._backtrack(0)
+        self.model = {}
+        if not self.ok:
+            return SatResult.UNSAT
+        if self._propagate() is not None:
+            self.ok = False
+            return SatResult.UNSAT
+
+        # assumptions as level-1.. decisions
+        for lit in assumptions:
+            if self._value(lit) == 1:
+                continue
+            if self._value(lit) == -1:
+                return SatResult.UNSAT
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+            if self._propagate() is not None:
+                return SatResult.UNSAT
+        root_level = len(self.trail_lim)
+
+        # the conflict budget is per call: a fresh allowance for every
+        # query on a long-lived incremental instance
+        budget_limit = None if self.conflict_budget is None \
+            else self.conflicts + self.conflict_budget
+
+        restart_idx = 1
+        restart_budget = 100 * _luby(restart_idx)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if budget_limit is not None and self.conflicts > budget_limit:
+                    return SatResult.UNKNOWN
+                if self.deadline is not None and (self.conflicts & 0x3F) == 0 \
+                        and time.monotonic() > self.deadline:
+                    return SatResult.UNKNOWN
+                if len(self.trail_lim) == root_level:
+                    if root_level == 0:
+                        self.ok = False
+                    return SatResult.UNSAT
+                learnt, back = self._analyze(conflict)
+                self._backtrack(max(back, root_level))
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        if len(self.trail_lim) == 0:
+                            self.ok = False
+                        return SatResult.UNSAT
+                else:
+                    self.learnts.append(learnt)
+                    self._watch(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self.var_inc /= self.var_decay
+            else:
+                if conflicts_since_restart >= restart_budget and \
+                        len(self.trail_lim) > root_level:
+                    restart_idx += 1
+                    restart_budget = 100 * _luby(restart_idx)
+                    conflicts_since_restart = 0
+                    self.restarts += 1
+                    self._backtrack(root_level)
+                    continue
+                lit = self._decide()
+                if lit == 0:
+                    self.model = {v: self.values[v] == 1
+                                  for v in range(1, self.nvars + 1)}
+                    return SatResult.SAT
+                self.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+
+
+def solve_cnf_legacy(cnf: CNF, assumptions: Sequence[int] = (),
+                     conflict_budget: Optional[int] = None
+                     ) -> tuple[str, Dict[int, bool]]:
+    """Convenience wrapper: returns (result, model)."""
+    solver = LegacySatSolver(cnf, conflict_budget=conflict_budget)
+    result = solver.solve(assumptions)
+    return result, solver.model

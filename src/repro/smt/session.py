@@ -19,7 +19,15 @@ Unbounded growth is the classic failure mode of a pure-Python CDCL
 instance that lives for thousands of queries (clause DB, stale heap
 entries, full-assignment models), so a session *rotates*: after
 ``max_live_queries`` checks or ``max_live_clauses`` clauses it drops
-the SAT instance and re-blasts the preamble on the next query.
+the SAT instance. Rotation is cheap: the preamble CNF is *snapshotted*
+after the first blast, so the next query restores the snapshot (no
+re-lowering) and re-imports the short preamble-only learned clauses
+harvested at retirement in ONE batched ``add_clauses`` call — they are
+resolvents of preamble clauses and total Tseitin definitions, so they
+stay valid for the restored instance. The same snapshot + learnts
+bundle is what :mod:`repro.smt.persist` serialises for cross-run warm
+starts (:meth:`SolverSession.export_state` /
+:meth:`SolverSession.adopt_state`).
 
 :class:`QueryMemo` is the cross-query cache above the session: interned
 canonical goal term -> verdict (+ model values), so structurally
@@ -30,10 +38,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .bitblast import BitBlaster
-from .cnf import CNF
+from .bitblast import BitBlaster, TemplateCache
+from .cnf import CNF, get_solver_stack
 from .interval import Interval, IntervalAnalysis, derive_bounds
-from .sat import SatResult, SatSolver
+from .sat import SatResult, make_solver
 from .simplify import simplify
 from .solver import CheckResult, Model, SolverStats
 from . import terms as T
@@ -74,6 +82,18 @@ class QueryMemo:
         return len(self._table)
 
 
+#: process-wide template cache: keyed purely on term structure, so it is
+#: sound to share across sessions, preambles, and checkers (see
+#: :class:`~repro.smt.bitblast.TemplateCache`); capped in size.
+_SHARED_TEMPLATES = TemplateCache()
+
+#: retention policy for learned clauses carried across rotations and
+#: persisted for warm starts: short clauses only (long ones rarely pay
+#: for their propagation cost), bounded total
+_MAX_RETAINED_LEN = 24
+_MAX_RETAINED = 4096
+
+
 class SolverSession:
     """A persistent solving context for one fixed preamble.
 
@@ -91,7 +111,9 @@ class SolverSession:
                  validate_models: bool = True,
                  stats: Optional[SolverStats] = None,
                  max_live_queries: int = 256,
-                 max_live_clauses: int = 400_000) -> None:
+                 max_live_clauses: int = 400_000,
+                 templates: Optional[TemplateCache] = _SHARED_TEMPLATES
+                 ) -> None:
         self.conflict_budget = conflict_budget
         self.deadline = deadline
         self.use_simplifier = use_simplifier
@@ -111,9 +133,19 @@ class SolverSession:
 
         self._cnf: Optional[CNF] = None
         self._blaster: Optional[BitBlaster] = None
-        self._sat: Optional[SatSolver] = None
+        self._sat = None
         self._live_queries = 0
         self._model: Optional[Model] = None
+        self._templates = templates
+
+        #: preamble CNF snapshot taken after the first blast (or adopted
+        #: from a persisted artifact); rotation restores it instead of
+        #: re-lowering the preamble
+        self._snapshot: Optional[dict] = None
+        #: preamble-only learned clauses retained across rotations
+        #: (external signed literals, all vars <= snapshot num_vars)
+        self._retained: List[List[int]] = []
+        self._retained_keys: set = set()
 
     # ------------------------------------------------------------------
 
@@ -163,24 +195,117 @@ class SolverSession:
     def _ensure_sat(self) -> None:
         if self._sat is not None:
             return
-        self._cnf = CNF()
-        self._blaster = BitBlaster(self._cnf)
-        for t in self.preamble:
-            self._blaster.assert_term(t)
-        self._sat = SatSolver(self._cnf, conflict_budget=self.conflict_budget,
-                              deadline=self.deadline)
-        self._cnf.attach(self._sat)
+        cnf = CNF()
+        templates = self._templates if get_solver_stack() == "fast" else None
+        blaster = BitBlaster(cnf, templates=templates)
+        snap = self._snapshot
+        if snap is None:
+            for t in self.preamble:
+                blaster.assert_term(t)
+            self._snapshot = {
+                "num_vars": cnf.num_vars,
+                "clauses": cnf.clauses,       # frozen below via record=False
+                "true_lit": cnf._true_lit,
+                "var_bits": {n: list(b) for n, b in blaster.var_bits.items()},
+                "bool_vars": dict(blaster.bool_vars),
+            }
+        else:
+            # restore: no re-lowering — the snapshot IS the preamble CNF
+            cnf.num_vars = snap["num_vars"]
+            cnf.clauses = snap["clauses"]
+            cnf._true_lit = snap["true_lit"]
+            blaster.var_bits.update(
+                {n: list(b) for n, b in snap["var_bits"].items()})
+            blaster.bool_vars.update(snap["bool_vars"])
+        cnf.record = False  # goal clauses die with the instance
+        self._cnf = cnf
+        self._blaster = blaster
+        sat = make_solver(cnf, conflict_budget=self.conflict_budget,
+                          deadline=self.deadline)
+        if self._retained:
+            sat.add_clauses(self._retained)
+        cnf.attach(sat)
+        self._sat = sat
         self._live_queries = 0
         self.stats.sat_instances += 1
 
     def _retire(self) -> None:
-        """Drop the live SAT instance; the next query re-blasts."""
-        if self._cnf is not None and self._sat is not None:
-            self._cnf.detach(self._sat)
+        """Drop the live SAT instance, harvesting its learned clauses;
+        the next query restores the preamble snapshot."""
+        if self._sat is not None:
+            self._harvest_learnts()
+            if self._cnf is not None:
+                self._cnf.detach(self._sat)
         self._cnf = None
         self._blaster = None
         self._sat = None
         self._live_queries = 0
+
+    def _harvest_learnts(self) -> None:
+        """Keep short learned clauses mentioning only preamble variables.
+
+        Such a clause is a resolvent of the preamble clauses plus goal
+        Tseitin *definitions*; the definitions are total (any preamble
+        model extends over the gate variables), so a preamble-only
+        resolvent is entailed by the preamble alone and stays valid in
+        every restored instance — whatever goals come next.
+        """
+        sat, snap = self._sat, self._snapshot
+        if sat is None or snap is None or not sat.learnts:
+            return
+        watermark = snap["num_vars"]
+        fresh: List[List[int]] = []
+        decode = getattr(sat, "clause_lits", None)
+        for entry in sat.learnts:
+            lits = decode(entry) if decode is not None else entry
+            if len(lits) > _MAX_RETAINED_LEN:
+                continue
+            ok = True
+            for lit in lits:
+                if (lit if lit > 0 else -lit) > watermark:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            key = frozenset(lits)
+            if key in self._retained_keys:
+                continue
+            self._retained_keys.add(key)
+            fresh.append(list(lits))
+        if fresh:
+            fresh.sort(key=len)
+            room = _MAX_RETAINED - len(self._retained)
+            self._retained.extend(fresh[:max(0, room)])
+
+    # ------------------------------------------------------------------
+    # warm-start state (see repro.smt.persist)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> Optional[dict]:
+        """The preamble CNF snapshot + retained learnts, or ``None`` if
+        this session never reached the SAT layer."""
+        if self._sat is not None:
+            self._harvest_learnts()
+        if self._snapshot is None:
+            return None
+        return {"snapshot": self._snapshot, "learnts": self._retained}
+
+    def adopt_state(self, state: dict) -> bool:
+        """Warm-start from a previously exported state.
+
+        Only valid before the first SAT query (the caller matches the
+        preamble by canonical fingerprint; see
+        :func:`repro.smt.persist.preamble_fingerprint`). Returns False
+        if the session already has live state.
+        """
+        if self._snapshot is not None or self._sat is not None:
+            return False
+        snap = state["snapshot"]
+        self._snapshot = snap
+        learnts = [list(c) for c in state.get("learnts", ())]
+        self._retained = learnts[:_MAX_RETAINED]
+        self._retained_keys = {frozenset(c) for c in self._retained}
+        return True
 
     def _check_sat(self, goal: List[Term]) -> str:
         self._ensure_sat()
@@ -189,7 +314,29 @@ class SolverSession:
         sat.deadline = self.deadline
         sat.conflict_budget = self.conflict_budget
 
-        assumptions = [blaster.blast_bool(t) for t in goal]
+        # Blast top-level conjuncts separately: the big shared ones
+        # (flow conditions) stay on the incremental sharing path (the
+        # blaster's node map answers them for free on later queries),
+        # while the small per-pair ones (offset equations) are exactly
+        # what the template cache instantiates.
+        if get_solver_stack() == "legacy":
+            assumptions = [blaster.blast_bool(t) for t in goal]
+            th0 = blaster.template_hits
+        else:
+            conjuncts: List[Term] = []
+            seen_ids = set()
+            stack = list(reversed(goal))
+            while stack:
+                t = stack.pop()
+                if t.op == T.Op.BAND:
+                    stack.extend(reversed(t.args))
+                    continue
+                if id(t) not in seen_ids:
+                    seen_ids.add(id(t))
+                    conjuncts.append(t)
+            th0 = blaster.template_hits
+            assumptions = [blaster.blast_assume(t) for t in conjuncts]
+        self.stats.template_hits += blaster.template_hits - th0
         sat.ensure_vars(self._cnf.num_vars)
 
         c0, d0 = sat.conflicts, sat.decisions

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional
 from .bitblast import BitBlaster
 from .cnf import CNF
 from .interval import IntervalAnalysis, derive_bounds
-from .sat import SatResult, SatSolver
+from .sat import SatResult, make_solver
 from .simplify import simplify
 from .sorts import BOOL, BVSort
 from . import terms as T
@@ -78,6 +78,9 @@ class SolverStats:
     sat_decisions: int = 0
     sat_propagations: int = 0
     learned_clauses: int = 0
+    #: goal lowerings answered by template instantiation instead of a
+    #: gate-by-gate Tseitin walk (see repro.smt.bitblast.TemplateCache)
+    template_hits: int = 0
 
     def merge(self, other: "SolverStats") -> None:
         self.queries += other.queries
@@ -90,6 +93,19 @@ class SolverStats:
         self.sat_decisions += other.sat_decisions
         self.sat_propagations += other.sat_propagations
         self.learned_clauses += other.learned_clauses
+        self.template_hits += other.template_hits
+
+    def copy(self) -> "SolverStats":
+        from dataclasses import replace
+        return replace(self)
+
+    def delta_since(self, before: "SolverStats") -> "SolverStats":
+        """Counter-wise ``self - before``: the work done since a
+        snapshot, for callers attributing shared-session work."""
+        out = SolverStats()
+        for f in out.__dataclass_fields__:
+            setattr(out, f, getattr(self, f) - getattr(before, f))
+        return out
 
 
 class Solver:
@@ -164,8 +180,8 @@ class Solver:
         blaster = BitBlaster()
         for t in goal:
             blaster.assert_term(t)
-        sat = SatSolver(blaster.cnf, conflict_budget=self.conflict_budget,
-                        deadline=self.deadline)
+        sat = make_solver(blaster.cnf, conflict_budget=self.conflict_budget,
+                          deadline=self.deadline)
         result = sat.solve()
         self.stats.sat_conflicts += sat.conflicts
         self.stats.sat_decisions += sat.decisions

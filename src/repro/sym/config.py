@@ -77,6 +77,12 @@ class LaunchConfig:
     #: the same shard under different budgets). ``None``: caller's
     #: default (200k conflicts).
     solver_conflict_budget: Optional[int] = None
+    #: directory for cross-run solver warm-start artifacts (preamble
+    #: CNF snapshots, learned clauses, memoized verdicts — see
+    #: :mod:`repro.smt.persist`). ``None`` disables persistence. This
+    #: is a pure accelerator: it is deliberately NOT part of any cache
+    #: fingerprint, because it must never change a verdict.
+    solver_cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.grid_dim = _dim3(self.grid_dim)

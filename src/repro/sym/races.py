@@ -17,10 +17,16 @@ tables mark them "W/W (Benign)".
 """
 from __future__ import annotations
 
+import hashlib
 import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..smt.persist import (
+    SolverArtifactStore, canonical_term, preamble_fingerprint,
+)
+from ..smt.subst import EvaluationError, evaluate
 
 from .. import ir
 from ..smt import (
@@ -34,7 +40,7 @@ from ..smt.affine import (
     stride_separated,
 )
 from ..smt.interval import Interval, IntervalAnalysis, byte_footprint
-from ..smt.terms import mk_add, mk_mul, mk_uge
+from ..smt.terms import Op, mk_add, mk_mul, mk_uge
 from .access import Access, AccessKind, AccessSet
 from .config import LaunchConfig, SymbolicEnv
 from .executor import ExecutionResult
@@ -143,6 +149,10 @@ class CheckStats:
     bucketed_out: int = 0         # pairs pruned by address disjointness
     pair_memo_hits: int = 0       # isomorphic pairs replayed, not solved
     oob_pruned: int = 0           # OOB queries skipped: provably in-bounds
+    # -- cross-run warm start (repro.smt.persist) ----------------------
+    warm_starts: int = 0          # sessions adopted from a disk artifact
+    warm_memo_hits: int = 0       # queries replayed from a disk memo
+    warm_pair_hits: int = 0       # pairs replayed from a disk artifact
     # -- per-phase wall clock (seconds) -------------------------------
     execute_seconds: float = 0.0
     pairgen_seconds: float = 0.0
@@ -222,6 +232,22 @@ class RaceChecker:
         self._sessions = sessions if sessions is not None else {}
         self._memo = memo if memo is not None else QueryMemo()
         self._div_cache: Dict[int, bool] = {}
+        # cross-run warm start: content-addressed solver artifacts under
+        # the configured cache dir (None: no persistence, the default)
+        cache_dir = getattr(self.config, "solver_cache_dir", None)
+        self._store: Optional[SolverArtifactStore] = \
+            SolverArtifactStore(cache_dir) if cache_dir else None
+        self._pkey_fp: Dict[Tuple[int, ...], str] = {}
+        self._warm_artifact: Dict[Tuple[int, ...], dict] = {}
+        self._persist_memo: Dict[Tuple[int, ...],
+                                 Dict[str, Tuple[str, Optional[dict]]]] = {}
+        #: pair-level verdicts from the artifact: digest -> None (no
+        #: race) | [witness values, benign] — plus anything this run adds
+        self._persist_pairs: Dict[Tuple[int, ...],
+                                  Dict[str, Optional[list]]] = {}
+        #: preambles whose artifact gained something this run — a fully
+        #: replayed session skips the (JSON-heavy) re-save entirely
+        self._persist_dirty: Set[Tuple[int, ...]] = set()
         # pruning machinery: interval analysis over the *uninstantiated*
         # offsets (both thread sides share the same bounds), per-offset
         # footprint/affine caches, and the canonical pair memo
@@ -229,6 +255,9 @@ class RaceChecker:
         self._foot_cache: Dict[Tuple[int, int], Optional[tuple]] = {}
         self._affine_cache: Dict[int, Optional[AffineForm]] = {}
         self._pair_memo: Dict[tuple, Optional[tuple]] = {}
+        self._race_pre_cache: Dict[tuple, List[Term]] = {}
+        self._spine_cache: Dict[int, Tuple[Set[int], Set[int]]] = {}
+        self._pkey_cache: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
 
@@ -284,16 +313,35 @@ class RaceChecker:
     # queries; the incremental path blasts it once per distinct prefix.
 
     def _race_preamble(self, obj: MemoryObject) -> List[Term]:
-        return self._bounds() + [self._different_thread(obj)]
+        # cached per object: the list object's identity then keys the
+        # per-preamble machinery (pkey, flattened-spine sets) for free.
+        # extra_assumptions are fixed for the lifetime of one check()
+        # walk (the repair loop builds a fresh checker per iteration).
+        key = (id(obj), len(self.extra_assumptions))
+        pre = self._race_pre_cache.get(key)
+        if pre is None:
+            pre = self._bounds() + [self._different_thread(obj)]
+            self._race_pre_cache[key] = pre
+        return pre
 
     def _single_preamble(self) -> List[Term]:
         """Preamble for one-thread queries (assertions, OOB)."""
-        return self._theta1[1] + list(self.config.assumptions) + \
-            self.extra_assumptions
+        key = ("single", len(self.extra_assumptions))
+        pre = self._race_pre_cache.get(key)
+        if pre is None:
+            pre = self._theta1[1] + list(self.config.assumptions) + \
+                self.extra_assumptions
+            self._race_pre_cache[key] = pre
+        return pre
 
     def _div_preamble(self) -> List[Term]:
         """Preamble for divergence checks: thread-1 bounds only."""
-        return list(self._theta1[1])
+        key = ("div",)
+        pre = self._race_pre_cache.get(key)
+        if pre is None:
+            pre = list(self._theta1[1])
+            self._race_pre_cache[key] = pre
+        return pre
 
     # -- thread-identity predicates ----------------------------------------
 
@@ -348,6 +396,7 @@ class RaceChecker:
         if run_aux:
             self._check_assertions()
         self.stats.solve_seconds += time.perf_counter() - t0
+        self.save_solver_artifacts()
         return self
 
     def _check_assertions(self) -> None:
@@ -674,13 +723,28 @@ class RaceChecker:
                     values, benign = hit
                     self._emit_race(a1, a2, Model(dict(values)), benign)
                 return
+
+        # cross-run pair replay: a previous run recorded this exact
+        # pair's verdict (canonical digests of every input) under the
+        # same preamble — short-circuits ahead of even the affine path
+        preamble = self._race_preamble(obj)
+        ppairs = pdigest = None
+        if self._store is not None and self.pruning:
+            pkey = self._pkey_of(preamble)
+            self._ensure_warm(preamble, pkey)
+            ppairs = self._persist_pairs.setdefault(pkey, {})
+            pdigest = self._pair_digest(a1, a2, same_bi)
+            if self._replay_pair(a1, a2, same_bi, preamble,
+                                 memo_key, ppairs.get(pdigest, _MISS)):
+                return
+
         if self._affine_no_overlap(a1, a2, obj):
             self.stats.by_affine += 1
             if memo_key is not None:
                 self._pair_memo[memo_key] = None
+            self._record_pair(preamble, ppairs, pdigest, None)
             return
         was_timed_out = self.timed_out
-        preamble = self._race_preamble(obj)
         goal = [
             self._inst(a1.cond, 1),
             self._inst(a2.cond, 2),
@@ -689,9 +753,10 @@ class RaceChecker:
         if not same_bi:
             # cross-interval global pair: only unordered across blocks
             goal.append(mk_not(self._same_block()))
-        if mk_and(*preamble, *goal) is FALSE:
+        if self._conj_trivially_false(preamble, goal):
             if memo_key is not None:
                 self._pair_memo[memo_key] = None
+            self._record_pair(preamble, ppairs, pdigest, None)
             return
         if self.config.warp_lockstep and self.config.warp_size > 1:
             model = self._solve_warp_aware(a1, a2, preamble, goal)
@@ -701,11 +766,109 @@ class RaceChecker:
             # a verdict cut short by the budget must not be replayed
             if memo_key is not None and self.timed_out == was_timed_out:
                 self._pair_memo[memo_key] = None
+                self._record_pair(preamble, ppairs, pdigest, None)
             return
         benign = self._classify_benign(a1, a2, preamble, goal)
         if memo_key is not None and self.timed_out == was_timed_out:
             self._pair_memo[memo_key] = (dict(model.values), benign)
+            self._record_pair(preamble, ppairs, pdigest,
+                              [dict(model.values), benign])
         self._emit_race(a1, a2, model, benign)
+
+    def _pair_digest(self, a1: Access, a2: Access, same_bi: bool) -> str:
+        """Cross-run-stable identity of a pair's solver problem: the
+        ordered :meth:`_pair_key` with term identities replaced by
+        canonical digests, plus the warp policy (it changes which
+        conjunctions get solved)."""
+        def cls(a: Access) -> str:
+            return "%s;%s;%s;%d;%s" % (
+                a.kind.value, canonical_term(a.offset),
+                canonical_term(a.cond), a.size,
+                canonical_term(a.value) if a.value is not None else "-")
+        material = "|".join((
+            cls(a1), cls(a2), str(int(same_bi)), str(a1.obj.space),
+            str(int(a1.instr_id == a2.instr_id)),
+            str(int(self.config.warp_lockstep)),
+            str(self.config.warp_size)))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _replay_pair(self, a1: Access, a2: Access, same_bi: bool,
+                     preamble: List[Term], memo_key, hit) -> bool:
+        """Replay a persisted pair verdict; True when handled."""
+        if hit is _MISS:
+            return False
+        if hit is None:
+            self.stats.warm_pair_hits += 1
+            if memo_key is not None:
+                self._pair_memo[memo_key] = None
+            return True
+        values, benign = dict(hit[0]), bool(hit[1])
+        # racy replay: re-derive the goal and check the stored witness
+        # actually exhibits it — a bogus artifact costs this validation,
+        # never a spurious race
+        goal = [
+            self._inst(a1.cond, 1),
+            self._inst(a2.cond, 2),
+            self._overlap(a1, a2),
+        ]
+        if not same_bi:
+            goal.append(mk_not(self._same_block()))
+        if not self._witness_holds(preamble, goal, values):
+            return False
+        self.stats.warm_pair_hits += 1
+        if memo_key is not None:
+            self._pair_memo[memo_key] = (dict(values), benign)
+        self._emit_race(a1, a2, Model(values), benign)
+        return True
+
+    def _record_pair(self, preamble: List[Term], ppairs, pdigest,
+                     payload) -> None:
+        if pdigest is None:   # persistence off for this pair
+            return
+        if pdigest not in ppairs or ppairs[pdigest] != payload:
+            ppairs[pdigest] = payload
+            self._persist_dirty.add(self._pkey_of(preamble))
+
+    @staticmethod
+    def _flatten_spine(terms: Sequence[Term]
+                       ) -> Tuple[Set[int], Set[int], bool]:
+        """``(conjunct ids, negated-child ids, any FALSE)`` after
+        flattening nested conjunctions — the facts ``mk_and`` uses to
+        constant-fold a conjunction to FALSE."""
+        ids: Set[int] = set()
+        neg: Set[int] = set()
+        has_false = False
+        stack = list(terms)
+        while stack:
+            t = stack.pop()
+            if t.op == Op.BAND:
+                stack.extend(t.args)
+                continue
+            if t.is_false():
+                has_false = True
+            ids.add(id(t))
+            if t.op == Op.BNOT:
+                neg.add(id(t.args[0]))
+        return ids, neg, has_false
+
+    def _conj_trivially_false(self, preamble: List[Term],
+                              goal: Sequence[Term]) -> bool:
+        """``mk_and(*preamble, *goal) is FALSE``, without building the
+        conjunction. The preamble's flattened spine is cached on the
+        (pinned, per-object) preamble list; only the small goal is
+        walked per pair."""
+        spine = self._spine_cache.get(id(preamble))
+        if spine is None:
+            pids, pneg, pfalse = self._flatten_spine(preamble)
+            spine = (pids, pneg, pfalse or bool(pneg & pids))
+            self._spine_cache[id(preamble)] = spine
+        pids, pneg, pfalse = spine
+        if pfalse:
+            return True
+        gids, gneg, gfalse = self._flatten_spine(goal)
+        if gfalse:
+            return True
+        return bool((pneg & gids) or (gneg & gids) or (gneg & pids))
 
     def _solve(self, goal: Sequence[Term],
                preamble: Sequence[Term]) -> Optional[Model]:
@@ -734,7 +897,7 @@ class RaceChecker:
             return None
 
         canon = simplify(mk_and(*goal)) if goal else TRUE
-        pkey = tuple(id(t) for t in preamble)
+        pkey = self._pkey_of(preamble)
         key = (pkey, id(canon))
         hit = self._memo.get(key)
         if hit is not None:
@@ -743,30 +906,167 @@ class RaceChecker:
             return Model(dict(values)) if result == CheckResult.SAT else None
 
         session = self._session_for(preamble, pkey)
+        replay = self._replay_persisted(preamble, goal, pkey, canon, key)
+        if replay is not _MISS:
+            return replay
+        before = session.stats.copy()
         outcome = session.check([canon] if canon is not TRUE else [])
+        self.stats.solver.merge(session.stats.delta_since(before))
         if outcome == CheckResult.SAT:
             model = session.model()
             self._memo.put(key, outcome, dict(model.values))
+            self._record_persisted(pkey, canon, outcome,
+                                   dict(model.values))
             return model
         if outcome == CheckResult.UNKNOWN:
             self.timed_out = True
             return None
         self._memo.put(key, outcome)
+        self._record_persisted(pkey, canon, outcome, None)
         return None
+
+    # -- cross-run persisted memo --------------------------------------
+
+    def _replay_persisted(self, preamble: Sequence[Term],
+                          goal: Sequence[Term], pkey: Tuple[int, ...],
+                          canon: Term, key: tuple):
+        """A verdict recorded by a previous run for this exact
+        (preamble, goal), or ``_MISS``.
+
+        SAT replays are re-validated by evaluating the query under the
+        stored witness — a bogus artifact can cost a validation, never
+        a wrong SAT verdict. UNSAT replays rest on the fingerprint: the
+        artifact was recorded under a structurally identical preamble
+        by the same tool version.
+        """
+        pm = self._persist_memo.get(pkey)
+        if not pm:
+            return _MISS
+        entry = pm.get(canonical_term(canon))
+        if entry is None:
+            return _MISS
+        verdict, values = entry
+        if verdict == CheckResult.SAT:
+            values = dict(values or {})
+            if not self._witness_holds(preamble, goal, values):
+                return _MISS
+            self.stats.warm_memo_hits += 1
+            self._memo.put(key, verdict, values)
+            return Model(values)
+        self.stats.warm_memo_hits += 1
+        self._memo.put(key, verdict)
+        return None
+
+    @staticmethod
+    def _witness_holds(preamble: Sequence[Term], goal: Sequence[Term],
+                       values: Dict[str, int]) -> bool:
+        from ..smt import free_vars
+        for t in list(preamble) + list(goal):
+            assignment = dict(values)
+            for name in free_vars(t):
+                assignment.setdefault(name, 0)
+            try:
+                if not evaluate(t, assignment):
+                    return False
+            except EvaluationError:
+                return False
+        return True
+
+    def _record_persisted(self, pkey: Tuple[int, ...], canon: Term,
+                          verdict: str,
+                          values: Optional[Dict[str, int]]) -> None:
+        if self._store is None:
+            return
+        pm = self._persist_memo.setdefault(pkey, {})
+        pm[canonical_term(canon)] = (verdict, values)
+        self._persist_dirty.add(pkey)
+
+    def save_solver_artifacts(self) -> int:
+        """Persist every session's snapshot + memo (end of ``check``).
+
+        Returns the number of artifacts written. A session that never
+        reached the SAT layer exports nothing and is skipped.
+        """
+        if self._store is None:
+            return 0
+        written = 0
+        for pkey in sorted(self._persist_dirty):
+            fp = self._pkey_fp.get(pkey)
+            if fp is None:
+                continue
+            session = self._sessions.get(pkey)
+            state = session.export_state() if session is not None else None
+            if state is None:
+                # no session reached the SAT layer this run (everything
+                # replayed or affine-discharged): refresh the loaded
+                # artifact in place; with nothing loaded either there is
+                # no snapshot to anchor the artifact — skip
+                state = self._warm_artifact.get(pkey)
+                if state is None:
+                    continue
+            memo = [(canon, verdict, values)
+                    for canon, (verdict, values)
+                    in self._persist_memo.get(pkey, {}).items()]
+            self._store.save(fp, state, memo,
+                             self._persist_pairs.get(pkey, {}))
+            written += 1
+        return written
+
+    def _pkey_of(self, preamble: Sequence[Term]) -> Tuple[int, ...]:
+        # preamble lists are pinned in _race_pre_cache, so their id is a
+        # stable key for the (tuple-of-term-ids) session key
+        pkey = self._pkey_cache.get(id(preamble))
+        if pkey is None:
+            pkey = tuple(id(t) for t in preamble)
+            self._pkey_cache[id(preamble)] = pkey
+        return pkey
 
     def _session_for(self, preamble: Sequence[Term],
                      pkey: Tuple[int, ...]) -> SolverSession:
         session = self._sessions.get(pkey)
         if session is None:
+            # the session owns its stats: sessions outlive this checker
+            # (the repair loop shares them across re-checks), so binding
+            # them to one checker's counters would double-count — each
+            # query's delta is merged in _solve instead
             session = SolverSession(
                 preamble, conflict_budget=self.solver_budget,
-                deadline=self._deadline, stats=self.stats.solver)
+                deadline=self._deadline)
             self._sessions[pkey] = session
             self.stats.sessions_created += 1
+            if self._store is not None:
+                self._ensure_warm(preamble, pkey)
+                artifact = self._warm_artifact.get(pkey)
+                if artifact is not None and session.adopt_state(artifact):
+                    self.stats.warm_starts += 1
         else:
             self.stats.preamble_reuse += 1
             session.deadline = self._deadline
         return session
+
+    def _ensure_warm(self, preamble: Sequence[Term],
+                     pkey: Tuple[int, ...]) -> None:
+        """Load the persisted artifact for this preamble (once per
+        checker): fingerprint, disk read, validation. Any failure —
+        missing file, corruption, version skew — cold-starts, with a
+        warning on the execution record for the non-miss cases."""
+        if self._store is None or pkey in self._pkey_fp:
+            return
+        fp = preamble_fingerprint(preamble)
+        self._pkey_fp[pkey] = fp
+        artifact, warning = self._store.load(fp)
+        if warning is not None:
+            warnings = self.result.warnings
+            if warning not in warnings:
+                warnings.append(warning)
+            return
+        if artifact is None:
+            return
+        self._warm_artifact[pkey] = artifact
+        self._persist_memo[pkey] = {
+            canon: (verdict, values)
+            for canon, verdict, values in artifact["memo"]}
+        self._persist_pairs[pkey] = dict(artifact.get("pairs") or {})
 
     def _solve_warp_aware(self, a1: Access, a2: Access,
                           preamble: List[Term],
