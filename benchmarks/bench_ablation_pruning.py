@@ -78,6 +78,9 @@ def run_suites(pruning):
         for kernel in SUITES[suite]:
             spec = spec_from_kernel(kernel, suite=suite)
             spec.pair_pruning = pruning
+            # this ablation measures solver-path pruning counters: keep
+            # the static tier out so every kernel reaches the solver
+            spec.static_tier = False
             tool = SESA.from_source(spec.source, spec.kernel_name)
             report = tool.check(spec.launch_config())
             verdicts[spec.job_id] = _signature(report)
@@ -139,7 +142,8 @@ def test_report(benchmark):
                 "pruned": pruned["suite_queries"][suite],
             } for suite in SUITE_NAMES},
     }
-    out_path = os.environ.get("BENCH_OUT", "BENCH_pruning.json")
+    out_path = os.environ.get("BENCH_OUT", os.path.join(
+        os.path.dirname(__file__), "BENCH_pruning.json"))
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     print(f"wrote {out_path}")

@@ -65,6 +65,9 @@ def run_suites(incremental):
         for kernel in SUITES[suite]:
             spec = spec_from_kernel(kernel, suite=suite)
             spec.incremental_solving = incremental
+            # this ablation measures the solver stack: keep the static
+            # tier out so every kernel actually reaches the solver
+            spec.static_tier = False
             tool = SESA.from_source(spec.source, spec.kernel_name)
             report = tool.check(spec.launch_config())
             verdicts[spec.job_id] = _signature(report)
@@ -155,7 +158,8 @@ def test_report(benchmark):
     }
     if "stack" in RESULTS:
         payload["stack"] = RESULTS["stack"]
-    out_path = os.environ.get("BENCH_OUT", "BENCH_solver.json")
+    out_path = os.environ.get("BENCH_OUT", os.path.join(
+        os.path.dirname(__file__), "BENCH_solver.json"))
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     print(f"wrote {out_path}")

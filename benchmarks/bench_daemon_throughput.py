@@ -125,8 +125,8 @@ def test_report(benchmark):
           f"{r['jobs_per_sec']:.2f}", r["cached"]] for r in runs])
     payload = {"suite": SUITE, "worker_counts": list(WORKER_COUNTS),
                "runs": runs}
-    out_path = os.environ.get("BENCH_OUT",
-                              "BENCH_daemon_throughput.json")
+    out_path = os.environ.get("BENCH_OUT", os.path.join(
+        os.path.dirname(__file__), "BENCH_daemon_throughput.json"))
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     print(f"wrote {out_path}")

@@ -161,7 +161,8 @@ def test_report(benchmark):
                "max_iterations": MAX_ITERATIONS,
                "repairs": rows,
                "fast_path": RESULTS.get("fast_path")}
-    out_path = os.environ.get("BENCH_OUT", "BENCH_repair.json")
+    out_path = os.environ.get("BENCH_OUT", os.path.join(
+        os.path.dirname(__file__), "BENCH_repair.json"))
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     print(f"wrote {out_path}")

@@ -1,0 +1,159 @@
+"""Tiered checking — static pre-screening resolution rate and latency.
+
+The static tier (``repro.static``) sits in front of the parametric
+race checker and resolves kernels whose guards, addresses and values
+are pure bounded terms by exhaustive enumeration — no solver. This
+bench runs the built-in suites through ``execute_job`` twice, tier on
+and tier off, and asserts the contract:
+
+* **verdict parity**: on every kernel — statically resolved or
+  escalated — the tiered pipeline's verdict (races/OOBs/assertions
+  incl. benign flags) is identical to the single-tier pipeline's;
+* **resolution rate**: at least ``min_static_fraction`` of the gated
+  paper + reductions suites resolves statically (no solver query),
+  and every kernel recorded as resolved in
+  ``BENCH_static_baseline.json`` still resolves statically — a cap or
+  prescreen regression that silently pushes easy kernels back to the
+  solver fails the bench rather than just slowing it down;
+* **latency**: the median static-tier wall clock over the gated
+  resolved kernels stays under ``max_median_static_ms``.
+
+The per-kernel tier table (tier, bail reason, static ms, end-to-end
+ms both ways) lands in ``BENCH_static.json`` (CI uploads it as an
+artifact).
+"""
+import json
+import os
+import statistics
+import time
+
+import pytest
+
+from common import print_table
+from repro.service.corpus import SUITES, spec_from_kernel
+from repro.service.runner import execute_job
+
+#: suites in the report table
+SUITE_NAMES = ("paper", "reductions", "sdk")
+
+#: the resolution-rate and latency gates apply to these suites
+GATED_SUITES = ("paper", "reductions")
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_static_baseline.json")
+
+RESULTS = {}
+
+
+def _signature(verdict):
+    verdict = json.loads(json.dumps(verdict))
+    races = sorted(set(
+        (r["kind"], r["object"], json.dumps(r["locs"]),
+         bool(r["benign"]), bool(r["unresolvable"]))
+        for r in verdict.get("races", [])))
+    oobs = sorted(set((o["object"], json.dumps(o["loc"]))
+                      for o in verdict.get("oobs", [])))
+    asserts = sorted(set(json.dumps(a["loc"])
+                         for a in verdict.get("assertion_failures", [])))
+    return (races, oobs, asserts, bool(verdict.get("timed_out")))
+
+
+def _run_suite(suite):
+    rows = []
+    for kernel in SUITES[suite]:
+        spec = spec_from_kernel(kernel, suite=suite)
+        start = time.perf_counter()
+        tiered = execute_job(spec.to_dict())
+        tiered_s = time.perf_counter() - start
+        assert tiered["status"] == "done", tiered.get("error")
+
+        start = time.perf_counter()
+        mono = execute_job(dict(spec.to_dict(), static_tier=False))
+        mono_s = time.perf_counter() - start
+        assert mono["status"] == "done", mono.get("error")
+
+        cs = tiered["check_stats"]
+        rows.append({
+            "suite": suite,
+            "kernel": kernel.name,
+            "tier": cs["tier"],
+            "bail_reason": cs.get("static_bail_reason"),
+            "static_ms": round(cs["static_seconds"] * 1e3, 3),
+            "queries": cs["queries"],
+            "tiered_ms": round(tiered_s * 1e3, 1),
+            "mono_ms": round(mono_s * 1e3, 1),
+            "parity": _signature(tiered["verdict"]) ==
+            _signature(mono["verdict"]),
+        })
+    return rows
+
+
+@pytest.mark.parametrize("suite", SUITE_NAMES)
+def test_suite(benchmark, suite):
+    RESULTS[suite] = benchmark.pedantic(lambda: _run_suite(suite),
+                                        rounds=1, iterations=1)
+
+
+def test_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(RESULTS) < len(SUITE_NAMES):
+        pytest.skip("run the full module for the report")
+    with open(BASELINE_PATH, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    rows = [r for suite in SUITE_NAMES for r in RESULTS[suite]]
+
+    # the contract: the tier is a pure performance layer — the tiered
+    # pipeline's verdict is identical on every kernel
+    diverged = [f"{r['suite']}/{r['kernel']}" for r in rows
+                if not r["parity"]]
+    assert not diverged, f"static tier changed a verdict: {diverged}"
+    # a statically resolved kernel never touched the solver
+    for r in rows:
+        if r["tier"] == "static":
+            assert r["queries"] == 0, \
+                f"{r['kernel']}: static verdict with solver queries"
+
+    print_table(
+        "Tiered checking: static pre-screening by kernel "
+        "(verdicts identical with and without the tier)",
+        ["suite", "kernel", "tier", "static ms", "tiered ms",
+         "mono ms", "bail reason"],
+        [[r["suite"], r["kernel"], r["tier"],
+          f"{r['static_ms']:.2f}", f"{r['tiered_ms']:.0f}",
+          f"{r['mono_ms']:.0f}", r["bail_reason"] or "--"]
+         for r in rows])
+
+    gated = [r for r in rows if r["suite"] in GATED_SUITES]
+    resolved = [r for r in gated if r["tier"] == "static"]
+    fraction = len(resolved) / len(gated)
+    latencies = sorted(r["static_ms"] for r in resolved)
+    median_ms = statistics.median(latencies) if latencies else 0.0
+
+    payload = {
+        "gated_suites": list(GATED_SUITES),
+        "static_fraction": round(fraction, 3),
+        "median_static_ms": round(median_ms, 3),
+        "p95_static_ms": round(
+            latencies[max(0, int(len(latencies) * 0.95) - 1)], 3)
+        if latencies else 0.0,
+        "kernels": rows,
+    }
+    out_path = os.environ.get("BENCH_OUT", os.path.join(
+        os.path.dirname(__file__), "BENCH_static.json"))
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+
+    # resolution-rate gates
+    assert fraction >= baseline["min_static_fraction"], (
+        f"static tier resolved only {fraction:.0%} of the gated "
+        f"suites (< {baseline['min_static_fraction']:.0%})")
+    still = {f"{r['suite']}/{r['kernel']}" for r in resolved}
+    regressed = [k for k in baseline["resolved"] if k not in still]
+    assert not regressed, (
+        f"kernels fell off the static tier: {regressed}")
+
+    # latency gate: the tier must stay ~free next to the solver path
+    assert median_ms <= baseline["max_median_static_ms"], (
+        f"median static-tier latency {median_ms:.2f} ms exceeds "
+        f"{baseline['max_median_static_ms']} ms")

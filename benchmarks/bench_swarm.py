@@ -143,7 +143,8 @@ def test_report(benchmark):
                 "shards": RESULTS[(name, mode)]["shards"],
             } for _suite, name in KERNELS for mode in MODES},
     }
-    out_path = os.environ.get("BENCH_OUT", "BENCH_swarm.json")
+    out_path = os.environ.get("BENCH_OUT", os.path.join(
+        os.path.dirname(__file__), "BENCH_swarm.json"))
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     print(f"wrote {out_path}")

@@ -106,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-pruning", action="store_true",
                        help="disable the pre-solver pruning pipeline "
                             "(summarization, bucketing, pair memo)")
+    check.add_argument("--no-static-tier", action="store_true",
+                       help="skip the solver-less static pre-screening "
+                            "tier and run the parametric engine "
+                            "directly (the exact single-tier pipeline)")
     check.add_argument("--swarm", type=int, default=None, metavar="N",
                        help="split the race check into N shard jobs "
                             "run in parallel worker processes and "
@@ -155,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS")
     prof.add_argument("--no-incremental", action="store_true")
     prof.add_argument("--no-pruning", action="store_true")
+    prof.add_argument("--no-static-tier", action="store_true")
     prof.add_argument("--solver-cache", default=None, metavar="DIR",
                       help="profile with a warm-start artifact cache")
     prof.add_argument("--solver-stack",
@@ -261,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-pruning", action="store_true",
                        help="disable the pre-solver pruning pipeline "
                             "(summarization, bucketing, pair memo)")
+    batch.add_argument("--no-static-tier", action="store_true",
+                       help="skip the solver-less static pre-screening "
+                            "tier on every job")
     batch.add_argument("--repair", action="store_true",
                        help="run the barrier-repair loop on every racy "
                             "sesa job and record the synthesized fix")
@@ -416,6 +424,7 @@ def _config_from(args) -> LaunchConfig:
         time_budget_seconds=args.time_budget,
         incremental_solving=not args.no_incremental,
         pair_pruning=not args.no_pruning,
+        static_tier=not getattr(args, "no_static_tier", False),
         solver_cache_dir=getattr(args, "solver_cache", None))
 
 
@@ -474,6 +483,7 @@ def cmd_check(args) -> int:
             time_budget_seconds=args.time_budget,
             incremental_solving=not args.no_incremental,
             pair_pruning=not args.no_pruning,
+            static_tier=not args.no_static_tier,
             solver_cache_dir=args.solver_cache)
         try:
             spec.validate()
@@ -515,15 +525,24 @@ def _phase_breakdown(cs) -> dict:
     """Per-phase wall clock and solver dispatch from a CheckStats."""
     if cs is None:
         return {}
-    total = cs.execute_seconds + cs.pairgen_seconds + cs.solve_seconds
+    # static_seconds is additive by construction: adjudication time on
+    # a statically resolved kernel (whose walk is execute_seconds), or
+    # the abandoned tier attempt preceding the engine phases
+    total = cs.static_seconds + cs.execute_seconds + \
+        cs.pairgen_seconds + cs.solve_seconds
     return {
+        "tier": cs.tier,
+        "static_bail_reason": cs.static_bail_reason,
         "phases": {
+            "static_seconds": round(cs.static_seconds, 6),
             "execute_seconds": round(cs.execute_seconds, 6),
             "pairgen_seconds": round(cs.pairgen_seconds, 6),
             "solve_seconds": round(cs.solve_seconds, 6),
             "total_seconds": round(total, 6),
         },
         "dispatch": {
+            "static_pairs_checked": cs.static_pairs_checked,
+            "static_pairs_discharged": cs.static_pairs_discharged,
             "pairs_considered": cs.pairs_considered,
             "queries": cs.queries,
             "by_affine": cs.by_affine,
@@ -547,13 +566,24 @@ def _print_phase_breakdown(cs) -> None:
         return
     phases = data["phases"]
     total = max(phases["total_seconds"], 1e-9)
+    tier_note = "resolved statically, no solver" \
+        if data["tier"] == "static" else \
+        (f"static tier escalated: {data['static_bail_reason']}"
+         if data["static_bail_reason"] else "static tier off")
+    print(f"tier: {data['tier']} ({tier_note})")
     print("profile (per-phase wall clock):")
-    for name in ("execute_seconds", "pairgen_seconds", "solve_seconds"):
-        label = name.replace("_seconds", "")
-        print(f"  {label:<10} {phases[name]:8.4f}s "
+    for name in ("static_seconds", "execute_seconds",
+                 "pairgen_seconds", "solve_seconds"):
+        label = name.replace("_seconds", "").replace("static",
+                                                     "static-tier")
+        print(f"  {label:<11} {phases[name]:8.4f}s "
               f"({phases[name] / total:5.1%})")
-    print(f"  {'total':<10} {phases['total_seconds']:8.4f}s")
+    print(f"  {'total':<11} {phases['total_seconds']:8.4f}s")
     disp = data["dispatch"]
+    if disp["static_pairs_checked"]:
+        print(f"static tier: {disp['static_pairs_checked']} pairs "
+              f"checked, {disp['static_pairs_discharged']} discharged "
+              f"without a solver")
     print("dispatch: "
           f"{disp['pairs_considered']} pairs, {disp['queries']} queries "
           f"(affine {disp['by_affine']}, memo {disp['by_memo']}, "
@@ -572,6 +602,7 @@ def _print_phase_breakdown(cs) -> None:
 #: pipeline layer of a profiled function, from its source path — the
 #: buckets the README's "solver stack" section talks about
 _PROFILE_BUCKETS = (
+    ("/static/", "static-tier"),
     ("/smt/sat", "sat-core"),
     ("/smt/cnf", "lowering"),
     ("/smt/bitblast", "lowering"),
@@ -784,6 +815,9 @@ def cmd_batch(args) -> int:
     if args.no_pruning:
         for spec in specs:
             spec.pair_pruning = False
+    if args.no_static_tier:
+        for spec in specs:
+            spec.static_tier = False
     if args.repair:
         for spec in specs:
             spec.repair = True

@@ -135,6 +135,18 @@ class AnalysisReport:
         lines.append(f"  resolvable: {self.resolvable}")
         if self.check_stats is not None:
             cs = self.check_stats
+            tier = getattr(cs, "tier", "parametric")
+            if tier == "static":
+                lines.append(
+                    f"  tier: static ({cs.static_pairs_checked} pairs, "
+                    f"{cs.static_pairs_discharged} discharged, "
+                    f"{(cs.execute_seconds + cs.static_seconds) * 1e3:.2f}"
+                    f" ms, no solver)")
+            elif cs.static_bail_reason is not None:
+                lines.append(
+                    f"  tier: parametric (static tier escalated: "
+                    f"{cs.static_bail_reason}, "
+                    f"{cs.static_seconds * 1e3:.2f} ms)")
             lines.append(
                 f"  solver: {cs.queries} queries (affine {cs.by_affine}, "
                 f"memo {cs.by_memo}, sessions {cs.sessions_created}, "

@@ -86,6 +86,41 @@ class SESA:
         start = time.perf_counter()
         if config.symbolic_inputs is None:
             config.symbolic_inputs = self.inferred_symbolic_inputs()
+        # tier 0: solver-less static verdict for the easy majority; an
+        # escalation falls through to the exact single-tier pipeline
+        static_seconds = 0.0
+        static_reason: Optional[str] = None
+        if getattr(config, "static_tier", True) and solver_budget != 200_000:
+            # a caller overriding the per-query conflict budget is
+            # studying solver behaviour; a solver-less verdict would
+            # defeat that (mirrors the config-level prescreen check)
+            static_reason = "solver budget override"
+        elif getattr(config, "static_tier", True):
+            from ..static import run_static_tier
+            outcome = run_static_tier(
+                self.module, self.kernel, config,
+                sink_value_ids=self.taint.sink_value_ids,
+                max_reports=max_reports)
+            if outcome.resolved:
+                checker = outcome.checker
+                result = outcome.result
+                stats = checker.stats
+                stats.tier = "static"
+                stats.static_resolved = 1
+                stats.static_pairs_checked = outcome.pairs_checked
+                stats.static_pairs_discharged = outcome.pairs_discharged
+                stats.static_seconds = max(
+                    0.0, outcome.seconds - result.elapsed_seconds)
+                return AnalysisReport(
+                    kernel=self.kernel.name, mode="sesa",
+                    races=checker.races, oobs=checker.oobs,
+                    assertion_failures=checker.assertion_failures,
+                    taint=self.taint,
+                    resolvability=analyze_resolvability(result),
+                    execution=result, check_stats=stats,
+                    elapsed_seconds=time.perf_counter() - start)
+            static_seconds = outcome.seconds
+            static_reason = outcome.reason
         executor = Executor(
             self.module, self.kernel, config, mode="sesa",
             sink_value_ids=self.taint.sink_value_ids)
@@ -94,6 +129,8 @@ class SESA:
             solver_budget = config.solver_conflict_budget
         checker = RaceChecker(result, solver_budget=solver_budget,
                               max_reports=max_reports).check()
+        checker.stats.static_seconds = static_seconds
+        checker.stats.static_bail_reason = static_reason
         if checker.timed_out:
             result.timed_out = True
             result.warnings.append(

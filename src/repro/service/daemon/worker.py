@@ -63,6 +63,7 @@ class WorkerDaemon:
         self.timeout_seconds = timeout_seconds
         self.isolate = isolate
         self.jobs_done = 0
+        self.tier_counts: dict = {}
         self.started_at = time.time()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -74,7 +75,8 @@ class WorkerDaemon:
     def stats(self) -> dict:
         elapsed = max(time.time() - self.started_at, 1e-9)
         return {"jobs": self.jobs_done,
-                "jobs_per_sec": round(self.jobs_done / elapsed, 3)}
+                "jobs_per_sec": round(self.jobs_done / elapsed, 3),
+                "tiers": dict(self.tier_counts)}
 
     @property
     def alive(self) -> bool:
@@ -96,13 +98,17 @@ class WorkerDaemon:
         wrote = self.store.complete(job.job_id, self.worker_id,
                                     result.to_dict(), state=state,
                                     error=error)
+        tier = (result.check_stats or {}).get("tier")
         if wrote:
             self.jobs_done += 1
+            if tier is not None:
+                self.tier_counts[tier] = self.tier_counts.get(tier, 0) + 1
         self.telemetry.emit(
             "job_finished", job_id=job.job_id, status=result.status,
             state=state if wrote else "lost", worker=self.worker_id,
             attempts=job.attempts, cached=result.cached,
             elapsed_seconds=round(result.elapsed_seconds, 6),
+            tier=tier,
             check_stats=result.check_stats,
             issues=result.issue_tags() if result.verdict else None)
 
@@ -270,9 +276,16 @@ class QueueSampler:
             self.sample()
 
     def start(self) -> "QueueSampler":
+        # baseline sample before the periodic thread: a daemon that
+        # drains its whole queue inside one ``interval`` still records
+        # at least one queue_sample over its lifetime
+        self.sample()
         self._thread.start()
         return self
 
     def stop(self) -> None:
         self._stop.set()
         self._thread.join(timeout=5.0)
+        # flush one final sample so even a daemon that drains its queue
+        # faster than ``interval`` leaves a terminal vital-signs record
+        self.sample()

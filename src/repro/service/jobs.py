@@ -101,6 +101,9 @@ class JobSpec:
     #: pre-solver pruning pipeline (summarization, disjointness buckets,
     #: pair memo); False forces raw enumeration for differential runs
     pair_pruning: bool = True
+    #: static pre-screening tier (tier 0); False restores the exact
+    #: single-tier pipeline for differential runs
+    static_tier: bool = True
     #: also run the CEGIS barrier-repair loop and attach its outcome
     repair: bool = False
     #: Table III kernels need the synthetic CSR graph attached
@@ -204,6 +207,7 @@ class JobSpec:
             time_budget_seconds=self.time_budget_seconds,
             incremental_solving=self.incremental_solving,
             pair_pruning=self.pair_pruning,
+            static_tier=self.static_tier,
             shard=(dict(self.shard) if self.shard is not None else None),
             solver_conflict_budget=self.solver_conflict_budget,
             solver_cache_dir=self.solver_cache_dir)
@@ -247,6 +251,10 @@ class JobSpec:
             # the two paths must not share cache entries
             "incremental_solving": self.incremental_solving,
             "pair_pruning": self.pair_pruning,
+            # the tiers must agree on verdicts (the equivalence suite
+            # enforces it), but the escape hatch exists to prove that —
+            # so the two pipelines must not share cache entries
+            "static_tier": self.static_tier,
             # a repair run produces strictly more output than a plain
             # check, so the two must not share cache entries
             "repair": self.repair,
@@ -305,6 +313,7 @@ class JobSpec:
             time_budget_seconds=data.get("time_budget_seconds"),
             incremental_solving=data.get("incremental_solving", True),
             pair_pruning=data.get("pair_pruning", True),
+            static_tier=data.get("static_tier", True),
             repair=data.get("repair", False),
             needs_concrete_graph=data.get("needs_concrete_graph", False),
             shard=data.get("shard"),

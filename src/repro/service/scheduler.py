@@ -188,6 +188,7 @@ class Scheduler:
             "job_finished", job_id=result.job_id, status=result.status,
             attempts=result.attempts, cached=result.cached,
             elapsed_seconds=round(result.elapsed_seconds, 6),
+            tier=(result.check_stats or {}).get("tier"),
             check_stats=result.check_stats,
             issues=result.issue_tags() if result.verdict else None)
 
@@ -253,7 +254,8 @@ class Scheduler:
             depth=0, leased=0, oldest_age_seconds=None,
             workers={wid: {"jobs": n,
                            "jobs_per_sec": round(n / wall, 3)}
-                     for wid, n in sorted(jobs_by_worker.items())})
+                     for wid, n in sorted(jobs_by_worker.items())},
+            tiers=Telemetry.tier_counts(batch.jobs))
         self.telemetry.emit(
             "batch_finished",
             wall_seconds=round(batch.elapsed_seconds, 6),

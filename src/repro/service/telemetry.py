@@ -94,6 +94,20 @@ class Telemetry:
     # ------------------------------------------------------------------
 
     @staticmethod
+    def tier_counts(results: List[JobResult]) -> Dict[str, int]:
+        """Per-tier verdict counts (``{"static": n, "parametric": m}``).
+
+        Jobs without check stats (errors, timeouts, stub runners) are
+        not counted under either tier.
+        """
+        tiers: Dict[str, int] = {}
+        for r in results:
+            if r.check_stats:
+                tier = r.check_stats.get("tier", "parametric")
+                tiers[tier] = tiers.get(tier, 0) + 1
+        return tiers
+
+    @staticmethod
     def aggregate(results: List[JobResult]) -> dict:
         """Batch-level rollup of per-job records."""
         by_status: Dict[str, int] = {}
@@ -112,6 +126,7 @@ class Telemetry:
         return {
             "jobs": len(results),
             "by_status": by_status,
+            "by_tier": Telemetry.tier_counts(results),
             "jobs_with_issues": issues,
             "solver_queries": queries,
             "pairs_considered": pairs,
@@ -138,4 +153,8 @@ class Telemetry:
             f"analysis time: {agg['analysis_seconds']:.2f}s "
             f"(sum over jobs)",
         ]
+        if agg["by_tier"]:
+            tiers = ", ".join(f"{tier} {n}" for tier, n
+                              in sorted(agg["by_tier"].items()))
+            lines.insert(2, f"tiers: {tiers}")
         return "\n".join(lines)

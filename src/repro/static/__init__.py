@@ -1,0 +1,17 @@
+"""Static pre-screening tier (tier 0 of the tiered checker).
+
+Resolves easy kernels — single-flow, affine-indexed, atomic-free —
+straight from a solver-less walk of the IR, well under a millisecond
+per kernel, and escalates everything else to the parametric engine
+untouched. Sound in both directions: a resolved verdict is one the
+full engine would also produce (the differential suite in
+``tests/static/`` enforces exactly that).
+"""
+from .checker import StaticAdjudicator, StaticUnknown
+from .tier import StaticOutcome, run_static_tier
+from .walker import StaticBail, StaticWalker, prescreen, static_walk
+
+__all__ = [
+    "StaticAdjudicator", "StaticBail", "StaticOutcome", "StaticUnknown",
+    "StaticWalker", "prescreen", "run_static_tier", "static_walk",
+]

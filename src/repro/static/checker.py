@@ -1,0 +1,564 @@
+"""Static adjudication: decide the engine's race/OOB queries exactly,
+without a solver.
+
+The walked kernel's guards, offsets and values are interned terms over
+the *bounded, concrete* thread box (``tid.* < blockDim``,
+``bid.* < gridDim``) plus summary index variables with known extents.
+For a pure term (no uninterpreted application, no free symbolic
+input), exhaustive evaluation over that box decides the engine's SAT
+query *exactly* — same satisfiability, never an approximation. The
+adjudicator walks the engine's own candidate-pair enumeration
+(:meth:`RaceChecker._iter_candidate_pairs`), discharges each pair with
+the engine's affine fast path or by vectorised enumeration, and emits
+races through the engine's own :meth:`_emit_race`, so a statically
+resolved kernel carries a report the full engine could have produced.
+
+Anything outside the decidable fragment — a free non-thread variable
+(symbolic scalar input), an uninterpreted application, or a domain too
+large to enumerate under the caps — raises :class:`StaticUnknown` and
+the kernel escalates. The caps keep the sub-millisecond latency claim
+honest: a kernel that would need a big enumeration goes to the solver
+instead of burning the fast path's budget.
+"""
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from .. import ir
+from ..smt import Model
+from ..smt.sorts import BVSort
+from ..smt.subst import _eval_node
+from ..smt.terms import Op, Term, free_vars
+from ..sym.access import Access
+from ..sym.executor import ExecutionResult
+from ..sym.memory import MemoryObject, contains_havoc
+from ..sym.races import _MISS, OOBReport, RaceChecker
+
+#: per-side enumeration domain cap (product of variable extents)
+ENUM_CAP = 4096
+#: total (i, j) pair iterations allowed per pair adjudication
+SCAN_CAP = 1 << 16
+
+_AXIS = {"x": 0, "y": 1, "z": 2}
+
+
+class StaticUnknown(Exception):
+    """The pair/access leaves the decidable fragment — escalate."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# vectorised term evaluation
+# ---------------------------------------------------------------------------
+
+def _vec(x, d: int) -> list:
+    return x if isinstance(x, list) else [x] * d
+
+
+def _apply(node: Term, args: list, d: int):
+    """One DAG node over *d* parallel assignments. Scalar results stay
+    scalars (constant subtrees cost nothing); every element matches
+    :func:`repro.smt.subst.evaluate` exactly — the generic fallback IS
+    that evaluator, applied pointwise."""
+    if not any(isinstance(a, list) for a in args):
+        return _eval_node(node, args)
+    op = node.op
+    if op == Op.ITE:
+        c, t, e = (_vec(a, d) for a in args)
+        return [tv if cv else ev for cv, tv, ev in zip(c, t, e)]
+    if op in (Op.BAND, Op.BOR):
+        out = _vec(args[0], d)[:]
+        for other in args[1:]:
+            ov = _vec(other, d)
+            if op == Op.BAND:
+                out = [bool(p) and bool(q) for p, q in zip(out, ov)]
+            else:
+                out = [bool(p) or bool(q) for p, q in zip(out, ov)]
+        return out
+    if op == Op.BNOT:
+        return [not p for p in _vec(args[0], d)]
+    if len(args) == 2:
+        x, y = _vec(args[0], d), _vec(args[1], d)
+        if op == Op.EQ:
+            return [p == q for p, q in zip(x, y)]
+        if op == Op.ULT:
+            return [p < q for p, q in zip(x, y)]
+        if op == Op.ULE:
+            return [p <= q for p, q in zip(x, y)]
+        sort = node.sort
+        if isinstance(sort, BVSort):
+            mask = sort.mask
+            if op == Op.ADD:
+                return [(p + q) & mask for p, q in zip(x, y)]
+            if op == Op.SUB:
+                return [(p - q) & mask for p, q in zip(x, y)]
+            if op == Op.MUL:
+                return [(p * q) & mask for p, q in zip(x, y)]
+            if op == Op.AND:
+                return [p & q for p, q in zip(x, y)]
+            if op == Op.OR:
+                return [p | q for p, q in zip(x, y)]
+            if op == Op.XOR:
+                return [p ^ q for p, q in zip(x, y)]
+            if not isinstance(args[1], list):
+                q0 = args[1]
+                if op == Op.UREM and q0 != 0:
+                    return [p % q0 for p in x]
+                if op == Op.UDIV and q0 != 0:
+                    return [p // q0 for p in x]
+                if op == Op.SHL and q0 < sort.width:
+                    return [(p << q0) & mask for p in x]
+                if op == Op.LSHR and q0 < sort.width:
+                    return [p >> q0 for p in x]
+    # generic fallback: the scalar evaluator, pointwise
+    cols = [_vec(a, d) for a in args]
+    return [_eval_node(node, [c[i] for c in cols]) for i in range(d)]
+
+
+def _veval(roots: List[Term], columns: Dict[str, list], d: int,
+           vals: Optional[Dict[int, object]] = None) -> list:
+    """Evaluate term DAGs column-wise over *d* assignments.
+
+    Raises :class:`StaticUnknown` on an unbound variable (a symbolic
+    scalar input) or an uninterpreted application — exactly the leaves
+    a solver would treat as free, which enumeration cannot decide.
+
+    *vals* is a node-id → column cache; a shared dict (one per box)
+    lets subDAGs common to many pairs — the block's address arithmetic,
+    repeated guards — evaluate exactly once per adjudication, and the
+    traversal prunes at already-cached nodes.
+    """
+    if vals is None:
+        vals = {}
+    stack: list = [(r, False) for r in roots]
+    while stack:
+        node, expanded = stack.pop()
+        nid = id(node)
+        if nid in vals:
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for arg in node.args:
+                if id(arg) not in vals:
+                    stack.append((arg, False))
+            continue
+        op = node.op
+        if op == Op.CONST:
+            vals[nid] = node.payload
+        elif op == Op.VAR:
+            col = columns.get(node.name)
+            if col is None:
+                raise StaticUnknown(f"free input {node.name}")
+            vals[nid] = col
+        elif op == Op.UF:
+            raise StaticUnknown(f"uninterpreted {node.payload}")
+        else:
+            vals[nid] = _apply(
+                node, [vals[id(a)] for a in node.args], d)
+    return [_vec(vals[id(r)], d) for r in roots]
+
+
+# ---------------------------------------------------------------------------
+# the adjudicator
+# ---------------------------------------------------------------------------
+
+class StaticAdjudicator:
+    """Drives a solver-less :class:`RaceChecker` over one walked record.
+
+    Reuses the engine's pair enumeration, affine fast path, pair memo,
+    interval OOB pruning, report emission and stats counters — the only
+    thing replaced is the SAT query itself, which becomes an exhaustive
+    evaluation over the thread box. ``stats.queries`` staying 0 is the
+    visible signature of a statically resolved kernel.
+    """
+
+    def __init__(self, result: ExecutionResult,
+                 max_reports: int = 16) -> None:
+        self.checker = RaceChecker(result, max_reports=max_reports)
+        self.pairs_checked = 0
+        self.pairs_discharged = 0
+        rc = self.checker
+        self._extents: Dict[str, int] = {}
+        for name in rc.env.thread_vars():
+            i = _AXIS[name.split(".")[1]]
+            self._extents[name] = (rc.config.block_dim[i]
+                                   if name.startswith("tid")
+                                   else rc.config.grid_dim[i])
+        self._box_cache: Dict[tuple, tuple] = {}
+        self._col_cache: Dict[tuple, Dict[str, list]] = {}
+        #: per-box node-id → column vector cache (see :func:`_veval`)
+        self._node_cache: Dict[tuple, Dict[int, object]] = {}
+        #: affine-fast-path verdicts keyed by the inputs the engine's
+        #: check actually reads: the interned offset pair, access size
+        #: and memory object (everything else is fixed per run)
+        self._affine_cache: Dict[tuple, bool] = {}
+        self._fv_cache: Dict[tuple, Dict[str, Term]] = {}
+        #: address-bucket maps, one per (access terms, box) — each
+        #: access participates in many pairs
+        self._bucket_cache: Dict[tuple, Dict[int, List[int]]] = {}
+
+    # -- driving -------------------------------------------------------
+
+    def adjudicate(self) -> RaceChecker:
+        """Mirror of :meth:`RaceChecker.check` minus solver/timeout
+        machinery (the tier bails on time budgets before walking)."""
+        rc = self.checker
+        pairs = rc._iter_candidate_pairs()
+        for a1, a2, same_bi in pairs:
+            if len(rc.races) >= rc.max_reports:
+                break
+            self._pair(a1, a2, same_bi)
+        if rc.config.check_oob:
+            self._oob()
+        # assertions: the walker bails on __assert, so none exist here
+        return rc
+
+    # -- race pairs ----------------------------------------------------
+
+    def _pair(self, a1: Access, a2: Access, same_bi: bool) -> None:
+        """Mirror of :meth:`RaceChecker._check_pair` with enumeration in
+        place of ``_solve`` (and no cross-run persistence — warm starts
+        accelerate solving, and there is nothing to solve)."""
+        rc = self.checker
+        rc.stats.pairs_considered += 1
+        self.pairs_checked += 1
+        obj = a1.obj
+        memo_key = None
+        if rc.pruning:
+            memo_key = rc._pair_key(a1, a2, same_bi)
+            hit = rc._pair_memo.get(memo_key, _MISS)
+            if hit is not _MISS:
+                rc.stats.pair_memo_hits += 1
+                if hit is not None:
+                    values, benign = hit
+                    rc._emit_race(a1, a2, Model(dict(values)), benign)
+                else:
+                    self.pairs_discharged += 1
+                return
+        akey = (id(a1.offset), id(a2.offset), a1.size, a2.size, id(obj))
+        affine = self._affine_cache.get(akey)
+        if affine is None:
+            affine = rc._affine_no_overlap(a1, a2, obj)
+            self._affine_cache[akey] = affine
+        if affine:
+            rc.stats.by_affine += 1
+            if memo_key is not None:
+                rc._pair_memo[memo_key] = None
+            self.pairs_discharged += 1
+            return
+        verdict = self._enumerate(a1, a2, same_bi, obj)
+        if verdict is None:
+            if memo_key is not None:
+                rc._pair_memo[memo_key] = None
+            self.pairs_discharged += 1
+            return
+        values, benign = verdict
+        if memo_key is not None:
+            rc._pair_memo[memo_key] = (dict(values), benign)
+        rc._emit_race(a1, a2, Model(dict(values)), benign)
+
+    def _enumerate(self, a1: Access, a2: Access, same_bi: bool,
+                   obj: MemoryObject
+                   ) -> Optional[Tuple[Dict[str, int], bool]]:
+        """Decide the pair's race query by exhaustive evaluation.
+
+        Returns ``None`` (provably disjoint under thread distinctness)
+        or ``(witness values, benign)``; raises :class:`StaticUnknown`
+        outside the decidable fragment. Semantics mirrored exactly:
+        preamble bounds become the enumeration box, ``_different_thread``
+        / the cross-interval ``not same_block`` conjunct become the
+        validity predicate over coordinate tuples, ``_overlap`` becomes
+        the address join, ``_classify_benign`` becomes a value sweep
+        over the colliding assignments.
+        """
+        rc = self.checker
+        # W/W pairs with pure recorded values qualify for the benign
+        # classification, whose query ranges over the value terms' own
+        # thread variables too — fold them into the enumeration so
+        # thread distinctness sees every coordinate that matters
+        needs_values = (a1.kind.is_write() and a2.kind.is_write()
+                        and a1.value is not None and a2.value is not None
+                        and not contains_havoc(a1.value)
+                        and not contains_havoc(a2.value))
+        roots1 = [a1.cond, a1.offset] + ([a1.value] if needs_values else [])
+        roots2 = [a2.cond, a2.offset] + ([a2.value] if needs_values else [])
+        fv1 = self._free_vars(roots1)
+        fv2 = self._free_vars(roots2)
+        for name in set(fv1) | set(fv2):
+            if name not in self._extents \
+                    and name not in rc._summary_bounds:
+                raise StaticUnknown(f"free input {name}")
+        occurring = tuple(sorted(
+            n for n in self._extents if n in fv1 or n in fv2))
+        n_occ = len(occurring)
+        occ_tid = [i for i, n in enumerate(occurring)
+                   if n.startswith("tid")]
+        occ_bid = [i for i, n in enumerate(occurring)
+                   if n.startswith("bid")]
+        has_rtid = any(n.startswith("tid") and n not in occurring
+                       for n in self._extents)
+        has_rbid = any(n.startswith("bid") and n not in occurring
+                       for n in self._extents)
+        # per-side domains: shared occurring coordinates plus each
+        # side's own summary index variables (instantiated per side,
+        # like the engine's k!1 / k!2)
+        names1 = occurring + tuple(sorted(
+            n for n in fv1 if n in rc._summary_bounds))
+        names2 = occurring + tuple(sorted(
+            n for n in fv2 if n in rc._summary_bounds))
+        tuples1, d1 = self._box(names1)
+        tuples2, d2 = self._box(names2)
+        vals1 = self._eval_terms(roots1, names1)
+        vals2 = self._eval_terms(roots2, names2)
+        cond1, off1 = vals1[0], vals1[1]
+        cond2, off2 = vals2[0], vals2[1]
+
+        if obj.space == ir.MemSpace.SHARED:
+            mode = "S"
+        elif same_bi:
+            mode = "G"
+        else:
+            mode = "X"
+
+        def valid(t1: tuple, t2: tuple) -> bool:
+            """thread-distinctness over the enumerated coordinates;
+            non-occurring coordinates are free, so their mere existence
+            satisfies (or defeats) the corresponding (in)equality"""
+            if mode == "S":
+                # same block, different thread-in-block
+                if any(t1[i] != t2[i] for i in occ_bid):
+                    return False
+                return has_rtid or any(t1[i] != t2[i] for i in occ_tid)
+            if mode == "X":
+                # different block (which implies different thread)
+                return has_rbid or any(t1[i] != t2[i] for i in occ_bid)
+            # global, same interval: any coordinate may differ
+            return has_rtid or has_rbid or t1[:n_occ] != t2[:n_occ]
+
+        # address join: bucket guard-true rows by byte footprint
+        same_size = a1.size == a2.size
+        if not same_size:
+            # the engine's byte-range overlap is mod-2^32; byte keys
+            # match it only when neither footprint wraps
+            m = (1 << 32) - a1.size
+            if any(off1[i] > m for i in range(d1) if cond1[i]):
+                raise StaticUnknown("wrapping byte footprint")
+            m = (1 << 32) - a2.size
+            if any(off2[j] > m for j in range(d2) if cond2[j]):
+                raise StaticUnknown("wrapping byte footprint")
+
+        b1 = self._buckets(a1, names1, cond1, off1, same_size, d1)
+        b2 = self._buckets(a2, names2, cond2, off2, same_size, d2)
+
+        hit: Optional[Tuple[int, int]] = None
+        work = 0
+        for addr, idxs1 in b1.items():
+            idxs2 = b2.get(addr)
+            if not idxs2:
+                continue
+            for i in idxs1:
+                t1 = tuples1[i]
+                for j in idxs2:
+                    work += 1
+                    if work > SCAN_CAP:
+                        raise StaticUnknown("pair scan cap")
+                    if valid(t1, tuples2[j]):
+                        hit = (i, j)
+                        break
+                if hit:
+                    break
+            if hit:
+                break
+        if hit is None:
+            return None
+
+        benign = False
+        if needs_values:
+            v1, v2 = vals1[2], vals2[2]
+            benign = True
+            seen = set()
+            work = 0
+            for addr, idxs1 in b1.items():
+                idxs2 = b2.get(addr)
+                if not idxs2:
+                    continue
+                for i in idxs1:
+                    t1 = tuples1[i]
+                    for j in idxs2:
+                        if (i, j) in seen:
+                            continue  # byte buckets repeat pairs
+                        seen.add((i, j))
+                        work += 1
+                        if work > SCAN_CAP:
+                            raise StaticUnknown("benign scan cap")
+                        if v1[i] != v2[j] and valid(t1, tuples2[j]):
+                            benign = False
+                            hit = (i, j)  # a witness with the conflict
+                            break
+                    if not benign:
+                        break
+                if not benign:
+                    break
+
+        i, j = hit
+        values: Dict[str, int] = {}
+        for n, v in zip(names1, tuples1[i]):
+            values[f"{n}!1"] = v
+        for n, v in zip(names2, tuples2[j]):
+            values[f"{n}!2"] = v
+        self._mark_residual(values, tuples1[i], tuples2[j], mode,
+                            occ_tid, occ_bid, n_occ, occurring)
+        return values, benign
+
+    def _mark_residual(self, values: Dict[str, int], t1: tuple, t2: tuple,
+                       mode: str, occ_tid: list, occ_bid: list,
+                       n_occ: int, occurring: tuple) -> None:
+        """When validity leaned on a non-occurring coordinate, pin it in
+        the witness so the reported threads really are distinct
+        (``_witness`` defaults unmentioned coordinates to 0)."""
+        def first_residual(prefix: str) -> Optional[str]:
+            for n in sorted(self._extents):
+                if n.startswith(prefix) and n not in occurring:
+                    return n
+            return None
+
+        if mode == "S":
+            if not any(t1[i] != t2[i] for i in occ_tid):
+                name = first_residual("tid")
+                values[f"{name}!1"], values[f"{name}!2"] = 0, 1
+        elif mode == "G":
+            if t1[:n_occ] == t2[:n_occ]:
+                name = first_residual("tid") or first_residual("bid")
+                values[f"{name}!1"], values[f"{name}!2"] = 0, 1
+        else:
+            if not any(t1[i] != t2[i] for i in occ_bid):
+                name = first_residual("bid")
+                values[f"{name}!1"], values[f"{name}!2"] = 0, 1
+
+    # -- out-of-bounds -------------------------------------------------
+
+    def _oob(self) -> None:
+        """Mirror of :meth:`RaceChecker._check_oob`: same dedup, same
+        interval fast path, same report identity — the past-the-end
+        query decided by single-side enumeration."""
+        rc = self.checker
+        seen: set = set()
+        reported: set = set()
+        for access in rc.result.all_accesses():
+            if len(rc.oobs) >= rc.max_reports:
+                return
+            obj = access.obj
+            if obj.size_bytes is None:
+                continue
+            if (obj.name, access.loc) in reported:
+                continue
+            key = (id(obj), id(access.offset), access.size,
+                   id(access.cond))
+            if key in seen:
+                continue
+            seen.add(key)
+            if rc.pruning and obj.size_bytes >= access.size:
+                iv = rc._ia.interval_of(access.offset)
+                if iv.hi <= obj.size_bytes - access.size:
+                    rc.stats.oob_pruned += 1
+                    continue
+            witness = self._enumerate_oob(access, obj)
+            if witness is not None:
+                reported.add((obj.name, access.loc))
+                rc.oobs.append(OOBReport(
+                    obj_name=obj.name, access=access,
+                    size_bytes=obj.size_bytes,
+                    witness=rc._witness(Model(witness),
+                                        two_threads=False)))
+                rc.stats.oob_found += 1
+
+    def _enumerate_oob(self, access: Access, obj: MemoryObject
+                       ) -> Optional[Dict[str, int]]:
+        rc = self.checker
+        fv = self._free_vars([access.cond, access.offset])
+        for name in fv:
+            if name not in self._extents \
+                    and name not in rc._summary_bounds:
+                raise StaticUnknown(f"free input {name}")
+        names = tuple(sorted(
+            n for n in self._extents if n in fv)) + tuple(sorted(
+                n for n in fv if n in rc._summary_bounds))
+        tuples, d = self._box(names)
+        cond, off = self._eval_terms([access.cond, access.offset], names)
+        limit = obj.size_bytes - access.size \
+            if obj.size_bytes >= access.size else 0
+        for i in range(d):
+            if cond[i] and off[i] > limit:
+                return {f"{n}!1": v for n, v in zip(names, tuples[i])}
+        return None
+
+    # -- enumeration machinery ----------------------------------------
+
+    def _free_vars(self, roots: List[Term]) -> Dict[str, Term]:
+        key = tuple(id(r) for r in roots)
+        out = self._fv_cache.get(key)
+        if out is None:
+            out = free_vars(*roots)
+            self._fv_cache[key] = out
+        return out
+
+    def _buckets(self, a: Access, names: tuple, cond: list, off: list,
+                 same_size: bool, d: int) -> Dict[int, List[int]]:
+        """Guard-true rows of one access keyed by byte footprint —
+        exact address when both sides have equal sizes, byte-granular
+        otherwise."""
+        key = (id(a.cond), id(a.offset), a.size, same_size, names)
+        out = self._bucket_cache.get(key)
+        if out is not None:
+            return out
+        out = {}
+        for i in range(d):
+            if not cond[i]:
+                continue
+            if same_size:
+                out.setdefault(off[i], []).append(i)
+            else:
+                for b in range(off[i], off[i] + a.size):
+                    out.setdefault(b, []).append(i)
+        self._bucket_cache[key] = out
+        return out
+
+    def _box(self, names: tuple) -> Tuple[list, int]:
+        """All assignments to *names* (row-major tuples), capped."""
+        cached = self._box_cache.get(names)
+        if cached is not None:
+            return cached
+        rc = self.checker
+        sizes = []
+        for n in names:
+            if n in self._extents:
+                sizes.append(self._extents[n])
+            else:
+                iv = rc._summary_bounds[n]
+                sizes.append(iv.hi - iv.lo + 1)
+        d = 1
+        for s in sizes:
+            d *= s
+        if d > ENUM_CAP:
+            raise StaticUnknown(f"domain {d} exceeds enumeration cap")
+        tuples = list(itertools.product(*[range(s) for s in sizes]))
+        cached = (tuples, d)
+        self._box_cache[names] = cached
+        return cached
+
+    def _eval_terms(self, terms: List[Term], names: tuple) -> List[list]:
+        """Column vectors for *terms* over the box of *names*, with a
+        per-box persistent node cache — the same guards and address
+        arithmetic show up in many pairs."""
+        tuples, d = self._box(names)
+        columns = self._col_cache.get(names)
+        if columns is None:
+            columns = {n: [t[i] for t in tuples]
+                       for i, n in enumerate(names)}
+            self._col_cache[names] = columns
+        cache = self._node_cache.setdefault(names, {})
+        return _veval(terms, columns, d, cache)

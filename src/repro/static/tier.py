@@ -1,0 +1,70 @@
+"""Tier 0 of the tiered checker: walk, adjudicate, or escalate.
+
+:func:`run_static_tier` is the one entry point the engines call. It
+either *resolves* the kernel — returning a fully populated
+:class:`~repro.sym.races.RaceChecker` (races, OOBs, stats) built
+without a single solver query — or reports why it could not, so the
+caller runs the exact prior parametric pipeline. A resolved outcome is
+exact by construction: the walk is the engine's own executor restricted
+to one flow, and every discharged query is decided by exhaustive
+evaluation over the bounded thread box (see :mod:`.walker` /
+:mod:`.checker`).
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from .. import ir
+from ..sym.config import LaunchConfig
+from ..sym.executor import ExecutionResult
+from ..sym.races import RaceChecker
+from .checker import StaticAdjudicator, StaticUnknown
+from .walker import StaticBail, static_walk
+
+
+@dataclass
+class StaticOutcome:
+    """What tier 0 did with one kernel."""
+
+    #: the tier owns the verdict (checker/result are populated)
+    resolved: bool
+    #: why it escalated (``None`` when resolved)
+    reason: Optional[str] = None
+    #: wall clock spent in the tier, walk included
+    seconds: float = 0.0
+    checker: Optional[RaceChecker] = None
+    result: Optional[ExecutionResult] = None
+    #: candidate pairs the adjudicator looked at before finishing/bailing
+    pairs_checked: int = 0
+    #: pairs it discharged as race-free without a solver
+    pairs_discharged: int = 0
+
+
+def run_static_tier(module: ir.Module, kernel: ir.Function,
+                    config: LaunchConfig,
+                    sink_value_ids: Optional[Set[int]] = None,
+                    max_reports: int = 16) -> StaticOutcome:
+    """Attempt a solver-less verdict for one kernel launch."""
+    start = time.perf_counter()
+    adj: Optional[StaticAdjudicator] = None
+    try:
+        result = static_walk(module, kernel, config, sink_value_ids)
+        adj = StaticAdjudicator(result, max_reports=max_reports)
+        checker = adj.adjudicate()
+    except StaticBail as exc:
+        return StaticOutcome(
+            resolved=False, reason=exc.reason,
+            seconds=time.perf_counter() - start)
+    except StaticUnknown as exc:
+        return StaticOutcome(
+            resolved=False, reason=exc.reason,
+            seconds=time.perf_counter() - start,
+            pairs_checked=adj.pairs_checked if adj else 0,
+            pairs_discharged=adj.pairs_discharged if adj else 0)
+    return StaticOutcome(
+        resolved=True, seconds=time.perf_counter() - start,
+        checker=checker, result=result,
+        pairs_checked=adj.pairs_checked,
+        pairs_discharged=adj.pairs_discharged)

@@ -69,6 +69,12 @@ class LaunchConfig:
     #: and the interval OOB fast path. The escape hatch
     #: (``--no-pruning``) exists for differential testing.
     pair_pruning: bool = True
+    #: tier 0 of the tiered checker (:mod:`repro.static`): try a
+    #: solver-less static verdict first and escalate to the parametric
+    #: engine only when the kernel leaves the decidable fragment. The
+    #: escape hatch (``--no-static-tier``) restores the exact prior
+    #: single-tier pipeline.
+    static_tier: bool = True
     #: swarm mode: a serialised :class:`repro.sym.swarm.ShardSelector`
     #: (or the selector itself) restricting the race check to one
     #: shard's ordinal ranges. ``None`` checks the whole pair space.

@@ -153,6 +153,17 @@ class CheckStats:
     warm_starts: int = 0          # sessions adopted from a disk artifact
     warm_memo_hits: int = 0       # queries replayed from a disk memo
     warm_pair_hits: int = 0       # pairs replayed from a disk artifact
+    # -- tiered checking (repro.static) --------------------------------
+    tier: str = "parametric"      # which tier produced this verdict
+    static_resolved: int = 0      # 1 when the static tier owned it
+    static_pairs_checked: int = 0
+    static_pairs_discharged: int = 0
+    #: why the static tier escalated (None: resolved / tier disabled)
+    static_bail_reason: Optional[str] = None
+    #: wall clock owned by the static tier: adjudication time when it
+    #: resolved (the walk is already in execute_seconds), or the whole
+    #: abandoned attempt when it escalated
+    static_seconds: float = 0.0
     # -- per-phase wall clock (seconds) -------------------------------
     execute_seconds: float = 0.0
     pairgen_seconds: float = 0.0

@@ -188,6 +188,8 @@ class TestBatchParity:
         assert len(specs) >= 3
         batch = run_batch(specs, max_workers=2)
         batch_verdicts = {r.job_id: r.verdict for r in batch.jobs}
+        batch_tiers = {r.job_id: (r.check_stats or {}).get("tier")
+                       for r in batch.jobs}
 
         daemon = Daemon(db_path=str(tmp_path / "q.sqlite3"),
                         cache_dir=str(tmp_path / "cache"),
@@ -206,8 +208,87 @@ class TestBatchParity:
                     json.dumps(_strip_timing(batch_verdicts[label]),
                                sort_keys=True), \
                     f"daemon and batch disagree on {label}"
+                # the deciding tier is deterministic: daemon and batch
+                # must agree on which tier produced each verdict
+                cs = job.result.get("check_stats") or {}
+                assert cs.get("tier") == batch_tiers[label], \
+                    f"daemon and batch resolved {label} on different tiers"
+            # per-worker tier counters cover every completed job
+            counted = {}
+            for worker in daemon.workers:
+                for tier, n in worker.stats()["tiers"].items():
+                    counted[tier] = counted.get(tier, 0) + n
+            expected = {}
+            for tier in batch_tiers.values():
+                if tier is not None:
+                    expected[tier] = expected.get(tier, 0) + 1
+            assert counted == expected
         finally:
             daemon.stop()
+
+
+class TestTierRoundTrip:
+    """Tier bookkeeping across the service surface: worker counters on
+    the HTTP queue endpoint, and tier provenance on cache fast-path
+    hits."""
+
+    STATIC_SOURCE = ("__global__ void tiered(int *a) "
+                     "{ a[threadIdx.x] = threadIdx.x; }")
+
+    def test_tier_counters_roundtrip_over_http(self, tmp_path):
+        daemon = Daemon(db_path=str(tmp_path / "q.sqlite3"),
+                        cache_dir=str(tmp_path / "cache"),
+                        workers=1, lease_ttl=30.0, poll_interval=0.02,
+                        sample_interval=30.0, port=0)
+        daemon.start(serve_http=True)
+        try:
+            client = DaemonClient(daemon.url)
+            job = client.submit_source(self.STATIC_SOURCE,
+                                       label="tier-http")
+            payload = client.wait([job["job_id"]],
+                                  timeout=60.0)[job["job_id"]]
+            assert payload["result"]["check_stats"]["tier"] == "static"
+            assert payload["result"]["check_stats"]["queries"] == 0
+            # the queue endpoint serves each worker's per-tier counts
+            stats = client.queue()
+            tiers = {}
+            for worker in stats["workers"].values():
+                for tier, n in worker["tiers"].items():
+                    tiers[tier] = tiers.get(tier, 0) + n
+            assert tiers.get("static", 0) >= 1
+        finally:
+            daemon.stop()
+
+    def test_cache_fast_path_reports_originating_tier(self, tmp_path):
+        from repro.service import JobSpec
+        cache_dir = str(tmp_path / "cache")
+
+        def run_once(db_name):
+            daemon = Daemon(db_path=str(tmp_path / db_name),
+                            cache_dir=cache_dir, workers=1,
+                            lease_ttl=30.0, poll_interval=0.02)
+            daemon.start(serve_http=False)
+            try:
+                spec = JobSpec(job_id="tier-cache",
+                               source=self.STATIC_SOURCE)
+                job_id = daemon.submit_spec(spec)["job_id"]
+                assert daemon.wait_idle(timeout=60.0)
+                return daemon.store.get(job_id).result
+            finally:
+                daemon.stop()
+
+        first = run_once("q1.sqlite3")
+        assert first["status"] == JobStatus.DONE
+        assert first["check_stats"]["tier"] == "static"
+
+        # fresh queue, shared verdict cache: the worker's fast path
+        # serves the cached payload, and the stats still say which
+        # tier originally produced the verdict
+        second = run_once("q2.sqlite3")
+        assert second["status"] == JobStatus.CACHED
+        assert second["cached"] is True
+        assert second["check_stats"]["tier"] == "static"
+        assert second["check_stats"]["queries"] == 0
 
 
 class TestBatchValidationExit2:

@@ -43,6 +43,9 @@ def _run(suite, name, pruning, max_reports=64):
     spec = spec_from_kernel(_kernel(suite, name), suite=suite)
     config = spec.launch_config()
     config.pair_pruning = pruning
+    # pruning is a solver-path feature; keep the static tier out so the
+    # raw/pruned comparison actually exercises the pair pruner
+    config.static_tier = False
     tool = SESA.from_source(spec.source, spec.kernel_name)
     return tool.check(config, max_reports=max_reports)
 

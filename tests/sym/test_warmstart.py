@@ -46,7 +46,8 @@ CHILD = """
 import json, sys
 from repro.core import LaunchConfig, check_source
 report = check_source(sys.argv[2], LaunchConfig(
-    block_dim=(64, 1, 1), solver_cache_dir=sys.argv[1]))
+    block_dim=(64, 1, 1), solver_cache_dir=sys.argv[1],
+    static_tier=False))
 cs = report.check_stats
 print(json.dumps({
     "races": sorted((r.kind, r.obj_name, str(r.access1.loc),
@@ -89,8 +90,11 @@ class TestCrossProcessWarmStart:
 
 class TestDamagedArtifacts:
     def _cold(self, cache):
+        # warm-start artifacts only exist on the solver path; keep the
+        # static tier out so the cold run actually writes them
         report = check_source(RACY, LaunchConfig(
-            block_dim=(64, 1, 1), solver_cache_dir=cache))
+            block_dim=(64, 1, 1), solver_cache_dir=cache,
+            static_tier=False))
         paths = _artifacts(cache)
         assert paths
         return report, paths
@@ -107,7 +111,8 @@ class TestDamagedArtifacts:
             with open(path, "w") as fh:
                 fh.write("{torn write")
         again = check_source(RACY, LaunchConfig(
-            block_dim=(64, 1, 1), solver_cache_dir=cache))
+            block_dim=(64, 1, 1), solver_cache_dir=cache,
+            static_tier=False))
         assert self._signature(again) == self._signature(cold)
         assert any("cold-starting" in w
                    for w in again.execution.warnings)
@@ -121,7 +126,8 @@ class TestDamagedArtifacts:
             blob["format"] = FORMAT_VERSION + 1
             json.dump(blob, open(path, "w"))
         again = check_source(RACY, LaunchConfig(
-            block_dim=(64, 1, 1), solver_cache_dir=cache))
+            block_dim=(64, 1, 1), solver_cache_dir=cache,
+            static_tier=False))
         assert self._signature(again) == self._signature(cold)
         assert any("version skew" in w
                    for w in again.execution.warnings)
