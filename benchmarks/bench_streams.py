@@ -1,0 +1,164 @@
+"""Stream-checker bench: inter-launch verdicts + per-launch cache replay.
+
+Three child runs over the built-in stream suite (fresh interpreter
+each — the re-run-the-tool workflow the per-launch cache exists for):
+
+1. **cold** — populates the cache; every seeded ``missing_sync``
+   program must report an inter-launch race with a launch-pair
+   witness, every synced variant must be safe;
+2. **warm** — identical suite: every launch and every checked pair
+   replays from cache, verdicts byte-identical;
+3. **edited** — one kernel body of the pipeline program changed: only
+   the touched launch re-runs, the untouched producer replays.
+
+Counters land in ``BENCH_streams.json``; the recorded
+``BENCH_streams_baseline.json`` gates the replay counters so a
+fingerprint regression (which would silently re-check untouched
+launches) fails the bench rather than just slowing it down.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from common import print_table
+
+#: replay-counter regression slack vs the recorded baseline
+COUNTER_SLACK = 0.9
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_streams_baseline.json")
+
+#: one measurement = one interpreter: check the whole suite with the
+#: launch/pair cache at argv[1]; argv[2] == "edited" swaps one kernel
+#: body in the pipeline program before checking it
+CHILD = r"""
+import json, sys
+from repro.kernels.streams import STREAM_CASES
+from repro.service import ResultCache
+from repro.streams import StreamProgram, check_stream
+
+edited = len(sys.argv) > 2 and sys.argv[2] == "edited"
+cache = ResultCache(sys.argv[1])
+out = {}
+for case in STREAM_CASES:
+    program = case.program
+    if edited and case.name == "pipeline_missing_sync":
+        data = program.to_dict()
+        data["source"] = data["source"].replace("+ 1", "+ 2")
+        program = StreamProgram.from_dict(data)
+    report = check_stream(program, cache=cache)
+    out[case.name] = {
+        "racy": bool(report.inter_launch_races),
+        "expected_racy": case.expected_racy,
+        "races": sorted(
+            (r.kind, r.buffer, r.launch1, r.launch2, r.loc1, r.loc2)
+            for r in report.inter_launch_races),
+        "witnessed": all(
+            r.witness.get("thread1") is not None
+            and r.witness.get("thread2") is not None
+            for r in report.inter_launch_races),
+        "launches": report.stats.launches,
+        "launch_cache_hits": report.stats.launch_cache_hits,
+        "unordered_pairs": report.stats.unordered_pairs,
+        "pair_cache_hits": report.stats.pair_cache_hits,
+        "pruned_pairs": report.stats.pruned_pairs,
+        "timed_out": report.timed_out,
+    }
+print(json.dumps(out))
+"""
+
+
+def _child_run(cache_dir, mode="plain"):
+    src_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src")
+    env = dict(os.environ,
+               PYTHONPATH=src_dir + os.pathsep + os.path.dirname(
+                   os.path.abspath(__file__)))
+    proc = subprocess.run([sys.executable, "-c", CHILD, cache_dir,
+                           mode],
+                          capture_output=True, text=True, env=env,
+                          timeout=600)
+    assert proc.returncode == 0, proc.stderr[-4000:]
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _totals(run):
+    return {key: sum(case[key] for case in run.values())
+            for key in ("launches", "launch_cache_hits",
+                        "unordered_pairs", "pair_cache_hits")}
+
+
+def test_stream_suite_and_cache_replay(benchmark):
+    with tempfile.TemporaryDirectory(prefix="repro-streams-") as cache:
+        cold = _child_run(cache)
+        warm = benchmark.pedantic(lambda: _child_run(cache),
+                                  rounds=1, iterations=1)
+        edited = _child_run(cache, "edited")
+
+    # verdict contract first: racy == the seeded missing-sync set,
+    # every race carries a two-sided launch witness, nothing timed out
+    for name, case in cold.items():
+        assert not case["timed_out"], name
+        assert case["racy"] == case["expected_racy"], \
+            f"{name}: racy={case['racy']}"
+        assert case["witnessed"], f"{name}: race without witness"
+    racy = sorted(n for n, c in cold.items() if c["racy"])
+    assert racy and all("missing_sync" in n for n in racy)
+
+    # the warm run replays: verdicts identical, all launches and all
+    # solver-checked pairs served from cache
+    for name in cold:
+        assert warm[name]["races"] == cold[name]["races"], name
+        assert warm[name]["launch_cache_hits"] == \
+            warm[name]["launches"], \
+            f"{name}: warm run re-checked a launch"
+        assert warm[name]["pair_cache_hits"] == \
+            cold[name]["unordered_pairs"], \
+            f"{name}: warm run re-solved a launch pair"
+
+    # one edited kernel: only the touched launch re-runs
+    ep = edited["pipeline_missing_sync"]
+    assert ep["launch_cache_hits"] == ep["launches"] - 1, \
+        "edited program should replay every untouched launch"
+    assert ep["racy"]
+    for name in cold:
+        if name != "pipeline_missing_sync":
+            assert edited[name]["launch_cache_hits"] == \
+                edited[name]["launches"], \
+                f"{name}: unrelated program re-checked a launch"
+
+    ct, wt = _totals(cold), _totals(warm)
+    cols = ["launches", "launch_cache_hits", "unordered_pairs",
+            "pair_cache_hits"]
+    print_table(
+        f"Stream suite: {len(cold)} programs, "
+        f"{len(racy)} racy (all seeded), warm run fully replayed",
+        ["run"] + cols,
+        [[name] + [t[c] for c in cols]
+         for name, t in (("cold", ct), ("warm", wt),
+                         ("edited", _totals(edited)))])
+
+    payload = {"cold": ct, "warm": wt, "edited": _totals(edited),
+               "racy_cases": racy,
+               "warm_launch_hits": wt["launch_cache_hits"],
+               "warm_pair_hits": wt["pair_cache_hits"]}
+    out_path = os.environ.get("BENCH_OUT", os.path.join(
+        os.path.dirname(__file__), "BENCH_streams.json"))
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+
+    # counter gate vs the recorded baseline: fingerprints going stale
+    # would silently re-check untouched launches
+    with open(BASELINE_PATH, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    assert payload["racy_cases"] == baseline["racy_cases"]
+    floor = baseline["warm_launch_hits"] * COUNTER_SLACK
+    assert payload["warm_launch_hits"] >= floor, (
+        f"warm launch replays regressed: "
+        f"{payload['warm_launch_hits']} < {floor}")
+    assert payload["warm_pair_hits"] >= \
+        baseline["warm_pair_hits"] * COUNTER_SLACK

@@ -392,6 +392,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evict oldest entries until the cache "
                              "fits in this many bytes")
     cprune.add_argument("--json", action="store_true")
+
+    stream = sub.add_parser(
+        "stream", help="check a multi-kernel stream program for "
+                       "inter-launch races")
+    stream.add_argument("script", metavar="SCRIPT",
+                        help="JSON launch script, or builtin:<case> "
+                             "from the built-in stream suite "
+                             "(builtin: lists the cases)")
+    stream.add_argument("--cache-dir", default=".repro-cache",
+                        metavar="DIR",
+                        help="per-launch verdict cache (re-checks "
+                             "after editing one kernel replay every "
+                             "untouched launch)")
+    stream.add_argument("--no-cache", action="store_true",
+                        help="run every launch from scratch")
+    stream.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the whole program")
+    stream.add_argument("--no-incremental", action="store_true",
+                        help="solve every cross-launch query from "
+                             "scratch instead of on incremental "
+                             "solver sessions")
+    stream.add_argument("--no-pruning", action="store_true",
+                        help="disable footprint/stride pruning of "
+                             "cross-launch access pairs")
+    stream.add_argument("--no-static-tier", action="store_true",
+                        help="skip the static pre-screening tier for "
+                             "the per-launch checks")
+    stream.add_argument("--solver-cache", default=None, metavar="DIR",
+                        help="warm-start solver artifact cache "
+                             "(a pure accelerator)")
+    stream.add_argument("--trace", default=None, metavar="PATH",
+                        help="append JSONL telemetry events "
+                             "(stream_planned / launch_finished / "
+                             "stream_merged) to PATH")
+    stream.add_argument("--json", action="store_true",
+                        help="machine-readable output")
     return parser
 
 
@@ -1152,6 +1189,50 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    """The ``stream`` subcommand: happens-before construction plus
+    cross-launch race checking over a whole multi-kernel program."""
+    from .service import ResultCache
+    from .streams import StreamChecker, load_stream_script
+
+    if args.script.startswith("builtin:"):
+        from .kernels.streams import STREAM_CASES, get_stream_case
+        name = args.script.split(":", 1)[1]
+        if not name:
+            for case in STREAM_CASES:
+                tag = "racy" if case.expected_racy else "safe"
+                print(f"builtin:{case.name:<32} [{tag}] {case.notes}")
+            return 0
+        program = get_stream_case(name).program
+    else:
+        if not os.path.isfile(args.script):
+            print(f"repro: {args.script}: no such launch script",
+                  file=sys.stderr)
+            return 2
+        program = load_stream_script(args.script)
+
+    telemetry = None
+    if args.trace:
+        from .service import Telemetry
+        telemetry = Telemetry(trace_path=args.trace, mode="a")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    checker = StreamChecker(
+        program, cache=cache, telemetry=telemetry,
+        time_budget_seconds=args.time_budget,
+        incremental=not args.no_incremental,
+        pruning=not args.no_pruning,
+        static_tier=not args.no_static_tier,
+        solver_cache_dir=args.solver_cache)
+    report = checker.check()
+    if telemetry is not None:
+        telemetry.close()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 1 if report.has_issues else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -1166,7 +1247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                "batch": cmd_batch, "serve": cmd_serve,
                "submit": cmd_submit, "status": cmd_status,
                "result": cmd_result, "queue": cmd_queue,
-               "cache": cmd_cache}[args.command]
+               "cache": cmd_cache, "stream": cmd_stream}[args.command]
     try:
         return handler(args)
     except (LexError, ParseError, SemaError) as exc:

@@ -1,0 +1,272 @@
+"""Built-in stream programs for the inter-launch checker.
+
+Each :class:`StreamCase` pairs a multi-kernel :class:`StreamProgram`
+with its expected verdict. The suite is built from classic multi-launch
+idioms — producer/consumer pipelines, event-ordered ping-pong buffers,
+scatter-then-gather — each in a properly synchronised variant and a
+seeded ``missing_sync`` variant whose only defect is the absent (or
+wrong) synchronisation edge. Every kernel is individually race- and
+OOB-free, so any reported race is by construction *inter-launch*.
+
+Two extra cases exercise the checker's negative machinery: disjoint
+concurrent writers that only the footprint/solver stack can discharge
+(no sync edge exists), and same-stream FIFO ordering (zero unordered
+pairs).
+
+Deliberately not part of :data:`repro.kernels.ALL_KERNELS` — these are
+programs, not kernels; the batch corpus reaches them via the
+``streams`` suite name.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..streams.program import Launch, StreamProgram, SyncOp
+
+
+@dataclass(frozen=True)
+class StreamCase:
+    """One stream program plus its ground-truth verdict."""
+
+    name: str
+    program: StreamProgram
+    #: True iff the program has a (seeded) inter-launch race
+    expected_racy: bool
+    notes: str = ""
+
+
+# ----------------------------------------------------------------------
+# producer/consumer pipeline
+# ----------------------------------------------------------------------
+
+_PIPELINE_SOURCE = """
+__global__ void produce(int *a) {
+    a[threadIdx.x] = threadIdx.x;
+}
+
+__global__ void consume(int *a, int *b) {
+    b[threadIdx.x] = a[threadIdx.x] + 1;
+}
+"""
+
+
+def _pipeline(name: str, synced: bool) -> StreamProgram:
+    steps = [Launch("produce", block_dim=64, stream=0,
+                    args={"a": "a"})]
+    if synced:
+        steps.append(SyncOp("device_sync"))
+    steps.append(Launch("consume", block_dim=64, stream=1,
+                        args={"a": "a", "b": "b"}))
+    return StreamProgram(name=name, source=_PIPELINE_SOURCE,
+                         buffers={"a": 64, "b": 64}, steps=steps)
+
+
+# ----------------------------------------------------------------------
+# event-ordered ping-pong buffers
+# ----------------------------------------------------------------------
+
+_PINGPONG_SOURCE = """
+__global__ void step(int *src, int *dst) {
+    dst[threadIdx.x] = src[threadIdx.x] + 1;
+}
+"""
+
+
+def _pingpong(name: str, synced: bool) -> StreamProgram:
+    steps = [Launch("step", block_dim=64, stream=0,
+                    args={"src": "a", "dst": "b"}, label="step_ab")]
+    if synced:
+        steps.append(SyncOp("event_record", stream=0, event="e0"))
+        steps.append(SyncOp("event_wait", stream=1, event="e0"))
+    steps.append(Launch("step", block_dim=64, stream=1,
+                        args={"src": "b", "dst": "a"}, label="step_ba"))
+    return StreamProgram(name=name, source=_PINGPONG_SOURCE,
+                         buffers={"a": 64, "b": 64}, steps=steps)
+
+
+# ----------------------------------------------------------------------
+# pipelined reduction: two launches with *different* configurations
+# ----------------------------------------------------------------------
+
+_REDUCE_SOURCE = """
+__shared__ int sdata[32];
+
+__global__ void partial_reduce(int *input, int *partial) {
+    sdata[threadIdx.x] = input[threadIdx.x + blockIdx.x * blockDim.x];
+    __syncthreads();
+    if (threadIdx.x == 0u) {
+        int s = 0;
+        for (int k = 0; k < 32; k = k + 1) {
+            s += sdata[k];
+        }
+        partial[blockIdx.x] = s;
+    }
+}
+
+__global__ void final_sum(int *partial, int *out) {
+    out[threadIdx.x] = partial[threadIdx.x];
+}
+"""
+
+
+def _reduce_pipeline(name: str, synced: bool) -> StreamProgram:
+    steps = [Launch("partial_reduce", grid_dim=2, block_dim=32, stream=0,
+                    args={"input": "input", "partial": "partial"})]
+    if synced:
+        steps.append(SyncOp("device_sync"))
+    steps.append(Launch("final_sum", grid_dim=1, block_dim=2, stream=1,
+                        args={"partial": "partial", "out": "out"}))
+    return StreamProgram(name=name, source=_REDUCE_SOURCE,
+                         buffers={"input": 64, "partial": 2, "out": 2},
+                         steps=steps)
+
+
+# ----------------------------------------------------------------------
+# scatter then gather, ordered by a stream sync
+# ----------------------------------------------------------------------
+
+_SCATTER_SOURCE = """
+__global__ void scatter(int *data) {
+    data[threadIdx.x] = threadIdx.x * 2;
+}
+
+__global__ void gather(int *data, int *out) {
+    out[threadIdx.x] = data[threadIdx.x];
+}
+"""
+
+
+def _scatter_gather(name: str, sync_stream: int) -> StreamProgram:
+    # the missing_sync variant synchronises the WRONG stream — a no-op
+    # edge that leaves scatter and gather concurrent (a classic bug)
+    return StreamProgram(
+        name=name, source=_SCATTER_SOURCE,
+        buffers={"data": 64, "out": 64},
+        steps=[
+            Launch("scatter", block_dim=64, stream=1,
+                   args={"data": "data"}),
+            SyncOp("stream_sync", stream=sync_stream),
+            Launch("gather", block_dim=64, stream=0,
+                   args={"data": "data", "out": "out"}),
+        ])
+
+
+# ----------------------------------------------------------------------
+# negative machinery: disjoint writers and same-stream FIFO
+# ----------------------------------------------------------------------
+
+_HALF_WRITE_SOURCE = """
+__global__ void half_write(int *data, int base) {
+    data[base + threadIdx.x] = threadIdx.x;
+}
+"""
+
+_BUMP_SOURCE = """
+__global__ void bump(int *data) {
+    data[threadIdx.x] = data[threadIdx.x] + 1;
+}
+"""
+
+
+def _disjoint_streams() -> StreamProgram:
+    # no sync edge at all: the two writers are concurrent and safe only
+    # because their footprints are disjoint — the footprint/solver
+    # stack (not happens-before) must discharge this one
+    return StreamProgram(
+        name="disjoint_streams", source=_HALF_WRITE_SOURCE,
+        buffers={"data": 64},
+        steps=[
+            Launch("half_write", block_dim=32, stream=0,
+                   args={"data": "data"}, scalar_values={"base": 0},
+                   label="lower_half"),
+            Launch("half_write", block_dim=32, stream=1,
+                   args={"data": "data"}, scalar_values={"base": 32},
+                   label="upper_half"),
+        ])
+
+
+def _same_stream_fifo() -> StreamProgram:
+    # two read-modify-write launches with no sync op: stream FIFO alone
+    # orders them (zero unordered pairs, zero solver work)
+    return StreamProgram(
+        name="same_stream_fifo", source=_BUMP_SOURCE,
+        buffers={"data": 64},
+        steps=[
+            Launch("bump", block_dim=64, stream=0,
+                   args={"data": "data"}, label="bump_1"),
+            Launch("bump", block_dim=64, stream=0,
+                   args={"data": "data"}, label="bump_2"),
+        ])
+
+
+STREAM_CASES: List[StreamCase] = [
+    StreamCase(
+        name="pipeline_sync",
+        program=_pipeline("pipeline_sync", synced=True),
+        expected_racy=False,
+        notes="producer/consumer ordered by cudaDeviceSynchronize"),
+    StreamCase(
+        name="pipeline_missing_sync",
+        program=_pipeline("pipeline_missing_sync", synced=False),
+        expected_racy=True,
+        notes="seeded: device sync removed; consume reads a while "
+              "produce writes it"),
+    StreamCase(
+        name="pingpong_events",
+        program=_pingpong("pingpong_events", synced=True),
+        expected_racy=False,
+        notes="ping-pong buffers ordered by event record/wait"),
+    StreamCase(
+        name="pingpong_missing_sync",
+        program=_pingpong("pingpong_missing_sync", synced=False),
+        expected_racy=True,
+        notes="seeded: event edge removed; both steps touch a and b "
+              "concurrently"),
+    StreamCase(
+        name="reduce_pipeline_sync",
+        program=_reduce_pipeline("reduce_pipeline_sync", synced=True),
+        expected_racy=False,
+        notes="two-stage reduction with different launch geometries, "
+              "ordered by device sync"),
+    StreamCase(
+        name="reduce_pipeline_missing_sync",
+        program=_reduce_pipeline("reduce_pipeline_missing_sync",
+                                 synced=False),
+        expected_racy=True,
+        notes="seeded: final_sum reads partial while partial_reduce "
+              "writes it (grid 2x32 vs 1x2)"),
+    StreamCase(
+        name="scatter_gather_sync",
+        program=_scatter_gather("scatter_gather_sync", sync_stream=1),
+        expected_racy=False,
+        notes="scatter on stream 1 ordered before gather by "
+              "cudaStreamSynchronize(1)"),
+    StreamCase(
+        name="scatter_gather_missing_sync",
+        program=_scatter_gather("scatter_gather_missing_sync",
+                                sync_stream=0),
+        expected_racy=True,
+        notes="seeded: synchronises the wrong stream, a no-op edge"),
+    StreamCase(
+        name="disjoint_streams",
+        program=_disjoint_streams(),
+        expected_racy=False,
+        notes="concurrent unsynchronised writers with provably "
+              "disjoint footprints"),
+    StreamCase(
+        name="same_stream_fifo",
+        program=_same_stream_fifo(),
+        expected_racy=False,
+        notes="same-stream launches are FIFO-ordered without any "
+              "sync op"),
+]
+
+
+def get_stream_case(name: str) -> StreamCase:
+    for case in STREAM_CASES:
+        if case.name == name:
+            return case
+    raise KeyError(
+        f"no stream case named {name!r} (expected one of "
+        f"{', '.join(c.name for c in STREAM_CASES)})")

@@ -31,10 +31,11 @@ Typical use::
 from .cache import ResultCache, cache_key, canonical_ir, trace_hit_rate
 from .corpus import (
     SUITES, builtin_jobs, directory_jobs, file_job, load_corpus,
-    spec_from_kernel,
+    spec_from_kernel, stream_jobs,
 )
 from .jobs import (
-    JobResult, JobSpec, JobState, JobStatus, JobValidationError,
+    JOB_KINDS, JobResult, JobSpec, JobState, JobStatus,
+    JobValidationError,
 )
 from .runner import execute_job, run_job_inline, run_job_isolated
 from .scheduler import BatchResult, Scheduler, run_batch
@@ -49,8 +50,8 @@ __all__ = [
     "JobValidationError", "ResultCache", "SUITES", "Scheduler",
     "Telemetry", "builtin_jobs", "cache_key", "canonical_ir",
     "directory_jobs", "execute_job", "file_job", "load_corpus",
-    "run_batch", "run_job_inline", "run_job_isolated",
-    "spec_from_kernel", "trace_hit_rate",
+    "JOB_KINDS", "run_batch", "run_job_inline", "run_job_isolated",
+    "spec_from_kernel", "stream_jobs", "trace_hit_rate",
     "SwarmPlanError", "plan_shard_specs", "run_portfolio",
     "run_swarm_batch", "run_swarm_check", "swarm_cache_key",
 ]

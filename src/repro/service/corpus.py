@@ -54,9 +54,33 @@ def spec_from_kernel(kernel: Kernel, engine: str = "sesa",
               "expected_issues": list(kernel.expected_issues)})
 
 
+def stream_jobs() -> List[JobSpec]:
+    """Specs for the built-in stream-program suite
+    (:mod:`repro.kernels.streams`): one ``stream`` job per program."""
+    from ..kernels.streams import STREAM_CASES
+    return [
+        JobSpec(
+            job_id=f"builtin/streams/{case.name}",
+            source=case.program.source,
+            kind="stream",
+            stream_program=case.program.to_dict(include_source=False),
+            meta={"suite": "streams", "program": case.name,
+                  "expected_racy": case.expected_racy,
+                  "notes": case.notes})
+        for case in STREAM_CASES
+    ]
+
+
 def builtin_jobs(suite: Optional[str] = None,
                  engine: str = "sesa") -> List[JobSpec]:
-    """Specs for one built-in suite, or the whole corpus."""
+    """Specs for one built-in suite, or the whole corpus.
+
+    ``streams`` is a special suite of whole stream *programs*; it is
+    addressed explicitly (``builtin:streams``) and deliberately not
+    part of the no-suite full corpus, which stays kernels-only.
+    """
+    if suite == "streams":
+        return stream_jobs()
     if suite is None:
         out = []
         for name, kernels in SUITES.items():
@@ -67,7 +91,8 @@ def builtin_jobs(suite: Optional[str] = None,
     except KeyError:
         raise ValueError(
             f"unknown suite {suite!r} "
-            f"(expected one of {', '.join(sorted(SUITES))})") from None
+            f"(expected one of {', '.join(sorted(SUITES) + ['streams'])})"
+        ) from None
     return [spec_from_kernel(k, engine, suite) for k in kernels]
 
 

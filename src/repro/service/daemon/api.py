@@ -28,6 +28,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple
 
+from ... import __version__ as TOOL_VERSION
 from ...sym.swarm import ShardOutcome, ShardSelector
 from ..cache import ResultCache, cache_key
 from ..corpus import SUITES, builtin_jobs
@@ -192,6 +193,7 @@ class Daemon:
         self.store = JobStore(db_path, default_max_attempts=max_attempts)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.telemetry = Telemetry(trace_path, mode="a")
+        self.started_at = time.time()
         self.lease_ttl = lease_ttl
         self.host = host
         self.port = port
@@ -299,10 +301,10 @@ class Daemon:
                   if swarm else self.submit_spec)
         if "suite" in data:
             suite = data["suite"]
-            if suite not in SUITES:
+            if suite != "streams" and suite not in SUITES:
                 raise JobValidationError(
                     f"unknown suite {suite!r} (expected one of "
-                    f"{', '.join(sorted(SUITES))})")
+                    f"{', '.join(sorted(SUITES) + ['streams'])})")
             engine = data.get("engine", "sesa")
             return [submit(spec)
                     for spec in builtin_jobs(suite, engine)]
@@ -312,6 +314,26 @@ class Daemon:
         data.setdefault("job_id", data.get("label") or "adhoc")
         data.pop("label", None)
         return [submit(JobSpec.from_dict(data))]
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: liveness plus enough vitals for a
+        probe to tell a healthy daemon from a wedged one — tool version
+        (deploy skew), uptime, queue depth, and live worker count."""
+        stats = self.store.queue_stats()
+        return {
+            "ok": True,
+            "version": TOOL_VERSION,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "queue_depth": stats["depth"],
+            "workers": {
+                "total": len(self.workers),
+                "alive": sum(1 for w in self.workers if w.alive),
+            },
+        }
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -459,7 +481,7 @@ def _make_handler(daemon: Daemon):
                 elif path == "/stream":
                     self._stream(params)
                 elif path == "/healthz":
-                    self._json(200, {"ok": True})
+                    self._json(200, daemon.health())
                 else:
                     self._json(404, {"error": f"no such endpoint "
                                               f"{path!r}"})

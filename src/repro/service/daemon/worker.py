@@ -111,6 +111,22 @@ class WorkerDaemon:
             tier=tier,
             check_stats=result.check_stats,
             issues=result.issue_tags() if result.verdict else None)
+        if wrote and state == JobState.DONE and result.verdict \
+                and "stream" in result.verdict:
+            # the stream job ran in a child process; re-emit the merge
+            # event into the daemon's durable trace (cached verdicts
+            # included — a replayed merge is still a merge)
+            stream = result.verdict.get("stream") or {}
+            stats = stream.get("stats") or {}
+            self.telemetry.emit(
+                "stream_merged", job_id=job.job_id,
+                worker=self.worker_id,
+                program=(stream.get("program") or {}).get("name"),
+                launches=len(stream.get("launches") or ()),
+                inter_launch_races=len(
+                    stream.get("inter_launch_races") or ()),
+                launch_cache_hits=stats.get("launch_cache_hits"),
+                cached=result.cached)
 
     def process_one(self) -> bool:
         """Claim and fully process one job; False when the queue had

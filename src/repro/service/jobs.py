@@ -64,6 +64,10 @@ class JobValidationError(ValueError):
 #: engines a worker knows how to run (also re-exported by the runner)
 ENGINE_NAMES = ("sesa", "gkleep", "gklee")
 
+#: kinds of work a job spec can describe: a single-kernel analysis
+#: (the default) or a whole multi-launch stream program
+JOB_KINDS = ("kernel", "stream")
+
 
 def _dim3(value) -> Dim3:
     if isinstance(value, int):
@@ -120,6 +124,13 @@ class JobSpec:
     #: :meth:`config_fingerprint`: warm starts are a pure accelerator
     #: and must never influence which cache entry a verdict lands in.
     solver_cache_dir: Optional[str] = None
+    #: what kind of work this spec describes (see :data:`JOB_KINDS`);
+    #: ``stream`` jobs run a whole multi-launch program through
+    #: :class:`repro.streams.StreamChecker` instead of one kernel
+    kind: str = "kernel"
+    #: serialised :meth:`repro.streams.StreamProgram.to_dict`
+    #: (source-free: ``source`` holds the multi-kernel ``.cu`` text)
+    stream_program: Optional[dict] = None
     #: free-form passthrough (suite/table tags, test fixtures, ...)
     meta: Dict[str, object] = field(default_factory=dict)
 
@@ -186,6 +197,18 @@ class JobSpec:
             bad(f"solver_conflict_budget "
                 f"{self.solver_conflict_budget!r} must be a "
                 f"non-negative integer")
+        if self.kind not in JOB_KINDS:
+            bad(f"unknown kind {self.kind!r} "
+                f"(expected one of {', '.join(JOB_KINDS)})")
+        if self.kind == "stream":
+            if self.engine != "sesa":
+                bad(f"stream jobs require the sesa engine, "
+                    f"not {self.engine!r}")
+            if not isinstance(self.stream_program, dict) \
+                    or not self.stream_program.get("steps"):
+                bad("stream jobs need a stream_program with steps")
+        elif self.stream_program is not None:
+            bad("stream_program is only valid with kind='stream'")
 
     @property
     def total_threads(self) -> int:
@@ -226,7 +249,7 @@ class JobSpec:
         """The configuration facts that determine the verdict — the
         cache key hashes this dict (canonical: sorted keys, no floats
         that vary run-to-run, no job identity)."""
-        return {
+        out = {
             "engine": self.engine,
             "kernel_name": self.kernel_name,
             "grid_dim": list(self.grid_dim),
@@ -264,6 +287,13 @@ class JobSpec:
                       if self.shard is not None else None),
             "solver_conflict_budget": self.solver_conflict_budget,
         }
+        if self.kind != "kernel":
+            # added conditionally so every pre-existing kernel job keeps
+            # its exact cache key; a stream job's launch sequence is
+            # verdict-determining, so it must be part of the key
+            out["kind"] = self.kind
+            out["stream_program"] = self.stream_program
+        return out
 
     def to_dict(self) -> dict:
         out = dict(self.config_fingerprint())
@@ -319,6 +349,8 @@ class JobSpec:
             shard=data.get("shard"),
             solver_conflict_budget=data.get("solver_conflict_budget"),
             solver_cache_dir=data.get("solver_cache_dir"),
+            kind=data.get("kind", "kernel"),
+            stream_program=data.get("stream_program"),
             meta=dict(data.get("meta") or {}))
 
 

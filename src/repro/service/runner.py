@@ -45,6 +45,8 @@ def execute_job(spec_dict: dict) -> dict:
     try:
         spec = JobSpec.from_dict(spec_dict)
         spec.validate()
+        if spec.kind == "stream":
+            return _execute_stream_job(spec, start)
         engine_cls = _engine_class(spec.engine)
         tool = engine_cls.from_source(spec.source, spec.kernel_name)
         report = tool.check(spec.launch_config())
@@ -99,6 +101,50 @@ def execute_job(spec_dict: dict) -> dict:
             "elapsed_seconds": time.perf_counter() - start,
             "error": traceback.format_exc(limit=8),
         }
+
+
+def _execute_stream_job(spec: JobSpec, start: float) -> dict:
+    """Run one ``stream`` job: a whole multi-launch program.
+
+    The per-launch results are cached under ``solver_cache_dir`` (the
+    scheduler/daemon share their verdict-cache tree through that field),
+    so re-submitting a program with one edited kernel replays every
+    untouched launch. Raises into :func:`execute_job`'s handlers on
+    failure — a malformed program is a :class:`JobValidationError`-class
+    input error, not a crash.
+    """
+    from dataclasses import asdict as dc_asdict
+
+    from ..streams import StreamChecker, StreamProgram, StreamProgramError
+    from .cache import ResultCache
+    try:
+        program = StreamProgram.from_dict(
+            dict(spec.stream_program or {}, source=spec.source,
+                 name=(spec.stream_program or {}).get("name")
+                 or spec.job_id))
+        cache = ResultCache(spec.solver_cache_dir) \
+            if spec.solver_cache_dir else None
+        checker = StreamChecker(
+            program, cache=cache,
+            time_budget_seconds=spec.time_budget_seconds,
+            incremental=spec.incremental_solving,
+            pruning=spec.pair_pruning,
+            static_tier=spec.static_tier,
+            check_oob=spec.check_oob,
+            solver_cache_dir=spec.solver_cache_dir)
+        report = checker.check()
+    except StreamProgramError as exc:
+        raise JobValidationError(
+            f"invalid job spec {spec.job_id!r}: {exc}") from None
+    return {
+        "status": JobStatus.DONE,
+        "verdict": report.to_dict(),
+        "check_stats": dc_asdict(report.stats),
+        "inputs": None,
+        "repair": None,
+        "elapsed_seconds": time.perf_counter() - start,
+        "error": None,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,33 @@
+"""Stream checking: inter-launch race detection over multi-kernel
+programs.
+
+* :mod:`repro.streams.program` — the :class:`StreamProgram` model
+  (launches + sync edges) and the JSON launch-script loader;
+* :mod:`repro.streams.hb` — the happens-before DAG over launches;
+* :mod:`repro.streams.checker` — per-launch SESA runs plus the
+  cross-launch solver, merged into one :class:`StreamReport`.
+"""
+from .checker import (
+    InterLaunchRace, LaunchOutcome, StreamChecker, StreamReport,
+    StreamStats, check_stream, launch_fingerprint,
+)
+from .hb import HappensBefore
+from .program import (
+    Launch, StreamProgram, StreamProgramError, SyncOp, load_stream_script,
+)
+
+__all__ = [
+    "HappensBefore",
+    "InterLaunchRace",
+    "Launch",
+    "LaunchOutcome",
+    "StreamChecker",
+    "StreamProgram",
+    "StreamProgramError",
+    "StreamReport",
+    "StreamStats",
+    "SyncOp",
+    "check_stream",
+    "launch_fingerprint",
+    "load_stream_script",
+]

@@ -1,0 +1,773 @@
+"""Inter-launch race checking over a :class:`StreamProgram`.
+
+The single-launch engine already answers "can two threads of *this*
+launch collide?" — this module lifts the same machinery one level up,
+to "can two threads of two *different, HB-unordered* launches collide
+on a shared buffer?". The paper's parametric trick carries over intact:
+two symbolic threads stand in for the full cross product of the two
+launches' thread spaces, each drawn from its *own* launch configuration
+(grids and blocks may differ per launch).
+
+Per launch, the existing :meth:`SESA.check` pipeline runs unchanged —
+static tier, pruning, incremental sessions and warm start all apply —
+producing the per-launch verdict *and* the global-memory access record
+the cross-launch pass consumes. Each launch's accesses are then keyed
+by the *program buffer* its pointer parameters are bound to, and every
+HB-unordered launch pair is checked buffer by buffer with the same
+affine/interval/solver stack :mod:`repro.sym.races` uses:
+
+* the two sides are instantiated with per-launch substitutions
+  (``tid.x`` → ``tid.x!L3``), each bounded by its own launch extents —
+  no different-thread constraint, because threads of distinct launches
+  are always distinct actors (even equal coordinates race);
+* interval footprints and affine stride separation prune provably
+  disjoint pairs before any solving (both are sound for independent
+  sides);
+* surviving pairs are solved on one incremental
+  :class:`~repro.smt.solver.SolverSession` per launch pair (the
+  preamble is just the two bound sets), with the cross-query memo;
+* atomic-vs-atomic pairs are skipped and write/write collisions that
+  provably store equal values are classified benign, mirroring the
+  intra-launch rules.
+
+Caching is per *launch*, not per program: a launch's fingerprint hashes
+only its own kernel's IR (plus module globals), its launch geometry and
+the verdict-relevant flags — so re-checking a program after editing one
+kernel replays every untouched launch from the
+:class:`~repro.service.cache.ResultCache` and re-solves only the edited
+one. Fully-checked launch *pairs* are cached the same way.
+
+Known approximation: buffer *contents* are not tracked across launches.
+A read's symbolic value is an uninterpreted function of its parameter
+name, independent of what an earlier launch wrote — over-approximating
+the set of reachable values, the sound direction for race existence
+(address arithmetic rarely depends on ordered producer values; when it
+does, a witness may name infeasible input contents).
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .. import ir
+from .. import __version__ as TOOL_VERSION
+from ..core.sesa import SESA
+from ..frontend import compile_source
+from ..ir import function_to_str
+from ..passes import standard_pipeline
+from ..smt import (
+    CheckResult, Model, QueryMemo, Solver, SolverSession, Substitution,
+    TRUE, Term, mk_and, mk_bv, mk_bv_var, mk_eq, mk_ne, mk_ult, simplify,
+)
+from ..smt.affine import affine_decompose, stride_separated
+from ..smt.interval import Interval, IntervalAnalysis, byte_footprint
+from ..smt.terms import mk_add
+from ..sym import Executor, LaunchConfig
+from ..sym.access import Access, AccessKind
+from ..sym.memory import contains_havoc
+from .hb import HappensBefore
+from .program import Launch, StreamProgram
+
+#: cache-miss sentinel (None is a legitimate cached value)
+_MISS = object()
+
+_AXIS = {"x": 0, "y": 1, "z": 2}
+
+
+def launch_fingerprint(module: ir.Module, launch: Launch,
+                       config: LaunchConfig) -> str:
+    """Cache key for one launch's verdict.
+
+    Hashes the launch's *own* kernel IR slice (plus module globals —
+    any kernel may touch them), the launch geometry, and every flag
+    that can change the verdict. Deliberately excluded: the wall-clock
+    budget (a non-timed-out budgeted verdict equals the unbudgeted
+    one; timed-out verdicts are never cached) and ``solver_cache_dir``
+    (a pure accelerator).
+    """
+    kernel = module.get_kernel(launch.kernel)
+    globals_slice = [f"{gv.name} {gv.storage_type!r} {gv.space}"
+                     for gv in module.globals.values()]
+    ir_slice = "\n".join(globals_slice + [function_to_str(kernel)])
+    material = json.dumps({
+        "kind": "stream_launch",
+        "ir": ir_slice,
+        "kernel": launch.kernel,
+        "grid_dim": list(config.grid_dim),
+        "block_dim": list(config.block_dim),
+        "scalar_values": sorted(config.scalar_values.items()),
+        "array_sizes": sorted(config.array_sizes.items()),
+        "check_oob": config.check_oob,
+        "incremental_solving": config.incremental_solving,
+        "pair_pruning": config.pair_pruning,
+        "static_tier": config.static_tier,
+        "tool_version": TOOL_VERSION,
+    }, sort_keys=True)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class InterLaunchRace:
+    """A cross-launch race on a shared buffer, with a launch-pair
+    witness. Plain JSON-able data throughout — pair verdicts round-trip
+    through the result cache."""
+
+    kind: str                    # "WW", "RW", "Atomic/W", "Atomic/R"
+    buffer: str                  # the shared program buffer
+    launch1: int                 # launch-sequence indices
+    launch2: int
+    kernel1: str
+    kernel2: str
+    param1: str                  # pointer parameter bound on each side
+    param2: str
+    loc1: Optional[int] = None   # source lines of the two accesses
+    loc2: Optional[int] = None
+    benign: bool = False
+    #: {"thread1": [x,y,z], "block1": [...], "thread2": ..., "block2":
+    #: ..., "inputs": {...}} — coordinates are per-launch
+    witness: Dict[str, object] = field(default_factory=dict)
+
+    def witness_str(self) -> str:
+        w = self.witness
+        out = (f"launch {self.launch1} block {tuple(w.get('block1', ()))} "
+               f"thread {tuple(w.get('thread1', ()))} vs "
+               f"launch {self.launch2} block {tuple(w.get('block2', ()))} "
+               f"thread {tuple(w.get('thread2', ()))}")
+        inputs = w.get("inputs") or {}
+        if inputs:
+            ins = ", ".join(f"{k}={v}" for k, v in sorted(inputs.items()))
+            out += f" with {ins}"
+        return out
+
+    def describe(self) -> str:
+        flavour = " (benign)" if self.benign else ""
+        return (f"{self.kind} inter-launch race{flavour} on "
+                f"{self.buffer}: launch {self.launch1} "
+                f"({self.kernel1}:{self.param1}, line {self.loc1}) vs "
+                f"launch {self.launch2} "
+                f"({self.kernel2}:{self.param2}, line {self.loc2}) — "
+                f"{self.witness_str()}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InterLaunchRace":
+        return cls(**{k: data[k] for k in
+                      ("kind", "buffer", "launch1", "launch2", "kernel1",
+                       "kernel2", "param1", "param2", "loc1", "loc2",
+                       "benign", "witness") if k in data})
+
+
+@dataclass
+class StreamStats:
+    """Counters for one stream check (the stream-level analogue of
+    :class:`~repro.sym.races.CheckStats`)."""
+
+    launches: int = 0
+    launch_cache_hits: int = 0     # launches replayed from the cache
+    unordered_pairs: int = 0       # HB-unordered launch pairs
+    pairs_considered: int = 0      # cross-launch access pairs seen
+    pruned_pairs: int = 0          # discharged by footprint/stride
+    pair_cache_hits: int = 0       # launch pairs replayed from the cache
+    queries: int = 0               # SAT queries issued
+    by_memo: int = 0               # queries answered from the memo
+    sessions_created: int = 0      # one per solved launch pair
+    inter_launch_races: int = 0
+    execute_seconds: float = 0.0   # per-launch pipeline wall clock
+    solve_seconds: float = 0.0     # inter-launch solving wall clock
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class LaunchOutcome:
+    """One launch's slot in the merged report."""
+
+    index: int
+    label: str
+    kernel: str
+    stream: int
+    grid_dim: Tuple[int, int, int]
+    block_dim: Tuple[int, int, int]
+    cached: bool
+    fingerprint: str
+    #: the launch's :meth:`AnalysisReport.to_dict` payload
+    verdict: dict
+    elapsed_seconds: float = 0.0
+
+    @property
+    def racy(self) -> bool:
+        v = self.verdict
+        return bool(any(not r.get("benign") for r in v.get("races", ()))
+                    or v.get("oobs") or v.get("assertion_failures"))
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "label": self.label,
+                "kernel": self.kernel, "stream": self.stream,
+                "grid_dim": list(self.grid_dim),
+                "block_dim": list(self.block_dim),
+                "cached": self.cached, "fingerprint": self.fingerprint,
+                "racy": self.racy,
+                "elapsed_seconds": self.elapsed_seconds}
+
+
+class StreamReport:
+    """Merged per-launch + inter-launch verdict for one program."""
+
+    def __init__(self, program: StreamProgram,
+                 launches: List[LaunchOutcome],
+                 inter_launch_races: List[InterLaunchRace],
+                 hb: HappensBefore, stats: StreamStats,
+                 warnings: Optional[List[str]] = None,
+                 timed_out: bool = False,
+                 elapsed_seconds: float = 0.0) -> None:
+        self.program = program
+        self.launches = launches
+        self.inter_launch_races = inter_launch_races
+        self.hb = hb
+        self.stats = stats
+        self.warnings = list(warnings or ())
+        self.timed_out = timed_out
+        self.elapsed_seconds = elapsed_seconds
+
+    # ------------------------------------------------------------------
+
+    @property
+    def has_issues(self) -> bool:
+        return (any(not r.benign for r in self.inter_launch_races)
+                or any(lo.racy for lo in self.launches))
+
+    def to_dict(self) -> dict:
+        """Merged verdict, shaped like :meth:`AnalysisReport.to_dict`
+        at the top level (races/oobs/assertion_failures/timed_out) so
+        every existing consumer — ``JobResult.has_issues``, the batch
+        report, the CLI ``--json`` contract — works unchanged, plus a
+        ``stream`` sub-document with the launch-level detail."""
+        races: List[dict] = []
+        oobs: List[dict] = []
+        assertion_failures: List[dict] = []
+        for lo in self.launches:
+            tag = {"launch": lo.index, "kernel": lo.kernel,
+                   "inter_launch": False}
+            races.extend(dict(r, **tag)
+                         for r in lo.verdict.get("races", ()))
+            oobs.extend(dict(o, **tag)
+                        for o in lo.verdict.get("oobs", ()))
+            assertion_failures.extend(
+                dict(a, **tag)
+                for a in lo.verdict.get("assertion_failures", ()))
+        for r in self.inter_launch_races:
+            races.append({
+                "kind": r.kind, "object": r.buffer, "benign": r.benign,
+                "inter_launch": True,
+                "launches": [r.launch1, r.launch2],
+                "kernels": [r.kernel1, r.kernel2],
+                "params": [r.param1, r.param2],
+                "lines": [r.loc1, r.loc2],
+                "witness": r.witness_str(),
+                "witness_data": dict(r.witness, launch1=r.launch1,
+                                     launch2=r.launch2),
+            })
+        timed_out = self.timed_out or any(
+            lo.verdict.get("timed_out") for lo in self.launches)
+        return {
+            "kernel": self.program.name,
+            "engine": "stream",
+            "races": races,
+            "oobs": oobs,
+            "assertion_failures": assertion_failures,
+            "timed_out": timed_out,
+            "warnings": list(self.warnings),
+            "check_stats": asdict(self.stats),
+            "elapsed_seconds": self.elapsed_seconds,
+            "stream": {
+                "program": self.program.to_dict(include_source=False),
+                "launches": [lo.to_dict() for lo in self.launches],
+                "hb": self.hb.to_dict(),
+                "stats": asdict(self.stats),
+                "inter_launch_races": [r.to_dict()
+                                       for r in self.inter_launch_races],
+            },
+        }
+
+    def summary(self) -> str:
+        lines = [f"=== stream program {self.program.name!r}: "
+                 f"{len(self.launches)} launches, "
+                 f"{self.stats.unordered_pairs} unordered pairs ==="]
+        for lo in self.launches:
+            state = "RACY" if lo.racy else "safe"
+            cached = " [cached]" if lo.cached else ""
+            lines.append(
+                f"  [{lo.index}] {lo.label} <<<{lo.grid_dim}, "
+                f"{lo.block_dim}>>> stream {lo.stream}: {state}{cached}")
+        for race in self.inter_launch_races:
+            lines.append(f"  INTER-LAUNCH {race.describe()}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        n_inter = sum(1 for r in self.inter_launch_races if not r.benign)
+        n_launch = sum(1 for lo in self.launches if lo.racy)
+        if self.timed_out:
+            lines.append("verdict: UNKNOWN (timed out)")
+        elif self.has_issues:
+            lines.append(f"verdict: RACY ({n_inter} inter-launch, "
+                         f"{n_launch} racy launches)")
+        else:
+            lines.append("verdict: SAFE")
+        return "\n".join(lines)
+
+
+class _LaunchSide:
+    """One launch's instantiated view for cross-launch solving: its
+    access record keyed by program buffer, the per-side substitution
+    (``tid.x`` → ``tid.x!L<i>``), its bound conjuncts, and its own
+    interval analysis for pruning."""
+
+    def __init__(self, index: int, launch: Launch,
+                 config: LaunchConfig, result) -> None:
+        self.index = index
+        self.launch = launch
+        self.config = config
+        suffix = f"!L{index}"
+        theta: Dict[Term, Term] = {}
+        self.vars: Dict[str, Term] = {}
+        self.bounds: List[Term] = []
+        ia_bounds: Dict[str, Interval] = {}
+        for name, var in result.env.thread_vars().items():
+            fresh = mk_bv_var(f"{name}{suffix}", 32)
+            theta[var] = fresh
+            self.vars[name] = fresh
+            i = _AXIS[name.split(".")[1]]
+            extent = config.block_dim[i] if name.startswith("tid") \
+                else config.grid_dim[i]
+            self.bounds.append(mk_ult(fresh, mk_bv(extent, 32)))
+            ia_bounds[name] = Interval(0, max(0, extent - 1), 32)
+        # summary index variables: per-side copies, like the thread
+        # coordinates (their k < count bounds ride in the access guards)
+        for bi_set in result.bi_access_sets:
+            for access in bi_set:
+                if access.summary is not None:
+                    k = access.summary.index_var
+                    if k not in theta:
+                        fresh = mk_bv_var(f"{k.name}{suffix}", k.width)
+                        theta[k] = fresh
+                        self.vars[k.name] = fresh
+                        ia_bounds[k.name] = Interval(
+                            0, access.summary.count - 1, k.width)
+        self.subst = Substitution(theta)
+        self._ia = IntervalAnalysis(ia_bounds)
+        self._foot_cache: Dict[Tuple[int, int], Optional[tuple]] = {}
+        self._affine_cache: Dict[int, object] = {}
+        # global accesses grouped by the program buffer the launch
+        # binds them to (deduped: summaries repeat across intervals)
+        self.by_buffer: Dict[str, List[Access]] = {}
+        seen: Set[int] = set()
+        for access in result.all_accesses():
+            obj = access.obj
+            if obj.space != ir.MemSpace.GLOBAL or id(access) in seen:
+                continue
+            buf = launch.args.get(obj.name)
+            if buf is None:
+                continue
+            seen.add(id(access))
+            self.by_buffer.setdefault(buf, []).append(access)
+
+    def footprint(self, access: Access) -> Optional[Tuple[int, int]]:
+        """Sound byte range under *this* launch's variable bounds."""
+        key = (id(access.offset), access.size)
+        hit = self._foot_cache.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        foot = byte_footprint(self._ia.interval_of(access.offset),
+                              access.size)
+        self._foot_cache[key] = foot
+        return foot
+
+    def affine_of(self, offset: Term):
+        form = self._affine_cache.get(id(offset), _MISS)
+        if form is _MISS:
+            form = affine_decompose(offset)
+            self._affine_cache[id(offset)] = form
+        return form
+
+
+class StreamChecker:
+    """Checks one :class:`StreamProgram` end to end.
+
+    Per-launch verdicts come from :meth:`SESA.check` (cache-replayed
+    when a :class:`~repro.service.cache.ResultCache` is supplied);
+    inter-launch pairs are solved here. :meth:`check` returns the
+    merged :class:`StreamReport`.
+    """
+
+    def __init__(self, program: StreamProgram,
+                 cache=None, telemetry=None,
+                 time_budget_seconds: Optional[float] = None,
+                 incremental: bool = True, pruning: bool = True,
+                 static_tier: bool = True, check_oob: bool = True,
+                 solver_cache_dir: Optional[str] = None,
+                 solver_budget: Optional[int] = 200_000,
+                 max_reports: int = 16) -> None:
+        self.program = program
+        self.cache = cache
+        if telemetry is None:
+            from ..service.telemetry import Telemetry
+            telemetry = Telemetry()
+        self.telemetry = telemetry
+        self.time_budget_seconds = time_budget_seconds
+        self.incremental = incremental
+        self.pruning = pruning
+        self.static_tier = static_tier
+        self.check_oob = check_oob
+        self.solver_cache_dir = solver_cache_dir
+        self.solver_budget = solver_budget
+        self.max_reports = max_reports
+        self.module = compile_source(program.source)
+        standard_pipeline().run(self.module)
+        program.validate(self.module)
+        self._sesa: Dict[str, SESA] = {}
+        self.stats = StreamStats()
+        self.warnings: List[str] = []
+        self.timed_out = False
+        self._deadline: Optional[float] = None
+        self._sessions: Dict[Tuple[int, int], SolverSession] = {}
+        self._memo = QueryMemo()
+
+    # ------------------------------------------------------------------
+    # per-launch pipeline
+    # ------------------------------------------------------------------
+
+    def _sesa_for(self, kernel_name: str) -> SESA:
+        tool = self._sesa.get(kernel_name)
+        if tool is None:
+            tool = SESA(self.module, kernel_name)
+            self._sesa[kernel_name] = tool
+        return tool
+
+    def _config_for(self, launch: Launch) -> LaunchConfig:
+        config = LaunchConfig(
+            grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+            scalar_values=dict(launch.scalar_values),
+            array_sizes={param: self.program.buffers[buf]
+                         for param, buf in launch.args.items()},
+            check_oob=self.check_oob,
+            incremental_solving=self.incremental,
+            pair_pruning=self.pruning,
+            static_tier=self.static_tier,
+            solver_cache_dir=self.solver_cache_dir)
+        if self._deadline is not None:
+            # only under a stream-level budget: an unconditional
+            # per-launch budget would force the static tier to bail
+            config.time_budget_seconds = max(
+                0.001, self._deadline - time.monotonic())
+        return config
+
+    def _run_launch(self, index: int, launch: Launch,
+                    need_accesses: bool
+                    ) -> Tuple[LaunchOutcome, Optional[_LaunchSide]]:
+        start = time.perf_counter()
+        sesa = self._sesa_for(launch.kernel)
+        config = self._config_for(launch)
+        fingerprint = launch_fingerprint(self.module, launch, config)
+        payload = self.cache.get(fingerprint) \
+            if self.cache is not None else None
+        side = None
+        if payload is not None:
+            # cache hit: the verdict replays for free; the access
+            # record (needed only for unordered pairs) is re-derived by
+            # a solver-less executor run on the same deterministic path
+            self.stats.launch_cache_hits += 1
+            verdict = payload["verdict"]
+            if need_accesses:
+                if config.symbolic_inputs is None:
+                    config.symbolic_inputs = sesa.inferred_symbolic_inputs()
+                executor = Executor(sesa.module, sesa.kernel, config,
+                                    mode="sesa",
+                                    sink_value_ids=sesa.taint.sink_value_ids)
+                side = _LaunchSide(index, launch, config, executor.run())
+            cached = True
+        else:
+            report = sesa.check(config, solver_budget=self.solver_budget,
+                                max_reports=self.max_reports)
+            verdict = report.to_dict()
+            if self.cache is not None and not verdict.get("timed_out"):
+                # timed-out verdicts are partial — never cache them
+                self.cache.put(fingerprint, {
+                    "verdict": verdict,
+                    "check_stats": verdict.get("check_stats")})
+            if need_accesses and report.execution is not None:
+                side = _LaunchSide(index, launch, config, report.execution)
+            cached = False
+        elapsed = time.perf_counter() - start
+        self.stats.execute_seconds += elapsed
+        outcome = LaunchOutcome(
+            index=index, label=launch.name, kernel=launch.kernel,
+            stream=launch.stream, grid_dim=launch.grid_dim,
+            block_dim=launch.block_dim, cached=cached,
+            fingerprint=fingerprint, verdict=verdict,
+            elapsed_seconds=elapsed)
+        self.telemetry.emit(
+            "launch_finished", program=self.program.name, index=index,
+            kernel=launch.kernel, stream=launch.stream, cached=cached,
+            racy=outcome.racy, elapsed_seconds=round(elapsed, 6))
+        return outcome, side
+
+    # ------------------------------------------------------------------
+    # inter-launch checking
+    # ------------------------------------------------------------------
+
+    def _out_of_time(self) -> bool:
+        if self._deadline is not None \
+                and time.monotonic() > self._deadline:
+            self.timed_out = True
+            return True
+        return False
+
+    def _pair_fingerprint(self, o1: LaunchOutcome, o2: LaunchOutcome
+                          ) -> str:
+        material = json.dumps({
+            "kind": "stream_interlaunch",
+            "fp1": o1.fingerprint, "fp2": o2.fingerprint,
+            "args1": sorted(self.program.launches()[o1.index].args.items()),
+            "args2": sorted(self.program.launches()[o2.index].args.items()),
+            "tool_version": TOOL_VERSION,
+        }, sort_keys=True)
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _provably_disjoint(self, s1: _LaunchSide, a1: Access,
+                           s2: _LaunchSide, a2: Access) -> bool:
+        f1 = s1.footprint(a1)
+        f2 = s2.footprint(a2)
+        if f1 is not None and f2 is not None and \
+                (f1[1] < f2[0] or f2[1] < f1[0]):
+            return True
+        if a1.size != a2.size:
+            return False
+        d1 = s1.affine_of(a1.offset)
+        d2 = s2.affine_of(a2.offset)
+        if d1 is None or d2 is None:
+            return False
+        return stride_separated(d1, d2, 32)
+
+    def _overlap(self, s1: _LaunchSide, a1: Access,
+                 s2: _LaunchSide, a2: Access) -> Term:
+        addr1 = s1.subst(a1.offset)
+        addr2 = s2.subst(a2.offset)
+        if a1.size == a2.size:
+            return mk_eq(addr1, addr2)
+        b1 = mk_bv(a1.size, 32)
+        b2 = mk_bv(a2.size, 32)
+        return mk_and(
+            mk_ult(addr1, mk_add(addr2, b2)),
+            mk_ult(addr2, mk_add(addr1, b1)))
+
+    def _solve(self, goal: Sequence[Term], preamble: Sequence[Term],
+               skey: Tuple[int, int]) -> Optional[Model]:
+        self.stats.queries += 1
+        if not self.incremental:
+            solver = Solver(conflict_budget=self.solver_budget,
+                            deadline=self._deadline)
+            solver.add(mk_and(*preamble, *goal))
+            outcome = solver.check()
+            if outcome == CheckResult.SAT:
+                return solver.model()
+            if outcome == CheckResult.UNKNOWN:
+                self.timed_out = True
+            return None
+        canon = simplify(mk_and(*goal)) if goal else TRUE
+        key = (skey, id(canon))
+        hit = self._memo.get(key)
+        if hit is not None:
+            self.stats.by_memo += 1
+            result, values = hit
+            return Model(dict(values)) if result == CheckResult.SAT \
+                else None
+        session = self._sessions.get(skey)
+        if session is None:
+            session = SolverSession(list(preamble),
+                                    conflict_budget=self.solver_budget,
+                                    deadline=self._deadline)
+            self._sessions[skey] = session
+            self.stats.sessions_created += 1
+        else:
+            session.deadline = self._deadline
+        outcome = session.check([canon] if canon is not TRUE else [])
+        if outcome == CheckResult.SAT:
+            model = session.model()
+            self._memo.put(key, outcome, dict(model.values))
+            return model
+        if outcome == CheckResult.UNKNOWN:
+            self.timed_out = True
+            return None
+        self._memo.put(key, outcome)
+        return None
+
+    def _classify_benign(self, s1: _LaunchSide, a1: Access,
+                         s2: _LaunchSide, a2: Access,
+                         goal: List[Term], preamble: List[Term],
+                         skey: Tuple[int, int]) -> bool:
+        if not (a1.kind.is_write() and a2.kind.is_write()
+                and a1.value is not None and a2.value is not None):
+            return False
+        if contains_havoc(a1.value) or contains_havoc(a2.value):
+            return False
+        distinct = mk_ne(s1.subst(a1.value), s2.subst(a2.value))
+        return self._solve(goal + [distinct], preamble, skey) is None
+
+    def _witness(self, model: Model, s1: _LaunchSide,
+                 s2: _LaunchSide) -> Dict[str, object]:
+        def coords(side: _LaunchSide, prefix: str) -> List[int]:
+            out = []
+            for axis in ("x", "y", "z"):
+                var = side.vars.get(f"{prefix}.{axis}")
+                out.append(model.get(var.name, 0)
+                           if var is not None else 0)
+            return out
+
+        inputs = {k: v for k, v in model.values.items() if "!" not in k}
+        return {"thread1": coords(s1, "tid"), "block1": coords(s1, "bid"),
+                "thread2": coords(s2, "tid"), "block2": coords(s2, "bid"),
+                "inputs": inputs}
+
+    def _race_kind(self, a1: Access, a2: Access) -> str:
+        kind = "WW" if a1.kind.is_write() and a2.kind.is_write() else "RW"
+        if AccessKind.ATOMIC in (a1.kind, a2.kind):
+            kind = "Atomic/W" if kind == "WW" else "Atomic/R"
+        return kind
+
+    def _check_launch_pair(self, s1: _LaunchSide, s2: _LaunchSide,
+                           races: List[InterLaunchRace]) -> List[dict]:
+        """All inter-launch races between two HB-unordered launches;
+        returns the pair's cacheable race payloads (appending live
+        reports to *races*)."""
+        skey = (s1.index, s2.index)
+        preamble = s1.bounds + s2.bounds
+        found: List[dict] = []
+        reported: Set[tuple] = set()
+        for buf in sorted(set(s1.by_buffer) & set(s2.by_buffer)):
+            for a1 in s1.by_buffer[buf]:
+                for a2 in s2.by_buffer[buf]:
+                    if len(races) >= self.max_reports \
+                            or self._out_of_time():
+                        return found
+                    if not (a1.kind.is_write() or a2.kind.is_write()):
+                        continue
+                    if a1.kind == AccessKind.ATOMIC \
+                            and a2.kind == AccessKind.ATOMIC:
+                        # atomic vs atomic on the same object never
+                        # races, across launches exactly as within one
+                        continue
+                    self.stats.pairs_considered += 1
+                    # one report per (buffer, line pair, kind): loop
+                    # iterations of the same statement are the same bug
+                    rkey = (buf, a1.loc, a2.loc, self._race_kind(a1, a2))
+                    if rkey in reported:
+                        continue
+                    if self.pruning \
+                            and self._provably_disjoint(s1, a1, s2, a2):
+                        self.stats.pruned_pairs += 1
+                        continue
+                    goal = [s1.subst(a1.cond), s2.subst(a2.cond),
+                            self._overlap(s1, a1, s2, a2)]
+                    model = self._solve(goal, preamble, skey)
+                    if model is None:
+                        continue
+                    benign = self._classify_benign(
+                        s1, a1, s2, a2, goal, preamble, skey)
+                    reported.add(rkey)
+                    race = InterLaunchRace(
+                        kind=rkey[3], buffer=buf,
+                        launch1=s1.index, launch2=s2.index,
+                        kernel1=s1.launch.kernel,
+                        kernel2=s2.launch.kernel,
+                        param1=a1.obj.name, param2=a2.obj.name,
+                        loc1=int(a1.loc) if a1.loc is not None else None,
+                        loc2=int(a2.loc) if a2.loc is not None else None,
+                        benign=benign,
+                        witness=self._witness(model, s1, s2))
+                    races.append(race)
+                    found.append(race.to_dict())
+                    self.stats.inter_launch_races += 1
+        return found
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def check(self) -> StreamReport:
+        start = time.perf_counter()
+        if self.time_budget_seconds is not None:
+            self._deadline = time.monotonic() + self.time_budget_seconds
+        launches = self.program.launches()
+        hb = HappensBefore(self.program)
+        unordered = hb.unordered_pairs()
+        self.stats.launches = len(launches)
+        self.stats.unordered_pairs = len(unordered)
+        self.telemetry.emit(
+            "stream_planned", program=self.program.name,
+            launches=len(launches), unordered_pairs=len(unordered),
+            kernels=sorted({l.kernel for l in launches}))
+        needed = {i for pair in unordered for i in pair}
+        outcomes: List[LaunchOutcome] = []
+        sides: Dict[int, _LaunchSide] = {}
+        for index, launch in enumerate(launches):
+            outcome, side = self._run_launch(index, launch,
+                                             need_accesses=index in needed)
+            outcomes.append(outcome)
+            if side is not None:
+                sides[index] = side
+
+        races: List[InterLaunchRace] = []
+        t0 = time.perf_counter()
+        for i, j in unordered:
+            if len(races) >= self.max_reports or self._out_of_time():
+                break
+            s1, s2 = sides.get(i), sides.get(j)
+            if s1 is None or s2 is None:
+                self.warnings.append(
+                    f"launch pair ({i}, {j}) not checked: missing "
+                    f"execution record")
+                self.timed_out = True
+                continue
+            pair_fp = self._pair_fingerprint(outcomes[i], outcomes[j])
+            payload = self.cache.get(pair_fp) \
+                if self.cache is not None else None
+            if payload is not None:
+                self.stats.pair_cache_hits += 1
+                for data in payload.get("races", ()):
+                    if len(races) >= self.max_reports:
+                        break
+                    races.append(InterLaunchRace.from_dict(data))
+                    self.stats.inter_launch_races += 1
+                continue
+            was_timed_out = self.timed_out
+            found = self._check_launch_pair(s1, s2, races)
+            # only fully-checked pairs are cacheable: a budget cut or a
+            # report cap mid-pair leaves the verdict partial
+            if self.cache is not None \
+                    and self.timed_out == was_timed_out \
+                    and len(races) < self.max_reports:
+                self.cache.put(pair_fp, {"races": found})
+        self.stats.solve_seconds += time.perf_counter() - t0
+        self.stats.elapsed_seconds = time.perf_counter() - start
+
+        report = StreamReport(
+            program=self.program, launches=outcomes,
+            inter_launch_races=races, hb=hb, stats=self.stats,
+            warnings=self.warnings, timed_out=self.timed_out,
+            elapsed_seconds=self.stats.elapsed_seconds)
+        self.telemetry.emit(
+            "stream_merged", program=self.program.name,
+            racy=report.has_issues,
+            inter_launch_races=len(races),
+            launch_cache_hits=self.stats.launch_cache_hits,
+            pair_cache_hits=self.stats.pair_cache_hits,
+            timed_out=report.to_dict()["timed_out"])
+        return report
+
+
+def check_stream(program: StreamProgram, **kwargs) -> StreamReport:
+    """One-shot convenience: build a checker and run it."""
+    return StreamChecker(program, **kwargs).check()

@@ -1,0 +1,112 @@
+"""Happens-before over launches: stream FIFO + sync edges, closed.
+
+This is the stream-level analogue of the barrier-interval partition the
+single-launch engine uses inside one kernel: instead of asking "which
+accesses are separated by a ``__syncthreads()``", we ask "which
+*launches* are separated by a device/stream/event synchronisation".
+Launch pairs the DAG orders need no checking at all; only HB-unordered
+pairs reach the inter-launch solver.
+
+Edge sources (CUDA semantics, over-approximating concurrency — the
+sound direction for a race checker):
+
+* **stream FIFO** — launch *k* on stream *s* happens after every
+  earlier launch on *s*;
+* ``device_sync`` — everything enqueued so far happens before
+  everything after (cudaDeviceSynchronize);
+* ``stream_sync s`` — stream *s*'s work so far happens before
+  everything after (cudaStreamSynchronize);
+* ``event_record e on s`` / ``event_wait e on s'`` — *s*'s work up to
+  the record happens before *s'*'s work after the wait
+  (cudaEventRecord / cudaStreamWaitEvent). A wait on a never-recorded
+  event is a no-op, exactly as in CUDA.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .program import Launch, StreamProgram, SyncOp
+
+
+class HappensBefore:
+    """The happens-before DAG over a program's launches.
+
+    ``ordered(i, j)`` answers whether launch *i* and launch *j*
+    (launch-sequence indices) are ordered either way; everything is
+    precomputed as reachability closures at construction, so queries
+    are set lookups.
+    """
+
+    def __init__(self, program: StreamProgram) -> None:
+        self.program = program
+        self.launches: List[Launch] = program.launches()
+        n = len(self.launches)
+        #: direct predecessor edges, pred index -> launch index
+        self.edges: List[Tuple[int, int]] = []
+        # reach[j] = all launch indices that happen before launch j
+        self._reach: List[Set[int]] = [set() for _ in range(n)]
+
+        tails: Dict[int, int] = {}          # stream -> last launch index
+        frontier: Dict[int, Set[int]] = {}  # stream -> forced predecessors
+        global_frontier: Set[int] = set()   # forced predecessors of everyone
+        events: Dict[str, Set[int]] = {}    # event -> captured frontier
+
+        idx = 0
+        for step in program.steps:
+            if isinstance(step, Launch):
+                preds = set(global_frontier)
+                preds |= frontier.get(step.stream, set())
+                if step.stream in tails:
+                    preds.add(tails[step.stream])
+                reach = set(preds)
+                for p in preds:
+                    reach |= self._reach[p]  # preds always have lower index
+                self._reach[idx] = reach
+                self.edges.extend((p, idx) for p in sorted(preds))
+                tails[step.stream] = idx
+                idx += 1
+            elif isinstance(step, SyncOp):
+                if step.kind == "device_sync":
+                    global_frontier.update(tails.values())
+                elif step.kind == "stream_sync":
+                    if step.stream in tails:
+                        global_frontier.add(tails[step.stream])
+                elif step.kind == "event_record":
+                    captured = set(global_frontier)
+                    captured |= frontier.get(step.stream, set())
+                    if step.stream in tails:
+                        captured.add(tails[step.stream])
+                    events[step.event] = captured
+                elif step.kind == "event_wait":
+                    # waiting on an event never recorded is a no-op
+                    captured = events.get(step.event)
+                    if captured:
+                        frontier.setdefault(step.stream,
+                                            set()).update(captured)
+
+    # ------------------------------------------------------------------
+
+    def ordered(self, i: int, j: int) -> bool:
+        """True iff launches *i* and *j* are HB-ordered either way."""
+        if i == j:
+            return True
+        lo, hi = (i, j) if i < j else (j, i)
+        return lo in self._reach[hi]
+
+    def unordered_pairs(self) -> List[Tuple[int, int]]:
+        """All (i, j), i < j, the DAG does not order — the candidate
+        inter-launch race pairs."""
+        n = len(self.launches)
+        return [(i, j) for j in range(n) for i in range(j)
+                if i not in self._reach[j]]
+
+    def predecessors(self, j: int) -> Set[int]:
+        """Every launch index that happens before launch *j*."""
+        return set(self._reach[j])
+
+    def to_dict(self) -> dict:
+        return {
+            "launches": len(self.launches),
+            "edges": [list(e) for e in self.edges],
+            "unordered_pairs": [list(p) for p in self.unordered_pairs()],
+        }

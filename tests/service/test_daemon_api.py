@@ -43,6 +43,25 @@ class TestHttpApi:
     def test_healthz(self, client):
         assert client.healthz()
 
+    def test_healthz_carries_vitals(self, daemon, client):
+        """A probe can tell a healthy daemon from a wedged one: the
+        payload carries version, uptime, queue depth, and live worker
+        counts — not just liveness."""
+        import urllib.request
+
+        from repro import __version__
+        raw = urllib.request.urlopen(daemon.url + "/healthz",
+                                     timeout=10.0)
+        payload = json.loads(raw.read())
+        assert payload["ok"] is True
+        assert payload["version"] == __version__
+        assert payload["uptime_seconds"] >= 0
+        assert payload["queue_depth"] >= 0
+        assert payload["workers"]["total"] == 2
+        assert payload["workers"]["alive"] == 2
+        # the client helper stays a plain boolean probe
+        assert client.healthz() is True
+
     def test_submit_status_result_roundtrip(self, client):
         job = client.submit_source("__global__ void k() {}",
                                    label="api-test")

@@ -1,0 +1,166 @@
+"""``stream`` JobSpec kind through the service stack.
+
+Covers spec validation, fingerprint stability for plain kernel jobs,
+inline execution, corpus enumeration, batch scheduling, and daemon
+round-trips with per-launch cache replay.
+"""
+import json
+
+import pytest
+
+from repro.service import (
+    JobSpec, JobState, JobStatus, JobValidationError, builtin_jobs,
+    execute_job, run_batch, stream_jobs,
+)
+from repro.service.daemon import Daemon
+
+SOURCE = """\
+__global__ void produce(int *a) { a[threadIdx.x] = threadIdx.x; }
+__global__ void consume(int *a, int *b) {
+  b[threadIdx.x] = a[threadIdx.x] + 1;
+}
+"""
+
+PROGRAM = {
+    "name": "pipe",
+    "buffers": {"a": 64, "b": 64},
+    "steps": [
+        {"launch": "produce", "args": {"a": "a"}},
+        {"launch": "consume", "stream": 1,
+         "args": {"a": "a", "b": "b"}},
+    ],
+}
+
+
+def _spec(job_id="stream-job", program=PROGRAM, **overrides):
+    return JobSpec(job_id=job_id, source=SOURCE, kind="stream",
+                   stream_program=dict(program), **overrides)
+
+
+class TestSpecValidation:
+    def test_stream_spec_round_trips(self):
+        spec = _spec()
+        spec.validate()
+        back = JobSpec.from_dict(spec.to_dict())
+        assert back.kind == "stream"
+        assert back.stream_program == spec.stream_program
+
+    def test_kernel_spec_defaults_to_kernel_kind(self):
+        spec = JobSpec(job_id="k", source="__global__ void k() {}")
+        spec.validate()
+        assert spec.kind == "kernel"
+
+    def test_unknown_kind_rejected(self):
+        spec = JobSpec(job_id="k", source="x", kind="graph")
+        with pytest.raises(JobValidationError):
+            spec.validate()
+
+    def test_stream_without_program_rejected(self):
+        spec = JobSpec(job_id="k", source=SOURCE, kind="stream")
+        with pytest.raises(JobValidationError):
+            spec.validate()
+
+    def test_program_on_kernel_kind_rejected(self):
+        spec = JobSpec(job_id="k", source=SOURCE,
+                       stream_program=dict(PROGRAM))
+        with pytest.raises(JobValidationError):
+            spec.validate()
+
+    def test_kernel_fingerprint_unchanged_by_new_fields(self):
+        """Adding the ``kind`` field must not shift any existing cache
+        key: plain kernel specs serialise exactly as before."""
+        spec = JobSpec(job_id="k", source="__global__ void k() {}")
+        fp = spec.config_fingerprint()
+        assert "kind" not in fp
+        assert "stream_program" not in fp
+        # stream specs key on kind + the whole program
+        sfp = _spec().config_fingerprint()
+        assert sfp["kind"] == "stream"
+        assert sfp["stream_program"]["steps"]
+
+    def test_stream_fingerprint_differs_from_kernel(self):
+        from repro.service import cache_key
+        kernel = JobSpec(job_id="x", source=SOURCE)
+        stream = _spec(job_id="x")
+        assert cache_key(kernel) != cache_key(stream)
+
+
+class TestExecuteJob:
+    def test_racy_program_reports_inter_launch_races(self):
+        payload = execute_job(_spec().to_dict())
+        assert payload["status"] == JobStatus.DONE
+        verdict = payload["verdict"]
+        assert verdict["engine"] == "stream"
+        assert verdict["stream"]["inter_launch_races"]
+        assert payload["check_stats"]["launches"] == 2
+        json.dumps(payload)
+
+    def test_invalid_program_is_validation_error(self):
+        bad = dict(PROGRAM, steps=[{"launch": "ghost", "args": {}}])
+        payload = execute_job(_spec(program=bad).to_dict())
+        assert payload["status"] == JobStatus.ERROR
+        assert payload.get("validation_error") is True
+        assert "ghost" in payload["error"]
+
+    def test_solver_cache_dir_enables_launch_replay(self, tmp_path):
+        d = _spec(solver_cache_dir=str(tmp_path / "c")).to_dict()
+        first = execute_job(d)
+        second = execute_job(d)
+        assert first["check_stats"]["launch_cache_hits"] == 0
+        assert second["check_stats"]["launch_cache_hits"] == 2
+        assert second["check_stats"]["pair_cache_hits"] == 1
+
+
+class TestCorpus:
+    def test_stream_suite_enumerates_builtin_cases(self):
+        specs = stream_jobs()
+        assert len(specs) >= 8
+        assert all(s.kind == "stream" for s in specs)
+        assert all(s.stream_program["steps"] for s in specs)
+        for spec in specs:
+            spec.validate()
+
+    def test_builtin_jobs_routes_streams_suite(self):
+        assert [s.job_id for s in builtin_jobs("streams")] == \
+            [s.job_id for s in stream_jobs()]
+        # the kernels-only full corpus does not include stream jobs
+        assert all(s.kind == "kernel" for s in builtin_jobs(None))
+
+    def test_unknown_suite_error_mentions_streams(self):
+        with pytest.raises(ValueError) as err:
+            builtin_jobs("nope")
+        assert "streams" in str(err.value)
+
+
+class TestBatchAndDaemon:
+    def test_run_batch_executes_stream_jobs(self, tmp_path):
+        specs = [_spec("s/racy"),
+                 _spec("s/safe", program=dict(
+                     PROGRAM, steps=[PROGRAM["steps"][0],
+                                     {"sync": "device"},
+                                     PROGRAM["steps"][1]]))]
+        batch = run_batch(specs, max_workers=2,
+                          cache_dir=str(tmp_path / "cache"))
+        results = {r.job_id: r for r in batch.jobs}
+        assert results["s/racy"].has_issues
+        assert not results["s/safe"].has_issues
+        racy_stream = results["s/racy"].verdict["stream"]
+        assert racy_stream["inter_launch_races"]
+
+    def test_daemon_runs_stream_suite_and_replays_cache(self, tmp_path):
+        daemon = Daemon(db_path=str(tmp_path / "q.sqlite3"),
+                        cache_dir=str(tmp_path / "cache"),
+                        workers=2, lease_ttl=30.0, poll_interval=0.02)
+        daemon.start(serve_http=False)
+        try:
+            job_id = daemon.submit_spec(_spec())["job_id"]
+            assert daemon.wait_idle(timeout=300.0)
+            job = daemon.store.get(job_id)
+            assert job.state == JobState.DONE, job.error
+            verdict = job.result["verdict"]
+            assert verdict["stream"]["inter_launch_races"]
+            # identical re-submission hits the whole-job verdict cache
+            again = daemon.submit_spec(_spec(job_id="stream-dup"))
+            assert again["deduped"] or again["job_id"] != job_id
+        finally:
+            daemon.stop()

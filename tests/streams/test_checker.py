@@ -1,0 +1,216 @@
+"""StreamChecker: inter-launch races, pruning, caching, reports."""
+import json
+
+import pytest
+
+from repro.kernels.streams import STREAM_CASES, get_stream_case
+from repro.service import ResultCache
+from repro.streams import (
+    Launch, StreamChecker, StreamProgram, SyncOp, check_stream,
+    launch_fingerprint,
+)
+
+EXPECTED_RACY = {case.name for case in STREAM_CASES
+                 if case.expected_racy}
+
+
+@pytest.mark.parametrize("case", STREAM_CASES,
+                         ids=lambda c: c.name)
+def test_builtin_suite_verdicts(case):
+    """Every seeded missing-sync program is racy with a launch-pair
+    witness; every synced variant is safe. The ISSUE acceptance bar."""
+    report = check_stream(case.program)
+    assert not report.timed_out
+    assert bool(report.inter_launch_races) == case.expected_racy, \
+        report.summary()
+    for race in report.inter_launch_races:
+        # a witness names both launches and both sides' coordinates
+        assert race.launch1 != race.launch2
+        assert race.witness["thread1"] is not None
+        assert race.witness["thread2"] is not None
+        assert race.buffer in case.program.buffers
+
+
+def test_report_to_dict_is_json_and_analysisreport_shaped():
+    report = check_stream(get_stream_case(
+        "pipeline_missing_sync").program)
+    data = report.to_dict()
+    json.dumps(data)
+    assert data["engine"] == "stream"
+    assert data["timed_out"] is False
+    inter = [r for r in data["races"] if r.get("inter_launch")]
+    assert inter and inter[0]["launches"] == [0, 1]
+    assert "stream" in data
+    assert data["stream"]["hb"]["unordered_pairs"] == [[0, 1]]
+    assert report.has_issues
+
+
+def test_disjoint_footprints_pruned_without_solver():
+    case = get_stream_case("disjoint_streams")
+    report = check_stream(case.program)
+    assert not report.inter_launch_races
+    assert report.stats.pruned_pairs >= 1
+    assert report.stats.queries == 0
+
+
+def test_hb_ordered_pairs_skip_pair_checking():
+    case = get_stream_case("pipeline_sync")
+    report = check_stream(case.program)
+    assert report.stats.unordered_pairs == 0
+    assert report.stats.pairs_considered == 0
+
+
+def test_pruning_off_still_safe_on_disjoint():
+    case = get_stream_case("disjoint_streams")
+    report = check_stream(case.program, pruning=False)
+    assert not report.inter_launch_races
+    assert report.stats.queries > 0       # solver had to discharge it
+
+
+def test_non_incremental_matches_incremental():
+    case = get_stream_case("pingpong_missing_sync")
+    inc = check_stream(case.program, incremental=True)
+    one = check_stream(case.program, incremental=False)
+    key = lambda r: (r.kind, r.buffer, r.launch1, r.launch2,
+                     r.loc1, r.loc2)
+    assert sorted(map(key, inc.inter_launch_races)) == \
+        sorted(map(key, one.inter_launch_races))
+
+
+def test_summary_mentions_every_launch_and_race():
+    report = check_stream(get_stream_case(
+        "scatter_gather_missing_sync").program)
+    text = report.summary()
+    for outcome in report.launches:
+        assert outcome.label in text
+    assert "INTER-LAUNCH" in text
+    assert "RACY" in text
+
+
+SOURCE = """\
+__global__ void produce(int *a) { a[threadIdx.x] = threadIdx.x; }
+__global__ void consume(int *a, int *b) {
+  b[threadIdx.x] = a[threadIdx.x] + 1;
+}
+"""
+
+
+def _pipeline(consume_body_delta=""):
+    source = SOURCE if not consume_body_delta else \
+        SOURCE.replace("+ 1", consume_body_delta)
+    return StreamProgram(
+        name="pipe", source=source, buffers={"a": 64, "b": 64},
+        steps=[
+            Launch("produce", args={"a": "a"}),
+            Launch("consume", stream=1, args={"a": "a", "b": "b"}),
+        ])
+
+
+class TestCaching:
+    def test_second_run_serves_launches_and_pairs_from_cache(
+            self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = check_stream(_pipeline(), cache=cache)
+        assert first.stats.launch_cache_hits == 0
+        second = check_stream(_pipeline(), cache=cache)
+        assert second.stats.launch_cache_hits == 2
+        assert second.stats.pair_cache_hits == 1
+        assert all(o.cached for o in second.launches)
+        key = lambda r: (r.kind, r.buffer, r.loc1, r.loc2)
+        assert sorted(map(key, second.inter_launch_races)) == \
+            sorted(map(key, first.inter_launch_races))
+
+    def test_editing_one_kernel_keeps_other_launch_cached(
+            self, tmp_path):
+        """The acceptance criterion: one edited kernel → every
+        untouched launch replays from cache."""
+        cache = ResultCache(str(tmp_path / "cache"))
+        check_stream(_pipeline(), cache=cache)
+        third = check_stream(_pipeline("+ 2"), cache=cache)
+        cached = {o.label: o.cached for o in third.launches}
+        assert cached == {"produce": True, "consume": False}
+        assert third.stats.launch_cache_hits == 1
+        assert third.stats.pair_cache_hits == 0  # pair key changed too
+
+    def test_fingerprint_sensitive_to_config_not_budget(self):
+        prog = _pipeline()
+        checker = StreamChecker(prog)
+        launch = prog.launches()[0]
+        base = launch_fingerprint(checker.module, launch,
+                                  checker._config_for(launch))
+        assert base == launch_fingerprint(
+            checker.module, launch, checker._config_for(launch))
+        bigger = Launch("produce", block_dim=(128, 1, 1),
+                        args={"a": "a"})
+        assert base != launch_fingerprint(
+            checker.module, bigger, checker._config_for(bigger))
+
+
+def test_atomic_vs_atomic_across_launches_is_not_a_race():
+    source = ("__global__ void bump(int *c) "
+              "{ atomicAdd(&c[0], 1); }")
+    prog = StreamProgram(
+        name="atomics", source=source, buffers={"c": 1},
+        steps=[Launch("bump", stream=0, args={"c": "c"}),
+               Launch("bump", stream=1, args={"c": "c"})])
+    report = check_stream(prog)
+    assert not report.inter_launch_races
+
+
+def test_atomic_vs_plain_across_launches_is_a_race():
+    source = ("__global__ void bump(int *c) "
+              "{ atomicAdd(&c[0], 1); }\n"
+              "__global__ void reset(int *c) { c[0] = 0; }")
+    prog = StreamProgram(
+        name="mixed", source=source, buffers={"c": 1},
+        steps=[Launch("bump", stream=0, args={"c": "c"}),
+               Launch("reset", stream=1, args={"c": "c"})])
+    report = check_stream(prog)
+    kinds = {r.kind for r in report.inter_launch_races}
+    assert kinds and all("Atomic" in k for k in kinds)
+
+
+def test_different_buffers_never_race():
+    prog = StreamProgram(
+        name="split", source=SOURCE, buffers={"a": 64, "x": 64,
+                                              "b": 64},
+        steps=[Launch("produce", stream=0, args={"a": "a"}),
+               Launch("consume", stream=1,
+                      args={"a": "x", "b": "b"})])
+    report = check_stream(prog)
+    assert not report.inter_launch_races
+    assert report.stats.pairs_considered == 0 or \
+        report.stats.queries == 0
+
+
+def test_benign_ww_same_value_is_reported_benign():
+    source = ("__global__ void mark(int *f) { f[threadIdx.x] = 7; }")
+    prog = StreamProgram(
+        name="benign", source=source, buffers={"f": 64},
+        steps=[Launch("mark", stream=0, args={"f": "f"}),
+               Launch("mark", stream=1, args={"f": "f"})])
+    report = check_stream(prog)
+    assert report.inter_launch_races
+    assert all(r.benign for r in report.inter_launch_races)
+    assert not report.has_issues
+
+
+def test_time_budget_zero_reports_timeout_not_crash():
+    report = check_stream(_pipeline(), time_budget_seconds=1e-9)
+    assert report.timed_out
+    data = report.to_dict()
+    assert data["timed_out"] is True
+    json.dumps(data)
+
+
+def test_telemetry_events_emitted(tmp_path):
+    from repro.service import Telemetry
+    trace = tmp_path / "t.jsonl"
+    telemetry = Telemetry(trace_path=str(trace))
+    check_stream(_pipeline(), telemetry=telemetry)
+    telemetry.close()
+    events = [json.loads(line)["event"]
+              for line in trace.read_text().splitlines()]
+    assert events.count("stream_planned") == 1
+    assert events.count("launch_finished") == 2
+    assert events.count("stream_merged") == 1

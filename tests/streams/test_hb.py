@@ -1,0 +1,105 @@
+"""Happens-before DAG semantics over launch scripts.
+
+The HB relation is pure step-walking (no compilation), so these tests
+build programs around a placeholder source and assert on order alone.
+"""
+from repro.streams import HappensBefore, Launch, StreamProgram, SyncOp
+
+SRC = "__global__ void k(int *a) { a[threadIdx.x] = 1; }"
+
+
+def _hb(steps):
+    return HappensBefore(StreamProgram(
+        name="t", source=SRC, buffers={"a": 64}, steps=steps))
+
+
+def L(stream, label=None):
+    return Launch("k", stream=stream, args={"a": "a"}, label=label)
+
+
+def test_same_stream_is_fifo_ordered():
+    hb = _hb([L(0), L(0), L(0)])
+    assert hb.unordered_pairs() == []
+    assert hb.ordered(0, 2)
+
+
+def test_different_streams_without_sync_are_unordered():
+    hb = _hb([L(0), L(1)])
+    assert hb.unordered_pairs() == [(0, 1)]
+    assert not hb.ordered(0, 1)
+
+
+def test_device_sync_orders_everything_before_after():
+    hb = _hb([L(0), L(1), SyncOp("device_sync"), L(2)])
+    assert hb.unordered_pairs() == [(0, 1)]
+    assert hb.ordered(0, 2) and hb.ordered(1, 2)
+
+
+def test_stream_sync_orders_only_that_stream():
+    hb = _hb([L(0), L(1), SyncOp("stream_sync", stream=1), L(2)])
+    assert hb.ordered(1, 2)          # synced stream
+    assert not hb.ordered(0, 2)      # other stream still concurrent
+    assert (0, 2) in hb.unordered_pairs()
+
+
+def test_stream_sync_on_empty_stream_is_noop():
+    hb = _hb([L(0), SyncOp("stream_sync", stream=7), L(1)])
+    assert hb.unordered_pairs() == [(0, 1)]
+
+
+def test_event_record_wait_creates_cross_stream_edge():
+    hb = _hb([
+        L(0),
+        SyncOp("event_record", stream=0, event="e"),
+        SyncOp("event_wait", stream=1, event="e"),
+        L(1),
+    ])
+    assert hb.ordered(0, 1)
+    assert hb.unordered_pairs() == []
+
+
+def test_wait_on_unrecorded_event_is_noop():
+    hb = _hb([
+        L(0),
+        SyncOp("event_wait", stream=1, event="never"),
+        L(1),
+    ])
+    assert hb.unordered_pairs() == [(0, 1)]
+
+
+def test_event_edge_does_not_order_later_work():
+    # the recorded event captures launch 0 only; launch 2 (same stream,
+    # after the record) stays concurrent with the waiter's stream
+    hb = _hb([
+        L(0),
+        SyncOp("event_record", stream=0, event="e"),
+        L(0, label="after-record"),       # index 1
+        SyncOp("event_wait", stream=1, event="e"),
+        L(1, label="waiter"),             # index 2
+    ])
+    assert hb.ordered(0, 2)
+    assert not hb.ordered(1, 2)
+    assert hb.unordered_pairs() == [(1, 2)]
+
+
+def test_transitive_order_through_chained_events():
+    hb = _hb([
+        L(0),                                              # 0
+        SyncOp("event_record", stream=0, event="a"),
+        SyncOp("event_wait", stream=1, event="a"),
+        L(1),                                              # 1
+        SyncOp("event_record", stream=1, event="b"),
+        SyncOp("event_wait", stream=2, event="b"),
+        L(2),                                              # 2
+    ])
+    assert hb.ordered(0, 1) and hb.ordered(1, 2)
+    assert hb.ordered(0, 2)      # transitivity
+    assert hb.unordered_pairs() == []
+
+
+def test_to_dict_is_json_shaped():
+    hb = _hb([L(0), L(1), SyncOp("device_sync"), L(0)])
+    data = hb.to_dict()
+    assert data["launches"] == 3
+    assert data["unordered_pairs"] == [[0, 1]]
+    assert all(len(e) == 2 for e in data["edges"])

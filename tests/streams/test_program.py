@@ -1,0 +1,122 @@
+"""StreamProgram model: parsing, validation, serialisation."""
+import json
+
+import pytest
+
+from repro.streams import (
+    Launch, StreamProgram, StreamProgramError, SyncOp,
+    load_stream_script,
+)
+
+SOURCE = """\
+__global__ void produce(int *a) { a[threadIdx.x] = threadIdx.x; }
+__global__ void consume(int *a, int *b) {
+  b[threadIdx.x] = a[threadIdx.x] + 1;
+}
+"""
+
+
+def _program(steps, buffers=None):
+    return StreamProgram(
+        name="t", source=SOURCE,
+        buffers=buffers if buffers is not None else {"a": 64, "b": 64},
+        steps=steps)
+
+
+def test_valid_program_round_trips_through_dict():
+    prog = _program([
+        Launch("produce", args={"a": "a"}),
+        SyncOp("device_sync"),
+        Launch("consume", stream=1, args={"a": "a", "b": "b"},
+               label="read-back"),
+    ])
+    prog.validate()
+    data = prog.to_dict()
+    back = StreamProgram.from_dict(data)
+    back.validate()
+    assert [type(s).__name__ for s in back.steps] == \
+        [type(s).__name__ for s in prog.steps]
+    assert back.launches()[1].label == "read-back"
+    assert back.launches()[1].stream == 1
+    # dicts are JSON-safe
+    json.dumps(data)
+
+
+def test_launch_name_prefers_label():
+    assert Launch("k").name == "k"
+    assert Launch("k", label="step-1").name == "step-1"
+
+
+def test_sync_op_validation():
+    with pytest.raises(StreamProgramError):
+        SyncOp("stream_sync")              # needs a stream
+    with pytest.raises(StreamProgramError):
+        SyncOp("event_record", stream=0)   # needs an event
+    with pytest.raises(StreamProgramError):
+        SyncOp("teleport")                 # unknown kind
+    op = SyncOp("event_wait", stream=1, event="e0")
+    assert op.to_dict()["sync"] == "event_wait"
+
+
+@pytest.mark.parametrize("steps,buffers,needle", [
+    ([], None, "launch"),                                  # no launches
+    ([Launch("nope", args={})], None, "nope"),             # unknown kernel
+    ([Launch("produce", args={"a": "ghost"})], None, "ghost"),
+    ([Launch("produce", args={"q": "a"})], None, "q"),     # unknown param
+    ([Launch("produce", args={"a": "a"})], {"a": 0}, "positive"),
+])
+def test_validate_rejects(steps, buffers, needle):
+    prog = _program(steps, buffers)
+    with pytest.raises(StreamProgramError) as err:
+        prog.validate()
+    assert needle in str(err.value)
+
+
+def test_parse_step_accepts_short_sync_forms():
+    from repro.streams.program import parse_step
+    dev = parse_step({"sync": "device"})
+    assert dev.kind == "device_sync"
+    ss = parse_step({"sync": "stream", "stream": 2})
+    assert ss.kind == "stream_sync" and ss.stream == 2
+    launch = parse_step(
+        {"launch": "k", "grid": [2], "block": [32], "args": {"p": "a"}})
+    assert launch.kernel == "k"
+    assert launch.grid_dim == (2, 1, 1)
+    assert launch.block_dim == (32, 1, 1)
+
+
+def test_from_dict_requires_source():
+    with pytest.raises(StreamProgramError):
+        StreamProgram.from_dict({"steps": [{"launch": "k"}]})
+
+
+def test_load_stream_script_resolves_source_file(tmp_path):
+    (tmp_path / "prog.cu").write_text(SOURCE)
+    script = {
+        "source_file": "prog.cu",
+        "buffers": {"a": 64, "b": 64},
+        "steps": [
+            {"launch": "produce", "args": {"a": "a"}},
+            {"sync": "device"},
+            {"launch": "consume", "stream": 1,
+             "args": {"a": "a", "b": "b"}},
+        ],
+    }
+    path = tmp_path / "prog.json"
+    path.write_text(json.dumps(script))
+    prog = load_stream_script(str(path))
+    assert prog.name == "prog"
+    assert prog.source == SOURCE
+    prog.validate()
+
+
+def test_load_stream_script_inline_source(tmp_path):
+    path = tmp_path / "inline.json"
+    path.write_text(json.dumps({
+        "source": SOURCE,
+        "buffers": {"a": 64},
+        "steps": [{"launch": "produce", "args": {"a": "a"}}],
+    }))
+    prog = load_stream_script(str(path))
+    assert prog.name == "inline"
+    prog.validate()

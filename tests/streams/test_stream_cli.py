@@ -1,0 +1,117 @@
+"""The ``repro stream`` subcommand: exit codes, JSON, script loading."""
+import json
+
+from repro.cli import main
+
+SOURCE = """\
+__global__ void produce(int *a) { a[threadIdx.x] = threadIdx.x; }
+__global__ void consume(int *a, int *b) {
+  b[threadIdx.x] = a[threadIdx.x] + 1;
+}
+"""
+
+
+def _script(tmp_path, steps):
+    (tmp_path / "prog.cu").write_text(SOURCE)
+    path = tmp_path / "prog.json"
+    path.write_text(json.dumps({
+        "source_file": "prog.cu",
+        "buffers": {"a": 64, "b": 64},
+        "steps": steps,
+    }))
+    return str(path)
+
+
+RACY_STEPS = [
+    {"launch": "produce", "args": {"a": "a"}},
+    {"launch": "consume", "stream": 1, "args": {"a": "a", "b": "b"}},
+]
+SAFE_STEPS = [
+    RACY_STEPS[0], {"sync": "device"}, RACY_STEPS[1],
+]
+
+
+def test_racy_script_exits_1(tmp_path, capsys):
+    code = main(["stream", _script(tmp_path, RACY_STEPS),
+                 "--no-cache"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "INTER-LAUNCH" in out
+    assert "RACY" in out
+
+
+def test_safe_script_exits_0(tmp_path, capsys):
+    code = main(["stream", _script(tmp_path, SAFE_STEPS),
+                 "--no-cache"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SAFE" in out
+
+
+def test_json_output_round_trips(tmp_path, capsys):
+    code = main(["stream", _script(tmp_path, RACY_STEPS),
+                 "--no-cache", "--json"])
+    assert code == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["engine"] == "stream"
+    assert any(r.get("inter_launch") for r in data["races"])
+    assert data["stream"]["program"]["name"] == "prog"
+
+
+def test_builtin_case_and_listing(capsys):
+    assert main(["stream", "builtin:", "--no-cache"]) == 0
+    listing = capsys.readouterr().out
+    assert "pipeline_missing_sync" in listing
+    assert main(["stream", "builtin:pipeline_missing_sync",
+                 "--no-cache"]) == 1
+    capsys.readouterr()
+    assert main(["stream", "builtin:same_stream_fifo",
+                 "--no-cache"]) == 0
+
+
+def test_missing_script_exits_2(tmp_path, capsys):
+    code = main(["stream", str(tmp_path / "nope.json")])
+    assert code == 2
+    assert "no such launch script" in capsys.readouterr().err
+
+
+def test_invalid_program_exits_2(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({
+        "source": SOURCE,
+        "buffers": {"a": 64},
+        "steps": [{"launch": "ghost_kernel", "args": {}}],
+    }))
+    code = main(["stream", str(path)])
+    assert code == 2
+    assert "ghost_kernel" in capsys.readouterr().err
+
+
+def test_unknown_builtin_exits_2(capsys):
+    assert main(["stream", "builtin:nope"]) == 2
+    assert "no stream case" in capsys.readouterr().err
+
+
+def test_cache_dir_persists_launch_verdicts(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    script = _script(tmp_path, RACY_STEPS)
+    assert main(["stream", script, "--cache-dir", cache_dir,
+                 "--json"]) == 1
+    first = json.loads(capsys.readouterr().out)
+    assert first["check_stats"]["launch_cache_hits"] == 0
+    assert main(["stream", script, "--cache-dir", cache_dir,
+                 "--json"]) == 1
+    second = json.loads(capsys.readouterr().out)
+    assert second["check_stats"]["launch_cache_hits"] == 2
+    assert second["check_stats"]["pair_cache_hits"] == 1
+
+
+def test_trace_writes_stream_events(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    main(["stream", _script(tmp_path, SAFE_STEPS), "--no-cache",
+          "--trace", str(trace)])
+    capsys.readouterr()
+    events = [json.loads(line)["event"]
+              for line in trace.read_text().splitlines()]
+    assert "stream_planned" in events
+    assert "stream_merged" in events

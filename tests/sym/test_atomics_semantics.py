@@ -1,0 +1,146 @@
+"""Atomic access semantics across engines and pruning modes.
+
+The race definition (paper §II) exempts atomic-atomic pairs: two
+atomics on the same cell serialise in hardware, so they never race
+with *each other* — but an atomic against a plain access is a real
+race. These must hold identically in every engine and with the
+pruning pipeline on or off; pruning is a performance layer, never a
+semantics layer.
+"""
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import GKLEEp, SESA, LaunchConfig
+
+ENGINES = [SESA, GKLEEp]
+
+
+def _config(engine_cls, pruning, block=8):
+    kwargs = dict(block_dim=block, check_oob=False,
+                  pair_pruning=pruning)
+    if engine_cls is not SESA:
+        kwargs["symbolic_inputs"] = set()
+    return LaunchConfig(**kwargs)
+
+
+def _real_races(report):
+    return [r for r in report.races if not r.benign]
+
+
+ATOMIC_VS_ATOMIC = """
+__global__ void k(int *c) {
+  atomicAdd(&c[0], 1);
+}
+"""
+
+ATOMIC_VS_ATOMIC_TWO_SITES = """
+__global__ void k(int *c) {
+  if (threadIdx.x % 2 == 0) { atomicAdd(&c[0], 1); }
+  else { atomicAdd(&c[0], 2); }
+}
+"""
+
+ATOMIC_VS_PLAIN_WRITE = """
+__global__ void k(int *c) {
+  if (threadIdx.x == 0u) { c[0] = 0; }
+  else { atomicAdd(&c[0], 1); }
+}
+"""
+
+ATOMIC_VS_PLAIN_READ = """
+__global__ void k(int *c, int *out) {
+  if (threadIdx.x == 0u) { out[0] = c[0]; }
+  else { atomicAdd(&c[0], 1); }
+}
+"""
+
+DISJOINT_ATOMIC_AND_PLAIN = """
+__global__ void k(int *c) {
+  if (threadIdx.x == 0u) { c[1] = 7; }
+  else { atomicAdd(&c[0], 1); }
+}
+"""
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES,
+                         ids=lambda e: e.__name__)
+@pytest.mark.parametrize("pruning", [True, False],
+                         ids=["pruned", "unpruned"])
+class TestAtomicSemantics:
+    def test_atomic_vs_atomic_never_races(self, engine_cls, pruning):
+        report = engine_cls.from_source(ATOMIC_VS_ATOMIC).check(
+            _config(engine_cls, pruning))
+        assert not _real_races(report), report.summary()
+
+    def test_atomic_vs_atomic_across_sites_never_races(
+            self, engine_cls, pruning):
+        report = engine_cls.from_source(
+            ATOMIC_VS_ATOMIC_TWO_SITES).check(
+            _config(engine_cls, pruning))
+        assert not _real_races(report), report.summary()
+
+    def test_atomic_vs_plain_write_races(self, engine_cls, pruning):
+        report = engine_cls.from_source(ATOMIC_VS_PLAIN_WRITE).check(
+            _config(engine_cls, pruning))
+        races = _real_races(report)
+        assert races, report.summary()
+
+    def test_atomic_vs_plain_read_races(self, engine_cls, pruning):
+        report = engine_cls.from_source(ATOMIC_VS_PLAIN_READ).check(
+            _config(engine_cls, pruning))
+        assert _real_races(report), report.summary()
+
+    def test_disjoint_atomic_and_plain_safe(self, engine_cls, pruning):
+        report = engine_cls.from_source(
+            DISJOINT_ATOMIC_AND_PLAIN).check(
+            _config(engine_cls, pruning))
+        assert not _real_races(report), report.summary()
+
+
+# ----------------------------------------------------------------------
+# property: generated mixed atomic/plain kernels agree across engines
+# and across pruning modes on the racy/safe verdict
+# ----------------------------------------------------------------------
+
+ACCESSES = [
+    ("atomic", "atomicAdd(&c[{idx}], 1);"),
+    ("write", "c[{idx}] = {v};"),
+]
+INDICES = ["0", "threadIdx.x % 4"]
+
+
+@st.composite
+def atomic_kernels(draw):
+    """Two-armed kernels where each arm is an atomic or a plain write
+    to either a shared cell or a tid-strided slot."""
+    kinds = []
+    arms = []
+    for i, cond in enumerate(("threadIdx.x % 2 == 0", "else")):
+        kind, template = draw(st.sampled_from(ACCESSES))
+        idx = draw(st.sampled_from(INDICES))
+        kinds.append((kind, idx))
+        body = template.format(idx=idx, v=i + 1)
+        arms.append(body)
+    source = ("__global__ void k(int *c) {\n"
+              f"  if (threadIdx.x % 2 == 0) {{ {arms[0]} }}\n"
+              f"  else {{ {arms[1]} }}\n"
+              "}\n")
+    return source, kinds
+
+
+@given(atomic_kernels())
+@settings(max_examples=20, deadline=None)
+def test_property_engines_and_pruning_agree(case):
+    source, kinds = case
+    verdicts = {}
+    for engine_cls in ENGINES:
+        for pruning in (True, False):
+            report = engine_cls.from_source(source).check(
+                _config(engine_cls, pruning))
+            verdicts[(engine_cls.__name__, pruning)] = \
+                bool(_real_races(report))
+    assert len(set(verdicts.values())) == 1, (source, verdicts)
+    # and the exemption itself: two atomics only, same cell -> safe
+    if all(kind == "atomic" for kind, _ in kinds):
+        assert not any(verdicts.values()), source
